@@ -1,0 +1,77 @@
+// Ablation: why does GKArray's buffering help, and how should the buffer be
+// sized?
+//
+// The journal paper attributes GKArray's speed to replacing per-element
+// binary-search-tree + heap work (GKAdaptive) with sort-and-merge in
+// batches of Theta(|L|). This bench isolates the two design choices:
+//   1. buffering at all   -- GKAdaptive vs GKArray at any buffer size;
+//   2. buffer proportional to |L| -- factor sweep 0 (fixed 256) .. 4.
+// A too-small buffer re-scans the summary too often (merge cost per element
+// grows as |L|/|A|); a larger buffer trades transient memory for speed with
+// diminishing returns past factor ~1, which is why Theta(|L|) is the right
+// choice.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+#include "quantile/cash_register.h"
+#include "quantile/gk_array.h"
+
+using namespace streamq;
+using namespace streamq::bench;
+
+int main() {
+  DatasetSpec spec;
+  spec.distribution = Distribution::kUniform;
+  spec.log_universe = 32;
+  spec.n = ScaledN(2'000'000);
+  spec.seed = 21;
+  const auto data = GenerateDataset(spec);
+  const ExactOracle oracle(data);
+  const double eps = 1e-4;
+
+  PrintHeader("Ablation: GKArray buffer sizing (uniform, eps=1e-4)",
+              {"variant", "ns/update", "space", "max_err"});
+
+  auto report = [&](const std::string& name, auto& impl_holder) {
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t v : data) impl_holder.Insert(v);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    ErrorStats stats = EvaluateQuantiles(impl_holder, oracle, eps);
+    PrintRow({name, FmtTime(secs * 1e9 / data.size()),
+              FmtBytes(impl_holder.MemoryBytes()), FmtErr(stats.max_error)});
+  };
+
+  {
+    GkAdaptive adaptive(eps);
+    report("GKAdaptive(no-buffer)", adaptive);
+  }
+  for (double factor : {0.0, 0.25, 1.0, 4.0}) {
+    // Wrap the impl so EvaluateQuantiles can drive it via the interface.
+    class Wrapper : public QuantileSketch {
+     public:
+      Wrapper(double eps, double factor) : impl_(eps, 256, factor) {}
+      void Insert(uint64_t v) override { impl_.Insert(v); }
+      uint64_t Query(double phi) override { return impl_.Query(phi); }
+      std::vector<uint64_t> QueryMany(const std::vector<double>& p) override {
+        return impl_.QueryMany(p);
+      }
+      int64_t EstimateRank(uint64_t v) override { return impl_.EstimateRank(v); }
+      uint64_t Count() const override { return impl_.Count(); }
+      size_t MemoryBytes() const override { return impl_.MemoryBytes(); }
+      std::string Name() const override { return "GKArray"; }
+
+     private:
+      GkArrayImpl<uint64_t> impl_;
+    };
+    Wrapper w(eps, factor);
+    char name[64];
+    std::snprintf(name, sizeof(name), "GKArray(f=%.2f)", factor);
+    report(name, w);
+  }
+  return 0;
+}

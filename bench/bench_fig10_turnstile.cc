@@ -1,0 +1,54 @@
+// Figure 10 of the paper: the main turnstile comparison (DCM vs DCS vs
+// Post) on the MPCAT-like data.
+//
+//   10a/10b: eps vs observed max/avg error
+//   10c:     space vs error       10d: time vs error     10e: space vs time
+//
+// Expected shapes: actual max error ~ eps/10; DCS needs ~1/10 of DCM's
+// space at equal error; Post reduces DCS error by 60-80% at no streaming
+// cost; and everything is roughly an order of magnitude above the best
+// cash-register algorithms (compare bench_fig5).
+
+#include <vector>
+
+#include "harness.h"
+
+using namespace streamq;
+using namespace streamq::bench;
+
+int main() {
+  DatasetSpec spec;
+  spec.distribution = Distribution::kMpcatLike;
+  spec.order = Order::kChunkedSorted;
+  spec.n = ScaledN(1'000'000);
+  spec.seed = 10;
+  const auto data = GenerateDataset(spec);
+  const ExactOracle oracle(data);
+
+  const std::vector<double> eps_sweep = {1e-1, 3e-2, 1e-2, 3e-3, 1e-3};
+  std::vector<RunResult> results;
+  for (Algorithm algorithm : TurnstileAlgorithms()) {
+    for (double eps : eps_sweep) {
+      SketchConfig config;
+      config.algorithm = algorithm;
+      config.eps = eps;
+      config.log_universe = spec.LogUniverse();
+      results.push_back(Run(config, data, oracle));
+    }
+  }
+
+  PrintHeader("Fig 10a/10b: eps vs observed error (turnstile)",
+              {"algorithm", "eps", "max_err", "avg_err"});
+  for (const RunResult& r : results) {
+    PrintRow({r.algorithm, FmtEps(r.eps), FmtErr(r.max_error),
+              FmtErr(r.avg_error)});
+  }
+
+  PrintHeader("Fig 10c/10d/10e: space and time vs error",
+              {"algorithm", "eps", "space", "ns/update", "avg_err"});
+  for (const RunResult& r : results) {
+    PrintRow({r.algorithm, FmtEps(r.eps), FmtBytes(r.max_memory_bytes),
+              FmtTime(r.ns_per_update), FmtErr(r.avg_error)});
+  }
+  return 0;
+}

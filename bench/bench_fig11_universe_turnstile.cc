@@ -1,0 +1,44 @@
+// Figure 11 of the paper: universe size and the turnstile algorithms.
+//
+// Normal data with sigma = 0.15, u in {2^16, 2^32}. The universe sets the
+// height of the dyadic hierarchy, so a smaller universe means smaller and
+// faster sketches at the same accuracy. (The paper's u=2^16 curves halt
+// early because the algorithms then store all frequencies exactly.)
+
+#include <vector>
+
+#include "harness.h"
+
+using namespace streamq;
+using namespace streamq::bench;
+
+int main() {
+  const std::vector<double> eps_sweep = {3e-2, 1e-2, 3e-3, 1e-3};
+
+  PrintHeader("Fig 11a/11b: turnstile algorithms vs universe size "
+              "(normal, sigma=0.15)",
+              {"algorithm", "log_u", "eps", "space", "ns/update", "avg_err"});
+  for (int log_u : {16, 32}) {
+    DatasetSpec spec;
+    spec.distribution = Distribution::kNormal;
+    spec.sigma = 0.15;
+    spec.log_universe = log_u;
+    spec.n = ScaledN(1'000'000);
+    spec.seed = 11;
+    const auto data = GenerateDataset(spec);
+    const ExactOracle oracle(data);
+    for (Algorithm algorithm : TurnstileAlgorithms()) {
+      for (double eps : eps_sweep) {
+        SketchConfig config;
+        config.algorithm = algorithm;
+        config.eps = eps;
+        config.log_universe = log_u;
+        const RunResult r = Run(config, data, oracle);
+        PrintRow({r.algorithm, std::to_string(log_u), FmtEps(eps),
+                  FmtBytes(r.max_memory_bytes), FmtTime(r.ns_per_update),
+                  FmtErr(r.avg_error)});
+      }
+    }
+  }
+  return 0;
+}

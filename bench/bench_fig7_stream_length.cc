@@ -1,0 +1,45 @@
+// Figure 7 of the paper: varying the stream length.
+//
+// Uniform data, u = 2^32, eps = 1e-4 (paper); n sweeps over two orders of
+// magnitude (the paper used 10^7..10^10 -- rescale with STREAMQ_SCALE).
+// Expected shapes: update time flat (decreasing for Random and FastQDigest),
+// space flat for GK variants on random-order data and exactly constant for
+// Random/MRL99.
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+
+using namespace streamq;
+using namespace streamq::bench;
+
+int main() {
+  const double eps = 1e-4;
+  const std::vector<uint64_t> n_sweep = {
+      ScaledN(100'000), ScaledN(1'000'000), ScaledN(10'000'000)};
+
+  PrintHeader("Fig 7a/7b: varying stream length (uniform, u=2^32, eps=1e-4)",
+              {"algorithm", "n", "ns/update", "space"});
+  for (Algorithm algorithm : CashRegisterAlgorithms()) {
+    if (algorithm == Algorithm::kRss) continue;
+    for (uint64_t n : n_sweep) {
+      DatasetSpec spec;
+      spec.distribution = Distribution::kUniform;
+      spec.log_universe = 32;
+      spec.n = n;
+      spec.seed = 7;
+      const auto data = GenerateDataset(spec);
+      const ExactOracle oracle(data);
+      SketchConfig config;
+      config.algorithm = algorithm;
+      config.eps = eps;
+      config.log_universe = 32;
+      // Time/space are the story here; one repetition is enough.
+      const RunResult r = RunCashRegister(config, data, oracle, 1);
+      PrintRow({r.algorithm, std::to_string(n), FmtTime(r.ns_per_update),
+                FmtBytes(r.max_memory_bytes)});
+    }
+  }
+  return 0;
+}

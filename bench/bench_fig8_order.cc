@@ -1,0 +1,43 @@
+// Figure 8 of the paper: random vs sorted arrival order.
+//
+// Uniform data, u = 2^32 (paper: n = 10^8; rescaled). Sorted order is the
+// adversarial case for the GK family (the summary keeps exact prefixes and
+// its size behaviour changes); Random/MRL99 are unaffected in space, and
+// the deterministic error guarantee must hold in both orders.
+
+#include <vector>
+
+#include "harness.h"
+
+using namespace streamq;
+using namespace streamq::bench;
+
+int main() {
+  const double eps = 1e-3;
+  const uint64_t n = ScaledN(2'000'000);
+
+  PrintHeader("Fig 8: random vs sorted arrival (uniform, u=2^32, eps=1e-3)",
+              {"algorithm", "order", "ns/update", "space", "max_err"});
+  for (Algorithm algorithm : CashRegisterAlgorithms()) {
+    if (algorithm == Algorithm::kRss) continue;
+    for (Order order : {Order::kRandom, Order::kSorted}) {
+      DatasetSpec spec;
+      spec.distribution = Distribution::kUniform;
+      spec.log_universe = 32;
+      spec.n = n;
+      spec.order = order;
+      spec.seed = 8;
+      const auto data = GenerateDataset(spec);
+      const ExactOracle oracle(data);
+      SketchConfig config;
+      config.algorithm = algorithm;
+      config.eps = eps;
+      config.log_universe = 32;
+      const RunResult r = Run(config, data, oracle);
+      PrintRow({r.algorithm, order == Order::kRandom ? "random" : "sorted",
+                FmtTime(r.ns_per_update), FmtBytes(r.max_memory_bytes),
+                FmtErr(r.max_error)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// google-benchmark micro-benchmarks: per-update and per-query costs of every
+// algorithm, complementing the per-figure harnesses with statistically
+// stabilised numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "quantile/factory.h"
+#include "stream/generators.h"
+
+namespace streamq {
+namespace {
+
+const std::vector<uint64_t>& Data() {
+  static const auto* data = [] {
+    DatasetSpec spec;
+    spec.distribution = Distribution::kUniform;
+    spec.log_universe = 24;
+    spec.n = 1 << 18;
+    spec.seed = 5;
+    return new std::vector<uint64_t>(GenerateDataset(spec));
+  }();
+  return *data;
+}
+
+SketchConfig Config(Algorithm algorithm, double eps) {
+  SketchConfig config;
+  config.algorithm = algorithm;
+  config.eps = eps;
+  config.log_universe = 24;
+  config.rss_width_cap = 1 << 10;
+  return config;
+}
+
+void BM_Update(benchmark::State& state) {
+  const auto algorithm = static_cast<Algorithm>(state.range(0));
+  const double eps = 1.0 / static_cast<double>(state.range(1));
+  const auto& data = Data();
+  auto sketch = MakeSketch(Config(algorithm, eps));
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch->Insert(data[i]);
+    if (++i == data.size()) i = 0;
+  }
+  state.SetLabel(AlgorithmName(algorithm));
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Query(benchmark::State& state) {
+  const auto algorithm = static_cast<Algorithm>(state.range(0));
+  const double eps = 1.0 / static_cast<double>(state.range(1));
+  const auto& data = Data();
+  auto sketch = MakeSketch(Config(algorithm, eps));
+  for (uint64_t v : data) sketch->Insert(v);
+  double phi = 0.0;
+  for (auto _ : state) {
+    phi += 0.37;
+    if (phi >= 1.0) phi -= 1.0;
+    if (phi <= 0.0) phi = 0.5;
+    benchmark::DoNotOptimize(sketch->Query(phi));
+  }
+  state.SetLabel(AlgorithmName(algorithm));
+}
+
+void RegisterAll() {
+  for (Algorithm a :
+       {Algorithm::kGkTheory, Algorithm::kGkAdaptive, Algorithm::kGkArray,
+        Algorithm::kFastQDigest, Algorithm::kMrl99, Algorithm::kRandom,
+        Algorithm::kDcm, Algorithm::kDcs, Algorithm::kDcsPost}) {
+    for (int inv_eps : {100, 1000}) {
+      benchmark::RegisterBenchmark(
+          ("BM_Update/" + AlgorithmName(a) + "/eps_1e-" +
+           std::to_string(inv_eps == 100 ? 2 : 3))
+              .c_str(),
+          BM_Update)
+          ->Args({static_cast<int>(a), inv_eps});
+    }
+    benchmark::RegisterBenchmark(
+        ("BM_Query/" + AlgorithmName(a)).c_str(), BM_Query)
+        ->Args({static_cast<int>(a), 1000});
+  }
+}
+
+}  // namespace
+}  // namespace streamq
+
+int main(int argc, char** argv) {
+  streamq::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

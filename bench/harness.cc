@@ -1,0 +1,153 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace streamq::bench {
+
+double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("STREAMQ_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0 ? v : 1.0;
+  }();
+  return scale;
+}
+
+int Repetitions() {
+  static const int reps = [] {
+    const char* env = std::getenv("STREAMQ_REPS");
+    if (env == nullptr) return 5;
+    const int v = std::atoi(env);
+    return v > 0 ? v : 5;
+  }();
+  return reps;
+}
+
+uint64_t ScaledN(uint64_t base) {
+  const double n = static_cast<double>(base) * Scale();
+  return std::max<uint64_t>(1000, static_cast<uint64_t>(n));
+}
+
+bool IsRandomized(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kMrl99:
+    case Algorithm::kRandom:
+    case Algorithm::kRss:
+    case Algorithm::kDcm:
+    case Algorithm::kDcs:
+    case Algorithm::kDcsPost:
+      return true;
+    default:
+      return false;
+  }
+}
+
+RunResult RunCashRegister(const SketchConfig& config,
+                          const std::vector<uint64_t>& data,
+                          const ExactOracle& oracle, int repetitions) {
+  RunResult result;
+  result.algorithm = AlgorithmName(config.algorithm);
+  result.eps = config.eps;
+  const int reps = IsRandomized(config.algorithm) ? repetitions : 1;
+
+  double total_seconds = 0.0;
+  size_t max_memory = 0;
+  double sum_max_err = 0.0, sum_avg_err = 0.0;
+
+  // Peak memory is sampled at 256 evenly spaced points of the stream.
+  const size_t sample_every = std::max<size_t>(1, data.size() / 256);
+
+  for (int rep = 0; rep < reps; ++rep) {
+    SketchConfig cfg = config;
+    cfg.seed = config.seed + static_cast<uint64_t>(rep) * 7919;
+    auto sketch = MakeSketch(cfg);
+
+    const auto start = std::chrono::steady_clock::now();
+    for (uint64_t v : data) sketch->Insert(v);
+    const auto stop = std::chrono::steady_clock::now();
+    total_seconds += std::chrono::duration<double>(stop - start).count();
+
+    // Re-run memory sampling on a fresh sketch only for the first rep (it
+    // is deterministic enough across seeds and the timing loop above must
+    // stay unpolluted).
+    if (rep == 0) {
+      auto probe = MakeSketch(cfg);
+      size_t peak = 0;
+      size_t i = 0;
+      for (uint64_t v : data) {
+        probe->Insert(v);
+        if (++i % sample_every == 0) {
+          peak = std::max(peak, probe->MemoryBytes());
+        }
+      }
+      peak = std::max(peak, probe->MemoryBytes());
+      max_memory = peak;
+    }
+
+    const ErrorStats stats = EvaluateQuantiles(*sketch, oracle, config.eps);
+    sum_max_err += stats.max_error;
+    sum_avg_err += stats.avg_error;
+  }
+
+  result.ns_per_update =
+      total_seconds * 1e9 / (static_cast<double>(data.size()) * reps);
+  result.max_memory_bytes = max_memory;
+  result.max_error = sum_max_err / reps;
+  result.avg_error = sum_avg_err / reps;
+  return result;
+}
+
+RunResult Run(const SketchConfig& config, const std::vector<uint64_t>& data,
+              const ExactOracle& oracle) {
+  return RunCashRegister(config, data, oracle, Repetitions());
+}
+
+void PrintHeader(const std::string& title, const std::vector<std::string>& columns) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (const std::string& c : columns) std::printf("%14s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) std::printf("%14s", "------------");
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (const std::string& c : cells) std::printf("%14s", c.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string FmtEps(double eps) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0e", eps);
+  return buf;
+}
+
+std::string FmtErr(double err) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3e", err);
+  return buf;
+}
+
+std::string FmtBytes(size_t bytes) {
+  char buf[32];
+  if (bytes >= (1u << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB", static_cast<double>(bytes) / (1 << 20));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", static_cast<double>(bytes) / (1 << 10));
+  }
+  return buf;
+}
+
+std::string FmtTime(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fns", ns);
+  return buf;
+}
+
+}  // namespace streamq::bench

@@ -1,0 +1,71 @@
+// Shared measurement harness for the per-figure bench binaries.
+//
+// Each bench binary reproduces one table or figure of the paper: it
+// generates the figure's workload, runs the algorithms across the figure's
+// parameter sweep, and prints the series the figure plots (plus the
+// measurements the paper's text quotes). Scale knobs:
+//   STREAMQ_SCALE  multiplies every stream length (default 1; the defaults
+//                  are laptop-sized versions of the paper's 10^7..10^10).
+//   STREAMQ_REPS   repetitions for randomized algorithms (default 5;
+//                  the paper uses 100).
+
+#ifndef STREAMQ_BENCH_HARNESS_H_
+#define STREAMQ_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exact/error_metrics.h"
+#include "exact/exact_oracle.h"
+#include "quantile/factory.h"
+#include "quantile/quantile_sketch.h"
+#include "stream/generators.h"
+
+namespace streamq::bench {
+
+/// Stream-length multiplier from STREAMQ_SCALE (default 1.0).
+double Scale();
+
+/// Repetitions for randomized algorithms from STREAMQ_REPS (default 5).
+int Repetitions();
+
+/// n scaled by STREAMQ_SCALE, with a floor of 1000.
+uint64_t ScaledN(uint64_t base);
+
+/// Result of one (algorithm, workload, eps) run, averaged over repetitions
+/// for randomized algorithms.
+struct RunResult {
+  std::string algorithm;
+  double eps = 0.0;
+  double ns_per_update = 0.0;   // average wall-clock time per stream update
+  size_t max_memory_bytes = 0;  // maximum MemoryBytes() over the stream
+  double max_error = 0.0;       // observed Kolmogorov-Smirnov divergence
+  double avg_error = 0.0;       // observed average rank error
+};
+
+/// Feeds `data` into a fresh sketch from `config` (seed varied per
+/// repetition), measuring update time, peak memory, and observed errors.
+RunResult RunCashRegister(const SketchConfig& config,
+                          const std::vector<uint64_t>& data,
+                          const ExactOracle& oracle, int repetitions);
+
+/// Same, with deterministic algorithms run once regardless of repetitions.
+RunResult Run(const SketchConfig& config, const std::vector<uint64_t>& data,
+              const ExactOracle& oracle);
+
+/// True for the randomized algorithms (repetitions matter).
+bool IsRandomized(Algorithm algorithm);
+
+/// Fixed-width table output.
+void PrintHeader(const std::string& title, const std::vector<std::string>& columns);
+void PrintRow(const std::vector<std::string>& cells);
+std::string FmtEps(double eps);
+std::string FmtErr(double err);
+std::string FmtBytes(size_t bytes);
+std::string FmtTime(double ns);
+
+}  // namespace streamq::bench
+
+#endif  // STREAMQ_BENCH_HARNESS_H_

@@ -1,0 +1,75 @@
+// Sensor-network aggregation, the q-digest's original use case (Shrivastava
+// et al., SenSys'04): each sensor summarises its own readings locally; the
+// summaries are merged up a routing tree, and the root answers quantile
+// queries over the union -- without any node ever seeing the raw data of
+// the others. q-digest is the only deterministic mergeable quantile summary.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "exact/exact_oracle.h"
+#include "quantile/fast_qdigest.h"
+#include "stream/generators.h"
+
+int main() {
+  using namespace streamq;
+
+  constexpr int kSensors = 16;
+  constexpr double kEps = 0.01;
+  constexpr int kLogU = 16;  // 16-bit temperature readings
+
+  // Each sensor sees a different micro-climate (its own normal distribution)
+  // and builds a local digest.
+  std::vector<std::unique_ptr<FastQDigest>> digests;
+  std::vector<uint64_t> all_readings;
+  for (int s = 0; s < kSensors; ++s) {
+    DatasetSpec spec;
+    spec.distribution = Distribution::kNormal;
+    spec.sigma = 0.02 + 0.01 * (s % 4);
+    spec.log_universe = kLogU;
+    spec.n = 50'000;
+    spec.seed = 1000 + s;
+    auto readings = GenerateDataset(spec);
+    // Micro-climate offset, clamped to the universe.
+    for (auto& r : readings) {
+      r = std::min<uint64_t>((1 << kLogU) - 1, r / 2 + s * 1024);
+    }
+    auto digest = std::make_unique<FastQDigest>(kEps, kLogU);
+    for (uint64_t r : readings) digest->Insert(r);
+    all_readings.insert(all_readings.end(), readings.begin(), readings.end());
+    digests.push_back(std::move(digest));
+    std::printf("sensor %2d: %6llu readings -> %5.1f KB digest\n", s,
+                static_cast<unsigned long long>(digests.back()->Count()),
+                digests.back()->MemoryBytes() / 1024.0);
+  }
+
+  // Merge pairwise up a binary routing tree (any merge order works).
+  int level = 0;
+  while (digests.size() > 1) {
+    std::vector<std::unique_ptr<FastQDigest>> next;
+    for (size_t i = 0; i + 1 < digests.size(); i += 2) {
+      digests[i]->Merge(*digests[i + 1]);
+      next.push_back(std::move(digests[i]));
+    }
+    if (digests.size() % 2 == 1) next.push_back(std::move(digests.back()));
+    digests = std::move(next);
+    std::printf("merge level %d: %zu digests remain\n", ++level,
+                digests.size());
+  }
+
+  FastQDigest& root = *digests[0];
+  const ExactOracle oracle(all_readings);
+  std::printf("\nroot digest: %llu readings in %.1f KB\n\n",
+              static_cast<unsigned long long>(root.Count()),
+              root.MemoryBytes() / 1024.0);
+  std::printf("%8s %10s %10s %10s\n", "phi", "merged", "exact", "err");
+  for (double phi : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const uint64_t est = root.Query(phi);
+    std::printf("%8.2f %10llu %10llu %9.4f%%\n", phi,
+                static_cast<unsigned long long>(est),
+                static_cast<unsigned long long>(oracle.Quantile(phi)),
+                100.0 * oracle.QuantileError(est, phi));
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Command-line quantile summariser: reads whitespace-separated numbers from
+// stdin, prints requested quantiles.
+//
+//   $ seq 1 1000000 | shuf | ./streamq_cli --algo=GKArray --eps=0.001 \
+//         --phi=0.5,0.9,0.99
+//
+// Floating-point input is supported through the order-preserving IEEE-754
+// mapping (footnote 1 of the paper): values are mapped to uint64, sketched
+// in the fixed universe, and mapped back for output.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "quantile/factory.h"
+#include "util/float_order.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: streamq_cli [--algo=NAME] [--eps=E] [--phi=P1,P2,...]\n"
+               "  NAME: GKTheory GKAdaptive GKArray FastQDigest MRL99 Random\n"
+               "        DCM DCS Post (default: GKArray)\n"
+               "  E:    rank error target (default 0.001)\n"
+               "  P:    comma-separated quantiles in (0,1) "
+               "(default 0.5,0.9,0.99)\n"
+               "reads whitespace-separated numbers from stdin\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace streamq;
+
+  SketchConfig config;
+  config.algorithm = Algorithm::kGkArray;
+  config.eps = 0.001;
+  config.log_universe = 64;  // full double-order universe
+  std::vector<double> phis = {0.5, 0.9, 0.99};
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--algo=", 0) == 0) {
+      if (!ParseAlgorithm(arg.substr(7), &config.algorithm)) {
+        std::fprintf(stderr, "unknown algorithm '%s'\n", arg.substr(7).c_str());
+        Usage();
+        return 2;
+      }
+    } else if (arg.rfind("--eps=", 0) == 0) {
+      config.eps = std::atof(arg.substr(6).c_str());
+      if (config.eps <= 0 || config.eps >= 1) {
+        std::fprintf(stderr, "eps must be in (0,1)\n");
+        return 2;
+      }
+    } else if (arg.rfind("--phi=", 0) == 0) {
+      phis.clear();
+      std::string list = arg.substr(6);
+      for (char* tok = std::strtok(list.data(), ","); tok != nullptr;
+           tok = std::strtok(nullptr, ",")) {
+        const double phi = std::atof(tok);
+        if (phi <= 0 || phi >= 1) {
+          std::fprintf(stderr, "phi must be in (0,1): %s\n", tok);
+          return 2;
+        }
+        phis.push_back(phi);
+      }
+    } else {
+      Usage();
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  const bool fixed_universe = config.algorithm == Algorithm::kFastQDigest ||
+                              config.algorithm == Algorithm::kDcm ||
+                              config.algorithm == Algorithm::kDcs ||
+                              config.algorithm == Algorithm::kDcsPost ||
+                              config.algorithm == Algorithm::kRss;
+  if (fixed_universe) config.log_universe = 32;  // dyadic depth over floats?
+
+  auto sketch = MakeSketch(config);
+  double value = 0.0;
+  uint64_t n = 0;
+  while (std::scanf("%lf", &value) == 1) {
+    uint64_t mapped;
+    if (fixed_universe) {
+      // 32-bit order-preserving float universe keeps the dyadic structures
+      // at a practical depth.
+      mapped = OrderedFromFloat(static_cast<float>(value));
+    } else {
+      mapped = OrderedFromDouble(value);
+    }
+    sketch->Insert(mapped);
+    ++n;
+  }
+  if (n == 0) {
+    std::fprintf(stderr, "no input values\n");
+    return 1;
+  }
+
+  std::printf("# %s eps=%g n=%llu memory=%.1fKB\n", sketch->Name().c_str(),
+              config.eps, static_cast<unsigned long long>(n),
+              sketch->MemoryBytes() / 1024.0);
+  std::sort(phis.begin(), phis.end());
+  const auto answers = sketch->QueryMany(phis);
+  for (size_t i = 0; i < phis.size(); ++i) {
+    const double out =
+        fixed_universe
+            ? static_cast<double>(FloatFromOrdered(
+                  static_cast<uint32_t>(answers[i])))
+            : DoubleFromOrdered(answers[i]);
+    std::printf("%g\t%.10g\n", phis[i], out);
+  }
+  return 0;
+}

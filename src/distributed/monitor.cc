@@ -1,0 +1,86 @@
+#include "distributed/monitor.h"
+
+#include <cassert>
+
+#include "util/serde.h"
+
+namespace streamq {
+
+DistributedQuantileMonitor::DistributedQuantileMonitor(int num_sites,
+                                                       double eps,
+                                                       double theta)
+    : eps_(eps), theta_(theta > 0 ? theta : eps / 2.0) {
+  assert(num_sites > 0);
+  sites_.reserve(num_sites);
+  coordinator_view_.resize(num_sites);
+  for (int i = 0; i < num_sites; ++i) {
+    sites_.emplace_back(eps_ / 2.0);
+  }
+}
+
+void DistributedQuantileMonitor::Observe(int site, uint64_t value) {
+  assert(site >= 0 && site < num_sites());
+  Site& s = sites_[site];
+  s.summary.Insert(value);
+  ++s.count;
+  ++global_count_;
+  // Ship when the local count grew by a (1 + theta) factor (every site's
+  // first element ships immediately).
+  const double trigger =
+      (1.0 + theta_) * static_cast<double>(s.last_shipped_count);
+  if (s.last_shipped_count == 0 || static_cast<double>(s.count) >= trigger) {
+    Ship(site);
+  }
+}
+
+void DistributedQuantileMonitor::Ship(int site) {
+  Site& s = sites_[site];
+  // Serialise the real wire payload so communication cost is honest.
+  SerdeWriter w;
+  s.summary.Flush();
+  s.summary.Serialize(w);
+  communication_bytes_ += w.buffer().size();
+  ++shipments_;
+  // The coordinator decodes its fresh copy of the site's summary.
+  auto received = std::make_unique<GkArrayImpl<uint64_t>>(eps_ / 2.0);
+  SerdeReader r(w.buffer());
+  const bool ok = received->Deserialize(r) && r.Done();
+  assert(ok);
+  (void)ok;
+  coordinator_view_[site] = std::move(received);
+  s.last_shipped_count = s.count;
+}
+
+std::vector<WeightedElement<uint64_t>>
+DistributedQuantileMonitor::CoordinatorSample() const {
+  std::vector<WeightedElement<uint64_t>> sample;
+  for (const auto& summary : coordinator_view_) {
+    if (summary == nullptr) continue;
+    summary->ForEachTuple([&](uint64_t v, int64_t g, int64_t /*delta*/) {
+      sample.push_back({v, g});
+    });
+  }
+  return sample;
+}
+
+uint64_t DistributedQuantileMonitor::Query(double phi) {
+  WeightedSampleView<uint64_t> view(CoordinatorSample());
+  if (view.Empty()) return 0;
+  // Target relative to what the coordinator knows about; the unreported
+  // remainder is below theta * n by construction.
+  return view.Quantile(phi * static_cast<double>(view.TotalWeight()));
+}
+
+int64_t DistributedQuantileMonitor::EstimateRank(uint64_t value) {
+  return WeightedSampleView<uint64_t>(CoordinatorSample()).EstimateRank(value);
+}
+
+size_t DistributedQuantileMonitor::CoordinatorMemoryBytes() const {
+  size_t total = 0;
+  for (const auto& summary : coordinator_view_) {
+    if (summary != nullptr) total += summary->MemoryBytes();
+  }
+  return total;
+}
+
+}  // namespace streamq

@@ -1,0 +1,83 @@
+// Continuous distributed quantile monitoring (extension; the paper's
+// related work cites Cormode et al. SIGMOD'05 and Yi & Zhang,
+// Algorithmica'13).
+//
+// k sites each observe a local stream; a coordinator must be able to answer
+// eps-approximate quantiles over the union at any time, while keeping the
+// site -> coordinator communication far below shipping the raw streams.
+//
+// Protocol (the classic count-triggered synchronisation): every site keeps
+// a local GKArray summary with error eps/2 and re-ships it to the
+// coordinator whenever its local count has grown by a factor (1 + theta)
+// since the last shipment. Elements a site has not yet reported number at
+// most theta * n_i, so the coordinator's merged answer carries at most
+// (eps/2 + theta) * n rank error; theta = eps/2 restores the eps guarantee.
+// Shipments are real serialised bytes (util/serde.h), so the communication
+// accounting is honest: O((k/eps) log(eps n) log n) bytes total versus
+// 4n bytes for raw forwarding.
+
+#ifndef STREAMQ_DISTRIBUTED_MONITOR_H_
+#define STREAMQ_DISTRIBUTED_MONITOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "quantile/gk_array.h"
+#include "quantile/weighted_sample.h"
+
+namespace streamq {
+
+class DistributedQuantileMonitor {
+ public:
+  /// num_sites remote observers; eps: total rank-error target; theta:
+  /// staleness factor (defaults to eps/2, the analysis-backed choice).
+  DistributedQuantileMonitor(int num_sites, double eps, double theta = -1.0);
+
+  /// One element observed at `site` (0-based). May trigger a shipment.
+  void Observe(int site, uint64_t value);
+
+  /// Coordinator-side phi-quantile over everything observed so far.
+  uint64_t Query(double phi);
+
+  /// Coordinator-side rank estimate.
+  int64_t EstimateRank(uint64_t value);
+
+  /// Total elements observed across all sites.
+  uint64_t GlobalCount() const { return global_count_; }
+
+  /// Total site -> coordinator bytes shipped so far (serialised summaries).
+  size_t CommunicationBytes() const { return communication_bytes_; }
+
+  /// Number of summary shipments so far.
+  size_t ShipmentCount() const { return shipments_; }
+
+  /// Accounting bytes of coordinator state (latest summary per site).
+  size_t CoordinatorMemoryBytes() const;
+
+  int num_sites() const { return static_cast<int>(sites_.size()); }
+
+ private:
+  struct Site {
+    explicit Site(double eps) : summary(eps) {}
+    GkArrayImpl<uint64_t> summary;   // local, full-history
+    uint64_t count = 0;
+    uint64_t last_shipped_count = 0;
+  };
+
+  void Ship(int site);
+  std::vector<WeightedElement<uint64_t>> CoordinatorSample() const;
+
+  double eps_;
+  double theta_;
+  uint64_t global_count_ = 0;
+  size_t communication_bytes_ = 0;
+  size_t shipments_ = 0;
+  std::vector<Site> sites_;
+  // Coordinator's view: the latest shipped summary per site.
+  std::vector<std::unique_ptr<GkArrayImpl<uint64_t>>> coordinator_view_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_DISTRIBUTED_MONITOR_H_

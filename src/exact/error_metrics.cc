@@ -1,0 +1,41 @@
+#include "exact/error_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace streamq {
+
+ErrorStats EvaluateQuantiles(QuantileSketch& sketch, const ExactOracle& oracle,
+                             double eps, size_t max_queries) {
+  ErrorStats stats;
+  if (oracle.n() == 0 || eps <= 0.0 || eps >= 1.0) return stats;
+
+  size_t num = static_cast<size_t>(std::floor(1.0 / eps)) - 1;
+  num = std::max<size_t>(num, 1);
+  double step = eps;
+  if (num > max_queries) {
+    num = max_queries;
+    step = 1.0 / static_cast<double>(num + 1);
+  }
+  std::vector<double> phis;
+  phis.reserve(num);
+  for (size_t i = 1; i <= num; ++i) {
+    const double phi = step * static_cast<double>(i);
+    if (phi >= 1.0) break;
+    phis.push_back(phi);
+  }
+
+  const std::vector<uint64_t> answers = sketch.QueryMany(phis);
+  double sum = 0.0;
+  for (size_t i = 0; i < phis.size(); ++i) {
+    const double err = oracle.QuantileError(answers[i], phis[i]);
+    stats.max_error = std::max(stats.max_error, err);
+    sum += err;
+  }
+  stats.num_queries = phis.size();
+  stats.avg_error = phis.empty() ? 0.0 : sum / static_cast<double>(phis.size());
+  return stats;
+}
+
+}  // namespace streamq

@@ -1,0 +1,32 @@
+// Observed-error evaluation following the paper's measurement protocol
+// (section 4.1.2): extract the phi-quantiles for phi = eps, 2eps, ..., 1-eps,
+// compare each against its true rank interval, and report the maximum
+// (Kolmogorov-Smirnov divergence) and average (~ total variation distance)
+// normalised rank error.
+
+#ifndef STREAMQ_EXACT_ERROR_METRICS_H_
+#define STREAMQ_EXACT_ERROR_METRICS_H_
+
+#include <cstddef>
+
+#include "exact/exact_oracle.h"
+#include "quantile/quantile_sketch.h"
+
+namespace streamq {
+
+/// Observed errors of a summary against ground truth.
+struct ErrorStats {
+  double max_error = 0.0;  // Kolmogorov-Smirnov divergence
+  double avg_error = 0.0;  // mean rank error over the query grid
+  size_t num_queries = 0;
+};
+
+/// Evaluates `sketch` on the phi grid implied by eps. If the grid would
+/// exceed `max_queries` points it is subsampled evenly (the measured
+/// divergences are insensitive to this at the tested scales).
+ErrorStats EvaluateQuantiles(QuantileSketch& sketch, const ExactOracle& oracle,
+                             double eps, size_t max_queries = 100'000);
+
+}  // namespace streamq
+
+#endif  // STREAMQ_EXACT_ERROR_METRICS_H_

@@ -1,0 +1,43 @@
+#include "exact/exact_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamq {
+
+ExactOracle::ExactOracle(std::vector<uint64_t> data) : sorted_(std::move(data)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+uint64_t ExactOracle::Rank(uint64_t x) const {
+  return std::lower_bound(sorted_.begin(), sorted_.end(), x) - sorted_.begin();
+}
+
+std::pair<uint64_t, uint64_t> ExactOracle::RankInterval(uint64_t x) const {
+  const auto lo = std::lower_bound(sorted_.begin(), sorted_.end(), x);
+  const auto hi = std::upper_bound(lo, sorted_.end(), x);
+  return {static_cast<uint64_t>(lo - sorted_.begin()),
+          static_cast<uint64_t>(hi - sorted_.begin())};
+}
+
+uint64_t ExactOracle::Quantile(double phi) const {
+  if (sorted_.empty()) return 0;
+  uint64_t r = static_cast<uint64_t>(phi * static_cast<double>(n()));
+  if (r >= n()) r = n() - 1;
+  return sorted_[r];
+}
+
+double ExactOracle::QuantileError(uint64_t q, double phi) const {
+  if (sorted_.empty()) return 0.0;
+  const double target = phi * static_cast<double>(n());
+  const auto [lo, hi] = RankInterval(q);
+  double err = 0.0;
+  if (target < static_cast<double>(lo)) {
+    err = static_cast<double>(lo) - target;
+  } else if (target > static_cast<double>(hi)) {
+    err = target - static_cast<double>(hi);
+  }
+  return err / static_cast<double>(n());
+}
+
+}  // namespace streamq

@@ -1,0 +1,47 @@
+// Exact quantile/rank oracle used as ground truth by tests and benches.
+
+#ifndef STREAMQ_EXACT_EXACT_ORACLE_H_
+#define STREAMQ_EXACT_EXACT_ORACLE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace streamq {
+
+/// Ground-truth oracle over a materialised multiset. Construction sorts a
+/// copy of the data (O(n log n)); all queries are O(log n).
+class ExactOracle {
+ public:
+  /// Takes the dataset by value and sorts it.
+  explicit ExactOracle(std::vector<uint64_t> data);
+
+  /// Number of elements.
+  uint64_t n() const { return sorted_.size(); }
+
+  /// Rank of x = number of elements strictly smaller than x.
+  uint64_t Rank(uint64_t x) const;
+
+  /// Rank interval of x: [#\{< x\}, #\{<= x\}]. The paper resolves duplicate
+  /// ambiguity in favour of the algorithms by treating the rank of a
+  /// duplicated item as this whole interval.
+  std::pair<uint64_t, uint64_t> RankInterval(uint64_t x) const;
+
+  /// The phi-quantile: element of rank floor(phi * n), 0 < phi < 1.
+  uint64_t Quantile(double phi) const;
+
+  /// Normalised rank error of a reported phi-quantile q, per the paper's
+  /// protocol: distance from phi*n to the rank interval of q, divided by n
+  /// (0 if phi*n falls inside the interval).
+  double QuantileError(uint64_t q, double phi) const;
+
+  /// The sorted data (for tests).
+  const std::vector<uint64_t>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<uint64_t> sorted_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_EXACT_EXACT_ORACLE_H_

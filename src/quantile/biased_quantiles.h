@@ -1,0 +1,193 @@
+// Biased quantiles (extension; the paper's related work cites Cormode,
+// Korn, Muthukrishnan & Srivastava, PODS'06).
+//
+// Uniform summaries guarantee absolute rank error eps*n, which is useless
+// at the extreme tails (the p99.99 of a million elements has rank slack
+// eps*n >> its distance from the maximum). Biased quantiles promise
+// *relative* rank error: the phi-quantile is answered within eps*phi*n --
+// sharp at the low tail, looser in the middle. The high-biased variant
+// mirrors this for phi -> 1.
+//
+// The structure is the GK tuple list with a rank-dependent capacity
+// function f(r) in place of the uniform 2*eps*n: a tuple whose minimum rank
+// is r may absorb at most f(r) = 2*eps*r mass (low-biased; the high-biased
+// variant uses 2*eps*(n-r)). Insertion and batched compression follow the
+// GKArray discipline (sort the buffer, merge, fold removable tuples into
+// their successor whenever g_i + g_{i+1} + Delta_{i+1} <= f(r_{i+1})).
+
+#ifndef STREAMQ_QUANTILE_BIASED_QUANTILES_H_
+#define STREAMQ_QUANTILE_BIASED_QUANTILES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/memory.h"
+
+namespace streamq {
+
+enum class Bias {
+  kLow,   // relative error at the low tail (phi -> 0)
+  kHigh,  // relative error at the high tail (phi -> 1)
+};
+
+template <typename T, typename Less = std::less<T>>
+class BiasedQuantilesImpl {
+ public:
+  explicit BiasedQuantilesImpl(double eps, Bias bias = Bias::kLow)
+      : eps_(eps), bias_(bias) {
+    buffer_.reserve(kMinBuffer);
+  }
+
+  void Insert(const T& v) {
+    buffer_.push_back(v);
+    if (buffer_.size() >= std::max(kMinBuffer, summary_.size())) Flush();
+  }
+
+  /// phi-quantile with rank error at most eps * phi * n (low-biased) or
+  /// eps * (1-phi) * n (high-biased).
+  T Query(double phi) {
+    Flush();
+    if (summary_.empty()) return T{};
+    const double n = static_cast<double>(n_);
+    const double target = phi * n;
+    int64_t prefix = 0;
+    const T* prev = &summary_.front().v;
+    for (const Tuple& t : summary_) {
+      const double tol = Capacity(static_cast<double>(prefix)) / 2.0 + 1.0;
+      if (static_cast<double>(prefix + t.g + t.delta) > target + tol) {
+        return *prev;
+      }
+      prefix += t.g;
+      prev = &t.v;
+    }
+    return summary_.back().v;
+  }
+
+  int64_t EstimateRank(const T& value) {
+    Flush();
+    Less less;
+    int64_t prefix = 0;
+    for (const Tuple& t : summary_) {
+      if (!less(t.v, value)) {
+        return prefix + (t.g + t.delta - 1) / 2;
+      }
+      prefix += t.g;
+    }
+    return prefix;
+  }
+
+  uint64_t Count() const { return n_ + buffer_.size(); }
+  size_t TupleCount() const { return summary_.size(); }
+
+  size_t MemoryBytes() const {
+    return summary_.capacity() * (kBytesPerElement + 2 * kBytesPerCounter) +
+           buffer_.capacity() * kBytesPerElement;
+  }
+
+  template <typename Fn>
+  void ForEachTuple(Fn&& fn) {
+    Flush();
+    for (const Tuple& t : summary_) fn(t.v, t.g, t.delta);
+  }
+
+  void Flush() {
+    if (buffer_.empty()) return;
+    std::sort(buffer_.begin(), buffer_.end(), Less());
+    std::vector<Tuple> out;
+    out.reserve(summary_.size() + buffer_.size());
+    Less less;
+
+    uint64_t cur_n = n_;
+    size_t si = 0, bi = 0;
+    bool has_pending = false;
+    Tuple pending{};
+    int64_t out_rank = 0;  // mass already emitted to `out`
+
+    auto emit = [&](const Tuple& t) {
+      if (has_pending) {
+        // Fold pending into t when t's capacity at its minimum rank allows.
+        const double r = static_cast<double>(out_rank + pending.g + t.g);
+        if (static_cast<double>(pending.g + t.g + t.delta) <=
+            Capacity(r, static_cast<double>(cur_n))) {
+          Tuple merged = t;
+          merged.g += pending.g;
+          pending = merged;
+          return;
+        }
+        out.push_back(pending);
+        out_rank += pending.g;
+      }
+      pending = t;
+      has_pending = true;
+    };
+
+    while (si < summary_.size() || bi < buffer_.size()) {
+      const bool take_buffer =
+          si == summary_.size() ||
+          (bi < buffer_.size() && less(buffer_[bi], summary_[si].v));
+      if (take_buffer) {
+        ++cur_n;
+        Tuple t;
+        t.v = buffer_[bi++];
+        t.g = 1;
+        t.delta = si < summary_.size()
+                      ? summary_[si].g + summary_[si].delta - 1
+                      : 0;
+        emit(t);
+      } else {
+        emit(summary_[si++]);
+      }
+    }
+    if (has_pending) out.push_back(pending);
+    summary_.swap(out);
+    n_ = cur_n;
+    buffer_.clear();
+  }
+
+ private:
+  struct Tuple {
+    T v{};
+    int64_t g = 0;
+    int64_t delta = 0;
+  };
+
+  static constexpr size_t kMinBuffer = 256;
+
+  // Capacity of a tuple whose minimum rank is r: the maximal allowed
+  // g + Delta, i.e. 2*eps*r for low bias, 2*eps*(n-r) for high bias.
+  double Capacity(double r) const {
+    return Capacity(r, static_cast<double>(n_));
+  }
+  double Capacity(double r, double n) const {
+    const double slack =
+        bias_ == Bias::kLow ? 2.0 * eps_ * r : 2.0 * eps_ * (n - r);
+    return std::max(slack, 1.0);
+  }
+
+  double eps_;
+  Bias bias_;
+  uint64_t n_ = 0;
+  std::vector<Tuple> summary_;
+  std::vector<T> buffer_;
+};
+
+/// uint64_t convenience wrapper.
+class BiasedQuantiles {
+ public:
+  explicit BiasedQuantiles(double eps, Bias bias = Bias::kLow)
+      : impl_(eps, bias) {}
+  void Insert(uint64_t v) { impl_.Insert(v); }
+  uint64_t Query(double phi) { return impl_.Query(phi); }
+  int64_t EstimateRank(uint64_t v) { return impl_.EstimateRank(v); }
+  uint64_t Count() const { return impl_.Count(); }
+  size_t MemoryBytes() const { return impl_.MemoryBytes(); }
+  BiasedQuantilesImpl<uint64_t>& impl() { return impl_; }
+
+ private:
+  BiasedQuantilesImpl<uint64_t> impl_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUANTILE_BIASED_QUANTILES_H_

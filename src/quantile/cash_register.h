@@ -1,0 +1,202 @@
+// Concrete QuantileSketch wrappers over the comparison-based cash-register
+// summaries, instantiated for uint64_t streams. The underlying
+// implementations (gk_*.h, random_impl.h, mrl99_impl.h) are templates over
+// any strict-weak-ordered element type, reflecting the comparison model.
+
+#ifndef STREAMQ_QUANTILE_CASH_REGISTER_H_
+#define STREAMQ_QUANTILE_CASH_REGISTER_H_
+
+#include <memory>
+
+#include "quantile/gk_adaptive.h"
+#include "quantile/gk_array.h"
+#include "quantile/gk_theory.h"
+#include "quantile/mrl99_impl.h"
+#include "quantile/quantile_sketch.h"
+#include "quantile/random_impl.h"
+#include "util/serde.h"
+
+namespace streamq {
+
+/// GKTheory over uint64_t (section 2.1 of the paper).
+class GkTheory : public QuantileSketch {
+ public:
+  explicit GkTheory(double eps) : impl_(eps) {}
+  void Insert(uint64_t value) override { impl_.Insert(value); }
+  uint64_t Query(double phi) override { return impl_.Query(phi); }
+  std::vector<uint64_t> QueryMany(const std::vector<double>& phis) override {
+    return impl_.QueryMany(phis);
+  }
+  int64_t EstimateRank(uint64_t value) override {
+    return impl_.EstimateRank(value);
+  }
+  uint64_t Count() const override { return impl_.Count(); }
+  size_t MemoryBytes() const override { return impl_.MemoryBytes(); }
+  std::string Name() const override { return "GKTheory"; }
+  GkTheoryImpl<uint64_t>& impl() { return impl_; }
+
+  /// Snapshot of the summary; restore with Deserialize.
+  std::string Serialize() const {
+    SerdeWriter w;
+    impl_.Serialize(w);
+    return w.Take();
+  }
+  /// Restores a Serialize() snapshot; nullptr on corrupt input.
+  static std::unique_ptr<GkTheory> Deserialize(const std::string& bytes) {
+    auto sketch = std::make_unique<GkTheory>(0.5);
+    SerdeReader r(bytes);
+    if (!sketch->impl_.Deserialize(r) || !r.Done()) return nullptr;
+    return sketch;
+  }
+
+ private:
+  GkTheoryImpl<uint64_t> impl_;
+};
+
+/// GKAdaptive over uint64_t (section 2.1.1).
+class GkAdaptive : public QuantileSketch {
+ public:
+  explicit GkAdaptive(double eps) : impl_(eps) {}
+  void Insert(uint64_t value) override { impl_.Insert(value); }
+  uint64_t Query(double phi) override { return impl_.Query(phi); }
+  std::vector<uint64_t> QueryMany(const std::vector<double>& phis) override {
+    return impl_.QueryMany(phis);
+  }
+  int64_t EstimateRank(uint64_t value) override {
+    return impl_.EstimateRank(value);
+  }
+  uint64_t Count() const override { return impl_.Count(); }
+  size_t MemoryBytes() const override { return impl_.MemoryBytes(); }
+  std::string Name() const override { return "GKAdaptive"; }
+  GkAdaptiveImpl<uint64_t>& impl() { return impl_; }
+
+  /// Snapshot of the summary; restore with Deserialize.
+  std::string Serialize() const {
+    SerdeWriter w;
+    impl_.Serialize(w);
+    return w.Take();
+  }
+  /// Restores a Serialize() snapshot; nullptr on corrupt input.
+  static std::unique_ptr<GkAdaptive> Deserialize(const std::string& bytes) {
+    auto sketch = std::make_unique<GkAdaptive>(0.5);
+    SerdeReader r(bytes);
+    if (!sketch->impl_.Deserialize(r) || !r.Done()) return nullptr;
+    return sketch;
+  }
+
+ private:
+  GkAdaptiveImpl<uint64_t> impl_;
+};
+
+/// GKArray over uint64_t (section 2.1.2, journal version).
+class GkArray : public QuantileSketch {
+ public:
+  explicit GkArray(double eps) : impl_(eps) {}
+  void Insert(uint64_t value) override { impl_.Insert(value); }
+  uint64_t Query(double phi) override { return impl_.Query(phi); }
+  std::vector<uint64_t> QueryMany(const std::vector<double>& phis) override {
+    return impl_.QueryMany(phis);
+  }
+  int64_t EstimateRank(uint64_t value) override {
+    return impl_.EstimateRank(value);
+  }
+  uint64_t Count() const override { return impl_.Count(); }
+  size_t MemoryBytes() const override { return impl_.MemoryBytes(); }
+  std::string Name() const override { return "GKArray"; }
+  GkArrayImpl<uint64_t>& impl() { return impl_; }
+
+  /// Snapshot of the summary; restore with Deserialize.
+  std::string Serialize() const {
+    SerdeWriter w;
+    impl_.Serialize(w);
+    return w.Take();
+  }
+  /// Restores a Serialize() snapshot; nullptr on corrupt input.
+  static std::unique_ptr<GkArray> Deserialize(const std::string& bytes) {
+    auto sketch = std::make_unique<GkArray>(0.5);
+    SerdeReader r(bytes);
+    if (!sketch->impl_.Deserialize(r) || !r.Done()) return nullptr;
+    return sketch;
+  }
+
+ private:
+  GkArrayImpl<uint64_t> impl_;
+};
+
+/// Random over uint64_t (section 2.2).
+class RandomSketch : public QuantileSketch {
+ public:
+  RandomSketch(double eps, uint64_t seed = 1) : impl_(eps, seed) {}
+  void Insert(uint64_t value) override { impl_.Insert(value); }
+  uint64_t Query(double phi) override { return impl_.Query(phi); }
+  std::vector<uint64_t> QueryMany(const std::vector<double>& phis) override {
+    return impl_.QueryMany(phis);
+  }
+  int64_t EstimateRank(uint64_t value) override {
+    return impl_.EstimateRank(value);
+  }
+  uint64_t Count() const override { return impl_.Count(); }
+  size_t MemoryBytes() const override { return impl_.MemoryBytes(); }
+  std::string Name() const override { return "Random"; }
+  RandomSketchImpl<uint64_t>& impl() { return impl_; }
+
+  /// Merges another Random summary built with the same eps (the mergeable-
+  /// summary property of Agarwal et al. that Random inherits).
+  void Merge(const RandomSketch& other) { impl_.Merge(other.impl_); }
+
+  /// Snapshot of the summary (including PRNG state).
+  std::string Serialize() const {
+    SerdeWriter w;
+    impl_.Serialize(w);
+    return w.Take();
+  }
+  /// Restores a Serialize() snapshot; nullptr on corrupt input.
+  static std::unique_ptr<RandomSketch> Deserialize(const std::string& bytes) {
+    auto sketch = std::make_unique<RandomSketch>(0.5);
+    SerdeReader r(bytes);
+    if (!sketch->impl_.Deserialize(r) || !r.Done()) return nullptr;
+    return sketch;
+  }
+
+ private:
+  RandomSketchImpl<uint64_t> impl_;
+};
+
+/// MRL99 over uint64_t (section 1.2.1).
+class Mrl99 : public QuantileSketch {
+ public:
+  Mrl99(double eps, uint64_t seed = 1) : impl_(eps, seed) {}
+  void Insert(uint64_t value) override { impl_.Insert(value); }
+  uint64_t Query(double phi) override { return impl_.Query(phi); }
+  std::vector<uint64_t> QueryMany(const std::vector<double>& phis) override {
+    return impl_.QueryMany(phis);
+  }
+  int64_t EstimateRank(uint64_t value) override {
+    return impl_.EstimateRank(value);
+  }
+  uint64_t Count() const override { return impl_.Count(); }
+  size_t MemoryBytes() const override { return impl_.MemoryBytes(); }
+  std::string Name() const override { return "MRL99"; }
+  Mrl99Impl<uint64_t>& impl() { return impl_; }
+
+  /// Snapshot of the summary (including PRNG state).
+  std::string Serialize() const {
+    SerdeWriter w;
+    impl_.Serialize(w);
+    return w.Take();
+  }
+  /// Restores a Serialize() snapshot; nullptr on corrupt input.
+  static std::unique_ptr<Mrl99> Deserialize(const std::string& bytes) {
+    auto sketch = std::make_unique<Mrl99>(0.5);
+    SerdeReader r(bytes);
+    if (!sketch->impl_.Deserialize(r) || !r.Done()) return nullptr;
+    return sketch;
+  }
+
+ private:
+  Mrl99Impl<uint64_t> impl_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUANTILE_CASH_REGISTER_H_

@@ -1,0 +1,230 @@
+#include "quantile/dyadic_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sketch/count_min.h"
+#include "sketch/count_sketch.h"
+#include "sketch/dyadic.h"
+#include "sketch/exact_counts.h"
+#include "sketch/rss_sketch.h"
+#include "util/memory.h"
+#include "util/serde.h"
+
+namespace streamq {
+
+void DyadicQuantileBase::ApplyUpdate(uint64_t value, int64_t delta) {
+  // Values outside the configured universe are clamped to its maximum:
+  // better a bounded bias at the top cell than an out-of-bounds write into
+  // an exact-level counter array (Insert and Erase clamp identically, so a
+  // clamped deletion still cancels its insertion).
+  if (log_u_ < 64 && value >= (uint64_t{1} << log_u_)) {
+    value = (uint64_t{1} << log_u_) - 1;
+  }
+  n_ += delta;
+  for (int i = 0; i < log_u_; ++i) {
+    levels_[i]->Update(value >> i, delta);
+  }
+}
+
+double DyadicQuantileBase::CellEstimate(int level, uint64_t index) const {
+  if (level >= log_u_) return static_cast<double>(n_);
+  return levels_[level]->Estimate(index);
+}
+
+bool DyadicQuantileBase::LevelIsExact(int level) const {
+  if (level >= log_u_) return true;
+  return levels_[level]->IsExact();
+}
+
+double DyadicQuantileBase::LevelVariance(int level) const {
+  if (level >= log_u_) return 0.0;
+  return levels_[level]->VarianceEstimate();
+}
+
+int64_t DyadicQuantileBase::EstimateRank(uint64_t value) {
+  double rank = 0.0;
+  for (const DyadicCell& cell : PrefixDecomposition(value, log_u_)) {
+    rank += CellEstimate(cell.level, cell.index);
+  }
+  return static_cast<int64_t>(std::llround(rank));
+}
+
+uint64_t DyadicQuantileBase::Query(double phi) {
+  // Build the answer bit by bit: x stays the largest prefix whose estimated
+  // rank is below the target (binary search on [u], as in the paper).
+  double target = std::clamp(phi * static_cast<double>(n_), 0.0,
+                             static_cast<double>(n_));
+  if (target <= 0.0) target = 0.5;  // phi ~ 0: the minimum still has rank 0
+  uint64_t x = 0;
+  for (int bit = log_u_ - 1; bit >= 0; --bit) {
+    const uint64_t candidate = x | (uint64_t{1} << bit);
+    double rank = 0.0;
+    for (const DyadicCell& cell : PrefixDecomposition(candidate, log_u_)) {
+      rank += CellEstimate(cell.level, cell.index);
+    }
+    if (rank < target) x = candidate;
+  }
+  return x;
+}
+
+uint64_t DyadicQuantileBase::QueryByDescent(double phi) {
+  double target = phi * static_cast<double>(n_);
+  target = std::clamp(target, 0.0, static_cast<double>(n_));
+  uint64_t cell = 0;
+  double remaining = static_cast<double>(n_);
+  for (int level = log_u_; level > 0; --level) {
+    const double left = std::clamp(CellEstimate(level - 1, cell << 1), 0.0, remaining);
+    if (target <= left) {
+      cell <<= 1;
+      remaining = left;
+    } else {
+      target -= left;
+      remaining -= left;
+      cell = (cell << 1) | 1;
+    }
+  }
+  return cell;
+}
+
+std::string DyadicQuantileBase::Serialize() const {
+  SerdeWriter w;
+  w.U32(static_cast<uint32_t>(log_u_));
+  w.U64(width_);
+  w.U32(static_cast<uint32_t>(depth_));
+  w.U64(seed_);
+  w.I64(n_);
+  for (const auto& level : levels_) level->SaveCounters(w);
+  return w.Take();
+}
+
+bool DyadicQuantileBase::LoadFrom(SerdeReader& r) {
+  // Header (log_u/width/depth/seed) was already consumed by the caller to
+  // rebuild the structure; restore the stream count and counters.
+  if (!r.I64(&n_)) return false;
+  for (auto& level : levels_) {
+    if (!level->LoadCounters(r)) return false;
+  }
+  return r.Done();
+}
+
+namespace {
+struct DyadicHeader {
+  int log_u;
+  uint64_t width;
+  int depth;
+  uint64_t seed;
+};
+
+bool ReadDyadicHeader(SerdeReader& r, DyadicHeader* h) {
+  uint32_t log_u = 0, depth = 0;
+  if (!r.U32(&log_u) || !r.U64(&h->width) || !r.U32(&depth) ||
+      !r.U64(&h->seed)) {
+    return false;
+  }
+  if (log_u > 63 || depth == 0 || depth > 64 || h->width == 0) return false;
+  h->log_u = static_cast<int>(log_u);
+  h->depth = static_cast<int>(depth);
+  return true;
+}
+}  // namespace
+
+size_t DyadicQuantileBase::MemoryBytes() const {
+  size_t total = kBytesPerCounter;  // the exact stream count n
+  for (const auto& level : levels_) total += level->MemoryBytes();
+  return total;
+}
+
+namespace {
+
+// Builds per-level estimators, replacing the sketch by exact counters
+// whenever the reduced universe is no larger than the sketch's counter
+// array.
+template <typename Sketch>
+void PopulateLevels(std::vector<std::unique_ptr<FrequencyEstimator>>& levels,
+                    int log_u, uint64_t width, int depth, uint64_t seed) {
+  const uint64_t sketch_counters = width * static_cast<uint64_t>(depth);
+  for (int i = 0; i < log_u; ++i) {
+    const int reduced_bits = log_u - i;
+    const bool small = reduced_bits < 63 &&
+                       (uint64_t{1} << reduced_bits) <= sketch_counters;
+    if (small) {
+      levels[i] = std::make_unique<ExactCounts>(uint64_t{1} << reduced_bits);
+    } else {
+      levels[i] = std::make_unique<Sketch>(width, depth,
+                                           seed * 0x9E3779B97F4A7C15ULL + i);
+    }
+  }
+}
+
+}  // namespace
+
+Dcm::Dcm(double eps, int log_u, int depth, uint64_t seed)
+    : DyadicQuantileBase(log_u) {
+  const uint64_t width = static_cast<uint64_t>(
+      std::ceil(static_cast<double>(log_u) / eps));
+  BuildLevels(width, depth, seed);
+}
+
+std::unique_ptr<Dcm> Dcm::WithWidth(uint64_t width, int depth, int log_u,
+                                    uint64_t seed) {
+  std::unique_ptr<Dcm> dcm(new Dcm(log_u));
+  dcm->BuildLevels(width, depth, seed);
+  return dcm;
+}
+
+void Dcm::BuildLevels(uint64_t width, int depth, uint64_t seed) {
+  width_ = width;
+  depth_ = depth;
+  seed_ = seed;
+  PopulateLevels<CountMin>(levels_, log_u_, width, depth, seed);
+}
+
+std::unique_ptr<Dcm> Dcm::Deserialize(const std::string& bytes) {
+  SerdeReader r(bytes);
+  DyadicHeader h;
+  if (!ReadDyadicHeader(r, &h)) return nullptr;
+  auto dcm = WithWidth(h.width, h.depth, h.log_u, h.seed);
+  if (!dcm->LoadFrom(r)) return nullptr;
+  return dcm;
+}
+
+Dcs::Dcs(double eps, int log_u, int depth, uint64_t seed)
+    : DyadicQuantileBase(log_u) {
+  const uint64_t width = static_cast<uint64_t>(
+      std::ceil(std::sqrt(static_cast<double>(log_u)) / eps));
+  BuildLevels(width, depth, seed);
+}
+
+std::unique_ptr<Dcs> Dcs::WithWidth(uint64_t width, int depth, int log_u,
+                                    uint64_t seed) {
+  std::unique_ptr<Dcs> dcs(new Dcs(log_u));
+  dcs->BuildLevels(width, depth, seed);
+  return dcs;
+}
+
+void Dcs::BuildLevels(uint64_t width, int depth, uint64_t seed) {
+  width_ = width;
+  depth_ = depth;
+  seed_ = seed;
+  PopulateLevels<CountSketch>(levels_, log_u_, width, depth, seed);
+}
+
+std::unique_ptr<Dcs> Dcs::Deserialize(const std::string& bytes) {
+  SerdeReader r(bytes);
+  DyadicHeader h;
+  if (!ReadDyadicHeader(r, &h)) return nullptr;
+  auto dcs = WithWidth(h.width, h.depth, h.log_u, h.seed);
+  if (!dcs->LoadFrom(r)) return nullptr;
+  return dcs;
+}
+
+RssQuantile::RssQuantile(uint64_t width, int depth, int log_u, uint64_t seed)
+    : DyadicQuantileBase(log_u) {
+  width_ = width;
+  depth_ = depth;
+  seed_ = seed;
+  PopulateLevels<RssSketch>(levels_, log_u_, width, depth, seed);
+}
+
+}  // namespace streamq

@@ -1,0 +1,122 @@
+// Common machinery of the turnstile quantile algorithms (section 3 of the
+// paper): a frequency estimator per dyadic level, rank queries by prefix
+// decomposition, quantile queries by descending the dyadic tree.
+
+#ifndef STREAMQ_QUANTILE_DYADIC_QUANTILE_H_
+#define STREAMQ_QUANTILE_DYADIC_QUANTILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "quantile/quantile_sketch.h"
+#include "sketch/frequency_estimator.h"
+
+namespace streamq {
+
+/// Base of DCM / DCS / RSS-based quantiles. Subclasses populate one
+/// FrequencyEstimator per level in their constructor; levels whose reduced
+/// universe is no larger than the sketch use ExactCounts instead.
+class DyadicQuantileBase : public QuantileSketch {
+ public:
+  void Insert(uint64_t value) override { ApplyUpdate(value, +1); }
+  void Erase(uint64_t value) override { ApplyUpdate(value, -1); }
+  bool SupportsDeletion() const override { return true; }
+
+  /// The paper's quantile query: binary search over [u] for the largest
+  /// value whose estimated rank (sum over the dyadic decomposition, one
+  /// estimate per level) stays below phi*n. Unbiased per-level estimators
+  /// (DCS) profit from error cancellation across levels here; Count-Min's
+  /// one-sided bias accumulates, which is the mechanism behind the paper's
+  /// Fig. 10 separation between DCM and DCS.
+  uint64_t Query(double phi) override;
+
+  /// Alternative query (not in the paper): descend the dyadic tree keeping
+  /// a running mass bound and clamping each child estimate into
+  /// [0, remaining]. The clamp suppresses much of Count-Min's inflation, so
+  /// DCM in particular answers markedly better this way; see the
+  /// "descent vs binary search" note in EXPERIMENTS.md.
+  uint64_t QueryByDescent(double phi);
+
+  int64_t EstimateRank(uint64_t value) override;
+  uint64_t Count() const override { return static_cast<uint64_t>(n_); }
+  size_t MemoryBytes() const override;
+
+  // --- accessors used by the OLS post-processing and by tests ---
+
+  int log_universe() const { return log_u_; }
+
+  /// Estimated count of cell `index` at `level`; level == log_universe()
+  /// returns the exact stream count n.
+  double CellEstimate(int level, uint64_t index) const;
+
+  /// Whether `level` stores exact frequencies (level log_universe() is
+  /// always exact).
+  bool LevelIsExact(int level) const;
+
+  /// Variance proxy of one cell estimate at `level` (0 when exact).
+  double LevelVariance(int level) const;
+
+  /// Snapshot of the sketch (construction parameters + all counters).
+  /// Restore with the matching Deserialize of the concrete class.
+  std::string Serialize() const;
+
+ protected:
+  explicit DyadicQuantileBase(int log_u) : log_u_(log_u), levels_(log_u) {}
+
+  void ApplyUpdate(uint64_t value, int64_t delta);
+  bool LoadFrom(class SerdeReader& r);
+
+  int log_u_;
+  int64_t n_ = 0;
+  uint64_t width_ = 0;  // per-level sketch width (0 before BuildLevels)
+  int depth_ = 0;
+  uint64_t seed_ = 0;
+  std::vector<std::unique_ptr<FrequencyEstimator>> levels_;  // [0, log_u)
+};
+
+/// DCM: Dyadic Count-Min (Cormode & Muthukrishnan). Per-level width
+/// w = (1/eps) * log2(u), depth d (paper's tuning: d = 7).
+class Dcm : public DyadicQuantileBase {
+ public:
+  Dcm(double eps, int log_u, int depth = 7, uint64_t seed = 1);
+  /// Explicit per-level dimensions (used by the tuning benches).
+  static std::unique_ptr<Dcm> WithWidth(uint64_t width, int depth, int log_u,
+                                        uint64_t seed);
+  /// Restores a Serialize() snapshot; nullptr on corrupt input.
+  static std::unique_ptr<Dcm> Deserialize(const std::string& bytes);
+  std::string Name() const override { return "DCM"; }
+
+ private:
+  Dcm(int log_u) : DyadicQuantileBase(log_u) {}
+  void BuildLevels(uint64_t width, int depth, uint64_t seed);
+};
+
+/// DCS: Dyadic Count-Sketch -- the paper's new turnstile algorithm. Per-level
+/// width w = sqrt(log2(u))/eps, depth d (paper's tuning: d = 7).
+class Dcs : public DyadicQuantileBase {
+ public:
+  Dcs(double eps, int log_u, int depth = 7, uint64_t seed = 1);
+  static std::unique_ptr<Dcs> WithWidth(uint64_t width, int depth, int log_u,
+                                        uint64_t seed);
+  /// Restores a Serialize() snapshot; nullptr on corrupt input.
+  static std::unique_ptr<Dcs> Deserialize(const std::string& bytes);
+  std::string Name() const override { return "DCS"; }
+
+ private:
+  Dcs(int log_u) : DyadicQuantileBase(log_u) {}
+  void BuildLevels(uint64_t width, int depth, uint64_t seed);
+};
+
+/// Dyadic random-subset-sum (Gilbert et al.): the baseline turnstile
+/// algorithm. Width would need to be ~1/eps^2 for eps-accuracy; callers
+/// bound it explicitly because of its prohibitive cost.
+class RssQuantile : public DyadicQuantileBase {
+ public:
+  RssQuantile(uint64_t width, int depth, int log_u, uint64_t seed = 1);
+  std::string Name() const override { return "RSS"; }
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUANTILE_DYADIC_QUANTILE_H_

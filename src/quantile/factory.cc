@@ -1,0 +1,88 @@
+#include "quantile/factory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quantile/cash_register.h"
+#include "quantile/dyadic_quantile.h"
+#include "quantile/fast_qdigest.h"
+#include "quantile/post/post_process.h"
+
+namespace streamq {
+
+std::string AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kGkTheory: return "GKTheory";
+    case Algorithm::kGkAdaptive: return "GKAdaptive";
+    case Algorithm::kGkArray: return "GKArray";
+    case Algorithm::kFastQDigest: return "FastQDigest";
+    case Algorithm::kMrl99: return "MRL99";
+    case Algorithm::kRandom: return "Random";
+    case Algorithm::kRss: return "RSS";
+    case Algorithm::kDcm: return "DCM";
+    case Algorithm::kDcs: return "DCS";
+    case Algorithm::kDcsPost: return "Post";
+  }
+  return "?";
+}
+
+bool ParseAlgorithm(const std::string& name, Algorithm* out) {
+  for (Algorithm a :
+       {Algorithm::kGkTheory, Algorithm::kGkAdaptive, Algorithm::kGkArray,
+        Algorithm::kFastQDigest, Algorithm::kMrl99, Algorithm::kRandom,
+        Algorithm::kRss, Algorithm::kDcm, Algorithm::kDcs,
+        Algorithm::kDcsPost}) {
+    if (AlgorithmName(a) == name) {
+      *out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<QuantileSketch> MakeSketch(const SketchConfig& config) {
+  switch (config.algorithm) {
+    case Algorithm::kGkTheory:
+      return std::make_unique<GkTheory>(config.eps);
+    case Algorithm::kGkAdaptive:
+      return std::make_unique<GkAdaptive>(config.eps);
+    case Algorithm::kGkArray:
+      return std::make_unique<GkArray>(config.eps);
+    case Algorithm::kFastQDigest:
+      return std::make_unique<FastQDigest>(config.eps, config.log_universe);
+    case Algorithm::kMrl99:
+      return std::make_unique<Mrl99>(config.eps, config.seed);
+    case Algorithm::kRandom:
+      return std::make_unique<RandomSketch>(config.eps, config.seed);
+    case Algorithm::kRss: {
+      const double natural = 1.0 / (config.eps * config.eps);
+      const uint64_t width = static_cast<uint64_t>(std::min(
+          natural, static_cast<double>(config.rss_width_cap)));
+      return std::make_unique<RssQuantile>(std::max<uint64_t>(width, 4),
+                                           config.depth, config.log_universe,
+                                           config.seed);
+    }
+    case Algorithm::kDcm:
+      return std::make_unique<Dcm>(config.eps, config.log_universe,
+                                   config.depth, config.seed);
+    case Algorithm::kDcs:
+      return std::make_unique<Dcs>(config.eps, config.log_universe,
+                                   config.depth, config.seed);
+    case Algorithm::kDcsPost:
+      return std::make_unique<DcsPost>(config.eps, config.log_universe,
+                                       config.depth, config.eta, config.seed);
+  }
+  return nullptr;
+}
+
+std::vector<Algorithm> CashRegisterAlgorithms() {
+  return {Algorithm::kGkTheory,    Algorithm::kGkAdaptive,
+          Algorithm::kGkArray,     Algorithm::kFastQDigest,
+          Algorithm::kMrl99,       Algorithm::kRandom};
+}
+
+std::vector<Algorithm> TurnstileAlgorithms() {
+  return {Algorithm::kDcm, Algorithm::kDcs, Algorithm::kDcsPost};
+}
+
+}  // namespace streamq

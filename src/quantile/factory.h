@@ -1,0 +1,60 @@
+// Factory constructing any of the paper's algorithms from a uniform config,
+// used by the benches, examples, and integration tests.
+
+#ifndef STREAMQ_QUANTILE_FACTORY_H_
+#define STREAMQ_QUANTILE_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quantile/quantile_sketch.h"
+
+namespace streamq {
+
+/// The algorithms of Table 1 (plus the Post variant of DCS).
+enum class Algorithm {
+  kGkTheory,
+  kGkAdaptive,
+  kGkArray,
+  kFastQDigest,
+  kMrl99,
+  kRandom,
+  kRss,
+  kDcm,
+  kDcs,
+  kDcsPost,
+};
+
+/// Display name matching the paper's figures.
+std::string AlgorithmName(Algorithm algorithm);
+
+/// Parses a display name (case-sensitive, as printed by AlgorithmName).
+bool ParseAlgorithm(const std::string& name, Algorithm* out);
+
+struct SketchConfig {
+  Algorithm algorithm = Algorithm::kRandom;
+  double eps = 0.001;
+  /// Universe is [0, 2^log_universe); required by the fixed-universe
+  /// algorithms, ignored by the comparison-based ones.
+  int log_universe = 32;
+  /// Rows per sketch for the dyadic algorithms (paper tuning: 7).
+  int depth = 7;
+  /// Truncation constant for DCS+Post (paper tuning: 0.1).
+  double eta = 0.1;
+  /// RSS per-level width cap (its natural 1/eps^2 width is impractical).
+  uint64_t rss_width_cap = 1 << 14;
+  uint64_t seed = 1;
+};
+
+/// Builds the configured sketch.
+std::unique_ptr<QuantileSketch> MakeSketch(const SketchConfig& config);
+
+/// All cash-register algorithms, in the paper's order.
+std::vector<Algorithm> CashRegisterAlgorithms();
+/// All turnstile algorithms, in the paper's order.
+std::vector<Algorithm> TurnstileAlgorithms();
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUANTILE_FACTORY_H_

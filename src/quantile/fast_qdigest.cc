@@ -1,0 +1,217 @@
+#include "quantile/fast_qdigest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/memory.h"
+#include "util/serde.h"
+
+namespace streamq {
+
+namespace {
+
+// Node ids are heap-style over a complete binary tree of depth log_u:
+// root = 1, children of x are 2x and 2x+1, leaf of value v is 2^log_u + v.
+inline int NodeDepth(uint64_t id) {
+  return 63 - __builtin_clzll(id);
+}
+
+}  // namespace
+
+FastQDigest::FastQDigest(double eps, int log_universe)
+    : eps_(eps), log_u_(log_universe) {
+  // Initial space budget ~ 6 log(u)/eps nodes; grown adaptively if the
+  // threshold is still too small to compress down to it (early stream).
+  const double budget = 6.0 * static_cast<double>(log_u_) / eps_;
+  size_limit_ = static_cast<size_t>(std::min(budget, 1e9)) + 64;
+}
+
+int64_t FastQDigest::Threshold() const {
+  return static_cast<int64_t>(eps_ * static_cast<double>(n_) /
+                              static_cast<double>(log_u_));
+}
+
+void FastQDigest::Insert(uint64_t value) {
+  // Clamp out-of-universe values to the maximum representable leaf rather
+  // than silently creating ids outside the tree.
+  const uint64_t max_value = (uint64_t{1} << log_u_) - 1;
+  if (value > max_value) value = max_value;
+  ++n_;
+  counts_[(uint64_t{1} << log_u_) + value] += 1;
+  snapshot_dirty_ = true;
+  MaybeCompress();
+}
+
+void FastQDigest::MaybeCompress() {
+  if (n_ >= 2 * std::max<uint64_t>(last_compress_n_, 1) ||
+      counts_.size() > size_limit_) {
+    Compress();
+    // If COMPRESS cannot shrink below the budget (threshold still ~0 early
+    // in the stream), grow the budget instead of thrashing.
+    if (counts_.size() > size_limit_ / 2) size_limit_ = 2 * counts_.size() + 64;
+  }
+}
+
+void FastQDigest::Compress() {
+  last_compress_n_ = n_;
+  snapshot_dirty_ = true;
+  const int64_t t = Threshold();
+  if (t <= 0) return;
+  // Bottom-up sweep: descending ids visit children before parents. Parents
+  // created by a merge are appended to the worklist so merges cascade all
+  // the way toward the root in one COMPRESS call.
+  std::vector<uint64_t> ids;
+  ids.reserve(counts_.size());
+  for (const auto& [id, cnt] : counts_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end(), std::greater<>());
+  std::vector<uint64_t> next_level;
+  while (!ids.empty()) {
+    for (uint64_t id : ids) {
+      if (id == 1) continue;
+      const auto it = counts_.find(id);
+      if (it == counts_.end()) continue;  // already merged as a sibling
+      const uint64_t sibling = id ^ 1;
+      const uint64_t parent = id >> 1;
+      const auto sib_it = counts_.find(sibling);
+      const int64_t c_sib = sib_it == counts_.end() ? 0 : sib_it->second;
+      const auto par_it = counts_.find(parent);
+      const int64_t c_par = par_it == counts_.end() ? 0 : par_it->second;
+      const int64_t merged = it->second + c_sib + c_par;
+      if (merged <= t) {
+        // Erase by key before the insertion: operator[] may rehash.
+        counts_.erase(id);
+        counts_.erase(sibling);
+        if (par_it == counts_.end()) next_level.push_back(parent);
+        counts_[parent] = merged;
+      }
+    }
+    std::sort(next_level.begin(), next_level.end(), std::greater<>());
+    ids.swap(next_level);
+    next_level.clear();
+  }
+}
+
+const std::vector<FastQDigest::Entry>& FastQDigest::SortedEntries() {
+  if (!snapshot_dirty_) return snapshot_;
+  snapshot_.clear();
+  snapshot_.reserve(counts_.size());
+  for (const auto& [id, cnt] : counts_) {
+    const int depth = NodeDepth(id);
+    const uint64_t width = uint64_t{1} << (log_u_ - depth);
+    const uint64_t lo = (id - (uint64_t{1} << depth)) * width;
+    snapshot_.push_back(Entry{lo + width - 1, width, cnt});
+  }
+  // q-digest query order: ascending interval end, smaller (more specific)
+  // intervals first on ties.
+  std::sort(snapshot_.begin(), snapshot_.end(), [](const Entry& a, const Entry& b) {
+    if (a.hi != b.hi) return a.hi < b.hi;
+    return a.width < b.width;
+  });
+  snapshot_dirty_ = false;
+  return snapshot_;
+}
+
+uint64_t FastQDigest::Query(double phi) {
+  const auto& entries = SortedEntries();
+  if (entries.empty()) return 0;  // empty digest: nothing to report
+  const double target = phi * static_cast<double>(n_);
+  int64_t acc = 0;
+  for (const Entry& e : entries) {
+    acc += e.count;
+    if (static_cast<double>(acc) >= target) return e.hi;
+  }
+  return entries.back().hi;
+}
+
+std::vector<uint64_t> FastQDigest::QueryMany(const std::vector<double>& phis) {
+  const auto& entries = SortedEntries();
+  std::vector<uint64_t> out;
+  if (entries.empty()) {
+    out.assign(phis.size(), 0);
+    return out;
+  }
+  out.reserve(phis.size());
+  size_t i = 0;
+  int64_t acc = entries[0].count;
+  for (double phi : phis) {
+    const double target = phi * static_cast<double>(n_);
+    while (static_cast<double>(acc) < target && i + 1 < entries.size()) {
+      ++i;
+      acc += entries[i].count;
+    }
+    out.push_back(entries[i].hi);
+  }
+  return out;
+}
+
+int64_t FastQDigest::EstimateRank(uint64_t value) {
+  // Mass of every digest node is attributed to its interval end; the rank of
+  // `value` is the mass strictly below it.
+  const auto& entries = SortedEntries();
+  int64_t acc = 0;
+  for (const Entry& e : entries) {
+    if (e.hi >= value) break;
+    acc += e.count;
+  }
+  return acc;
+}
+
+size_t FastQDigest::MemoryBytes() const {
+  return counts_.size() * kBytesPerHashSlot;
+}
+
+namespace {
+struct NodeEntry {
+  uint64_t id;
+  int64_t count;
+};
+}  // namespace
+
+std::string FastQDigest::Serialize() const {
+  SerdeWriter w;
+  w.F64(eps_);
+  w.U32(static_cast<uint32_t>(log_u_));
+  w.U64(n_);
+  w.U64(last_compress_n_);
+  w.U64(size_limit_);
+  std::vector<NodeEntry> entries;
+  entries.reserve(counts_.size());
+  for (const auto& [id, cnt] : counts_) entries.push_back({id, cnt});
+  w.PodVector(entries);
+  return w.Take();
+}
+
+std::unique_ptr<FastQDigest> FastQDigest::Deserialize(const std::string& bytes) {
+  SerdeReader r(bytes);
+  double eps = 0;
+  uint32_t log_u = 0;
+  uint64_t n = 0, last = 0, limit = 0;
+  std::vector<NodeEntry> entries;
+  if (!r.F64(&eps) || !r.U32(&log_u) || !r.U64(&n) || !r.U64(&last) ||
+      !r.U64(&limit) || !r.PodVector(&entries) || !r.Done()) {
+    return nullptr;
+  }
+  if (eps <= 0 || eps >= 1 || log_u == 0 || log_u > 62) return nullptr;
+  auto digest = std::make_unique<FastQDigest>(eps, static_cast<int>(log_u));
+  digest->n_ = n;
+  digest->last_compress_n_ = last;
+  digest->size_limit_ = limit;
+  digest->counts_.reserve(entries.size());
+  const uint64_t max_id = (uint64_t{2} << log_u);
+  for (const NodeEntry& e : entries) {
+    if (e.id == 0 || e.id >= max_id) return nullptr;  // not a tree node
+    digest->counts_[e.id] += e.count;
+  }
+  return digest;
+}
+
+void FastQDigest::Merge(const FastQDigest& other) {
+  assert(other.log_u_ == log_u_);
+  for (const auto& [id, cnt] : other.counts_) counts_[id] += cnt;
+  n_ += other.n_;
+  snapshot_dirty_ = true;
+  Compress();
+}
+
+}  // namespace streamq

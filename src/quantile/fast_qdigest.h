@@ -1,0 +1,79 @@
+// FastQDigest: the q-digest of Shrivastava et al. (SenSys'04) with the fast
+// hash-map implementation evaluated by the paper.
+//
+// The universe [0, 2^log_u) is viewed as a complete binary tree; the digest
+// is a set of (node -> count) entries satisfying the q-digest property with
+// threshold t = floor(eps * n / log2 u): sibling pairs whose combined count
+// (together with their parent) is at most t are merged upward by COMPRESS.
+// Rank error is at most log2(u) * t <= eps * n.
+//
+// Updates increment a leaf counter in a hash map (O(1)); COMPRESS runs each
+// time n doubles (so only log n times over the whole stream, matching the
+// amortisation the paper observes in Fig. 7a) and additionally whenever the
+// map outgrows its space budget. The digest is a mergeable summary: Merge()
+// folds another digest over the same universe into this one.
+
+#ifndef STREAMQ_QUANTILE_FAST_QDIGEST_H_
+#define STREAMQ_QUANTILE_FAST_QDIGEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "quantile/quantile_sketch.h"
+
+namespace streamq {
+
+class FastQDigest : public QuantileSketch {
+ public:
+  /// eps: target rank error; log_universe: values are in [0, 2^log_universe).
+  FastQDigest(double eps, int log_universe);
+
+  void Insert(uint64_t value) override;
+  uint64_t Query(double phi) override;
+  std::vector<uint64_t> QueryMany(const std::vector<double>& phis) override;
+  int64_t EstimateRank(uint64_t value) override;
+  uint64_t Count() const override { return n_; }
+  size_t MemoryBytes() const override;
+  std::string Name() const override { return "FastQDigest"; }
+
+  /// Folds `other` (same universe, same eps) into this digest. The q-digest
+  /// is the only deterministic mergeable quantile summary (Agarwal et al.).
+  void Merge(const FastQDigest& other);
+
+  /// Forces a COMPRESS (exposed for tests).
+  void Compress();
+
+  /// Snapshot of the digest; restore with Deserialize.
+  std::string Serialize() const;
+  /// Restores a Serialize() snapshot; nullptr on corrupt input.
+  static std::unique_ptr<FastQDigest> Deserialize(const std::string& bytes);
+
+  size_t NodeCount() const { return counts_.size(); }
+  int log_universe() const { return log_u_; }
+
+ private:
+  int64_t Threshold() const;
+  void MaybeCompress();
+  // Sorted (interval-end, interval-length, count) snapshot used by queries.
+  struct Entry {
+    uint64_t hi;
+    uint64_t width;
+    int64_t count;
+  };
+  const std::vector<Entry>& SortedEntries();
+
+  double eps_;
+  int log_u_;
+  uint64_t n_ = 0;
+  uint64_t last_compress_n_ = 0;
+  size_t size_limit_;
+  std::unordered_map<uint64_t, int64_t> counts_;  // heap-style node id -> count
+  std::vector<Entry> snapshot_;
+  bool snapshot_dirty_ = true;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUANTILE_FAST_QDIGEST_H_

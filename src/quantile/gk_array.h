@@ -1,0 +1,224 @@
+// GKArray: the journal version's cache-friendly batch implementation of the
+// adaptive GK summary (section 2.1.2 of the paper).
+//
+// Tuples live in a flat sorted array; incoming elements are buffered, and
+// when the buffer (of size Theta(|L|)) fills it is sorted and merged into
+// the summary in one linear pass. During the merge each buffer element v is
+// assigned the tuple (v, 1, g_i + Delta_i - 1) from its successor summary
+// tuple -- matching the one-at-a-time GKAdaptive semantics, because buffered
+// elements are conceptually inserted in ascending order -- and every tuple
+// is dropped (folded into its successor) the moment it is removable:
+// g + g_next + Delta_next <= floor(2 eps n), with n advancing as buffered
+// elements are consumed.
+//
+// No search tree, no heap: the only operations are sort and merge, which is
+// what makes this variant much faster once the summary outgrows the cache.
+
+#ifndef STREAMQ_QUANTILE_GK_ARRAY_H_
+#define STREAMQ_QUANTILE_GK_ARRAY_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/memory.h"
+#include "util/serde.h"
+
+namespace streamq {
+
+template <typename T, typename Less = std::less<T>>
+class GkArrayImpl {
+ public:
+  /// buffer_factor scales the element buffer relative to the summary size
+  /// (the paper's variant uses Theta(|L|), i.e. factor 1). Exposed for the
+  /// buffering ablation; 0 pins the buffer at min_buffer.
+  explicit GkArrayImpl(double eps, size_t min_buffer = 256,
+                       double buffer_factor = 1.0)
+      : eps_(eps), min_buffer_(min_buffer), buffer_factor_(buffer_factor) {
+    buffer_.reserve(min_buffer_);
+  }
+
+  void Insert(const T& v) {
+    buffer_.push_back(v);
+    if (buffer_.size() >= BufferCapacity()) Flush();
+  }
+
+  T Query(double phi) {
+    Flush();
+    if (summary_.empty()) return T{};  // empty summary: nothing to report
+    const double target = phi * static_cast<double>(n_);
+    const double tol = static_cast<double>(MaxGap()) / 2.0;
+    int64_t prefix = 0;
+    const T* prev = nullptr;
+    for (const Tuple& t : summary_) {
+      prefix += t.g;
+      if (prev != nullptr &&
+          static_cast<double>(prefix + t.delta) > target + tol) {
+        return *prev;
+      }
+      prev = &t.v;
+    }
+    return *prev;
+  }
+
+  std::vector<T> QueryMany(const std::vector<double>& phis) {
+    Flush();
+    std::vector<T> out;
+    out.reserve(phis.size());
+    if (summary_.empty()) {
+      out.assign(phis.size(), T{});
+      return out;
+    }
+    const double tol = static_cast<double>(MaxGap()) / 2.0;
+    size_t i = 1;
+    int64_t prefix = summary_[0].g;
+    const T* prev = &summary_[0].v;
+    for (double phi : phis) {
+      const double bound = phi * static_cast<double>(n_) + tol;
+      while (i < summary_.size()) {
+        const Tuple& t = summary_[i];
+        if (static_cast<double>(prefix + t.g + t.delta) > bound) break;
+        prefix += t.g;
+        prev = &t.v;
+        ++i;
+      }
+      out.push_back(*prev);
+    }
+    return out;
+  }
+
+  int64_t EstimateRank(const T& value) {
+    Flush();
+    Less less;
+    int64_t prefix = 0;
+    for (const Tuple& t : summary_) {
+      if (!less(t.v, value)) {
+        return prefix + (t.g + t.delta - 1) / 2;
+      }
+      prefix += t.g;
+    }
+    return prefix;
+  }
+
+  uint64_t Count() const { return n_ + buffer_.size(); }
+  size_t TupleCount() const { return summary_.size(); }
+
+  size_t MemoryBytes() const {
+    // Flat tuple array (v, g, Delta) plus the element buffer; no pointers.
+    return summary_.capacity() * (kBytesPerElement + 2 * kBytesPerCounter) +
+           buffer_.capacity() * kBytesPerElement;
+  }
+
+  template <typename Fn>
+  void ForEachTuple(Fn&& fn) {
+    Flush();
+    for (const Tuple& t : summary_) fn(t.v, t.g, t.delta);
+  }
+
+  /// Snapshot to a byte buffer (trivially copyable element types only).
+  void Serialize(SerdeWriter& w) const
+    requires std::is_trivially_copyable_v<T>
+  {
+    w.F64(eps_);
+    w.U64(n_);
+    w.PodVector(summary_);
+    w.PodVector(buffer_);
+  }
+
+  /// Restores a snapshot; returns false (leaving *this unspecified) on
+  /// corrupt input.
+  bool Deserialize(SerdeReader& r)
+    requires std::is_trivially_copyable_v<T>
+  {
+    return r.F64(&eps_) && r.U64(&n_) && r.PodVector(&summary_) &&
+           r.PodVector(&buffer_);
+  }
+
+  /// Flushes buffered elements into the summary (idempotent when empty).
+  void Flush() {
+    if (buffer_.empty()) return;
+    std::sort(buffer_.begin(), buffer_.end(), Less());
+
+    std::vector<Tuple> out;
+    out.reserve(summary_.size() + buffer_.size());
+    Less less;
+
+    uint64_t cur_n = n_;
+    size_t si = 0;  // next summary tuple
+    size_t bi = 0;  // next buffer element
+    bool has_pending = false;
+    Tuple pending{};
+
+    auto emit = [&](const Tuple& t, bool removable_candidate) {
+      // Fold `pending` into t if pending is removable w.r.t. t; a tuple that
+      // is the current maximum is never folded away (see gk_tuple_store.h).
+      const int64_t threshold =
+          static_cast<int64_t>(2.0 * eps_ * static_cast<double>(cur_n));
+      if (has_pending && removable_candidate &&
+          pending.g + t.g + t.delta <= threshold) {
+        Tuple merged = t;
+        merged.g += pending.g;
+        pending = merged;
+      } else {
+        if (has_pending) out.push_back(pending);
+        pending = t;
+        has_pending = true;
+      }
+    };
+
+    while (si < summary_.size() || bi < buffer_.size()) {
+      // Summary tuples win ties so that a buffer element equal to a summary
+      // value takes the strictly-greater tuple as its successor.
+      const bool take_buffer =
+          si == summary_.size() ||
+          (bi < buffer_.size() && less(buffer_[bi], summary_[si].v));
+      if (take_buffer) {
+        ++cur_n;
+        Tuple t;
+        t.v = buffer_[bi++];
+        t.g = 1;
+        t.delta = si < summary_.size()
+                      ? summary_[si].g + summary_[si].delta - 1
+                      : 0;  // new maximum: rank known exactly
+        emit(t, /*removable_candidate=*/true);
+      } else {
+        emit(summary_[si++], /*removable_candidate=*/true);
+      }
+    }
+    if (has_pending) out.push_back(pending);
+    summary_.swap(out);
+    n_ = cur_n;
+    buffer_.clear();
+  }
+
+ private:
+  struct Tuple {
+    T v{};
+    int64_t g = 0;
+    int64_t delta = 0;
+  };
+
+  size_t BufferCapacity() const {
+    return std::max(min_buffer_,
+                    static_cast<size_t>(buffer_factor_ *
+                                        static_cast<double>(summary_.size())));
+  }
+
+  int64_t MaxGap() const {
+    int64_t m = 0;
+    for (const Tuple& t : summary_) m = std::max(m, t.g + t.delta);
+    return m;
+  }
+
+  double eps_;
+  size_t min_buffer_ = 256;
+  double buffer_factor_ = 1.0;
+  uint64_t n_ = 0;  // elements represented by summary_ (excludes buffer)
+  std::vector<Tuple> summary_;
+  std::vector<T> buffer_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUANTILE_GK_ARRAY_H_

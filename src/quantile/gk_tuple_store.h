@@ -1,0 +1,252 @@
+// Shared tuple machinery for the Greenwald-Khanna family (GKTheory,
+// GKAdaptive). GKArray uses a flat array instead (see gk_array.h).
+//
+// The GK summary is a sorted list of tuples (v_i, g_i, Delta_i) with
+//   (1) sum_{j<=i} g_j <= r(v_i) + 1 <= sum_{j<=i} g_j + Delta_i
+//   (2) g_i + Delta_i <= floor(2 eps n)
+// We store tuples in a pool (stable 32-bit ids, freelist reuse) and keep the
+// sorted order in a std::set of (value, id) entries. Set iterators are stable
+// under unrelated insert/erase, which gives O(log |L|) successor search,
+// O(1) neighbour access, and O(log |L|) erase -- the "binary search tree on
+// top of L" of the paper, with the id tie-breaker making duplicates
+// unambiguous.
+
+#ifndef STREAMQ_QUANTILE_GK_TUPLE_STORE_H_
+#define STREAMQ_QUANTILE_GK_TUPLE_STORE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "util/memory.h"
+#include "util/serde.h"
+
+namespace streamq {
+
+template <typename T, typename Less = std::less<T>>
+class GkTupleStore {
+ public:
+  struct IndexEntry {
+    T v;
+    uint64_t seq;  // monotone insertion stamp: newer equal values sort later
+    int32_t id;
+  };
+
+  // Ties on the value are broken by the insertion sequence number, never by
+  // the pool id: ids are recycled, and recycling could otherwise place a new
+  // tuple *before* older tuples of the same value, which breaks the g-mass
+  // accounting (a successor merge must never jump over an equal-valued
+  // tuple that absorbed mass earlier).
+  struct EntryLess {
+    Less less;
+    using is_transparent = void;
+    bool operator()(const IndexEntry& a, const IndexEntry& b) const {
+      if (less(a.v, b.v)) return true;
+      if (less(b.v, a.v)) return false;
+      return a.seq < b.seq;
+    }
+  };
+
+  using Index = std::set<IndexEntry, EntryLess>;
+  using Iterator = typename Index::iterator;
+
+  struct Node {
+    int64_t g = 0;
+    int64_t delta = 0;
+    uint32_t version = 0;  // bumped on every key-relevant change and on free
+    Iterator self;         // position in the sorted index
+  };
+
+  GkTupleStore() = default;
+
+  bool Empty() const { return index_.empty(); }
+  size_t Size() const { return index_.size(); }
+
+  Iterator Begin() { return index_.begin(); }
+  Iterator End() { return index_.end(); }
+  typename Index::const_iterator Begin() const { return index_.begin(); }
+  typename Index::const_iterator End() const { return index_.end(); }
+
+  Node& NodeOf(int32_t id) { return pool_[id]; }
+  const Node& NodeOf(int32_t id) const { return pool_[id]; }
+
+  /// First tuple with value strictly greater than v (the "successor").
+  Iterator Successor(const T& v) {
+    // The max sequence stamp makes the probe compare after every real entry
+    // of value v.
+    return index_.upper_bound(IndexEntry{v, ~uint64_t{0}, 0});
+  }
+
+  /// Inserts a tuple (v, g, delta) immediately before `pos`; returns its
+  /// iterator. `pos` must be the successor position of v.
+  Iterator InsertBefore(Iterator pos, const T& v, int64_t g, int64_t delta) {
+    const int32_t id = Allocate();
+    Node& node = pool_[id];
+    node.g = g;
+    node.delta = delta;
+    const Iterator it = index_.insert(pos, IndexEntry{v, next_seq_++, id});
+    node.self = it;
+    return it;
+  }
+
+  /// Removes the tuple at `it`, folding its g into the successor, which must
+  /// exist (the largest tuple is never removed). Returns the successor.
+  Iterator RemoveIntoSuccessor(Iterator it) {
+    Iterator nxt = std::next(it);
+    assert(nxt != index_.end());
+    pool_[nxt->id].g += pool_[it->id].g;
+    ++pool_[nxt->id].version;
+    Free(it->id);
+    index_.erase(it);
+    return nxt;
+  }
+
+  /// Rank bounds of the tuple at `it` require a prefix sum; queries do a
+  /// single scan, so expose the raw sequence via Begin()/End().
+
+  /// The paper's query rule: with e = max_i(g_i + Delta_i)/2, report v_{i-1}
+  /// for the smallest i whose r_max exceeds target + e.
+  T Query(double phi, uint64_t n) const {
+    if (index_.empty()) return T{};  // empty summary: nothing to report
+    const double target = phi * static_cast<double>(n);
+    // First pass: tolerance.
+    int64_t max_gap = 0;
+    for (const IndexEntry& e : index_) {
+      const Node& node = pool_[e.id];
+      max_gap = std::max(max_gap, node.g + node.delta);
+    }
+    const double tol = static_cast<double>(max_gap) / 2.0;
+    int64_t prefix = 0;
+    const T* prev = nullptr;
+    for (const IndexEntry& e : index_) {
+      const Node& node = pool_[e.id];
+      prefix += node.g;
+      if (prev != nullptr &&
+          static_cast<double>(prefix + node.delta) > target + tol) {
+        return *prev;
+      }
+      prev = &e.v;
+    }
+    return *prev;  // last (exact maximum)
+  }
+
+  /// Batch version of Query: one scan for an ascending list of phis.
+  std::vector<T> QueryMany(const std::vector<double>& phis, uint64_t n) const {
+    std::vector<T> out;
+    out.reserve(phis.size());
+    if (index_.empty()) {
+      out.assign(phis.size(), T{});
+      return out;
+    }
+    int64_t max_gap = 0;
+    for (const IndexEntry& e : index_) {
+      const Node& node = pool_[e.id];
+      max_gap = std::max(max_gap, node.g + node.delta);
+    }
+    const double tol = static_cast<double>(max_gap) / 2.0;
+    auto it = index_.begin();
+    int64_t prefix = pool_[it->id].g;
+    const T* prev = &it->v;
+    ++it;
+    for (double phi : phis) {
+      const double bound = phi * static_cast<double>(n) + tol;
+      while (it != index_.end()) {
+        const Node& node = pool_[it->id];
+        if (static_cast<double>(prefix + node.g + node.delta) > bound) break;
+        prefix += node.g;
+        prev = &it->v;
+        ++it;
+      }
+      out.push_back(*prev);
+    }
+    return out;
+  }
+
+  /// Estimated rank of `value`: with i the first tuple of value >= `value`,
+  /// the true rank lies in [prefix_{i-1}, prefix_{i-1} + g_i + Delta_i - 1];
+  /// return the midpoint.
+  int64_t EstimateRank(const T& value) const {
+    Less less;
+    int64_t prefix = 0;
+    for (const IndexEntry& e : index_) {
+      const Node& node = pool_[e.id];
+      if (!less(e.v, value)) {  // e.v >= value: the bracketing gap
+        return prefix + (node.g + node.delta - 1) / 2;
+      }
+      prefix += node.g;
+    }
+    return prefix;  // value beyond the maximum
+  }
+
+  /// Accounting: v + g + Delta per tuple plus three BST links.
+  size_t MemoryBytes() const {
+    return Size() * (kBytesPerElement + 2 * kBytesPerCounter + 3 * kBytesPerPointer);
+  }
+
+  /// Snapshot: the tuple sequence in sorted order (trivially copyable T).
+  void Serialize(SerdeWriter& w) const
+    requires std::is_trivially_copyable_v<T>
+  {
+    w.U64(Size());
+    for (const IndexEntry& e : index_) {
+      const Node& node = pool_[e.id];
+      w.Pod(e.v);
+      w.I64(node.g);
+      w.I64(node.delta);
+    }
+  }
+
+  /// Restores a snapshot into an empty-or-reset store; tuples must come
+  /// back sorted (validated). Returns false on corrupt input.
+  bool Deserialize(SerdeReader& r)
+    requires std::is_trivially_copyable_v<T>
+  {
+    pool_.clear();
+    free_.clear();
+    index_.clear();
+    next_seq_ = 0;
+    uint64_t count = 0;
+    if (!r.U64(&count)) return false;
+    Less less;
+    bool first = true;
+    T prev{};
+    for (uint64_t i = 0; i < count; ++i) {
+      T v{};
+      int64_t g = 0, delta = 0;
+      if (!r.Pod(&v) || !r.I64(&g) || !r.I64(&delta)) return false;
+      if (g < 0 || delta < 0) return false;
+      if (!first && less(v, prev)) return false;  // must stay sorted
+      InsertBefore(End(), v, g, delta);
+      prev = v;
+      first = false;
+    }
+    return true;
+  }
+
+ private:
+  int32_t Allocate() {
+    if (!free_.empty()) {
+      const int32_t id = free_.back();
+      free_.pop_back();
+      return id;
+    }
+    pool_.emplace_back();
+    return static_cast<int32_t>(pool_.size() - 1);
+  }
+
+  void Free(int32_t id) {
+    ++pool_[id].version;  // invalidate any outstanding lazy-heap entries
+    free_.push_back(id);
+  }
+
+  std::vector<Node> pool_;
+  std::vector<int32_t> free_;
+  Index index_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUANTILE_GK_TUPLE_STORE_H_

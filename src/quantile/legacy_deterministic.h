@@ -1,0 +1,399 @@
+// The two earlier deterministic quantile summaries the paper's study omits
+// from its main comparison because they had "previously been demonstrated
+// to be outperformed by the GK algorithm" (section 1.2.1, citing [15]):
+//
+//  * Mp80: the streaming (first) pass of Munro & Paterson (1980). Sorted
+//    buffers of k elements form a binary carry chain; two buffers at the
+//    same level merge by keeping alternate positions of their sorted merge
+//    (parity alternating per level to balance the drift). Space grows as
+//    k * log(n/k) -- the O((1/eps) log^2(eps n)) behaviour that GK strictly
+//    improves.
+//
+//  * Mrl98: Manku, Rajagopalan & Lindsay (SIGMOD'98). b weighted buffers of
+//    k elements; NEW fills an empty buffer with raw elements at weight 1,
+//    COLLAPSE merges all buffers at the lowest level keeping evenly spaced
+//    positions of the weighted merge with the deterministic median offset.
+//    (b, k) are chosen by the original paper's optimisation: minimise b*k
+//    subject to the coverage constraint k * 2^(b-2) >= N and the error
+//    constraint (b-2)/(2k) <= eps, which is why the algorithm needs an
+//    a-priori bound N on the stream length -- one of the criticisms that
+//    motivated MRL99 and GK.
+//
+// Both are comparison-based templates, wrapped for uint64_t streams at the
+// bottom of this header, and both are exercised by bench_prior_deterministic
+// to reproduce the "GK dominates" claim.
+
+#ifndef STREAMQ_QUANTILE_LEGACY_DETERMINISTIC_H_
+#define STREAMQ_QUANTILE_LEGACY_DETERMINISTIC_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "quantile/quantile_sketch.h"
+#include "quantile/weighted_sample.h"
+#include "util/memory.h"
+
+namespace streamq {
+
+// ---------------------------------------------------------------------------
+// Munro-Paterson 1980, first pass.
+// ---------------------------------------------------------------------------
+
+template <typename T, typename Less = std::less<T>>
+class Mp80Impl {
+ public:
+  explicit Mp80Impl(double eps)
+      : k_(std::max<size_t>(8, static_cast<size_t>(std::ceil(2.0 / eps)))) {
+    fill_.reserve(k_);
+  }
+
+  void Insert(const T& v) {
+    ++n_;
+    fill_.push_back(v);
+    if (fill_.size() == k_) {
+      std::sort(fill_.begin(), fill_.end(), Less());
+      Carry(std::move(fill_), 0);
+      fill_.clear();
+      fill_.reserve(k_);
+    }
+  }
+
+  T Query(double phi) const {
+    WeightedSampleView<T, Less> view(Snapshot());
+    if (view.Empty()) return T{};
+    return view.Quantile(phi * static_cast<double>(n_));
+  }
+
+  std::vector<T> QueryMany(const std::vector<double>& phis) const {
+    WeightedSampleView<T, Less> view(Snapshot());
+    std::vector<T> out;
+    if (view.Empty()) {
+      out.assign(phis.size(), T{});
+      return out;
+    }
+    out.reserve(phis.size());
+    for (double phi : phis) {
+      out.push_back(view.Quantile(phi * static_cast<double>(n_)));
+    }
+    return out;
+  }
+
+  int64_t EstimateRank(const T& v) const {
+    return WeightedSampleView<T, Less>(Snapshot()).EstimateRank(v);
+  }
+
+  uint64_t Count() const { return n_; }
+  size_t LevelCount() const { return levels_.size(); }
+
+  size_t MemoryBytes() const {
+    size_t elements = fill_.capacity();
+    for (const auto& level : levels_) elements += level.size();
+    return elements * kBytesPerElement + levels_.size() * kBytesPerCounter;
+  }
+
+ private:
+  // Binary carry chain: install `buf` at `level`, merging upward while the
+  // slot is occupied.
+  void Carry(std::vector<T> buf, size_t level) {
+    while (true) {
+      if (levels_.size() <= level) levels_.resize(level + 1);
+      if (levels_[level].empty()) {
+        levels_[level] = std::move(buf);
+        return;
+      }
+      // Merge with the occupant, keep alternate positions. The starting
+      // parity alternates per level so the systematic rank drift of
+      // deterministic halving cancels across merges.
+      std::vector<T> merged;
+      merged.reserve(2 * k_);
+      std::merge(levels_[level].begin(), levels_[level].end(), buf.begin(),
+                 buf.end(), std::back_inserter(merged), Less());
+      levels_[level].clear();
+      levels_[level].shrink_to_fit();
+      if (static_cast<int>(parity_.size()) <= static_cast<int>(level)) {
+        parity_.resize(level + 1, false);
+      }
+      std::vector<T> kept;
+      kept.reserve(k_);
+      for (size_t i = parity_[level] ? 1 : 0; i < merged.size(); i += 2) {
+        kept.push_back(merged[i]);
+      }
+      parity_[level] = !parity_[level];
+      buf = std::move(kept);
+      ++level;
+    }
+  }
+
+  std::vector<WeightedElement<T>> Snapshot() const {
+    std::vector<WeightedElement<T>> sample;
+    for (const T& v : fill_) sample.push_back({v, 1});
+    for (size_t l = 0; l < levels_.size(); ++l) {
+      // A buffer that settled at level l went through l halvings.
+      const int64_t w = int64_t{1} << l;
+      for (const T& v : levels_[l]) sample.push_back({v, w});
+    }
+    return sample;
+  }
+
+  size_t k_;
+  uint64_t n_ = 0;
+  std::vector<T> fill_;
+  std::vector<std::vector<T>> levels_;  // level l holds weight-2^l elements
+  std::vector<bool> parity_;
+};
+
+// ---------------------------------------------------------------------------
+// Manku-Rajagopalan-Lindsay 1998.
+// ---------------------------------------------------------------------------
+
+template <typename T, typename Less = std::less<T>>
+class Mrl98Impl {
+ public:
+  /// n_hint is the a-priori stream length bound the original algorithm
+  /// requires; exceeding it degrades the guarantee gracefully (collapses
+  /// simply continue).
+  Mrl98Impl(double eps, uint64_t n_hint) {
+    ChooseParameters(eps, std::max<uint64_t>(n_hint, 1024));
+    buffers_.resize(b_);
+    for (Buffer& b : buffers_) b.data.reserve(k_);
+  }
+
+  void Insert(const T& v) {
+    ++n_;
+    if (fill_ < 0) AcquireFillBuffer();
+    Buffer& buf = buffers_[fill_];
+    buf.data.push_back(v);
+    if (buf.data.size() == k_) {
+      std::sort(buf.data.begin(), buf.data.end(), Less());
+      buf.full = true;
+      fill_ = -1;
+      if (!AnyEmpty()) Collapse();
+    }
+  }
+
+  T Query(double phi) const {
+    WeightedSampleView<T, Less> view(Snapshot());
+    if (view.Empty()) return T{};
+    return view.Quantile(phi * static_cast<double>(n_));
+  }
+
+  std::vector<T> QueryMany(const std::vector<double>& phis) const {
+    WeightedSampleView<T, Less> view(Snapshot());
+    std::vector<T> out;
+    if (view.Empty()) {
+      out.assign(phis.size(), T{});
+      return out;
+    }
+    out.reserve(phis.size());
+    for (double phi : phis) {
+      out.push_back(view.Quantile(phi * static_cast<double>(n_)));
+    }
+    return out;
+  }
+
+  int64_t EstimateRank(const T& v) const {
+    return WeightedSampleView<T, Less>(Snapshot()).EstimateRank(v);
+  }
+
+  uint64_t Count() const { return n_; }
+  size_t buffer_count() const { return b_; }
+  size_t buffer_size() const { return k_; }
+
+  size_t MemoryBytes() const {
+    return b_ * (k_ * kBytesPerElement + 3 * kBytesPerCounter);
+  }
+
+ private:
+  struct Buffer {
+    std::vector<T> data;
+    int64_t weight = 1;
+    int level = 0;
+    bool full = false;
+    bool Empty() const { return data.empty() && !full; }
+  };
+
+  void ChooseParameters(double eps, uint64_t n_hint) {
+    // MRL98's optimisation: minimise b*k subject to coverage
+    // k * 2^(b-2) >= N and collapse error (b-2)/(2k) <= eps.
+    size_t best_cost = SIZE_MAX;
+    for (size_t b = 3; b <= 40; ++b) {
+      const double coverage =
+          static_cast<double>(n_hint) / std::pow(2.0, static_cast<double>(b - 2));
+      const double err_k = static_cast<double>(b - 2) / (2.0 * eps);
+      const size_t k = std::max<size_t>(
+          8, static_cast<size_t>(std::ceil(std::max(coverage, err_k))));
+      if (b * k < best_cost) {
+        best_cost = b * k;
+        b_ = b;
+        k_ = k;
+      }
+    }
+  }
+
+  bool AnyEmpty() const {
+    for (const Buffer& b : buffers_) {
+      if (b.Empty()) return true;
+    }
+    return false;
+  }
+
+  void AcquireFillBuffer() {
+    for (size_t i = 0; i < buffers_.size(); ++i) {
+      if (buffers_[i].Empty()) {
+        fill_ = static_cast<int>(i);
+        // New buffers enter at the current minimum level of the full
+        // buffers (MRL98's NEW policy), weight 1.
+        buffers_[i].level = 0;
+        buffers_[i].weight = 1;
+        buffers_[i].data.clear();
+        return;
+      }
+    }
+    assert(false && "no empty buffer available");
+  }
+
+  void Collapse() {
+    int min_level = INT32_MAX;
+    for (const Buffer& b : buffers_) {
+      if (b.full) min_level = std::min(min_level, b.level);
+    }
+    std::vector<int> chosen;
+    for (size_t i = 0; i < buffers_.size(); ++i) {
+      if (buffers_[i].full && buffers_[i].level == min_level) {
+        chosen.push_back(static_cast<int>(i));
+      }
+    }
+    int out_level = min_level + 1;
+    if (chosen.size() < 2) {
+      int second = INT32_MAX;
+      for (const Buffer& b : buffers_) {
+        if (b.full && b.level > min_level) second = std::min(second, b.level);
+      }
+      for (size_t i = 0; i < buffers_.size(); ++i) {
+        if (buffers_[i].full && buffers_[i].level == second) {
+          chosen.push_back(static_cast<int>(i));
+        }
+      }
+      out_level = second + 1;
+    }
+    assert(chosen.size() >= 2);
+
+    std::vector<WeightedElement<T>> pool;
+    int64_t total_weight = 0;
+    for (int idx : chosen) {
+      const Buffer& b = buffers_[idx];
+      total_weight += b.weight;
+      for (const T& v : b.data) pool.push_back({v, b.weight});
+    }
+    Less less;
+    std::sort(pool.begin(), pool.end(),
+              [&](const WeightedElement<T>& a, const WeightedElement<T>& b) {
+                return less(a.value, b.value);
+              });
+    // Deterministic median-offset selection (MRL98): positions
+    // offset + j*W in the weighted expansion, offset = (W+1)/2 for odd W,
+    // alternating W/2 and (W+2)/2 for even W.
+    const int64_t w = total_weight;
+    int64_t offset;
+    if (w % 2 == 1) {
+      offset = (w + 1) / 2;
+    } else {
+      offset = even_toggle_ ? w / 2 : (w + 2) / 2;
+      even_toggle_ = !even_toggle_;
+    }
+    offset -= 1;  // to 0-indexed weighted positions
+    std::vector<T> kept;
+    kept.reserve(k_);
+    int64_t pos = 0;
+    int64_t next_pick = offset;
+    for (const WeightedElement<T>& e : pool) {
+      while (next_pick < pos + e.weight && kept.size() < k_) {
+        kept.push_back(e.value);
+        next_pick += w;
+      }
+      pos += e.weight;
+    }
+
+    Buffer& out = buffers_[chosen[0]];
+    out.data = std::move(kept);
+    out.weight = w;
+    out.level = out_level;
+    out.full = true;
+    for (size_t c = 1; c < chosen.size(); ++c) {
+      Buffer& b = buffers_[chosen[c]];
+      b.data.clear();
+      b.data.reserve(k_);
+      b.full = false;
+      b.weight = 1;
+      b.level = 0;
+    }
+  }
+
+  std::vector<WeightedElement<T>> Snapshot() const {
+    std::vector<WeightedElement<T>> sample;
+    for (const Buffer& b : buffers_) {
+      for (const T& v : b.data) sample.push_back({v, b.weight});
+    }
+    return sample;
+  }
+
+  size_t b_ = 3;
+  size_t k_ = 8;
+  uint64_t n_ = 0;
+  int fill_ = -1;
+  bool even_toggle_ = false;
+  std::vector<Buffer> buffers_;
+};
+
+// ---------------------------------------------------------------------------
+// uint64_t wrappers.
+// ---------------------------------------------------------------------------
+
+/// Munro-Paterson (1980) over uint64_t.
+class Mp80 : public QuantileSketch {
+ public:
+  explicit Mp80(double eps) : impl_(eps) {}
+  void Insert(uint64_t value) override { impl_.Insert(value); }
+  uint64_t Query(double phi) override { return impl_.Query(phi); }
+  std::vector<uint64_t> QueryMany(const std::vector<double>& phis) override {
+    return impl_.QueryMany(phis);
+  }
+  int64_t EstimateRank(uint64_t value) override {
+    return impl_.EstimateRank(value);
+  }
+  uint64_t Count() const override { return impl_.Count(); }
+  size_t MemoryBytes() const override { return impl_.MemoryBytes(); }
+  std::string Name() const override { return "MP80"; }
+  Mp80Impl<uint64_t>& impl() { return impl_; }
+
+ private:
+  Mp80Impl<uint64_t> impl_;
+};
+
+/// MRL98 over uint64_t.
+class Mrl98 : public QuantileSketch {
+ public:
+  Mrl98(double eps, uint64_t n_hint) : impl_(eps, n_hint) {}
+  void Insert(uint64_t value) override { impl_.Insert(value); }
+  uint64_t Query(double phi) override { return impl_.Query(phi); }
+  std::vector<uint64_t> QueryMany(const std::vector<double>& phis) override {
+    return impl_.QueryMany(phis);
+  }
+  int64_t EstimateRank(uint64_t value) override {
+    return impl_.EstimateRank(value);
+  }
+  uint64_t Count() const override { return impl_.Count(); }
+  size_t MemoryBytes() const override { return impl_.MemoryBytes(); }
+  std::string Name() const override { return "MRL98"; }
+  Mrl98Impl<uint64_t>& impl() { return impl_; }
+
+ private:
+  Mrl98Impl<uint64_t> impl_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUANTILE_LEGACY_DETERMINISTIC_H_

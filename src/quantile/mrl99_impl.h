@@ -1,0 +1,289 @@
+// MRL99: the randomized quantile summary of Manku, Rajagopalan and Lindsay
+// (SIGMOD'99), as evaluated by the paper (section 1.2.1 / 2.2).
+//
+// The algorithm keeps b buffers of k elements, each carrying an integer
+// weight. NEW fills an empty buffer with k elements sampled from the stream
+// (one uniform choice per block of 2^l elements at the current active level
+// l, weight 2^l), exactly as in Random. COLLAPSE fires when every buffer is
+// full: all buffers at the lowest level are merged into one buffer whose
+// weight W is the sum of the input weights. In the weighted-expanded sorted
+// sequence of the inputs, the output keeps the k elements at positions
+// offset + j*W (offset uniform in [0, W)), i.e. evenly spaced selection with
+// a random start -- MRL99's key difference from Random's per-pair coin flip.
+// The output buffer sits one level above the lowest input level.
+//
+// Parameters: the original paper picks (b, k, h) by solving a small
+// optimisation problem to minimise b*k subject to its coverage constraint;
+// following its O((1/eps) log^2(1/eps)) space shape we use b = h+1 buffers
+// with h = ceil(log2(1/eps)) and k = ceil((1/(2 eps)) * log2(1/eps)).
+
+#ifndef STREAMQ_QUANTILE_MRL99_IMPL_H_
+#define STREAMQ_QUANTILE_MRL99_IMPL_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "quantile/weighted_sample.h"
+#include "util/bits.h"
+#include "util/memory.h"
+#include "util/random.h"
+#include "util/serde.h"
+
+namespace streamq {
+
+template <typename T, typename Less = std::less<T>>
+class Mrl99Impl {
+ public:
+  Mrl99Impl(double eps, uint64_t seed) : rng_(seed) {
+    const double inv_eps = 1.0 / eps;
+    h_ = std::max(1, CeilLog2(static_cast<uint64_t>(std::ceil(inv_eps))));
+    k_ = std::max<size_t>(8, static_cast<size_t>(
+                                 std::ceil(0.5 * inv_eps * std::max(1, h_))));
+    buffers_.resize(static_cast<size_t>(h_) + 1);
+    for (Buffer& b : buffers_) b.data.reserve(k_);
+  }
+
+  void Insert(const T& v) {
+    ++n_;
+    if (fill_ < 0) AcquireFillBuffer();
+    Buffer& buf = buffers_[fill_];
+    // One uniform choice per weight-sized block, drawn up front (see
+    // random_impl.h).
+    if (block_seen_ == 0) {
+      block_pick_ = rng_.Below(static_cast<uint64_t>(buf.weight));
+    }
+    if (block_seen_ == block_pick_) block_choice_ = v;
+    ++block_seen_;
+    if (block_seen_ == static_cast<uint64_t>(buf.weight)) {
+      buf.data.push_back(block_choice_);
+      block_seen_ = 0;
+      if (buf.data.size() == k_) {
+        std::sort(buf.data.begin(), buf.data.end(), Less());
+        buf.full = true;
+        fill_ = -1;
+        if (!AnyEmpty()) Collapse();
+      }
+    }
+  }
+
+  T Query(double phi) const {
+    WeightedSampleView<T, Less> view(Snapshot());
+    if (view.Empty()) return T{};  // empty summary: nothing to report
+    return view.Quantile(phi * static_cast<double>(n_));
+  }
+
+  std::vector<T> QueryMany(const std::vector<double>& phis) const {
+    WeightedSampleView<T, Less> view(Snapshot());
+    std::vector<T> out;
+    if (view.Empty()) {
+      out.assign(phis.size(), T{});
+      return out;
+    }
+    out.reserve(phis.size());
+    for (double phi : phis) out.push_back(view.Quantile(phi * static_cast<double>(n_)));
+    return out;
+  }
+
+  int64_t EstimateRank(const T& v) const {
+    return WeightedSampleView<T, Less>(Snapshot()).EstimateRank(v);
+  }
+
+  uint64_t Count() const { return n_; }
+
+  size_t MemoryBytes() const {
+    return buffers_.size() * (k_ * kBytesPerElement + 3 * kBytesPerCounter) +
+           kBytesPerElement + 2 * kBytesPerCounter;
+  }
+
+  size_t buffer_size() const { return k_; }
+  int height() const { return h_; }
+
+  /// Snapshot to a byte buffer, including the PRNG state (see
+  /// random_impl.h for the format conventions).
+  void Serialize(SerdeWriter& w) const
+    requires std::is_trivially_copyable_v<T>
+  {
+    w.U32(static_cast<uint32_t>(h_));
+    w.U64(k_);
+    w.U64(n_);
+    w.U32(static_cast<uint32_t>(fill_));
+    w.U64(block_seen_);
+    w.U64(block_pick_);
+    w.Pod(block_choice_);
+    w.Pod(rng_.GetState());
+    w.U64(buffers_.size());
+    for (const Buffer& b : buffers_) {
+      w.I64(b.weight);
+      w.U32(static_cast<uint32_t>(b.level));
+      w.U32(b.full ? 1 : 0);
+      w.PodVector(b.data);
+    }
+  }
+
+  /// Restores a snapshot; returns false on corrupt input.
+  bool Deserialize(SerdeReader& r)
+    requires std::is_trivially_copyable_v<T>
+  {
+    uint32_t h = 0, fill = 0;
+    uint64_t k = 0;
+    Xoshiro256::State state{};
+    if (!r.U32(&h) || !r.U64(&k) || !r.U64(&n_) || !r.U32(&fill) ||
+        !r.U64(&block_seen_) || !r.U64(&block_pick_) ||
+        !r.Pod(&block_choice_) || !r.Pod(&state)) {
+      return false;
+    }
+    h_ = static_cast<int>(h);
+    k_ = k;
+    fill_ = static_cast<int32_t>(fill);
+    rng_.SetState(state);
+    uint64_t count = 0;
+    if (!r.U64(&count) || count > 4096) return false;
+    buffers_.assign(count, Buffer{});
+    for (Buffer& b : buffers_) {
+      uint32_t level = 0, full = 0;
+      if (!r.I64(&b.weight) || !r.U32(&level) || !r.U32(&full) ||
+          !r.PodVector(&b.data) || b.weight <= 0) {
+        return false;
+      }
+      b.level = static_cast<int>(level);
+      b.full = full != 0;
+    }
+    return fill_ < static_cast<int>(buffers_.size());
+  }
+
+ private:
+  struct Buffer {
+    std::vector<T> data;
+    int64_t weight = 1;
+    int level = 0;
+    bool full = false;
+    bool Empty() const { return data.empty() && !full; }
+  };
+
+  int ActiveLevel() const {
+    const double denom = static_cast<double>(k_) * std::pow(2.0, h_ - 1);
+    const double ratio = static_cast<double>(n_) / denom;
+    if (ratio <= 1.0) return 0;
+    return CeilLog2(static_cast<uint64_t>(std::ceil(ratio)));
+  }
+
+  bool AnyEmpty() const {
+    for (const Buffer& b : buffers_) {
+      if (b.Empty()) return true;
+    }
+    return false;
+  }
+
+  void AcquireFillBuffer() {
+    for (size_t i = 0; i < buffers_.size(); ++i) {
+      if (buffers_[i].Empty()) {
+        fill_ = static_cast<int>(i);
+        buffers_[i].level = ActiveLevel();
+        buffers_[i].weight = int64_t{1} << buffers_[i].level;
+        buffers_[i].data.clear();
+        block_seen_ = 0;
+        return;
+      }
+    }
+    assert(false && "no empty buffer available");
+  }
+
+  void Collapse() {
+    // Gather all full buffers at the minimum level; if only one exists,
+    // widen to the two lowest levels so a collapse is always possible.
+    int min_level = INT32_MAX;
+    for (const Buffer& b : buffers_) {
+      if (b.full) min_level = std::min(min_level, b.level);
+    }
+    std::vector<int> chosen;
+    for (size_t i = 0; i < buffers_.size(); ++i) {
+      if (buffers_[i].full && buffers_[i].level == min_level) {
+        chosen.push_back(static_cast<int>(i));
+      }
+    }
+    int out_level = min_level + 1;
+    if (chosen.size() < 2) {
+      int second = INT32_MAX;
+      for (const Buffer& b : buffers_) {
+        if (b.full && b.level > min_level) second = std::min(second, b.level);
+      }
+      for (size_t i = 0; i < buffers_.size(); ++i) {
+        if (buffers_[i].full && buffers_[i].level == second) {
+          chosen.push_back(static_cast<int>(i));
+        }
+      }
+      out_level = second + 1;
+    }
+    assert(chosen.size() >= 2);
+
+    // Weighted k-way merge with evenly spaced selection.
+    std::vector<WeightedElement<T>> pool;
+    int64_t total_weight = 0;
+    for (int idx : chosen) {
+      const Buffer& b = buffers_[idx];
+      total_weight += b.weight;
+      for (const T& v : b.data) pool.push_back({v, b.weight});
+    }
+    Less less;
+    std::sort(pool.begin(), pool.end(),
+              [&](const WeightedElement<T>& a, const WeightedElement<T>& b) {
+                return less(a.value, b.value);
+              });
+    const int64_t w = total_weight;
+    const int64_t offset = static_cast<int64_t>(rng_.Below(static_cast<uint64_t>(w)));
+    std::vector<T> kept;
+    kept.reserve(k_);
+    int64_t pos = 0;          // weighted position of the current element start
+    int64_t next_pick = offset;
+    for (const WeightedElement<T>& e : pool) {
+      while (next_pick < pos + e.weight &&
+             kept.size() < k_) {
+        kept.push_back(e.value);
+        next_pick += w;
+      }
+      pos += e.weight;
+    }
+
+    Buffer& out = buffers_[chosen[0]];
+    out.data = std::move(kept);
+    out.weight = w;
+    out.level = out_level;
+    out.full = true;
+    for (size_t c = 1; c < chosen.size(); ++c) {
+      Buffer& b = buffers_[chosen[c]];
+      b.data.clear();
+      b.data.reserve(k_);
+      b.full = false;
+      b.weight = 1;
+      b.level = 0;
+    }
+  }
+
+  std::vector<WeightedElement<T>> Snapshot() const {
+    std::vector<WeightedElement<T>> sample;
+    for (const Buffer& b : buffers_) {
+      for (const T& v : b.data) sample.push_back({v, b.weight});
+    }
+    if (fill_ >= 0 && block_seen_ > block_pick_) {
+      sample.push_back({block_choice_, static_cast<int64_t>(block_seen_)});
+    }
+    return sample;
+  }
+
+  int h_ = 1;
+  size_t k_ = 8;
+  uint64_t n_ = 0;
+  int fill_ = -1;
+  uint64_t block_seen_ = 0;
+  uint64_t block_pick_ = 0;
+  T block_choice_{};
+  std::vector<Buffer> buffers_;
+  mutable Xoshiro256 rng_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUANTILE_MRL99_IMPL_H_

@@ -1,0 +1,132 @@
+#include "quantile/post/blue_solver.h"
+
+#include <cassert>
+
+namespace streamq {
+
+namespace {
+
+// Solves one OLS subtree rooted at `r` (an exact node whose descendants in
+// the subtree are all estimated). Writes corrected values into xstar.
+// Scratch vectors are indexed by global node index and owned by the caller.
+struct Scratch {
+  std::vector<double> alpha, beta, lambda, pi, zprime, z, f;
+  std::vector<int32_t> post;  // reusable postorder buffer
+};
+
+void SolveSubtree(const std::vector<TreeNode>& nodes, int32_t r,
+                  std::vector<double>& xstar, Scratch& s) {
+  // Postorder over the subtree (children before parents).
+  s.post.clear();
+  {
+    std::vector<int32_t> stack = {r};
+    while (!stack.empty()) {
+      const int32_t v = stack.back();
+      stack.pop_back();
+      s.post.push_back(v);
+      if (nodes[v].left >= 0) stack.push_back(nodes[v].left);
+      if (nodes[v].right >= 0) stack.push_back(nodes[v].right);
+    }
+    // Reversing a DFS preorder gives a valid postorder for our purposes
+    // (every child precedes its parent).
+  }
+  if (s.post.size() <= 1) return;  // no estimated nodes below r
+
+  // --- Pass 1 (bottom-up): alpha & beta -------------------------------
+  for (auto it = s.post.rbegin(); it != s.post.rend(); ++it) {
+    const int32_t v = *it;
+    const TreeNode& node = nodes[v];
+    const int32_t c1 = node.left;
+    const int32_t c2 = node.right;
+    if (c1 < 0 && c2 < 0) {
+      // Leaf of the truncated tree.
+      s.beta[v] = 1.0 / node.sigma2;
+      continue;
+    }
+    double child_term = 0.0;
+    if (c1 >= 0 && c2 >= 0) {
+      const double b1 = s.beta[c1];
+      const double b2 = s.beta[c2];
+      s.alpha[c1] = b2 / (b1 + b2);
+      s.alpha[c2] = b1 / (b1 + b2);
+      child_term = s.alpha[c1] * b1;  // == alpha[c2] * b2
+    } else {
+      const int32_t c = c1 >= 0 ? c1 : c2;
+      s.alpha[c] = 1.0;
+      child_term = s.beta[c];
+    }
+    if (v == r) break;  // the root's beta is never used (sigma2 == 0)
+    s.beta[v] = child_term + 1.0 / node.sigma2;
+  }
+
+  // --- Pass 2 (top-down): lambda, pi, Z' ------------------------------
+  s.lambda[r] = 1.0;
+  s.zprime[r] = 0.0;
+  for (const int32_t v : s.post) {
+    if (v == r) continue;
+    const int32_t p = nodes[v].parent;
+    s.lambda[v] = s.alpha[v] * s.lambda[p];
+    s.pi[v] = s.beta[v] * s.lambda[v];
+    s.zprime[v] = s.zprime[p] + nodes[v].y / nodes[v].sigma2;
+  }
+  // s.post is a preorder (parents before children), so the loop above sees
+  // each parent before its children.
+
+  // --- Pass 3 (bottom-up): Z ------------------------------------------
+  for (auto it = s.post.rbegin(); it != s.post.rend(); ++it) {
+    const int32_t v = *it;
+    const TreeNode& node = nodes[v];
+    if (node.left < 0 && node.right < 0) {
+      s.z[v] = s.lambda[v] * s.zprime[v];
+    } else {
+      s.z[v] = 0.0;
+      if (node.left >= 0) s.z[v] += s.z[node.left];
+      if (node.right >= 0) s.z[v] += s.z[node.right];
+    }
+  }
+
+  // --- Pass 4 (top-down): Delta, F, x* --------------------------------
+  const int32_t first_child = nodes[r].left >= 0 ? nodes[r].left : nodes[r].right;
+  const double delta = (s.z[r] - nodes[r].y * s.pi[first_child]) / s.lambda[r];
+  s.f[r] = 0.0;
+  xstar[r] = nodes[r].y;
+  for (const int32_t v : s.post) {
+    if (v == r) continue;
+    const int32_t p = nodes[v].parent;
+    xstar[v] = (s.z[v] - s.lambda[v] * s.f[p] - s.lambda[v] * delta) / s.pi[v];
+    s.f[v] = s.f[p] + xstar[v] / nodes[v].sigma2;
+  }
+}
+
+}  // namespace
+
+std::vector<double> SolveBlue(const TruncatedTree& tree) {
+  const std::vector<TreeNode>& nodes = tree.nodes();
+  std::vector<double> xstar(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) xstar[i] = nodes[i].y;
+  if (nodes.empty()) return xstar;
+
+  Scratch s;
+  s.alpha.assign(nodes.size(), 0.0);
+  s.beta.assign(nodes.size(), 0.0);
+  s.lambda.assign(nodes.size(), 0.0);
+  s.pi.assign(nodes.size(), 0.0);
+  s.zprime.assign(nodes.size(), 0.0);
+  s.z.assign(nodes.size(), 0.0);
+  s.f.assign(nodes.size(), 0.0);
+
+  // OLS subtree roots: exact nodes with at least one estimated child.
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].sigma2 != 0.0) continue;
+    const int32_t l = nodes[i].left;
+    const int32_t rgt = nodes[i].right;
+    const bool estimated_child = (l >= 0 && nodes[l].sigma2 > 0.0) ||
+                                 (rgt >= 0 && nodes[rgt].sigma2 > 0.0);
+    if (estimated_child) {
+      SolveSubtree(nodes, static_cast<int32_t>(i), xstar, s);
+    }
+  }
+  return xstar;
+}
+
+}  // namespace streamq

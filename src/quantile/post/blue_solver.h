@@ -1,0 +1,41 @@
+// Linear-time best-linear-unbiased-estimator (BLUE) solver over the
+// truncated dyadic tree (section 3.2.3 of the paper).
+//
+// Model: the unknowns x are the true frequencies at the LEAVES of the
+// truncated tree; every tree node v carries an observation y_v of the sum of
+// the leaves below it, with variance sigma2_v (0 for exact nodes). The BLUE
+// x* minimises sum (y_v - A_v x)^2 / sigma2_v subject to the exact
+// observations, and by Gauss-Markov every linear combination of the x*'s --
+// in particular every rank -- also has minimal variance.
+//
+// Exact nodes "shield" their subtrees, so the tree decomposes into
+// independent OLS subtrees rooted at the deepest exact nodes. Each subtree
+// is solved with the paper's three-traversal algorithm:
+//   1. bottom-up: node weights lambda via the alpha/beta recurrences of
+//      eq. (2) (pi_left = pi_right, lambda_v = sum of leaf lambdas below v);
+//   2. top-down Z' and bottom-up Z (note: the paper's statement
+//      "Z_v = sum lambda_w Z_w" has a spurious lambda_w; eq. (7) of its own
+//      proof gives Z_v = sum_{leaves w below v} Z_w, which is what we use --
+//      verified against the worked example of Fig. 3 / Table 2);
+//   3. top-down F and x* via eq. (3) with Delta = (Z_r - y_r pi_child)/lambda_r.
+//
+// Unlike Hay et al.'s solver, this handles arbitrarily unbalanced trees
+// (including single-child chains created by pruning) and exact roots.
+
+#ifndef STREAMQ_QUANTILE_POST_BLUE_SOLVER_H_
+#define STREAMQ_QUANTILE_POST_BLUE_SOLVER_H_
+
+#include <vector>
+
+#include "quantile/post/truncated_tree.h"
+
+namespace streamq {
+
+/// Returns the BLUE-corrected estimate x*_v for every node of `tree`,
+/// aligned with tree.nodes(). Nodes not below any estimated subtree keep
+/// their (exact) y value.
+std::vector<double> SolveBlue(const TruncatedTree& tree);
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUANTILE_POST_BLUE_SOLVER_H_

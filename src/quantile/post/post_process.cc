@@ -1,0 +1,176 @@
+#include "quantile/post/post_process.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quantile/post/blue_solver.h"
+#include "util/memory.h"
+
+namespace streamq {
+
+namespace {
+inline uint64_t NodeLow(const TreeNode& node) { return node.cell << node.level; }
+inline uint64_t NodeWidth(const TreeNode& node) {
+  return uint64_t{1} << node.level;
+}
+}  // namespace
+
+DcsPost::DcsPost(double eps, int log_u, int depth, double eta, uint64_t seed)
+    : dcs_(std::make_unique<Dcs>(eps, log_u, depth, seed)),
+      eps_(eps),
+      eta_(eta) {}
+
+DcsPost::DcsPost(std::unique_ptr<Dcs> dcs, double eps, double eta)
+    : dcs_(std::move(dcs)), eps_(eps), eta_(eta) {}
+
+std::unique_ptr<DcsPost> DcsPost::WithWidth(uint64_t width, int depth,
+                                            int log_u, double eps, double eta,
+                                            uint64_t seed) {
+  return std::unique_ptr<DcsPost>(
+      new DcsPost(Dcs::WithWidth(width, depth, log_u, seed), eps, eta));
+}
+
+void DcsPost::Insert(uint64_t value) {
+  dcs_->Insert(value);
+  dirty_ = true;
+}
+
+void DcsPost::Erase(uint64_t value) {
+  dcs_->Erase(value);
+  dirty_ = true;
+}
+
+void DcsPost::Finalize() {
+  const double threshold = eta_ * eps_ * static_cast<double>(dcs_->Count());
+  TruncatedTree tree(*dcs_, threshold);
+  xstar_ = SolveBlue(tree);
+  tree_ = tree.nodes();
+  dirty_ = false;
+}
+
+void DcsPost::EnsureFinalized() {
+  if (dirty_) Finalize();
+}
+
+double DcsPost::Mass(int32_t idx) const {
+  return std::max(0.0, xstar_[idx]);
+}
+
+double DcsPost::TreePrefixMass(uint64_t v) const {
+  if (tree_.empty()) return 0.0;
+  double acc = 0.0;
+  int32_t idx = 0;
+  // Walk down the tree accumulating the mass of everything left of v; stop
+  // when v exits the node or the tree runs out of resolution.
+  while (true) {
+    const TreeNode& node = tree_[idx];
+    const uint64_t lo = NodeLow(node);
+    const uint64_t width = NodeWidth(node);
+    if (v <= lo) return acc;
+    if (v >= lo + width) return acc + Mass(idx);
+    const int32_t left = node.left;
+    const int32_t right = node.right;
+    if (left < 0 && right < 0) {
+      // Boundary leaf: interpolate. Its mass is either below the truncation
+      // threshold (pruned children) or an exact level-0 cell.
+      return acc + Mass(idx) * static_cast<double>(v - lo) /
+                       static_cast<double>(width);
+    }
+    const uint64_t mid = lo + width / 2;
+    // Mass of the two halves: a missing child's mass is whatever the parent
+    // has beyond its present sibling (pruned == negligible but non-zero).
+    const double total = Mass(idx);
+    double left_mass, right_mass;
+    if (left >= 0 && right >= 0) {
+      left_mass = Mass(left);
+      right_mass = Mass(right);
+    } else if (left >= 0) {
+      left_mass = std::min(Mass(left), total);
+      right_mass = total - left_mass;
+    } else {
+      right_mass = std::min(Mass(right), total);
+      left_mass = total - right_mass;
+    }
+    if (v < mid) {
+      if (left >= 0) {
+        idx = left;
+        continue;
+      }
+      // Pruned left half: interpolate inside it.
+      return acc + left_mass * static_cast<double>(v - lo) /
+                       static_cast<double>(mid - lo);
+    }
+    acc += left_mass;
+    if (v == mid) return acc;
+    if (right >= 0) {
+      idx = right;
+      continue;
+    }
+    return acc + right_mass * static_cast<double>(v - mid) /
+                     static_cast<double>(width - width / 2);
+  }
+}
+
+int64_t DcsPost::EstimateRank(uint64_t value) {
+  EnsureFinalized();
+  return static_cast<int64_t>(std::llround(TreePrefixMass(value)));
+}
+
+uint64_t DcsPost::Query(double phi) {
+  EnsureFinalized();
+  if (tree_.empty()) return 0;
+  const double n = static_cast<double>(dcs_->Count());
+  double target = std::clamp(phi * n, 0.0, n);
+  int32_t idx = 0;
+  uint64_t lo = 0;
+  uint64_t width = uint64_t{1} << tree_[0].level;
+  while (true) {
+    const TreeNode& node = tree_[idx];
+    lo = NodeLow(node);
+    width = NodeWidth(node);
+    const int32_t left = node.left;
+    const int32_t right = node.right;
+    const double total = std::max(Mass(idx), 1e-12);
+    if (left < 0 && right < 0) break;  // leaf: interpolate below
+    const uint64_t mid = lo + width / 2;
+    double left_mass;
+    if (left >= 0 && right >= 0) {
+      left_mass = Mass(left);
+    } else if (left >= 0) {
+      left_mass = std::min(Mass(left), total);
+    } else {
+      left_mass = total - std::min(Mass(right), total);
+    }
+    if (target <= left_mass) {
+      if (left >= 0) {
+        idx = left;
+        continue;
+      }
+      // Descend into the pruned left half by interpolation.
+      const double frac = left_mass <= 0 ? 0.0 : target / left_mass;
+      return lo + static_cast<uint64_t>(frac * static_cast<double>(mid - lo));
+    }
+    target -= left_mass;
+    if (right >= 0) {
+      idx = right;
+      continue;
+    }
+    const double right_mass = std::max(total - left_mass, 1e-12);
+    const double frac = std::min(1.0, target / right_mass);
+    return mid + static_cast<uint64_t>(frac * static_cast<double>(width - width / 2));
+  }
+  // Interpolate inside the final leaf.
+  const double mass = std::max(Mass(idx), 1e-12);
+  const double frac = std::min(1.0, target / mass);
+  uint64_t pos = lo + static_cast<uint64_t>(frac * static_cast<double>(width));
+  if (pos >= lo + width) pos = lo + width - 1;
+  return pos;
+}
+
+size_t DcsPost::LastTreeBytes() const {
+  // level + cell + y + sigma2 + three links, in accounting units.
+  return tree_.size() * (2 * kBytesPerCounter + 2 * kBytesPerCounter +
+                         3 * kBytesPerPointer);
+}
+
+}  // namespace streamq

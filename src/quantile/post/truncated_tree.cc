@@ -1,0 +1,58 @@
+#include "quantile/post/truncated_tree.h"
+
+#include <algorithm>
+
+namespace streamq {
+
+namespace {
+// Variances of zero would make the OLS weights singular; exact nodes are
+// the only legitimate zero-variance nodes, so clamp estimated levels.
+constexpr double kMinVariance = 1e-9;
+}  // namespace
+
+TruncatedTree::TruncatedTree(const DyadicQuantileBase& sketch,
+                             double threshold) {
+  const int log_u = sketch.log_universe();
+  TreeNode root;
+  root.level = log_u;
+  root.cell = 0;
+  root.y = sketch.CellEstimate(log_u, 0);
+  root.sigma2 = 0.0;  // the stream count n is always exact
+  nodes_.push_back(root);
+
+  // DFS with an explicit stack; children are appended when their own
+  // estimate clears the threshold.
+  std::vector<int32_t> stack = {0};
+  while (!stack.empty()) {
+    const int32_t idx = stack.back();
+    stack.pop_back();
+    const int child_level = nodes_[idx].level - 1;
+    if (child_level < 0) continue;
+    const uint64_t base = nodes_[idx].cell << 1;
+    for (int side = 0; side < 2; ++side) {
+      const uint64_t cell = base + side;
+      const double est = sketch.CellEstimate(child_level, cell);
+      if (est < threshold) continue;
+      TreeNode child;
+      child.level = child_level;
+      child.cell = cell;
+      child.y = est;
+      child.parent = idx;
+      if (sketch.LevelIsExact(child_level)) {
+        child.sigma2 = 0.0;
+      } else {
+        child.sigma2 = std::max(sketch.LevelVariance(child_level), kMinVariance);
+      }
+      const int32_t child_idx = static_cast<int32_t>(nodes_.size());
+      nodes_.push_back(child);
+      if (side == 0) {
+        nodes_[idx].left = child_idx;
+      } else {
+        nodes_[idx].right = child_idx;
+      }
+      stack.push_back(child_idx);
+    }
+  }
+}
+
+}  // namespace streamq

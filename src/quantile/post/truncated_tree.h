@@ -1,0 +1,52 @@
+// Truncated dyadic tree extraction (section 3.2.2 of the paper).
+//
+// Starting from the root, nodes whose estimated frequency is at least
+// eta * eps * n are kept and their children visited; any node estimated
+// below the threshold is discarded together with its subtree. The expected
+// size of the result is O((1/eps) log u) (paper, Lemma 1).
+
+#ifndef STREAMQ_QUANTILE_POST_TRUNCATED_TREE_H_
+#define STREAMQ_QUANTILE_POST_TRUNCATED_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "quantile/dyadic_quantile.h"
+
+namespace streamq {
+
+/// One node of the truncated tree.
+struct TreeNode {
+  int level = 0;       // dyadic level (cell width 2^level)
+  uint64_t cell = 0;   // cell index at that level
+  double y = 0.0;      // raw estimate from the sketch
+  double sigma2 = 0.0; // estimator variance proxy; 0 means exact
+  int32_t parent = -1;
+  int32_t left = -1;   // child covering the lower half, -1 if pruned
+  int32_t right = -1;  // child covering the upper half, -1 if pruned
+};
+
+/// Materialised truncated tree over a dyadic quantile sketch.
+class TruncatedTree {
+ public:
+  /// Extracts the tree top-down; `threshold` is the pruning cutoff
+  /// (eta * eps * n in the paper).
+  TruncatedTree(const DyadicQuantileBase& sketch, double threshold);
+
+  /// Wraps an explicitly constructed tree (tests, worked examples). Node 0
+  /// must be the root and parent/left/right links must be consistent.
+  explicit TruncatedTree(std::vector<TreeNode> nodes)
+      : nodes_(std::move(nodes)) {}
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  size_t size() const { return nodes_.size(); }
+  /// Index of the root (always 0 when non-empty).
+  int32_t root() const { return nodes_.empty() ? -1 : 0; }
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUANTILE_POST_TRUNCATED_TREE_H_

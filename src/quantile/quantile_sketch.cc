@@ -1,0 +1,23 @@
+#include "quantile/quantile_sketch.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace streamq {
+
+void QuantileSketch::Erase(uint64_t /*value*/) {
+  std::fprintf(stderr,
+               "streamq: Erase() called on cash-register summary %s, which "
+               "does not support deletions\n",
+               Name().c_str());
+  std::abort();
+}
+
+std::vector<uint64_t> QuantileSketch::QueryMany(const std::vector<double>& phis) {
+  std::vector<uint64_t> out;
+  out.reserve(phis.size());
+  for (double phi : phis) out.push_back(Query(phi));
+  return out;
+}
+
+}  // namespace streamq

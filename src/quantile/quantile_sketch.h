@@ -1,0 +1,60 @@
+// Common interface for all streaming quantile summaries in the library.
+
+#ifndef STREAMQ_QUANTILE_QUANTILE_SKETCH_H_
+#define STREAMQ_QUANTILE_QUANTILE_SKETCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace streamq {
+
+/// Abstract streaming quantile summary.
+///
+/// All implementations process one update at a time and can answer quantile
+/// queries at any point of the stream (no a-priori knowledge of n).
+/// Query() is non-const because several summaries (GKArray, FastQDigest,
+/// DCS+Post) flush buffers or run a finalisation pass on query; this never
+/// changes the summarised multiset.
+class QuantileSketch {
+ public:
+  virtual ~QuantileSketch() = default;
+
+  /// Inserts one value.
+  virtual void Insert(uint64_t value) = 0;
+
+  /// Deletes one previously inserted occurrence of value. Only supported in
+  /// the turnstile model; cash-register summaries abort.
+  virtual void Erase(uint64_t value);
+
+  /// Whether Erase is supported (turnstile model).
+  virtual bool SupportsDeletion() const { return false; }
+
+  /// Returns an eps-approximate phi-quantile of the elements currently
+  /// summarised, 0 < phi < 1.
+  virtual uint64_t Query(double phi) = 0;
+
+  /// Batch quantile query; phis must be sorted ascending. The default loops
+  /// over Query(); summaries with linear-scan query paths override this with
+  /// a single pass.
+  virtual std::vector<uint64_t> QueryMany(const std::vector<double>& phis);
+
+  /// Estimated rank (number of summarised elements < value). Exposed for
+  /// diagnostics and tests; all summaries can answer it.
+  virtual int64_t EstimateRank(uint64_t value) = 0;
+
+  /// Number of elements currently summarised (insertions minus deletions).
+  virtual uint64_t Count() const = 0;
+
+  /// Current memory footprint under the paper's accounting conventions
+  /// (see util/memory.h). Harnesses track the maximum over the stream.
+  virtual size_t MemoryBytes() const = 0;
+
+  /// Algorithm name as used in the paper's figures.
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUANTILE_QUANTILE_SKETCH_H_

@@ -1,0 +1,358 @@
+// "Random": the paper's simplified randomized quantile summary (section 2.2),
+// a streamlined MRL99 inspired by the mergeable summaries of Agarwal et al.
+//
+// With h = log2(1/eps), it keeps b = h+1 buffers of s = (1/eps) sqrt(h)
+// elements each. A buffer is filled at the current active level l by keeping
+// one uniformly random element out of every block of 2^l consecutive stream
+// elements. When every buffer is full, the two buffers at the lowest level
+// are merged: their elements are merged in sorted order and either the odd
+// or the even positions are kept (fair coin), producing one buffer one level
+// higher. The estimated rank of v sums 2^l(X) * |{x in X : x < v}| over all
+// buffers. Space O((1/eps) log^1.5(1/eps)); all quantiles correct with
+// constant probability.
+//
+// When all full buffers sit at pairwise distinct levels (possible once the
+// active level has advanced past stale low-level buffers), we merge the two
+// lowest-level buffers: the lower one is first promoted to the higher level
+// by keeping a random stride-2^(lb-la) subsequence of its sorted elements,
+// which preserves unbiasedness; the standard odd/even merge then applies.
+
+#ifndef STREAMQ_QUANTILE_RANDOM_IMPL_H_
+#define STREAMQ_QUANTILE_RANDOM_IMPL_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "quantile/weighted_sample.h"
+#include "util/bits.h"
+#include "util/memory.h"
+#include "util/random.h"
+#include "util/serde.h"
+
+namespace streamq {
+
+template <typename T, typename Less = std::less<T>>
+class RandomSketchImpl {
+ public:
+  RandomSketchImpl(double eps, uint64_t seed) : rng_(seed) {
+    const double inv_eps = 1.0 / eps;
+    h_ = std::max(1, CeilLog2(static_cast<uint64_t>(std::ceil(inv_eps))));
+    const double root = std::sqrt(static_cast<double>(h_));
+    s_ = std::max<size_t>(8, static_cast<size_t>(std::ceil(inv_eps * root)));
+    buffers_.resize(static_cast<size_t>(h_) + 1);
+    for (Buffer& b : buffers_) b.data.reserve(s_);
+  }
+
+  void Insert(const T& v) {
+    ++n_;
+    if (fill_ < 0) AcquireFillBuffer();
+    Buffer& buf = buffers_[fill_];
+    // One uniform choice per block of 2^level elements, drawn up front:
+    // skipped elements cost no randomness, so the per-element update time
+    // *drops* as the sampling rate rises (the paper's Fig. 7a observation).
+    if (block_seen_ == 0) {
+      block_pick_ = rng_.Below(uint64_t{1} << buf.level);
+    }
+    if (block_seen_ == block_pick_) block_choice_ = v;
+    ++block_seen_;
+    if (block_seen_ == (uint64_t{1} << buf.level)) {
+      buf.data.push_back(block_choice_);
+      block_seen_ = 0;
+      if (buf.data.size() == s_) {
+        std::sort(buf.data.begin(), buf.data.end(), Less());
+        buf.full = true;
+        fill_ = -1;
+        if (!AnyEmpty()) MergeOnce();
+      }
+    }
+  }
+
+  T Query(double phi) const {
+    WeightedSampleView<T, Less> view(Snapshot());
+    if (view.Empty()) return T{};  // empty summary: nothing to report
+    return view.Quantile(phi * static_cast<double>(n_));
+  }
+
+  std::vector<T> QueryMany(const std::vector<double>& phis) const {
+    WeightedSampleView<T, Less> view(Snapshot());
+    std::vector<T> out;
+    if (view.Empty()) {
+      out.assign(phis.size(), T{});
+      return out;
+    }
+    out.reserve(phis.size());
+    for (double phi : phis) out.push_back(view.Quantile(phi * static_cast<double>(n_)));
+    return out;
+  }
+
+  int64_t EstimateRank(const T& v) const {
+    return WeightedSampleView<T, Less>(Snapshot()).EstimateRank(v);
+  }
+
+  uint64_t Count() const { return n_; }
+
+  size_t MemoryBytes() const {
+    // Buffers are pre-allocated: b * s elements plus per-buffer level
+    // counters and the in-progress block sample. Space is constant in n.
+    return buffers_.size() * (s_ * kBytesPerElement + 2 * kBytesPerCounter) +
+           kBytesPerElement + 2 * kBytesPerCounter;
+  }
+
+  int height() const { return h_; }
+  size_t buffer_size() const { return s_; }
+
+  /// Snapshot to a byte buffer, including the PRNG state: a reloaded sketch
+  /// continues the exact stream-processing sequence of the original.
+  void Serialize(SerdeWriter& w) const
+    requires std::is_trivially_copyable_v<T>
+  {
+    w.U32(static_cast<uint32_t>(h_));
+    w.U64(s_);
+    w.U64(n_);
+    w.U32(static_cast<uint32_t>(fill_));
+    w.U64(block_seen_);
+    w.U64(block_pick_);
+    w.Pod(block_choice_);
+    w.Pod(rng_.GetState());
+    w.U64(buffers_.size());
+    for (const Buffer& b : buffers_) {
+      w.U32(static_cast<uint32_t>(b.level));
+      w.U32(b.full ? 1 : 0);
+      w.PodVector(b.data);
+    }
+  }
+
+  /// Restores a snapshot; returns false on corrupt input.
+  bool Deserialize(SerdeReader& r)
+    requires std::is_trivially_copyable_v<T>
+  {
+    uint32_t h = 0, fill = 0;
+    uint64_t s = 0;
+    Xoshiro256::State state{};
+    if (!r.U32(&h) || !r.U64(&s) || !r.U64(&n_) || !r.U32(&fill) ||
+        !r.U64(&block_seen_) || !r.U64(&block_pick_) ||
+        !r.Pod(&block_choice_) || !r.Pod(&state)) {
+      return false;
+    }
+    s_ = s;
+    h_ = static_cast<int>(h);
+    fill_ = static_cast<int32_t>(fill);
+    rng_.SetState(state);
+    uint64_t count = 0;
+    if (!r.U64(&count) || count > 4096) return false;
+    buffers_.assign(count, Buffer{});
+    for (Buffer& b : buffers_) {
+      uint32_t level = 0, full = 0;
+      if (!r.U32(&level) || !r.U32(&full) || !r.PodVector(&b.data)) {
+        return false;
+      }
+      b.level = static_cast<int>(level);
+      b.full = full != 0;
+    }
+    return fill_ < static_cast<int>(buffers_.size());
+  }
+
+  /// Folds `other` (built with the same eps, hence the same h and s) into
+  /// this summary. Random inherits the mergeable-summary property of
+  /// Agarwal et al. that inspired it: pools both buffer sets and re-merges
+  /// lowest-level pairs until the buffer budget is respected. The other
+  /// summary's in-progress sampling block (at most one element standing for
+  /// up to 2^l inputs) is re-inserted by repetition, which keeps counts
+  /// exact at a rank error of at most 2^l = O(eps n).
+  void Merge(const RandomSketchImpl& other) {
+    assert(other.s_ == s_ && other.h_ == h_);
+    // Pool every non-empty buffer from both summaries.
+    std::vector<Buffer> pool;
+    for (Buffer& b : buffers_) {
+      if (!b.data.empty()) pool.push_back(std::move(b));
+      b = Buffer{};
+    }
+    for (const Buffer& b : other.buffers_) {
+      if (!b.data.empty()) pool.push_back(b);
+    }
+    n_ += other.n_;
+    fill_ = -1;
+    block_seen_ = 0;
+
+    // Partially filled buffers break the full-merge flow; top them up by
+    // declaring them full at their current size (they are sorted on demand).
+    for (Buffer& b : pool) {
+      std::sort(b.data.begin(), b.data.end(), Less());
+      b.full = true;
+    }
+    // Reduce to at most b-1 buffers so an empty slot remains for filling.
+    while (pool.size() + 1 > buffers_.size()) {
+      size_t ia = 0, ib = 1;
+      for (size_t i = 0; i < pool.size(); ++i) {
+        if (pool[i].level < pool[ia].level) {
+          ib = ia;
+          ia = i;
+        } else if (i != ia && pool[i].level < pool[ib].level) {
+          ib = i;
+        }
+      }
+      if (pool[ia].level > pool[ib].level) std::swap(ia, ib);
+      Combine(pool[ia], pool[ib]);
+      pool.erase(pool.begin() + ia);
+    }
+    for (size_t i = 0; i < pool.size(); ++i) buffers_[i] = std::move(pool[i]);
+
+    // Re-insert the other summary's in-progress block by repetition (only
+    // meaningful once that block has committed to its sample).
+    if (other.fill_ >= 0 && other.block_seen_ > other.block_pick_) {
+      n_ -= other.block_seen_;  // Insert() re-counts them
+      for (uint64_t i = 0; i < other.block_seen_; ++i) {
+        Insert(other.block_choice_);
+      }
+    }
+  }
+
+ private:
+  struct Buffer {
+    std::vector<T> data;
+    int level = 0;
+    bool full = false;
+    bool Empty() const { return data.empty() && !full; }
+  };
+
+  int ActiveLevel() const {
+    // l = max(0, ceil(log2(n / (s * 2^(h-1))))).
+    const double denom = static_cast<double>(s_) * std::pow(2.0, h_ - 1);
+    const double ratio = static_cast<double>(n_) / denom;
+    if (ratio <= 1.0) return 0;
+    return CeilLog2(static_cast<uint64_t>(std::ceil(ratio)));
+  }
+
+  bool AnyEmpty() const {
+    for (const Buffer& b : buffers_) {
+      if (b.Empty()) return true;
+    }
+    return false;
+  }
+
+  void AcquireFillBuffer() {
+    for (size_t i = 0; i < buffers_.size(); ++i) {
+      if (buffers_[i].Empty()) {
+        fill_ = static_cast<int>(i);
+        buffers_[i].level = ActiveLevel();
+        buffers_[i].data.clear();
+        block_seen_ = 0;
+        return;
+      }
+    }
+    assert(false && "no empty buffer available");
+  }
+
+  // Merges two full buffers, freeing one slot.
+  void MergeOnce() {
+    // Prefer the lowest level holding >= 2 full buffers.
+    int best_level = -1;
+    for (const Buffer& b : buffers_) {
+      if (!b.full) continue;
+      int count = 0;
+      for (const Buffer& o : buffers_) {
+        if (o.full && o.level == b.level) ++count;
+      }
+      if (count >= 2 && (best_level < 0 || b.level < best_level)) {
+        best_level = b.level;
+      }
+    }
+    int ia = -1, ib = -1;
+    if (best_level >= 0) {
+      for (size_t i = 0; i < buffers_.size(); ++i) {
+        if (!buffers_[i].full || buffers_[i].level != best_level) continue;
+        if (ia < 0) {
+          ia = static_cast<int>(i);
+        } else {
+          ib = static_cast<int>(i);
+          break;
+        }
+      }
+    } else {
+      // All levels distinct: take the two lowest.
+      for (size_t i = 0; i < buffers_.size(); ++i) {
+        if (!buffers_[i].full) continue;
+        if (ia < 0 || buffers_[i].level < buffers_[ia].level) {
+          ib = ia;
+          ia = static_cast<int>(i);
+        } else if (ib < 0 || buffers_[i].level < buffers_[ib].level) {
+          ib = static_cast<int>(i);
+        }
+      }
+    }
+    assert(ia >= 0 && ib >= 0);
+    Buffer& a = buffers_[ia];
+    Buffer& b = buffers_[ib];
+    if (a.level > b.level) std::swap(ia, ib);
+    Combine(buffers_[ia], buffers_[ib]);
+  }
+
+  // Combines a (level la) into b (level lb >= la); result replaces b at
+  // level lb + 1, a becomes empty.
+  void Combine(Buffer& a, Buffer& b) {
+    assert(a.level <= b.level);
+    std::vector<T> lifted;
+    const int gap = b.level - a.level;
+    if (gap > 0) {
+      // Promote a to b's level: keep a random stride-2^gap subsequence.
+      const uint64_t stride = uint64_t{1} << gap;
+      const uint64_t offset = rng_.Below(stride);
+      for (uint64_t i = offset; i < a.data.size(); i += stride) {
+        lifted.push_back(a.data[i]);
+      }
+    } else {
+      lifted = std::move(a.data);
+    }
+    // Sorted merge, then keep odd or even positions with equal probability.
+    std::vector<T> merged;
+    merged.reserve(lifted.size() + b.data.size());
+    std::merge(lifted.begin(), lifted.end(), b.data.begin(), b.data.end(),
+               std::back_inserter(merged), Less());
+    std::vector<T> kept;
+    kept.reserve((merged.size() + 1) / 2);
+    for (size_t i = rng_.NextBool() ? 1 : 0; i < merged.size(); i += 2) {
+      kept.push_back(merged[i]);
+    }
+    b.data = std::move(kept);
+    b.level += 1;
+    b.full = true;
+    a.data.clear();
+    a.data.reserve(s_);
+    a.full = false;
+    a.level = 0;
+  }
+
+  // Weighted snapshot of all stored elements (full buffers, the partially
+  // filled buffer, and the in-progress block sample).
+  std::vector<WeightedElement<T>> Snapshot() const {
+    std::vector<WeightedElement<T>> sample;
+    for (size_t i = 0; i < buffers_.size(); ++i) {
+      const Buffer& b = buffers_[i];
+      const int64_t w = int64_t{1} << b.level;
+      for (const T& v : b.data) sample.push_back({v, w});
+    }
+    if (fill_ >= 0 && block_seen_ > block_pick_) {
+      // The in-progress block has committed to its sample; it stands for
+      // the block_seen_ elements consumed so far.
+      sample.push_back({block_choice_, static_cast<int64_t>(block_seen_)});
+    }
+    return sample;
+  }
+
+  int h_ = 1;
+  size_t s_ = 8;
+  uint64_t n_ = 0;
+  int fill_ = -1;  // index of the buffer being filled, -1 if none
+  uint64_t block_seen_ = 0;
+  uint64_t block_pick_ = 0;  // position within the block chosen as sample
+  T block_choice_{};
+  std::vector<Buffer> buffers_;
+  mutable Xoshiro256 rng_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUANTILE_RANDOM_IMPL_H_

@@ -1,0 +1,73 @@
+#include "quantile/sliding_window.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamq {
+
+SlidingWindowQuantile::SlidingWindowQuantile(double eps, uint64_t window)
+    : eps_(eps), window_(std::max<uint64_t>(window, 16)) {
+  block_size_ = std::max<uint64_t>(
+      16, static_cast<uint64_t>(std::ceil(eps_ * static_cast<double>(window_) / 2.0)));
+}
+
+void SlidingWindowQuantile::Insert(uint64_t value) {
+  ++n_;
+  if (blocks_.empty() || blocks_.back().count == block_size_) {
+    blocks_.emplace_back(eps_ / 2.0);
+    Expire();
+  }
+  Block& block = blocks_.back();
+  block.summary.Insert(value);
+  ++block.count;
+}
+
+void SlidingWindowQuantile::Expire() {
+  // Drop whole blocks from the front while the remaining ones still cover
+  // the window; afterwards the stored count exceeds the window by less than
+  // one block.
+  uint64_t total = 0;
+  for (const Block& b : blocks_) total += b.count;
+  while (blocks_.size() > 1 && total - blocks_.front().count >= window_) {
+    total -= blocks_.front().count;
+    blocks_.pop_front();
+  }
+}
+
+uint64_t SlidingWindowQuantile::WindowCount() const {
+  uint64_t total = 0;
+  for (const Block& b : blocks_) total += b.count;
+  return std::min(total, window_);
+}
+
+std::vector<WeightedElement<uint64_t>> SlidingWindowQuantile::MergedSample() {
+  std::vector<WeightedElement<uint64_t>> sample;
+  for (Block& block : blocks_) {
+    block.summary.ForEachTuple([&](uint64_t v, int64_t g, int64_t /*delta*/) {
+      sample.push_back({v, g});
+    });
+  }
+  return sample;
+}
+
+uint64_t SlidingWindowQuantile::Query(double phi) {
+  WeightedSampleView<uint64_t> view(MergedSample());
+  if (view.Empty()) return 0;
+  // Target against everything stored: the stored count exceeds the window
+  // by at most one partially expired block (< eps*W/2 rank slack).
+  return view.Quantile(phi * static_cast<double>(view.TotalWeight()));
+}
+
+int64_t SlidingWindowQuantile::EstimateRank(uint64_t value) {
+  return WeightedSampleView<uint64_t>(MergedSample()).EstimateRank(value);
+}
+
+size_t SlidingWindowQuantile::MemoryBytes() const {
+  size_t total = 2 * kBytesPerCounter;  // window + block-size parameters
+  for (const Block& b : blocks_) {
+    total += b.summary.MemoryBytes() + kBytesPerCounter;
+  }
+  return total;
+}
+
+}  // namespace streamq

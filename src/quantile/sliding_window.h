@@ -1,0 +1,80 @@
+// Sliding-window quantiles (extension; the paper's related work cites
+// Arasu & Manku, PODS'04).
+//
+// Maintains eps-approximate quantiles over the most recent `window`
+// elements of the stream. We use the block decomposition at the base of the
+// Arasu-Manku construction: the stream is cut into blocks of
+// B = ceil(eps*W/2) elements, each summarised by a GKArray with error
+// eps/2, and the last ceil(W/B)+1 block summaries are retained. A query
+// merges the live summaries into one weighted sample; the partially expired
+// oldest block contributes at most B = eps*W/2 rank error and each summary
+// at most (eps/2)*B, so the total error is at most eps*W.
+//
+// Space: O((1/eps) * |GK summary of B elements|) -- independent of the
+// stream length, proportional to 1/eps^2 * log(eps^2 W) in the worst case.
+// (The full Arasu-Manku structure layers geometrically coarser levels to
+// shave the 1/eps factor; this single-level variant is the simple,
+// practical version.)
+
+#ifndef STREAMQ_QUANTILE_SLIDING_WINDOW_H_
+#define STREAMQ_QUANTILE_SLIDING_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "quantile/gk_array.h"
+#include "quantile/weighted_sample.h"
+
+namespace streamq {
+
+class SlidingWindowQuantile {
+ public:
+  /// eps: rank-error target relative to the window size; window: number of
+  /// most recent elements the summary covers.
+  SlidingWindowQuantile(double eps, uint64_t window);
+
+  /// Appends one element (the oldest element leaves the window once more
+  /// than `window` elements have arrived).
+  void Insert(uint64_t value);
+
+  /// eps-approximate phi-quantile of the current window contents.
+  uint64_t Query(double phi);
+
+  /// Estimated rank of `value` within the current window.
+  int64_t EstimateRank(uint64_t value);
+
+  /// Number of elements the answer effectively covers: min(n, window),
+  /// up to one block of slack at the trailing edge.
+  uint64_t WindowCount() const;
+
+  /// Total elements ever inserted.
+  uint64_t Count() const { return n_; }
+
+  /// Accounting bytes across all live block summaries.
+  size_t MemoryBytes() const;
+
+  /// Number of live blocks (for tests).
+  size_t BlockCount() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    GkArrayImpl<uint64_t> summary;
+    uint64_t count = 0;
+    explicit Block(double eps) : summary(eps) {}
+  };
+
+  std::vector<WeightedElement<uint64_t>> MergedSample();
+  void Expire();
+
+  double eps_;
+  uint64_t window_;
+  uint64_t block_size_;
+  uint64_t n_ = 0;
+  std::deque<Block> blocks_;  // newest at the back
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUANTILE_SLIDING_WINDOW_H_

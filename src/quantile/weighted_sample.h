@@ -1,0 +1,91 @@
+// Query machinery shared by the sample-based summaries (Random, MRL99).
+//
+// Both summaries end up holding a collection of (element, weight) pairs where
+// the weight says how many stream elements the sample stands for. The
+// estimated rank of v is the total weight of stored elements smaller than v,
+// and a phi-quantile is the stored element whose estimated rank is closest
+// to phi * n (section 2.2 of the paper).
+
+#ifndef STREAMQ_QUANTILE_WEIGHTED_SAMPLE_H_
+#define STREAMQ_QUANTILE_WEIGHTED_SAMPLE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace streamq {
+
+template <typename T>
+struct WeightedElement {
+  T value;
+  int64_t weight;
+};
+
+/// Sorted view over a weighted sample supporting rank and quantile queries.
+template <typename T, typename Less = std::less<T>>
+class WeightedSampleView {
+ public:
+  /// Takes ownership of the (unsorted) sample and prepares prefix sums.
+  explicit WeightedSampleView(std::vector<WeightedElement<T>> sample)
+      : sample_(std::move(sample)) {
+    Less less;
+    std::sort(sample_.begin(), sample_.end(),
+              [&](const WeightedElement<T>& a, const WeightedElement<T>& b) {
+                return less(a.value, b.value);
+              });
+    ranks_.resize(sample_.size());
+    int64_t prefix = 0;
+    for (size_t i = 0; i < sample_.size(); ++i) {
+      // Equal values share the same estimated rank (#weight strictly below).
+      if (i > 0 && !less(sample_[i - 1].value, sample_[i].value)) {
+        ranks_[i] = ranks_[i - 1];
+      } else {
+        ranks_[i] = prefix;
+      }
+      prefix += sample_[i].weight;
+    }
+    total_ = prefix;
+  }
+
+  bool Empty() const { return sample_.empty(); }
+  int64_t TotalWeight() const { return total_; }
+
+  /// Estimated rank of `value`: total weight of stored elements < value.
+  int64_t EstimateRank(const T& value) const {
+    Less less;
+    auto it = std::lower_bound(
+        sample_.begin(), sample_.end(), value,
+        [&](const WeightedElement<T>& a, const T& v) { return less(a.value, v); });
+    if (it == sample_.end()) return total_;
+    return ranks_[it - sample_.begin()];
+  }
+
+  /// The stored element whose estimated rank is closest to `target`.
+  T Quantile(double target) const {
+    // ranks_ is non-decreasing: binary search the insertion point, then
+    // compare the two neighbours.
+    size_t lo = 0, hi = ranks_.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (static_cast<double>(ranks_[mid]) < target) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == ranks_.size()) return sample_.back().value;
+    if (lo == 0) return sample_[0].value;
+    const double d_hi = static_cast<double>(ranks_[lo]) - target;
+    const double d_lo = target - static_cast<double>(ranks_[lo - 1]);
+    return d_lo <= d_hi ? sample_[lo - 1].value : sample_[lo].value;
+  }
+
+ private:
+  std::vector<WeightedElement<T>> sample_;
+  std::vector<int64_t> ranks_;
+  int64_t total_ = 0;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUANTILE_WEIGHTED_SAMPLE_H_

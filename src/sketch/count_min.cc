@@ -1,0 +1,48 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+
+#include "util/memory.h"
+#include "util/random.h"
+
+namespace streamq {
+
+CountMin::CountMin(uint64_t width, int depth, uint64_t seed)
+    : width_(std::max<uint64_t>(1, width)), depth_(std::max(1, depth)) {
+  uint64_t sm = seed;
+  hashes_.reserve(depth_);
+  for (int i = 0; i < depth_; ++i) {
+    hashes_.emplace_back(SplitMix64(&sm), width_);
+  }
+  counters_.assign(static_cast<size_t>(depth_) * width_, 0);
+}
+
+void CountMin::Update(uint64_t item, int64_t delta) {
+  for (int i = 0; i < depth_; ++i) {
+    counters_[static_cast<size_t>(i) * width_ + hashes_[i](item)] += delta;
+  }
+}
+
+double CountMin::Estimate(uint64_t item) const {
+  int64_t best = INT64_MAX;
+  for (int i = 0; i < depth_; ++i) {
+    best = std::min(best,
+                    counters_[static_cast<size_t>(i) * width_ + hashes_[i](item)]);
+  }
+  return static_cast<double>(best);
+}
+
+void CountMin::SaveCounters(SerdeWriter& w) const { w.PodVector(counters_); }
+
+bool CountMin::LoadCounters(SerdeReader& r) {
+  const size_t expected = counters_.size();
+  return r.PodVector(&counters_) && counters_.size() == expected;
+}
+
+size_t CountMin::MemoryBytes() const {
+  // Counter array plus the hash coefficients (2 words per pairwise hash).
+  return counters_.size() * kBytesPerCounter +
+         static_cast<size_t>(depth_) * 2 * kBytesPerCounter;
+}
+
+}  // namespace streamq

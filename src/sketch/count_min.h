@@ -1,0 +1,41 @@
+// Count-Min sketch (Cormode & Muthukrishnan, J. Algorithms 2005).
+
+#ifndef STREAMQ_SKETCH_COUNT_MIN_H_
+#define STREAMQ_SKETCH_COUNT_MIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/frequency_estimator.h"
+#include "util/hash.h"
+#include "util/serde.h"
+
+namespace streamq {
+
+/// w x d array of counters; row i adds delta to C[i][h_i(x)]. The estimate
+/// is min_i C[i][h_i(x)], a biased (one-sided) overestimate in the strict
+/// turnstile model: error <= eps*n with probability 1-delta for
+/// w = e/eps, d = ln(1/delta).
+class CountMin : public FrequencyEstimator {
+ public:
+  CountMin(uint64_t width, int depth, uint64_t seed);
+
+  void Update(uint64_t item, int64_t delta) override;
+  double Estimate(uint64_t item) const override;
+  size_t MemoryBytes() const override;
+  void SaveCounters(SerdeWriter& w) const override;
+  bool LoadCounters(SerdeReader& r) override;
+
+  uint64_t width() const { return width_; }
+  int depth() const { return depth_; }
+
+ private:
+  uint64_t width_;
+  int depth_;
+  std::vector<BucketHash> hashes_;      // one pairwise hash per row
+  std::vector<int64_t> counters_;       // row-major d x w
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_SKETCH_COUNT_MIN_H_

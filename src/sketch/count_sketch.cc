@@ -1,0 +1,75 @@
+#include "sketch/count_sketch.h"
+
+#include <algorithm>
+
+#include "util/memory.h"
+#include "util/random.h"
+
+namespace streamq {
+
+CountSketch::CountSketch(uint64_t width, int depth, uint64_t seed)
+    : width_(std::max<uint64_t>(1, width)), depth_(std::max(1, depth)) {
+  uint64_t sm = seed;
+  hashes_.reserve(depth_);
+  for (int i = 0; i < depth_; ++i) {
+    hashes_.emplace_back(SplitMix64(&sm));
+  }
+  counters_.assign(static_cast<size_t>(depth_) * width_, 0);
+}
+
+void CountSketch::Update(uint64_t item, int64_t delta) {
+  for (int i = 0; i < depth_; ++i) {
+    const auto [bucket, sign] = Locate(i, item);
+    counters_[static_cast<size_t>(i) * width_ + bucket] += sign * delta;
+  }
+}
+
+double CountSketch::RowEstimate(int row, uint64_t item) const {
+  const auto [bucket, sign] = Locate(row, item);
+  return static_cast<double>(
+      sign * counters_[static_cast<size_t>(row) * width_ + bucket]);
+}
+
+double CountSketch::Estimate(uint64_t item) const {
+  int64_t est[64];
+  const int d = std::min(depth_, 64);
+  for (int i = 0; i < d; ++i) {
+    const auto [bucket, sign] = Locate(i, item);
+    est[i] = sign * counters_[static_cast<size_t>(i) * width_ + bucket];
+  }
+  std::nth_element(est, est + d / 2, est + d);
+  if (d % 2 == 1) return static_cast<double>(est[d / 2]);
+  // Even depth: average the two central order statistics to stay unbiased.
+  const int64_t upper = est[d / 2];
+  const int64_t lower = *std::max_element(est, est + d / 2);
+  return 0.5 * static_cast<double>(lower + upper);
+}
+
+double CountSketch::VarianceEstimate() const {
+  // AMS: E[sum_j C[0][j]^2] = F2, and Var(row estimate) = (F2 - f_x^2)/w
+  // <= F2/w. One row suffices; the paper notes the unknown median-of-d
+  // factor cancels because the BLUE is invariant to scaling all variances.
+  double f2 = 0.0;
+  for (uint64_t j = 0; j < width_; ++j) {
+    const double c = static_cast<double>(counters_[j]);
+    f2 += c * c;
+  }
+  return f2 / static_cast<double>(width_);
+}
+
+void CountSketch::SaveCounters(SerdeWriter& w) const {
+  w.PodVector(counters_);
+}
+
+bool CountSketch::LoadCounters(SerdeReader& r) {
+  const size_t expected = counters_.size();
+  return r.PodVector(&counters_) && counters_.size() == expected;
+}
+
+size_t CountSketch::MemoryBytes() const {
+  // Counters plus 4 polynomial coefficients per row.
+  return counters_.size() * kBytesPerCounter +
+         static_cast<size_t>(depth_) * 4 * kBytesPerCounter;
+}
+
+}  // namespace streamq

@@ -1,0 +1,63 @@
+// Count-Sketch (Charikar, Chen, Farach-Colton, ICALP 2002).
+
+#ifndef STREAMQ_SKETCH_COUNT_SKETCH_H_
+#define STREAMQ_SKETCH_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/frequency_estimator.h"
+#include "util/hash.h"
+#include "util/serde.h"
+
+namespace streamq {
+
+/// w x d counters; row i adds g_i(x)*delta to C[i][h_i(x)] where h_i is
+/// pairwise independent and g_i is a 4-wise independent sign. The estimate
+/// is the median over rows of g_i(x)*C[i][h_i(x)].
+///
+/// Implementation note: each row evaluates ONE degree-3 polynomial over
+/// GF(2^61-1); the bucket comes from the value mod w and the sign from a
+/// high bit. A single 4-wise independent value yields a (bucket, sign) pair
+/// that is 4-wise independent jointly -- the independence the analysis
+/// needs -- at half the hashing cost of two separate polynomials.
+///
+/// Unlike Count-Min, each row estimator is unbiased with a symmetric
+/// distribution, so the median estimate is unbiased too -- the property the
+/// paper's DCS analysis exploits (positive and negative errors cancel when
+/// log u of these are summed). The per-row variance is F2/w, and the sketch
+/// reports sum-of-squared-counters-of-row-0 / w as its variance estimate
+/// (the AMS F2 estimator), which the OLS post-processing consumes.
+class CountSketch : public FrequencyEstimator {
+ public:
+  CountSketch(uint64_t width, int depth, uint64_t seed);
+
+  void Update(uint64_t item, int64_t delta) override;
+  double Estimate(uint64_t item) const override;
+  double VarianceEstimate() const override;
+  size_t MemoryBytes() const override;
+  void SaveCounters(SerdeWriter& w) const override;
+  bool LoadCounters(SerdeReader& r) override;
+
+  /// Single-row estimate (for tests of unbiasedness).
+  double RowEstimate(int row, uint64_t item) const;
+
+  uint64_t width() const { return width_; }
+  int depth() const { return depth_; }
+
+ private:
+  // (bucket, sign) for row i at item x, from one polynomial evaluation.
+  std::pair<uint64_t, int> Locate(int row, uint64_t item) const {
+    const uint64_t u = hashes_[row](item);
+    return {u % width_, (u >> 59) & 1 ? 1 : -1};
+  }
+
+  uint64_t width_;
+  int depth_;
+  std::vector<PolyHash<4>> hashes_;  // one 4-wise polynomial per row
+  std::vector<int64_t> counters_;    // row-major d x w
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_SKETCH_COUNT_SKETCH_H_

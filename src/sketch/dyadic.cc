@@ -1,0 +1,16 @@
+#include "sketch/dyadic.h"
+
+namespace streamq {
+
+std::vector<DyadicCell> PrefixDecomposition(uint64_t x, int log_u) {
+  std::vector<DyadicCell> cells;
+  cells.reserve(log_u + 1);
+  // i == log_u handles x == 2^log_u (the whole universe as one root cell).
+  for (int i = 0; i <= log_u; ++i) {
+    const uint64_t path = x >> i;
+    if (path & 1) cells.push_back(DyadicCell{i, path - 1});
+  }
+  return cells;
+}
+
+}  // namespace streamq

@@ -1,0 +1,36 @@
+// Dyadic decomposition of a fixed universe [0, 2^log_u).
+//
+// Level i partitions the universe into cells of width 2^i; cell j at level i
+// covers [j*2^i, (j+1)*2^i). Level 0 is the items themselves, level log_u is
+// the single root cell. Every turnstile quantile algorithm in the paper
+// maintains one frequency estimator per level and answers rank queries by
+// decomposing a prefix [0, x) into at most log_u disjoint cells, one per
+// level.
+
+#ifndef STREAMQ_SKETCH_DYADIC_H_
+#define STREAMQ_SKETCH_DYADIC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace streamq {
+
+struct DyadicCell {
+  int level;       // cell width is 2^level
+  uint64_t index;  // cell covers [index << level, (index + 1) << level)
+};
+
+/// Decomposes the prefix [0, x) into disjoint dyadic cells, one per level at
+/// most: wherever bit i of x is set, the cell just left of the path at level
+/// i is fully contained in the prefix.
+std::vector<DyadicCell> PrefixDecomposition(uint64_t x, int log_u);
+
+/// Lowest value covered by a cell.
+inline uint64_t CellLow(const DyadicCell& c) { return c.index << c.level; }
+
+/// Number of values covered by a cell.
+inline uint64_t CellWidth(const DyadicCell& c) { return uint64_t{1} << c.level; }
+
+}  // namespace streamq
+
+#endif  // STREAMQ_SKETCH_DYADIC_H_

@@ -1,0 +1,52 @@
+// Exact frequency table for small (reduced) universes.
+
+#ifndef STREAMQ_SKETCH_EXACT_COUNTS_H_
+#define STREAMQ_SKETCH_EXACT_COUNTS_H_
+
+#include <cassert>
+#include <vector>
+
+#include "sketch/frequency_estimator.h"
+#include "util/memory.h"
+#include "util/serde.h"
+
+namespace streamq {
+
+/// One counter per universe item; used whenever u_reduced is no larger than
+/// the sketch that would otherwise summarise the level (the paper: "if the
+/// reduced universe size is smaller than the sketch size, we maintain the
+/// frequencies exactly").
+class ExactCounts : public FrequencyEstimator {
+ public:
+  explicit ExactCounts(uint64_t universe) : counts_(universe, 0) {}
+
+  void Update(uint64_t item, int64_t delta) override {
+    assert(item < counts_.size());
+    counts_[item] += delta;
+  }
+
+  double Estimate(uint64_t item) const override {
+    assert(item < counts_.size());
+    return static_cast<double>(counts_[item]);
+  }
+
+  bool IsExact() const override { return true; }
+
+  size_t MemoryBytes() const override {
+    return counts_.size() * kBytesPerCounter;
+  }
+
+  void SaveCounters(SerdeWriter& w) const override { w.PodVector(counts_); }
+
+  bool LoadCounters(SerdeReader& r) override {
+    const size_t expected = counts_.size();
+    return r.PodVector(&counts_) && counts_.size() == expected;
+  }
+
+ private:
+  std::vector<int64_t> counts_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_SKETCH_EXACT_COUNTS_H_

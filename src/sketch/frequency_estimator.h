@@ -1,0 +1,46 @@
+// Abstract frequency estimator over a (reduced) integer universe, used by
+// the dyadic turnstile quantile algorithms: one estimator per dyadic level.
+
+#ifndef STREAMQ_SKETCH_FREQUENCY_ESTIMATOR_H_
+#define STREAMQ_SKETCH_FREQUENCY_ESTIMATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace streamq {
+
+/// Processes a turnstile stream of (item, +-delta) updates and estimates the
+/// frequency of any item.
+class FrequencyEstimator {
+ public:
+  virtual ~FrequencyEstimator() = default;
+
+  /// Applies one update (delta may be negative in the turnstile model).
+  virtual void Update(uint64_t item, int64_t delta) = 0;
+
+  /// Estimated frequency of `item`.
+  virtual double Estimate(uint64_t item) const = 0;
+
+  /// True when estimates are exact (small reduced universes keep plain
+  /// counter arrays instead of a sketch).
+  virtual bool IsExact() const { return false; }
+
+  /// Estimated variance of Estimate() for a typical item; 0 when exact or
+  /// unavailable. Used by the OLS post-processing step.
+  virtual double VarianceEstimate() const { return 0.0; }
+
+  /// Memory footprint under the paper's accounting conventions.
+  virtual size_t MemoryBytes() const = 0;
+
+  /// Appends the counter state to `w` (hash functions are reconstructed
+  /// from the construction seed, so only counters need to travel).
+  virtual void SaveCounters(class SerdeWriter& w) const = 0;
+
+  /// Restores counter state saved by SaveCounters from an estimator built
+  /// with identical dimensions/seed; false on corrupt or mismatched input.
+  virtual bool LoadCounters(class SerdeReader& r) = 0;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_SKETCH_FREQUENCY_ESTIMATOR_H_

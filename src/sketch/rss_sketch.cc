@@ -1,0 +1,61 @@
+#include "sketch/rss_sketch.h"
+
+#include <algorithm>
+
+#include "util/memory.h"
+#include "util/random.h"
+
+namespace streamq {
+
+RssSketch::RssSketch(uint64_t width, int depth, uint64_t seed)
+    : width_(std::max<uint64_t>(1, width)), depth_(std::max(1, depth)) {
+  uint64_t sm = seed;
+  subsets_.reserve(static_cast<size_t>(depth_) * width_);
+  for (size_t i = 0; i < static_cast<size_t>(depth_) * width_; ++i) {
+    subsets_.emplace_back(SplitMix64(&sm));
+  }
+  counters_.assign(static_cast<size_t>(depth_) * width_, 0);
+}
+
+void RssSketch::Update(uint64_t item, int64_t delta) {
+  total_ += delta;
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    if (subsets_[i](item)) counters_[i] += delta;
+  }
+}
+
+double RssSketch::Estimate(uint64_t item) const {
+  double medians[64];
+  const int d = std::min<int>(depth_, 64);
+  for (int r = 0; r < d; ++r) {
+    double sum = 0.0;
+    for (uint64_t j = 0; j < width_; ++j) {
+      const size_t idx = static_cast<size_t>(r) * width_ + j;
+      const double c = static_cast<double>(counters_[idx]);
+      const double f = static_cast<double>(total_);
+      sum += subsets_[idx](item) ? (2.0 * c - f) : (f - 2.0 * c);
+    }
+    medians[r] = sum / static_cast<double>(width_);
+  }
+  std::nth_element(medians, medians + d / 2, medians + d);
+  return medians[d / 2];
+}
+
+void RssSketch::SaveCounters(SerdeWriter& w) const {
+  w.I64(total_);
+  w.PodVector(counters_);
+}
+
+bool RssSketch::LoadCounters(SerdeReader& r) {
+  const size_t expected = counters_.size();
+  return r.I64(&total_) && r.PodVector(&counters_) &&
+         counters_.size() == expected;
+}
+
+size_t RssSketch::MemoryBytes() const {
+  // Counters plus the exact total plus 2 hash words per subset.
+  return counters_.size() * kBytesPerCounter + kBytesPerCounter +
+         subsets_.size() * 2 * kBytesPerCounter;
+}
+
+}  // namespace streamq

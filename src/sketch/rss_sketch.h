@@ -1,0 +1,47 @@
+// Random-subset-sum sketch (Gilbert, Kotidis, Muthukrishnan, Strauss,
+// VLDB 2002), the first turnstile quantile building block. Kept as the
+// baseline the paper excludes for being "much worse" than DCM/DCS.
+
+#ifndef STREAMQ_SKETCH_RSS_SKETCH_H_
+#define STREAMQ_SKETCH_RSS_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/frequency_estimator.h"
+#include "util/hash.h"
+#include "util/serde.h"
+
+namespace streamq {
+
+/// d independent groups of w random subsets. Subset (r, j) contains each
+/// universe item independently-enough (pairwise) with probability 1/2; its
+/// counter c_{r,j} accumulates the frequency mass of its members. Given the
+/// exact total F (tracked internally as the sum of deltas),
+///   2*c_{r,j} - F  (when x in subset)   or   F - 2*c_{r,j}  (when not)
+/// is an unbiased estimator of f(x) with variance ~ F2; the estimate
+/// averages w such estimators per group and takes the median of the d group
+/// means. Every update touches all w*d counters, which is why the paper
+/// reports both the size and the update time of this sketch as
+/// O((1/eps^2) log^2 u log(log(u)/eps)).
+class RssSketch : public FrequencyEstimator {
+ public:
+  RssSketch(uint64_t width, int depth, uint64_t seed);
+
+  void Update(uint64_t item, int64_t delta) override;
+  double Estimate(uint64_t item) const override;
+  size_t MemoryBytes() const override;
+  void SaveCounters(SerdeWriter& w) const override;
+  bool LoadCounters(SerdeReader& r) override;
+
+ private:
+  uint64_t width_;
+  int depth_;
+  int64_t total_ = 0;
+  std::vector<SubsetHash> subsets_;  // d x w membership hashes
+  std::vector<int64_t> counters_;    // d x w subset sums
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_SKETCH_RSS_SKETCH_H_

@@ -1,0 +1,148 @@
+#include "stream/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace streamq {
+
+namespace {
+
+constexpr uint64_t kMpcatUniverse = 8'640'000;  // right ascension in 0.1s units
+constexpr uint64_t kTerrainUniverse = 1ULL << 24;
+
+uint64_t Clamp(double v, uint64_t universe) {
+  if (v < 0) return 0;
+  if (v >= static_cast<double>(universe)) return universe - 1;
+  return static_cast<uint64_t>(v);
+}
+
+uint64_t DrawValue(const DatasetSpec& spec, uint64_t universe, Xoshiro256& rng) {
+  switch (spec.distribution) {
+    case Distribution::kUniform:
+      return rng.Below(universe);
+    case Distribution::kNormal: {
+      const double mean = 0.5 * static_cast<double>(universe);
+      const double sd = spec.sigma * static_cast<double>(universe);
+      return Clamp(mean + sd * rng.NextGaussian(), universe);
+    }
+    case Distribution::kLogUniform: {
+      const double log_u = std::log(static_cast<double>(universe));
+      return Clamp(std::exp(rng.NextDouble() * log_u) - 1.0, universe);
+    }
+    case Distribution::kMpcatLike: {
+      // Fig. 4 of the paper: right ascensions concentrate in two broad humps
+      // (the ecliptic crossing the equatorial grid) over a non-zero floor.
+      const double u = static_cast<double>(kMpcatUniverse);
+      const double r = rng.NextDouble();
+      if (r < 0.40) return Clamp(u * (0.28 + 0.09 * rng.NextGaussian()), kMpcatUniverse);
+      if (r < 0.78) return Clamp(u * (0.72 + 0.10 * rng.NextGaussian()), kMpcatUniverse);
+      return rng.Below(kMpcatUniverse);
+    }
+    case Distribution::kTerrainLike: {
+      // LIDAR elevations: most mass near the (low) river basin floor with a
+      // long shoulder toward the higher terrain.
+      const double u = static_cast<double>(kTerrainUniverse);
+      const double r = rng.NextDouble();
+      if (r < 0.55) return Clamp(u * (0.12 + 0.05 * rng.NextGaussian()), kTerrainUniverse);
+      if (r < 0.85) return Clamp(u * (0.30 + 0.10 * rng.NextGaussian()), kTerrainUniverse);
+      return Clamp(u * (0.60 + 0.18 * rng.NextGaussian()), kTerrainUniverse);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+uint64_t DatasetSpec::Universe() const {
+  switch (distribution) {
+    case Distribution::kMpcatLike:
+      return kMpcatUniverse;
+    case Distribution::kTerrainLike:
+      return kTerrainUniverse;
+    default:
+      return log_universe >= 64 ? ~0ULL : (1ULL << log_universe);
+  }
+}
+
+int DatasetSpec::LogUniverse() const { return CeilLog2(Universe()); }
+
+std::string DatasetSpec::Name() const {
+  const char* dist = "";
+  switch (distribution) {
+    case Distribution::kUniform: dist = "uniform"; break;
+    case Distribution::kNormal: dist = "normal"; break;
+    case Distribution::kLogUniform: dist = "loguniform"; break;
+    case Distribution::kMpcatLike: dist = "mpcat"; break;
+    case Distribution::kTerrainLike: dist = "terrain"; break;
+  }
+  const char* ord = order == Order::kRandom   ? "random"
+                    : order == Order::kSorted ? "sorted"
+                                              : "chunked";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s-n%llu-logu%d-%s", dist,
+                static_cast<unsigned long long>(n), LogUniverse(), ord);
+  return buf;
+}
+
+std::vector<uint64_t> GenerateDataset(const DatasetSpec& spec) {
+  Xoshiro256 rng(spec.seed);
+  const uint64_t universe = spec.Universe();
+  std::vector<uint64_t> data;
+  data.reserve(spec.n);
+  for (uint64_t i = 0; i < spec.n; ++i) {
+    data.push_back(DrawValue(spec, universe, rng));
+  }
+  switch (spec.order) {
+    case Order::kRandom:
+      break;  // i.i.d. draws are already in random order
+    case Order::kSorted:
+      std::sort(data.begin(), data.end());
+      break;
+    case Order::kChunkedSorted: {
+      // Sorted runs with log-normal lengths (median ~300, heavy tail), as in
+      // the MPCAT-OBS observing-session pattern.
+      uint64_t pos = 0;
+      while (pos < data.size()) {
+        const double len = std::exp(5.7 + 1.0 * rng.NextGaussian());
+        const uint64_t chunk = std::max<uint64_t>(1, static_cast<uint64_t>(len));
+        const uint64_t end = std::min<uint64_t>(data.size(), pos + chunk);
+        std::sort(data.begin() + pos, data.begin() + end);
+        pos = end;
+      }
+      break;
+    }
+  }
+  return data;
+}
+
+std::vector<Update> MakeTurnstileWorkload(const std::vector<uint64_t>& data,
+                                          double churn_fraction,
+                                          uint64_t universe, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const uint64_t extra = static_cast<uint64_t>(churn_fraction * data.size());
+  std::vector<Update> updates;
+  updates.reserve(data.size() + 2 * extra);
+  for (uint64_t v : data) updates.push_back({v, +1});
+  // Insert transient values, then interleave matching deletions after their
+  // insertion points so no multiplicity ever goes negative.
+  std::vector<uint64_t> transient;
+  transient.reserve(extra);
+  for (uint64_t i = 0; i < extra; ++i) transient.push_back(rng.Below(universe));
+  // Place each transient insert at a random position, its delete at a later
+  // random position: do this by appending pairs and shuffling with a
+  // precedence-preserving scheme (insert goes to a random slot in the first
+  // half of a window, delete after it).
+  for (uint64_t v : transient) {
+    const size_t ins_pos = rng.Below(updates.size() + 1);
+    updates.insert(updates.begin() + ins_pos, {v, +1});
+    const size_t del_pos = ins_pos + 1 + rng.Below(updates.size() - ins_pos);
+    updates.insert(updates.begin() + del_pos, {v, -1});
+  }
+  return updates;
+}
+
+}  // namespace streamq

@@ -1,0 +1,73 @@
+// Synthetic dataset generators reproducing the paper's workloads.
+//
+// The paper evaluates on two real datasets (MPCAT-OBS minor-planet
+// observations and Neuse River Basin LIDAR terrain) plus 12 synthetic
+// datasets varying size, universe, distribution, and arrival order. The real
+// archives are not redistributable here, so MpcatLike / TerrainLike
+// generators synthesise streams with the characteristics the paper says
+// matter: value distribution shape, universe size, and local sortedness of
+// arrival (MPCAT-OBS "consists of chunks of ordered data of various
+// lengths"). See DESIGN.md section 4 for the substitution rationale.
+
+#ifndef STREAMQ_STREAM_GENERATORS_H_
+#define STREAMQ_STREAM_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/update.h"
+
+namespace streamq {
+
+/// Value distribution families.
+enum class Distribution {
+  kUniform,      // uniform over [0, u)
+  kNormal,       // N(u/2, (sigma*u)^2) discretised and clamped to [0, u)
+  kLogUniform,   // exp(uniform * ln u): heavy-tailed, Zipf-like skew
+  kMpcatLike,    // bimodal mixture over u = 8,640,000 (right ascensions)
+  kTerrainLike,  // elevation-like mixture of normals over u = 2^24
+};
+
+/// Arrival order of the stream.
+enum class Order {
+  kRandom,         // i.i.d. arrival
+  kSorted,         // fully sorted ascending (adversarial for GK)
+  kChunkedSorted,  // sorted runs of random (log-normal) lengths, as MPCAT-OBS
+};
+
+/// Full specification of a synthetic dataset.
+struct DatasetSpec {
+  Distribution distribution = Distribution::kUniform;
+  uint64_t n = 1'000'000;
+  /// Universe is [0, 2^log_universe) for kUniform/kNormal/kLogUniform.
+  /// Ignored by kMpcatLike (u = 8,640,000) and kTerrainLike (u = 2^24).
+  int log_universe = 32;
+  /// Standard deviation as a fraction of the universe (kNormal only).
+  double sigma = 0.15;
+  Order order = Order::kRandom;
+  uint64_t seed = 42;
+
+  /// Universe size implied by the spec.
+  uint64_t Universe() const;
+  /// ceil(log2(Universe())) -- the height of the dyadic structure.
+  int LogUniverse() const;
+  /// Short human-readable tag for bench output.
+  std::string Name() const;
+};
+
+/// Materialises the dataset. Deterministic in spec.seed.
+std::vector<uint64_t> GenerateDataset(const DatasetSpec& spec);
+
+/// Wraps an insert-only dataset into a turnstile workload: each value is
+/// inserted, and additionally `churn_fraction` * n transient values are
+/// inserted and later deleted at random positions. The surviving multiset is
+/// exactly `data`, so accuracy can be evaluated against it (the paper notes
+/// deletions "completely remove" their impact).
+std::vector<Update> MakeTurnstileWorkload(const std::vector<uint64_t>& data,
+                                          double churn_fraction,
+                                          uint64_t universe, uint64_t seed);
+
+}  // namespace streamq
+
+#endif  // STREAMQ_STREAM_GENERATORS_H_

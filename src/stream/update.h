@@ -1,0 +1,20 @@
+// Stream update type shared by the cash-register and turnstile models.
+
+#ifndef STREAMQ_STREAM_UPDATE_H_
+#define STREAMQ_STREAM_UPDATE_H_
+
+#include <cstdint>
+
+namespace streamq {
+
+/// One stream update. delta = +1 inserts the value, delta = -1 deletes a
+/// previously inserted occurrence (turnstile model: multiplicities never go
+/// negative).
+struct Update {
+  uint64_t value = 0;
+  int32_t delta = +1;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_STREAM_UPDATE_H_

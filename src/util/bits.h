@@ -1,0 +1,28 @@
+// Small bit-manipulation helpers shared across the library.
+
+#ifndef STREAMQ_UTIL_BITS_H_
+#define STREAMQ_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace streamq {
+
+/// floor(log2(x)) for x >= 1.
+constexpr int FloorLog2(uint64_t x) {
+  return 63 - std::countl_zero(x | 1);
+}
+
+/// ceil(log2(x)) for x >= 1; CeilLog2(1) == 0.
+constexpr int CeilLog2(uint64_t x) {
+  return x <= 1 ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+/// True iff x is a power of two (x > 0).
+constexpr bool IsPowerOfTwo(uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+}  // namespace streamq
+
+#endif  // STREAMQ_UTIL_BITS_H_

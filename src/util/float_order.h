@@ -1,0 +1,59 @@
+// Order-preserving mapping between IEEE-754 floating point values and
+// unsigned integers.
+//
+// Footnote 1 of the paper: "floating-point numbers in standard
+// representations (e.g. IEEE 754) can be mapped to integers in a fixed
+// universe in an order-preserving fashion" -- which is what lets the
+// fixed-universe algorithms (FastQDigest, DCM, DCS) summarise float
+// streams. The classic trick: reinterpret the bits; for non-negative
+// floats flip the sign bit, for negative floats flip all bits. Total order
+// matches the numeric order (with -0.0 < +0.0 and NaNs ordered above
+// +inf / below -inf by payload, which is fine for quantile purposes as
+// long as the stream is NaN-free).
+
+#ifndef STREAMQ_UTIL_FLOAT_ORDER_H_
+#define STREAMQ_UTIL_FLOAT_ORDER_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace streamq {
+
+/// Maps a double to a uint64 such that a < b iff OrderedFromDouble(a) <
+/// OrderedFromDouble(b) (for non-NaN inputs).
+inline uint64_t OrderedFromDouble(double value) {
+  uint64_t bits = std::bit_cast<uint64_t>(value);
+  if (bits & (1ULL << 63)) {
+    return ~bits;  // negative: reverse order and move below positives
+  }
+  return bits | (1ULL << 63);  // non-negative: shift above negatives
+}
+
+/// Inverse of OrderedFromDouble.
+inline double DoubleFromOrdered(uint64_t ordered) {
+  if (ordered & (1ULL << 63)) {
+    return std::bit_cast<double>(ordered & ~(1ULL << 63));
+  }
+  return std::bit_cast<double>(~ordered);
+}
+
+/// Same mapping for float / uint32.
+inline uint32_t OrderedFromFloat(float value) {
+  uint32_t bits = std::bit_cast<uint32_t>(value);
+  if (bits & (1U << 31)) {
+    return ~bits;
+  }
+  return bits | (1U << 31);
+}
+
+/// Inverse of OrderedFromFloat.
+inline float FloatFromOrdered(uint32_t ordered) {
+  if (ordered & (1U << 31)) {
+    return std::bit_cast<float>(ordered & ~(1U << 31));
+  }
+  return std::bit_cast<float>(~ordered);
+}
+
+}  // namespace streamq
+
+#endif  // STREAMQ_UTIL_FLOAT_ORDER_H_

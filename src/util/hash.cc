@@ -1,0 +1,11 @@
+#include "util/hash.h"
+
+// Header-only templates; this TU exists to give the library a home for the
+// hash module and to force a compile of the header in isolation.
+
+namespace streamq {
+
+template class PolyHash<2>;
+template class PolyHash<4>;
+
+}  // namespace streamq

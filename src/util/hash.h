@@ -1,0 +1,118 @@
+// k-wise independent hash families over the Mersenne prime p = 2^61 - 1.
+//
+// The turnstile sketches in this library need precisely the independence
+// guarantees their analyses assume:
+//   * Count-Min rows: pairwise independent bucket hash.
+//   * Count-Sketch rows: pairwise independent bucket hash plus a 4-wise
+//     independent {-1,+1} sign hash (the unbiasedness and variance analysis
+//     of Charikar-Chen-Farach-Colton requires 4-wise independence).
+//   * Random-subset-sum: pairwise independent subset membership.
+//
+// We use the classic Carter-Wegman polynomial construction
+//   h(x) = ((a_{k-1} x^{k-1} + ... + a_1 x + a_0) mod p) mod m
+// with p = 2^61 - 1, evaluated with 128-bit arithmetic and the standard
+// fast reduction for Mersenne primes.
+
+#ifndef STREAMQ_UTIL_HASH_H_
+#define STREAMQ_UTIL_HASH_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace streamq {
+
+/// The Mersenne prime 2^61 - 1 used as the field size for polynomial hashing.
+inline constexpr uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+/// Reduces a 128-bit product modulo 2^61 - 1.
+inline uint64_t ReduceMersenne61(__uint128_t x) {
+  uint64_t lo = static_cast<uint64_t>(x & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(x >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+/// Degree-(K-1) polynomial hash over GF(2^61 - 1): a K-wise independent
+/// family. K = 2 gives pairwise independence, K = 4 gives 4-wise.
+template <int K>
+class PolyHash {
+ public:
+  PolyHash() : coeff_{} {}
+
+  /// Draws random coefficients from the given seed. The leading coefficients
+  /// are uniform in [0, p); the family is K-wise independent over inputs
+  /// smaller than p (all our universes are <= 2^32 << p).
+  explicit PolyHash(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& c : coeff_) {
+      // SplitMix output is uniform over 2^64; reduce to [0, p). The modulo
+      // bias is ~2^-61 and irrelevant for independence at our scale.
+      c = Expand(&sm) % kMersenne61;
+    }
+  }
+
+  /// Evaluates the polynomial at x; result uniform in [0, 2^61 - 1).
+  uint64_t operator()(uint64_t x) const {
+    uint64_t acc = coeff_[K - 1];
+    for (int i = K - 2; i >= 0; --i) {
+      acc = ReduceMersenne61(static_cast<__uint128_t>(acc) * x + coeff_[i]);
+    }
+    return acc;
+  }
+
+ private:
+  static uint64_t Expand(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  std::array<uint64_t, K> coeff_;
+};
+
+/// Pairwise independent hash into [0, buckets).
+class BucketHash {
+ public:
+  BucketHash() : buckets_(1) {}
+  BucketHash(uint64_t seed, uint64_t buckets)
+      : poly_(seed), buckets_(buckets) {}
+
+  uint64_t operator()(uint64_t x) const { return poly_(x) % buckets_; }
+  uint64_t buckets() const { return buckets_; }
+
+ private:
+  PolyHash<2> poly_;
+  uint64_t buckets_;
+};
+
+/// 4-wise independent sign hash into {-1, +1}.
+class SignHash {
+ public:
+  SignHash() = default;
+  explicit SignHash(uint64_t seed) : poly_(seed) {}
+
+  int operator()(uint64_t x) const { return (poly_(x) & 1) ? 1 : -1; }
+
+ private:
+  PolyHash<4> poly_;
+};
+
+/// Pairwise independent membership in a random half of the universe
+/// (used by the random-subset-sum sketch).
+class SubsetHash {
+ public:
+  SubsetHash() = default;
+  explicit SubsetHash(uint64_t seed) : poly_(seed) {}
+
+  bool operator()(uint64_t x) const { return (poly_(x) & 1) != 0; }
+
+ private:
+  PolyHash<2> poly_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_UTIL_HASH_H_

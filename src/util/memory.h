@@ -1,0 +1,35 @@
+// Memory-accounting conventions for the experimental harness.
+//
+// The paper reports space in bytes where "every element from the stream,
+// counter, or pointer consumes 4 bytes", with auxiliary structures (search
+// trees, heaps, hash tables) "carefully accounted for". Each sketch
+// implements MemoryBytes() using these constants so the bench output is
+// directly comparable with the paper's KB axes, independent of the in-RAM
+// width this implementation actually uses.
+
+#ifndef STREAMQ_UTIL_MEMORY_H_
+#define STREAMQ_UTIL_MEMORY_H_
+
+#include <cstddef>
+
+namespace streamq {
+
+/// Accounting width of one stream element.
+inline constexpr size_t kBytesPerElement = 4;
+/// Accounting width of one counter (g, Delta, frequency, ...).
+inline constexpr size_t kBytesPerCounter = 4;
+/// Accounting width of one pointer (tree child link, heap slot, ...).
+inline constexpr size_t kBytesPerPointer = 4;
+
+/// Accounting cost of one node in a balanced binary search tree holding a
+/// stream element: the element plus left/right/parent links.
+inline constexpr size_t kBytesPerTreeNode = kBytesPerElement + 3 * kBytesPerPointer;
+
+/// Accounting cost of one hash-table slot holding a (key, counter) pair:
+/// key, counter, and one chaining pointer.
+inline constexpr size_t kBytesPerHashSlot =
+    kBytesPerElement + kBytesPerCounter + kBytesPerPointer;
+
+}  // namespace streamq
+
+#endif  // STREAMQ_UTIL_MEMORY_H_

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation for streamq.
+//
+// All randomness in the library flows through Xoshiro256ss seeded from an
+// explicit 64-bit seed, so every experiment is reproducible bit-for-bit.
+// std::mt19937 is deliberately avoided: its state is large (2.5 KB) and we
+// account for sketch memory at byte granularity.
+
+#ifndef STREAMQ_UTIL_RANDOM_H_
+#define STREAMQ_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace streamq {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into generator state
+/// and to derive independent sub-seeds for sketch rows / levels.
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256** by Blackman & Vigna: small (32 bytes of state), fast, and of
+/// more than sufficient quality for sampling decisions in sketches.
+class Xoshiro256 {
+ public:
+  /// Seeds the four state words via SplitMix64 as the authors recommend.
+  explicit Xoshiro256(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next 64 uniform random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (no modulo bias).
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Fair coin flip.
+  bool NextBool() { return (Next() >> 63) != 0; }
+
+  /// Standard normal variate (Marsaglia polar method, cached spare).
+  double NextGaussian();
+
+  /// Snapshot / restore of the full generator state (for sketch
+  /// serialisation: a reloaded sketch continues the exact random sequence).
+  struct State {
+    uint64_t s[4];
+    double spare;
+    bool has_spare;
+  };
+  State GetState() const { return State{{s_[0], s_[1], s_[2], s_[3]}, spare_, has_spare_}; }
+  void SetState(const State& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+    spare_ = state.spare;
+    has_spare_ = state.has_spare;
+  }
+
+ private:
+  uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_UTIL_RANDOM_H_

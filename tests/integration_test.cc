@@ -1,0 +1,264 @@
+// End-to-end integration tests: every algorithm through the factory on the
+// paper's workloads, cross-module behaviour, and the full measurement
+// pipeline.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "exact/error_metrics.h"
+#include "exact/exact_oracle.h"
+#include "quantile/factory.h"
+#include "stream/generators.h"
+
+namespace streamq {
+namespace {
+
+TEST(FactoryTest, BuildsEveryAlgorithm) {
+  for (Algorithm a :
+       {Algorithm::kGkTheory, Algorithm::kGkAdaptive, Algorithm::kGkArray,
+        Algorithm::kFastQDigest, Algorithm::kMrl99, Algorithm::kRandom,
+        Algorithm::kRss, Algorithm::kDcm, Algorithm::kDcs,
+        Algorithm::kDcsPost}) {
+    SketchConfig config;
+    config.algorithm = a;
+    config.eps = 0.05;
+    config.log_universe = 16;
+    auto sketch = MakeSketch(config);
+    ASSERT_NE(sketch, nullptr);
+    EXPECT_EQ(sketch->Name(), AlgorithmName(a));
+    sketch->Insert(1);
+    sketch->Insert(2);
+    sketch->Insert(3);
+    EXPECT_EQ(sketch->Count(), 3u);
+    EXPECT_GT(sketch->MemoryBytes(), 0u);
+    const uint64_t q = sketch->Query(0.5);
+    EXPECT_LT(q, 1u << 16);
+  }
+}
+
+TEST(FactoryTest, ParseRoundTrips) {
+  for (Algorithm a : CashRegisterAlgorithms()) {
+    Algorithm parsed;
+    ASSERT_TRUE(ParseAlgorithm(AlgorithmName(a), &parsed));
+    EXPECT_EQ(parsed, a);
+  }
+  Algorithm parsed;
+  EXPECT_FALSE(ParseAlgorithm("NoSuchAlgorithm", &parsed));
+}
+
+TEST(FactoryTest, AlgorithmListsArePaperComplete) {
+  EXPECT_EQ(CashRegisterAlgorithms().size(), 6u);
+  EXPECT_EQ(TurnstileAlgorithms().size(), 3u);
+}
+
+TEST(FactoryTest, DeletionSupportMatchesModel) {
+  SketchConfig config;
+  config.eps = 0.05;
+  config.log_universe = 16;
+  for (Algorithm a : CashRegisterAlgorithms()) {
+    config.algorithm = a;
+    EXPECT_FALSE(MakeSketch(config)->SupportsDeletion()) << AlgorithmName(a);
+  }
+  for (Algorithm a : TurnstileAlgorithms()) {
+    config.algorithm = a;
+    EXPECT_TRUE(MakeSketch(config)->SupportsDeletion()) << AlgorithmName(a);
+  }
+}
+
+// Every algorithm, on the MPCAT-like workload (the paper's primary dataset),
+// must deliver its eps guarantee (deterministic) or stay within eps for the
+// fixed seed (randomized). RSS is exempted from the eps bound (the paper
+// drops it for exactly that reason) but must still be sane.
+using E2eParam = std::tuple<Algorithm, double>;
+class EndToEndTest : public ::testing::TestWithParam<E2eParam> {};
+
+TEST_P(EndToEndTest, MpcatLikeWorkload) {
+  const auto& [algorithm, eps] = GetParam();
+  if (algorithm == Algorithm::kRss && eps < 0.05) {
+    // RSS updates touch all w*d counters per level; at eps = 0.01 the
+    // natural width of 1/eps^2 makes this test take minutes for no extra
+    // coverage (the eps = 0.05 instance exercises the same code).
+    GTEST_SKIP() << "RSS at small eps is prohibitively slow by design";
+  }
+  DatasetSpec spec;
+  spec.distribution = Distribution::kMpcatLike;
+  spec.order = Order::kChunkedSorted;
+  spec.n = 60'000;
+  spec.seed = 99;
+  const auto data = GenerateDataset(spec);
+  const ExactOracle oracle(data);
+
+  SketchConfig config;
+  config.algorithm = algorithm;
+  config.eps = eps;
+  config.log_universe = spec.LogUniverse();
+  config.seed = 4242;
+  auto sketch = MakeSketch(config);
+  for (uint64_t v : data) sketch->Insert(v);
+  EXPECT_EQ(sketch->Count(), spec.n);
+
+  const ErrorStats stats = EvaluateQuantiles(*sketch, oracle, eps);
+  if (algorithm == Algorithm::kRss) {
+    EXPECT_LT(stats.max_error, 0.5);
+  } else {
+    EXPECT_LE(stats.max_error, eps) << AlgorithmName(algorithm);
+  }
+  EXPECT_LE(stats.avg_error, stats.max_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, EndToEndTest,
+    ::testing::Combine(
+        ::testing::Values(Algorithm::kGkTheory, Algorithm::kGkAdaptive,
+                          Algorithm::kGkArray, Algorithm::kFastQDigest,
+                          Algorithm::kMrl99, Algorithm::kRandom,
+                          Algorithm::kRss, Algorithm::kDcm, Algorithm::kDcs,
+                          Algorithm::kDcsPost),
+        ::testing::Values(0.05, 0.01)),
+    [](const auto& info) {
+      return AlgorithmName(std::get<0>(info.param)) + "_eps" +
+             std::to_string(static_cast<int>(1.0 / std::get<1>(info.param)));
+    });
+
+TEST(IntegrationTest, ComparisonAlgorithmsIgnoreUniverse) {
+  // A comparison-based summary must behave identically when the stream is
+  // shifted by a constant (only order matters).
+  DatasetSpec spec;
+  spec.n = 30'000;
+  spec.log_universe = 16;
+  spec.seed = 31;
+  const auto data = GenerateDataset(spec);
+
+  for (Algorithm a : {Algorithm::kGkAdaptive, Algorithm::kGkArray,
+                      Algorithm::kRandom, Algorithm::kMrl99}) {
+    SketchConfig config;
+    config.algorithm = a;
+    config.eps = 0.02;
+    config.seed = 7;
+    auto base = MakeSketch(config);
+    auto shifted = MakeSketch(config);
+    const uint64_t offset = 1ULL << 40;
+    for (uint64_t v : data) {
+      base->Insert(v);
+      shifted->Insert(v + offset);
+    }
+    for (double phi : {0.1, 0.5, 0.9}) {
+      EXPECT_EQ(base->Query(phi) + offset, shifted->Query(phi))
+          << AlgorithmName(a) << " phi=" << phi;
+    }
+  }
+}
+
+TEST(IntegrationTest, AnytimeQueries) {
+  // Streaming algorithms must answer correctly at any prefix of the stream
+  // (no a-priori knowledge of n).
+  DatasetSpec spec;
+  spec.n = 50'000;
+  spec.log_universe = 20;
+  spec.seed = 37;
+  const auto data = GenerateDataset(spec);
+
+  SketchConfig config;
+  config.algorithm = Algorithm::kGkArray;
+  config.eps = 0.02;
+  auto sketch = MakeSketch(config);
+  std::vector<uint64_t> prefix;
+  for (size_t i = 0; i < data.size(); ++i) {
+    sketch->Insert(data[i]);
+    prefix.push_back(data[i]);
+    if ((i + 1) % 10'000 == 0) {
+      const ExactOracle oracle(prefix);
+      const ErrorStats stats = EvaluateQuantiles(*sketch, oracle, 0.02);
+      EXPECT_LE(stats.max_error, 0.02) << "at prefix " << (i + 1);
+    }
+  }
+}
+
+TEST(IntegrationTest, TurnstileWorkloadThroughInterface) {
+  DatasetSpec spec;
+  spec.n = 20'000;
+  spec.log_universe = 16;
+  spec.seed = 51;
+  const auto data = GenerateDataset(spec);
+  const auto updates = MakeTurnstileWorkload(data, 0.2, spec.Universe(), 3);
+
+  for (Algorithm a : TurnstileAlgorithms()) {
+    SketchConfig config;
+    config.algorithm = a;
+    config.eps = 0.02;
+    config.log_universe = 16;
+    config.seed = 13;
+    auto sketch = MakeSketch(config);
+    for (const Update& u : updates) {
+      if (u.delta > 0) {
+        sketch->Insert(u.value);
+      } else {
+        sketch->Erase(u.value);
+      }
+    }
+    EXPECT_EQ(sketch->Count(), data.size()) << AlgorithmName(a);
+    const ExactOracle oracle(data);
+    const ErrorStats stats = EvaluateQuantiles(*sketch, oracle, 0.02);
+    EXPECT_LE(stats.max_error, 0.02) << AlgorithmName(a);
+  }
+}
+
+TEST(IntegrationTest, EraseOnCashRegisterDies) {
+  SketchConfig config;
+  config.algorithm = Algorithm::kGkArray;
+  config.eps = 0.1;
+  auto sketch = MakeSketch(config);
+  sketch->Insert(5);
+  EXPECT_DEATH(sketch->Erase(5), "does not support deletions");
+}
+
+TEST(IntegrationTest, EmptySketchesQuerySafely) {
+  // Querying before any insertion is defined for every algorithm: the
+  // "quantile of nothing" is 0, and batch queries keep their shape.
+  SketchConfig config;
+  config.eps = 0.05;
+  config.log_universe = 16;
+  for (Algorithm a :
+       {Algorithm::kGkTheory, Algorithm::kGkAdaptive, Algorithm::kGkArray,
+        Algorithm::kFastQDigest, Algorithm::kMrl99, Algorithm::kRandom,
+        Algorithm::kDcm, Algorithm::kDcs, Algorithm::kDcsPost}) {
+    config.algorithm = a;
+    auto sketch = MakeSketch(config);
+    EXPECT_EQ(sketch->Count(), 0u) << AlgorithmName(a);
+    EXPECT_LT(sketch->Query(0.5), 1u << 16) << AlgorithmName(a);
+    const auto many = sketch->QueryMany({0.1, 0.5, 0.9});
+    EXPECT_EQ(many.size(), 3u) << AlgorithmName(a);
+  }
+}
+
+TEST(IntegrationTest, MemoryAccountingOrdering) {
+  // At eps = 1e-3 on identical data, the paper's space ordering holds:
+  // Random < GKArray-or-GKAdaptive < FastQDigest, and DCS < DCM.
+  DatasetSpec spec;
+  spec.n = 100'000;
+  spec.log_universe = 24;
+  spec.seed = 61;
+  const auto data = GenerateDataset(spec);
+
+  auto measure = [&](Algorithm a) {
+    SketchConfig config;
+    config.algorithm = a;
+    config.eps = 1e-3;
+    config.log_universe = 24;
+    auto sketch = MakeSketch(config);
+    for (uint64_t v : data) sketch->Insert(v);
+    return sketch->MemoryBytes();
+  };
+  const size_t random_bytes = measure(Algorithm::kRandom);
+  const size_t qdigest_bytes = measure(Algorithm::kFastQDigest);
+  const size_t dcm_bytes = measure(Algorithm::kDcm);
+  const size_t dcs_bytes = measure(Algorithm::kDcs);
+  EXPECT_LT(random_bytes, qdigest_bytes);
+  EXPECT_LT(dcs_bytes, dcm_bytes);
+}
+
+}  // namespace
+}  // namespace streamq

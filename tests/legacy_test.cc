@@ -1,0 +1,137 @@
+// Tests for the pre-GK deterministic baselines (MP80, MRL98) that the
+// paper's study omits as dominated (section 1.2.1).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "exact/error_metrics.h"
+#include "exact/exact_oracle.h"
+#include "quantile/cash_register.h"
+#include "quantile/legacy_deterministic.h"
+#include "stream/generators.h"
+
+namespace streamq {
+namespace {
+
+std::vector<uint64_t> Workload(uint64_t n, Order order, uint64_t seed) {
+  DatasetSpec spec;
+  spec.n = n;
+  spec.log_universe = 24;
+  spec.order = order;
+  spec.seed = seed;
+  return GenerateDataset(spec);
+}
+
+using LegacyParam = std::tuple<std::string, double, Order>;
+class LegacyErrorTest : public ::testing::TestWithParam<LegacyParam> {};
+
+TEST_P(LegacyErrorTest, MeetsEpsTarget) {
+  const auto& name = std::get<0>(GetParam());
+  const double eps = std::get<1>(GetParam());
+  const Order order = std::get<2>(GetParam());
+  const uint64_t n = 60'000;
+  const auto data = Workload(n, order, 51);
+  const ExactOracle oracle(data);
+
+  std::unique_ptr<QuantileSketch> sketch;
+  if (name == "MP80") sketch = std::make_unique<Mp80>(eps);
+  if (name == "MRL98") sketch = std::make_unique<Mrl98>(eps, n);
+  ASSERT_NE(sketch, nullptr);
+  for (uint64_t v : data) sketch->Insert(v);
+  EXPECT_EQ(sketch->Count(), n);
+  const ErrorStats stats = EvaluateQuantiles(*sketch, oracle, eps);
+  EXPECT_LE(stats.max_error, eps) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LegacyErrorTest,
+    ::testing::Combine(::testing::Values("MP80", "MRL98"),
+                       ::testing::Values(0.05, 0.01),
+                       ::testing::Values(Order::kRandom, Order::kSorted)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_eps" +
+             std::to_string(static_cast<int>(1.0 / std::get<1>(info.param))) +
+             (std::get<2>(info.param) == Order::kRandom ? "_random"
+                                                        : "_sorted");
+    });
+
+TEST(Mp80Test, SpaceGrowsLogarithmically) {
+  // MP80's carry chain adds one level per doubling: space ~ k log(n/k),
+  // unlike GK's flat profile -- the reason the study drops it.
+  Mp80 small(0.01), large(0.01);
+  for (uint64_t v : Workload(20'000, Order::kRandom, 3)) small.Insert(v);
+  for (uint64_t v : Workload(640'000, Order::kRandom, 3)) large.Insert(v);
+  EXPECT_GT(large.impl().LevelCount(), small.impl().LevelCount());
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+}
+
+TEST(Mp80Test, DominatedByGkInSpace) {
+  const double eps = 0.005;
+  const auto data = Workload(400'000, Order::kRandom, 5);
+  const ExactOracle oracle(data);
+  Mp80 mp(eps);
+  GkArray gk(eps);
+  for (uint64_t v : data) {
+    mp.Insert(v);
+    gk.Insert(v);
+  }
+  // Both meet the target...
+  EXPECT_LE(EvaluateQuantiles(mp, oracle, eps).max_error, eps);
+  EXPECT_LE(EvaluateQuantiles(gk, oracle, eps).max_error, eps);
+  // ... but GK uses a fraction of the space.
+  EXPECT_LT(2 * gk.MemoryBytes(), mp.MemoryBytes());
+}
+
+TEST(Mrl98Test, ParameterOptimiserRespectsConstraints) {
+  for (double eps : {0.05, 0.01, 0.001}) {
+    for (uint64_t n : {100'000ULL, 10'000'000ULL}) {
+      Mrl98 sketch(eps, n);
+      const double b = static_cast<double>(sketch.impl().buffer_count());
+      const double k = static_cast<double>(sketch.impl().buffer_size());
+      EXPECT_GE(k * std::pow(2.0, b - 2), static_cast<double>(n))
+          << "coverage violated at eps=" << eps << " n=" << n;
+      EXPECT_LE((b - 2) / (2 * k), eps + 1e-12)
+          << "error constraint violated at eps=" << eps << " n=" << n;
+    }
+  }
+}
+
+TEST(Mrl98Test, GracefulPastTheHint) {
+  // Exceeding the a-priori bound must not crash; the error degrades
+  // smoothly rather than failing.
+  const double eps = 0.02;
+  Mrl98 sketch(eps, 10'000);
+  const auto data = Workload(80'000, Order::kRandom, 7);  // 8x the hint
+  for (uint64_t v : data) sketch.Insert(v);
+  const ExactOracle oracle(data);
+  const ErrorStats stats = EvaluateQuantiles(sketch, oracle, eps);
+  EXPECT_LE(stats.max_error, 5 * eps);
+}
+
+TEST(Mrl98Test, DeterministicAcrossRuns) {
+  const auto data = Workload(50'000, Order::kRandom, 9);
+  Mrl98 a(0.01, 50'000), b(0.01, 50'000);
+  for (uint64_t v : data) {
+    a.Insert(v);
+    b.Insert(v);
+  }
+  for (double phi : {0.1, 0.5, 0.9}) EXPECT_EQ(a.Query(phi), b.Query(phi));
+}
+
+TEST(LegacyTest, GenericElementTypes) {
+  Mp80Impl<double> mp(0.02);
+  Mrl98Impl<double> mrl(0.02, 30'000);
+  Xoshiro256 rng(4);
+  std::vector<double> data;
+  for (int i = 0; i < 30'000; ++i) data.push_back(rng.NextGaussian());
+  for (double v : data) {
+    mp.Insert(v);
+    mrl.Insert(v);
+  }
+  EXPECT_NEAR(mp.Query(0.5), 0.0, 0.08);
+  EXPECT_NEAR(mrl.Query(0.5), 0.0, 0.08);
+}
+
+}  // namespace
+}  // namespace streamq

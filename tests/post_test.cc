@@ -1,0 +1,177 @@
+// Tests for the truncated-tree extraction and DCS + OLS post-processing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "exact/error_metrics.h"
+#include "exact/exact_oracle.h"
+#include "quantile/dyadic_quantile.h"
+#include "quantile/post/post_process.h"
+#include "quantile/post/truncated_tree.h"
+#include "stream/generators.h"
+
+namespace streamq {
+namespace {
+
+std::vector<uint64_t> Workload(uint64_t n, int log_u, uint64_t seed,
+                               Distribution dist = Distribution::kUniform) {
+  DatasetSpec spec;
+  spec.n = n;
+  spec.log_universe = log_u;
+  spec.seed = seed;
+  spec.distribution = dist;
+  return GenerateDataset(spec);
+}
+
+TEST(TruncatedTreeTest, RootOnlyWhenEmpty) {
+  Dcs dcs(0.05, 16);
+  TruncatedTree tree(dcs, 1.0);
+  ASSERT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.nodes()[0].level, 16);
+  EXPECT_DOUBLE_EQ(tree.nodes()[0].y, 0.0);
+  EXPECT_DOUBLE_EQ(tree.nodes()[0].sigma2, 0.0);
+}
+
+TEST(TruncatedTreeTest, KeepsHeavyPath) {
+  Dcs dcs(0.02, 16, 7, 3);
+  // 10k copies of one value: its root-to-leaf path must survive truncation.
+  for (int i = 0; i < 10'000; ++i) dcs.Insert(12345);
+  TruncatedTree tree(dcs, 0.1 * 0.02 * 10'000);
+  bool found_leaf = false;
+  for (const TreeNode& node : tree.nodes()) {
+    if (node.level == 0 && node.cell == 12345) found_leaf = true;
+    // Links consistent.
+    if (node.parent >= 0) {
+      const TreeNode& p = tree.nodes()[node.parent];
+      EXPECT_EQ(p.level, node.level + 1);
+      EXPECT_EQ(p.cell, node.cell >> 1);
+    }
+  }
+  EXPECT_TRUE(found_leaf);
+}
+
+TEST(TruncatedTreeTest, SizeIsNearLinearInOneOverEps) {
+  const auto data = Workload(50'000, 20, 5);
+  Dcs dcs(0.01, 20, 7, 9);
+  for (uint64_t v : data) dcs.Insert(v);
+  const double eps = 0.01;
+  TruncatedTree tree(dcs, 0.1 * eps * 50'000);
+  // Lemma 1: O((1/eps) log u) nodes in expectation; generous multiple.
+  EXPECT_LT(tree.size(), static_cast<size_t>(20.0 / eps * 20));
+  EXPECT_GT(tree.size(), 10u);
+}
+
+TEST(TruncatedTreeTest, LargerEtaSmallerTree) {
+  const auto data = Workload(50'000, 20, 7);
+  Dcs dcs(0.01, 20, 7, 9);
+  for (uint64_t v : data) dcs.Insert(v);
+  TruncatedTree fine(dcs, 0.01 * 0.01 * 50'000);   // eta = 0.01
+  TruncatedTree coarse(dcs, 1.0 * 0.01 * 50'000);  // eta = 1
+  EXPECT_GT(fine.size(), coarse.size());
+}
+
+TEST(TruncatedTreeTest, ExactLevelsMarkedExact) {
+  Dcs dcs(0.05, 16, 7, 1);
+  for (int i = 0; i < 5'000; ++i) dcs.Insert(i % 1024);
+  TruncatedTree tree(dcs, 1.0);
+  for (const TreeNode& node : tree.nodes()) {
+    if (node.level < 16) {
+      EXPECT_EQ(node.sigma2 == 0.0, dcs.LevelIsExact(node.level));
+    }
+  }
+}
+
+TEST(DcsPostTest, ErrorAtMostEps) {
+  const double eps = 0.01;
+  const auto data = Workload(60'000, 20, 11);
+  const ExactOracle oracle(data);
+  DcsPost post(eps, 20, 7, 0.1, 5);
+  for (uint64_t v : data) post.Insert(v);
+  const ErrorStats stats = EvaluateQuantiles(post, oracle, eps);
+  EXPECT_LE(stats.max_error, eps);
+}
+
+TEST(DcsPostTest, ImprovesOnRawDcsOnAverage) {
+  // The paper's headline: Post reduces DCS error by 60-80%. Compare summed
+  // average errors across several seeds; Post must win clearly overall.
+  const double eps = 0.01;
+  const auto data = Workload(50'000, 20, 13, Distribution::kNormal);
+  const ExactOracle oracle(data);
+  double post_err = 0, dcs_err = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    DcsPost post(eps, 20, 7, 0.1, seed);
+    Dcs dcs(eps, 20, 7, seed);  // same seed: identical underlying sketch
+    for (uint64_t v : data) {
+      post.Insert(v);
+      dcs.Insert(v);
+    }
+    post_err += EvaluateQuantiles(post, oracle, eps).avg_error;
+    dcs_err += EvaluateQuantiles(dcs, oracle, eps).avg_error;
+  }
+  // The paper reports 60-80% error reduction; require a clear win here.
+  EXPECT_LT(post_err, 0.8 * dcs_err);
+}
+
+TEST(DcsPostTest, FinalizeIsLazyAndCached) {
+  DcsPost post(0.05, 16, 7, 0.1, 3);
+  for (int i = 0; i < 10'000; ++i) post.Insert(i % 4096);
+  EXPECT_EQ(post.LastTreeSize(), 0u);  // nothing finalised yet
+  post.Query(0.5);
+  const size_t size1 = post.LastTreeSize();
+  EXPECT_GT(size1, 0u);
+  post.Query(0.9);  // no updates in between: no re-finalisation needed
+  EXPECT_EQ(post.LastTreeSize(), size1);
+  post.Insert(1);
+  post.Query(0.5);  // dirty -> rebuilt
+  EXPECT_GT(post.LastTreeSize(), 0u);
+}
+
+TEST(DcsPostTest, SupportsDeletions) {
+  DcsPost post(0.02, 16, 7, 0.1, 9);
+  const auto data = Workload(20'000, 16, 17);
+  for (uint64_t v : data) post.Insert(v);
+  for (uint64_t v : data) {
+    if (v % 2 == 0) post.Erase(v);
+  }
+  std::vector<uint64_t> survivors;
+  for (uint64_t v : data) {
+    if (v % 2 != 0) survivors.push_back(v);
+  }
+  EXPECT_EQ(post.Count(), survivors.size());
+  const ExactOracle oracle(survivors);
+  const ErrorStats stats = EvaluateQuantiles(post, oracle, 0.02);
+  EXPECT_LE(stats.max_error, 0.02);
+}
+
+TEST(DcsPostTest, StreamingMemoryEqualsDcs) {
+  // "incurring no more space and time (during streaming)".
+  DcsPost post(0.01, 20, 7, 0.1, 1);
+  Dcs dcs(0.01, 20, 7, 1);
+  EXPECT_EQ(post.MemoryBytes(), dcs.MemoryBytes());
+}
+
+TEST(DcsPostTest, CorrectedRanksAreMonotone) {
+  const auto data = Workload(40'000, 18, 19);
+  DcsPost post(0.01, 18, 7, 0.1, 7);
+  for (uint64_t v : data) post.Insert(v);
+  int64_t prev = 0;
+  for (uint64_t probe = 0; probe < (1 << 18); probe += 1 << 12) {
+    const int64_t r = post.EstimateRank(probe);
+    EXPECT_GE(r + static_cast<int64_t>(0.005 * data.size()), prev);
+    prev = std::max(prev, r);
+  }
+}
+
+TEST(DcsPostTest, WithWidthConstructor) {
+  auto post = DcsPost::WithWidth(256, 7, 16, 0.02, 0.1, 3);
+  const auto data = Workload(20'000, 16, 21);
+  for (uint64_t v : data) post->Insert(v);
+  const ExactOracle oracle(data);
+  const ErrorStats stats = EvaluateQuantiles(*post, oracle, 0.02);
+  EXPECT_LE(stats.max_error, 0.05);
+}
+
+}  // namespace
+}  // namespace streamq

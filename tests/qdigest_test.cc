@@ -1,0 +1,188 @@
+// Tests for FastQDigest: error guarantee, q-digest compression behaviour,
+// mergeability, and fixed-universe semantics.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "exact/error_metrics.h"
+#include "exact/exact_oracle.h"
+#include "quantile/fast_qdigest.h"
+#include "stream/generators.h"
+
+namespace streamq {
+namespace {
+
+TEST(FastQDigestTest, ExactOnTinyStream) {
+  FastQDigest d(0.1, 8);
+  for (uint64_t v : {5, 5, 7, 200, 1}) d.Insert(v);
+  EXPECT_EQ(d.Count(), 5u);
+  EXPECT_EQ(d.EstimateRank(5), 1);   // one element (1) below 5
+  EXPECT_EQ(d.EstimateRank(201), 5);
+}
+
+using QdParam = std::tuple<double, int, Order>;
+class QDigestErrorTest : public ::testing::TestWithParam<QdParam> {};
+
+TEST_P(QDigestErrorTest, NeverExceedsEps) {
+  const auto& [eps, log_u, order] = GetParam();
+  DatasetSpec spec;
+  spec.n = 60'000;
+  spec.log_universe = log_u;
+  spec.order = order;
+  spec.seed = 23;
+  const auto data = GenerateDataset(spec);
+  const ExactOracle oracle(data);
+  FastQDigest d(eps, log_u);
+  for (uint64_t v : data) d.Insert(v);
+  const ErrorStats stats = EvaluateQuantiles(d, oracle, eps);
+  EXPECT_LE(stats.max_error, eps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QDigestErrorTest,
+    ::testing::Combine(::testing::Values(0.05, 0.01, 0.002),
+                       ::testing::Values(12, 16, 24),
+                       ::testing::Values(Order::kRandom, Order::kSorted)),
+    [](const auto& info) {
+      return "eps" +
+             std::to_string(static_cast<int>(1.0 / std::get<0>(info.param))) +
+             "_logu" + std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) == Order::kRandom ? "_random"
+                                                        : "_sorted");
+    });
+
+TEST(FastQDigestTest, CompressionBoundsNodeCount) {
+  const double eps = 0.01;
+  const int log_u = 24;
+  DatasetSpec spec;
+  spec.n = 200'000;
+  spec.log_universe = log_u;
+  spec.seed = 2;
+  FastQDigest d(eps, log_u);
+  for (uint64_t v : GenerateDataset(spec)) d.Insert(v);
+  d.Compress();
+  // q-digest size bound: O(log(u)/eps) nodes.
+  EXPECT_LT(d.NodeCount(), static_cast<size_t>(6 * log_u / eps));
+}
+
+TEST(FastQDigestTest, CompressPreservesCountAndRanks) {
+  DatasetSpec spec;
+  spec.n = 50'000;
+  spec.log_universe = 16;
+  spec.seed = 3;
+  const auto data = GenerateDataset(spec);
+  const ExactOracle oracle(data);
+  FastQDigest d(0.02, 16);
+  for (uint64_t v : data) d.Insert(v);
+  const int64_t before = d.EstimateRank(1 << 15);
+  d.Compress();
+  d.Compress();  // idempotent-ish: repeated compression keeps the guarantee
+  const int64_t after = d.EstimateRank(1 << 15);
+  EXPECT_NEAR(static_cast<double>(after), static_cast<double>(before),
+              0.02 * spec.n + 1);
+  const ErrorStats stats = EvaluateQuantiles(d, oracle, 0.02);
+  EXPECT_LE(stats.max_error, 0.02);
+}
+
+TEST(FastQDigestTest, MergedDigestCoversUnion) {
+  const double eps = 0.02;
+  const int log_u = 16;
+  DatasetSpec spec_a, spec_b;
+  spec_a.n = spec_b.n = 30'000;
+  spec_a.log_universe = spec_b.log_universe = log_u;
+  spec_a.seed = 4;
+  spec_b.seed = 5;
+  spec_b.distribution = Distribution::kNormal;
+  const auto a_data = GenerateDataset(spec_a);
+  const auto b_data = GenerateDataset(spec_b);
+
+  FastQDigest a(eps, log_u), b(eps, log_u);
+  for (uint64_t v : a_data) a.Insert(v);
+  for (uint64_t v : b_data) b.Insert(v);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 60'000u);
+
+  std::vector<uint64_t> all(a_data);
+  all.insert(all.end(), b_data.begin(), b_data.end());
+  const ExactOracle oracle(all);
+  const ErrorStats stats = EvaluateQuantiles(a, oracle, eps);
+  // Merging two eps-digests gives an eps-digest (mergeable summary).
+  EXPECT_LE(stats.max_error, eps);
+}
+
+TEST(FastQDigestTest, ManyWayMergeStaysAccurate) {
+  // Sensor-network style: 8 sites, merged pairwise up a binary tree.
+  const double eps = 0.05;
+  const int log_u = 16;
+  std::vector<std::unique_ptr<FastQDigest>> sites;
+  std::vector<uint64_t> all;
+  for (int s = 0; s < 8; ++s) {
+    DatasetSpec spec;
+    spec.n = 10'000;
+    spec.log_universe = log_u;
+    spec.seed = 100 + s;
+    spec.distribution = s % 2 ? Distribution::kNormal : Distribution::kUniform;
+    auto data = GenerateDataset(spec);
+    all.insert(all.end(), data.begin(), data.end());
+    auto d = std::make_unique<FastQDigest>(eps, log_u);
+    for (uint64_t v : data) d->Insert(v);
+    sites.push_back(std::move(d));
+  }
+  while (sites.size() > 1) {
+    std::vector<std::unique_ptr<FastQDigest>> next;
+    for (size_t i = 0; i + 1 < sites.size(); i += 2) {
+      sites[i]->Merge(*sites[i + 1]);
+      next.push_back(std::move(sites[i]));
+    }
+    sites = std::move(next);
+  }
+  const ExactOracle oracle(all);
+  const ErrorStats stats = EvaluateQuantiles(*sites[0], oracle, eps);
+  // Each merge level adds error; 3 levels stay within ~2 eps in practice.
+  EXPECT_LE(stats.max_error, 2 * eps);
+}
+
+TEST(FastQDigestTest, SmallerUniverseSmallerDigest) {
+  auto run = [](int log_u) {
+    DatasetSpec spec;
+    spec.n = 100'000;
+    spec.log_universe = log_u;
+    spec.seed = 6;
+    FastQDigest d(0.01, log_u);
+    for (uint64_t v : GenerateDataset(spec)) d.Insert(v);
+    d.Compress();
+    return d.MemoryBytes();
+  };
+  EXPECT_LT(run(12), run(28));
+}
+
+TEST(FastQDigestTest, QueryManyMatchesSingle) {
+  DatasetSpec spec;
+  spec.n = 40'000;
+  spec.log_universe = 16;
+  spec.seed = 7;
+  FastQDigest d(0.01, 16);
+  for (uint64_t v : GenerateDataset(spec)) d.Insert(v);
+  std::vector<double> phis = {0.05, 0.25, 0.5, 0.9, 0.99};
+  const auto batch = d.QueryMany(phis);
+  for (size_t i = 0; i < phis.size(); ++i) {
+    EXPECT_EQ(batch[i], d.Query(phis[i]));
+  }
+}
+
+TEST(FastQDigestTest, ReturnedValuesMayBeUnseen) {
+  // Fixed-universe model: answers need not be stream elements, but they must
+  // stay inside the universe.
+  FastQDigest d(0.1, 10);
+  DatasetSpec spec;
+  spec.n = 20'000;
+  spec.log_universe = 10;
+  for (uint64_t v : GenerateDataset(spec)) d.Insert(v);
+  for (double phi : {0.1, 0.5, 0.9}) EXPECT_LT(d.Query(phi), 1u << 10);
+}
+
+}  // namespace
+}  // namespace streamq

@@ -1,0 +1,269 @@
+// Tests for the randomized cash-register summaries (Random, MRL99) and the
+// shared weighted-sample query machinery.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "exact/error_metrics.h"
+#include "exact/exact_oracle.h"
+#include "quantile/cash_register.h"
+#include "quantile/weighted_sample.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace streamq {
+namespace {
+
+TEST(WeightedSampleTest, RankAndQuantileBasics) {
+  std::vector<WeightedElement<uint64_t>> sample = {
+      {30, 2}, {10, 1}, {20, 4}, {40, 3}};
+  WeightedSampleView<uint64_t> view(std::move(sample));
+  EXPECT_EQ(view.TotalWeight(), 10);
+  EXPECT_EQ(view.EstimateRank(10), 0);
+  EXPECT_EQ(view.EstimateRank(15), 1);
+  EXPECT_EQ(view.EstimateRank(20), 1);
+  EXPECT_EQ(view.EstimateRank(25), 5);
+  EXPECT_EQ(view.EstimateRank(100), 10);
+  EXPECT_EQ(view.Quantile(0.0), 10u);
+  EXPECT_EQ(view.Quantile(3.0), 20u);   // rank(20)=1, rank(30)=5: closer to 20? |1-3|=2,|5-3|=2 -> ties to lower
+  EXPECT_EQ(view.Quantile(9.9), 40u);
+}
+
+TEST(WeightedSampleTest, DuplicatesShareRank) {
+  std::vector<WeightedElement<uint64_t>> sample = {{5, 1}, {5, 1}, {5, 1}};
+  WeightedSampleView<uint64_t> view(std::move(sample));
+  EXPECT_EQ(view.EstimateRank(5), 0);
+  EXPECT_EQ(view.EstimateRank(6), 3);
+}
+
+TEST(RandomSketchTest, ParametersFollowEps) {
+  RandomSketch s(0.001);
+  // h = ceil(log2(1000)) = 10, s = 1000 * sqrt(10) ~ 3163, b = 11.
+  EXPECT_EQ(s.impl().height(), 10);
+  EXPECT_NEAR(static_cast<double>(s.impl().buffer_size()), 3163, 5);
+}
+
+TEST(RandomSketchTest, ExactBeforeSamplingKicksIn) {
+  // While n <= s (single buffer at level 0), the summary stores every
+  // element, so small-prefix queries are near-exact.
+  RandomSketch s(0.01, 77);
+  for (uint64_t i = 0; i < 100; ++i) s.Insert(i);
+  EXPECT_EQ(s.Count(), 100u);
+  EXPECT_EQ(s.EstimateRank(50), 50);
+  EXPECT_EQ(s.Query(0.5), 50u);
+}
+
+TEST(RandomSketchTest, SpaceIsConstantInN) {
+  RandomSketch s(0.01, 5);
+  const size_t before = s.MemoryBytes();
+  DatasetSpec spec;
+  spec.n = 300'000;
+  for (uint64_t v : GenerateDataset(spec)) s.Insert(v);
+  EXPECT_EQ(s.MemoryBytes(), before);
+}
+
+TEST(RandomSketchTest, TotalWeightTracksN) {
+  RandomSketch s(0.02, 9);
+  DatasetSpec spec;
+  spec.n = 137'111;
+  spec.seed = 3;
+  for (uint64_t v : GenerateDataset(spec)) s.Insert(v);
+  // The weighted snapshot should represent ~n elements (truncation of the
+  // in-progress block and stride promotions lose at most a small fraction).
+  const int64_t rank_of_max = s.EstimateRank(~0ULL);
+  EXPECT_NEAR(static_cast<double>(rank_of_max), 137'111.0, 0.02 * 137'111);
+}
+
+TEST(RandomSketchTest, RankEstimatesAreUnbiased) {
+  // Average the estimated rank of the true median over many seeds.
+  DatasetSpec spec;
+  spec.n = 60'000;
+  spec.log_universe = 24;
+  spec.seed = 31;
+  const auto data = GenerateDataset(spec);
+  ExactOracle oracle(data);
+  const uint64_t median = oracle.Quantile(0.5);
+  const double truth = static_cast<double>(oracle.Rank(median));
+  double sum = 0;
+  const int kReps = 40;
+  for (int rep = 0; rep < kReps; ++rep) {
+    RandomSketch s(0.01, 1000 + rep);
+    for (uint64_t v : data) s.Insert(v);
+    sum += static_cast<double>(s.EstimateRank(median));
+  }
+  EXPECT_NEAR(sum / kReps, truth, 0.005 * spec.n);
+}
+
+using RandParam = std::tuple<std::string, double, Order>;
+class RandomizedErrorTest : public ::testing::TestWithParam<RandParam> {};
+
+TEST_P(RandomizedErrorTest, ObservedErrorWellBelowEps) {
+  const auto& [name, eps, order] = GetParam();
+  DatasetSpec spec;
+  spec.n = 80'000;
+  spec.log_universe = 24;
+  spec.order = order;
+  spec.seed = 8;
+  const auto data = GenerateDataset(spec);
+  const ExactOracle oracle(data);
+
+  std::unique_ptr<QuantileSketch> sketch;
+  if (name == "Random") sketch = std::make_unique<RandomSketch>(eps, 12345);
+  if (name == "MRL99") sketch = std::make_unique<Mrl99>(eps, 12345);
+  ASSERT_NE(sketch, nullptr);
+  for (uint64_t v : data) sketch->Insert(v);
+  const ErrorStats stats = EvaluateQuantiles(*sketch, oracle, eps);
+  // The guarantee is probabilistic; the paper observes max errors well below
+  // eps. With a fixed seed this is a deterministic regression check.
+  EXPECT_LE(stats.max_error, eps) << name;
+  EXPECT_LE(stats.avg_error, stats.max_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomizedErrorTest,
+    ::testing::Combine(::testing::Values("Random", "MRL99"),
+                       ::testing::Values(0.05, 0.01, 0.002),
+                       ::testing::Values(Order::kRandom, Order::kSorted)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_eps" +
+             std::to_string(static_cast<int>(1.0 / std::get<1>(info.param))) +
+             (std::get<2>(info.param) == Order::kRandom ? "_random"
+                                                        : "_sorted");
+    });
+
+TEST(Mrl99Test, CollapsePreservesTotalWeight) {
+  Mrl99 s(0.02, 4);
+  DatasetSpec spec;
+  spec.n = 200'000;
+  spec.seed = 2;
+  for (uint64_t v : GenerateDataset(spec)) s.Insert(v);
+  const int64_t rank_of_max = s.EstimateRank(~0ULL);
+  EXPECT_NEAR(static_cast<double>(rank_of_max), 200'000.0, 0.02 * 200'000);
+}
+
+TEST(Mrl99Test, SpaceIsConstantInN) {
+  Mrl99 s(0.01, 5);
+  const size_t before = s.MemoryBytes();
+  DatasetSpec spec;
+  spec.n = 250'000;
+  for (uint64_t v : GenerateDataset(spec)) s.Insert(v);
+  EXPECT_EQ(s.MemoryBytes(), before);
+}
+
+TEST(Mrl99Test, UsesMoreSpaceThanRandom) {
+  // O((1/eps) log^2) vs O((1/eps) log^1.5): MRL99's buffers are larger.
+  Mrl99 m(0.001);
+  RandomSketch r(0.001);
+  EXPECT_GT(m.MemoryBytes(), r.MemoryBytes());
+}
+
+TEST(RandomMrlTest, QueryManyMatchesSingleQueries) {
+  DatasetSpec spec;
+  spec.n = 50'000;
+  spec.seed = 77;
+  const auto data = GenerateDataset(spec);
+  RandomSketch r(0.01, 3);
+  Mrl99 m(0.01, 3);
+  for (uint64_t v : data) {
+    r.Insert(v);
+    m.Insert(v);
+  }
+  std::vector<double> phis = {0.1, 0.25, 0.5, 0.75, 0.9};
+  for (QuantileSketch* s : std::vector<QuantileSketch*>{&r, &m}) {
+    const auto batch = s->QueryMany(phis);
+    for (size_t i = 0; i < phis.size(); ++i) {
+      EXPECT_EQ(batch[i], s->Query(phis[i])) << s->Name();
+    }
+  }
+}
+
+TEST(RandomMrlTest, DeterministicGivenSeed) {
+  DatasetSpec spec;
+  spec.n = 30'000;
+  spec.seed = 5;
+  const auto data = GenerateDataset(spec);
+  RandomSketch a(0.01, 42), b(0.01, 42);
+  for (uint64_t v : data) {
+    a.Insert(v);
+    b.Insert(v);
+  }
+  for (double phi : {0.1, 0.5, 0.9}) EXPECT_EQ(a.Query(phi), b.Query(phi));
+}
+
+TEST(RandomSketchTest, MergeCoversUnion) {
+  DatasetSpec spec_a, spec_b;
+  spec_a.n = 120'000;
+  spec_b.n = 80'000;
+  spec_a.log_universe = spec_b.log_universe = 24;
+  spec_a.seed = 71;
+  spec_b.seed = 72;
+  spec_b.distribution = Distribution::kNormal;
+  const auto a_data = GenerateDataset(spec_a);
+  const auto b_data = GenerateDataset(spec_b);
+
+  const double eps = 0.01;
+  RandomSketch a(eps, 5), b(eps, 6);
+  for (uint64_t v : a_data) a.Insert(v);
+  for (uint64_t v : b_data) b.Insert(v);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 200'000u);
+
+  std::vector<uint64_t> all(a_data);
+  all.insert(all.end(), b_data.begin(), b_data.end());
+  const ExactOracle oracle(all);
+  const ErrorStats stats = EvaluateQuantiles(a, oracle, eps);
+  // One merge round adds one level of random-halving noise; 2 eps is a
+  // conservative regression bound for this fixed seed.
+  EXPECT_LE(stats.max_error, 2 * eps);
+  // The summary can keep inserting after a merge.
+  for (uint64_t v : a_data) a.Insert(v);
+  EXPECT_EQ(a.Count(), 320'000u);
+}
+
+TEST(RandomSketchTest, ManyWayMergeStaysAccurate) {
+  const double eps = 0.02;
+  std::vector<std::unique_ptr<RandomSketch>> sites;
+  std::vector<uint64_t> all;
+  for (int s = 0; s < 8; ++s) {
+    DatasetSpec spec;
+    spec.n = 40'000;
+    spec.log_universe = 24;
+    spec.seed = 300 + s;
+    spec.distribution =
+        s % 2 ? Distribution::kNormal : Distribution::kUniform;
+    auto data = GenerateDataset(spec);
+    all.insert(all.end(), data.begin(), data.end());
+    auto sk = std::make_unique<RandomSketch>(eps, 500 + s);
+    for (uint64_t v : data) sk->Insert(v);
+    sites.push_back(std::move(sk));
+  }
+  while (sites.size() > 1) {
+    std::vector<std::unique_ptr<RandomSketch>> next;
+    for (size_t i = 0; i + 1 < sites.size(); i += 2) {
+      sites[i]->Merge(*sites[i + 1]);
+      next.push_back(std::move(sites[i]));
+    }
+    sites = std::move(next);
+  }
+  const ExactOracle oracle(all);
+  const ErrorStats stats = EvaluateQuantiles(*sites[0], oracle, eps);
+  EXPECT_LE(stats.max_error, 3 * eps);
+  EXPECT_EQ(sites[0]->Count(), all.size());
+}
+
+TEST(RandomMrlTest, GenericElementType) {
+  RandomSketchImpl<double> impl(0.02, 7);
+  Xoshiro256 rng(1);
+  std::vector<double> data;
+  for (int i = 0; i < 40'000; ++i) data.push_back(rng.NextDouble());
+  for (double v : data) impl.Insert(v);
+  const double median = impl.Query(0.5);
+  EXPECT_NEAR(median, 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace streamq

@@ -1,0 +1,116 @@
+// Tests for the sliding-window quantile extension.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <tuple>
+#include <vector>
+
+#include "exact/exact_oracle.h"
+#include "quantile/sliding_window.h"
+#include "stream/generators.h"
+#include "util/random.h"
+
+namespace streamq {
+namespace {
+
+// Brute-force window error: distance of the answer's window-rank interval
+// from phi * |window|, normalised.
+double WindowError(const std::deque<uint64_t>& window, uint64_t answer,
+                   double phi) {
+  ExactOracle oracle(std::vector<uint64_t>(window.begin(), window.end()));
+  return oracle.QuantileError(answer, phi);
+}
+
+TEST(SlidingWindowTest, ExactWhileWindowNotFull) {
+  SlidingWindowQuantile sw(0.05, 10'000);
+  for (uint64_t i = 0; i < 1'000; ++i) sw.Insert(i);
+  EXPECT_EQ(sw.WindowCount(), 1'000u);
+  const uint64_t median = sw.Query(0.5);
+  EXPECT_NEAR(static_cast<double>(median), 500.0, 0.05 * 1'000 + 1);
+}
+
+using SwParam = std::tuple<double, uint64_t>;
+class SlidingWindowErrorTest : public ::testing::TestWithParam<SwParam> {};
+
+TEST_P(SlidingWindowErrorTest, MeetsEpsOverTheWindow) {
+  const auto [eps, window] = GetParam();
+  DatasetSpec spec;
+  spec.n = 120'000;
+  spec.log_universe = 20;
+  spec.seed = 77;
+  const auto data = GenerateDataset(spec);
+
+  SlidingWindowQuantile sw(eps, window);
+  std::deque<uint64_t> truth;
+  for (size_t i = 0; i < data.size(); ++i) {
+    sw.Insert(data[i]);
+    truth.push_back(data[i]);
+    if (truth.size() > window) truth.pop_front();
+    if ((i + 1) % 20'000 == 0) {
+      for (double phi : {0.1, 0.5, 0.9}) {
+        const double err = WindowError(truth, sw.Query(phi), phi);
+        EXPECT_LE(err, eps) << "at element " << (i + 1) << " phi=" << phi;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SlidingWindowErrorTest,
+    ::testing::Combine(::testing::Values(0.1, 0.02),
+                       ::testing::Values(uint64_t{5'000}, uint64_t{40'000})),
+    [](const auto& info) {
+      return "eps" +
+             std::to_string(static_cast<int>(1.0 / std::get<0>(info.param))) +
+             "_w" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SlidingWindowTest, TracksDistributionShift) {
+  // First phase small values, second phase large: once the window has
+  // rolled over, the old phase must be gone from the quantiles.
+  SlidingWindowQuantile sw(0.05, 10'000);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 50'000; ++i) sw.Insert(rng.Below(1'000));
+  for (int i = 0; i < 20'000; ++i) sw.Insert(1'000'000 + rng.Below(1'000));
+  EXPECT_GE(sw.Query(0.05), 1'000'000u);
+  EXPECT_GE(sw.Query(0.95), 1'000'000u);
+}
+
+TEST(SlidingWindowTest, MemoryIndependentOfStreamLength) {
+  SlidingWindowQuantile sw(0.02, 20'000);
+  size_t peak_after_warmup = 0;
+  DatasetSpec spec;
+  spec.n = 200'000;
+  spec.seed = 5;
+  const auto data = GenerateDataset(spec);
+  for (size_t i = 0; i < data.size(); ++i) {
+    sw.Insert(data[i]);
+    if (i == 50'000) peak_after_warmup = sw.MemoryBytes();
+  }
+  // Memory stays within a small factor of its steady-state value.
+  EXPECT_LE(sw.MemoryBytes(), 2 * peak_after_warmup);
+  EXPECT_LT(sw.BlockCount(), 2 / 0.02 + 3);
+}
+
+TEST(SlidingWindowTest, WindowCountSaturates) {
+  SlidingWindowQuantile sw(0.1, 1'000);
+  for (uint64_t i = 0; i < 5'000; ++i) sw.Insert(i);
+  EXPECT_EQ(sw.WindowCount(), 1'000u);
+  EXPECT_EQ(sw.Count(), 5'000u);
+}
+
+TEST(SlidingWindowTest, RankWithinWindow) {
+  SlidingWindowQuantile sw(0.05, 2'000);
+  for (uint64_t i = 0; i < 10'000; ++i) sw.Insert(i % 4'000);
+  // The window holds exactly the values 0..1999 (one each), so the rank of
+  // 1000 is ~1000 and the rank of 2000 is the whole window.
+  EXPECT_NEAR(static_cast<double>(sw.EstimateRank(1'000)), 1'000.0,
+              0.15 * 2'000);
+  EXPECT_NEAR(static_cast<double>(sw.EstimateRank(2'000)), 2'000.0,
+              0.15 * 2'000);
+}
+
+}  // namespace
+}  // namespace streamq

@@ -1,0 +1,203 @@
+// Tests for the dataset generators and turnstile workload builder.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "stream/generators.h"
+
+namespace streamq {
+namespace {
+
+TEST(GeneratorsTest, DeterministicForSameSeed) {
+  DatasetSpec spec;
+  spec.n = 10'000;
+  spec.seed = 17;
+  EXPECT_EQ(GenerateDataset(spec), GenerateDataset(spec));
+}
+
+TEST(GeneratorsTest, DifferentSeedsDiffer) {
+  DatasetSpec spec;
+  spec.n = 1'000;
+  spec.seed = 1;
+  auto a = GenerateDataset(spec);
+  spec.seed = 2;
+  auto b = GenerateDataset(spec);
+  EXPECT_NE(a, b);
+}
+
+TEST(GeneratorsTest, RespectsLength) {
+  for (uint64_t n : {1ULL, 10ULL, 12'345ULL}) {
+    DatasetSpec spec;
+    spec.n = n;
+    EXPECT_EQ(GenerateDataset(spec).size(), n);
+  }
+}
+
+TEST(GeneratorsTest, UniformStaysInUniverse) {
+  DatasetSpec spec;
+  spec.distribution = Distribution::kUniform;
+  spec.log_universe = 16;
+  spec.n = 50'000;
+  for (uint64_t v : GenerateDataset(spec)) EXPECT_LT(v, 1ULL << 16);
+}
+
+TEST(GeneratorsTest, UniformCoversUniverse) {
+  DatasetSpec spec;
+  spec.distribution = Distribution::kUniform;
+  spec.log_universe = 8;  // 256 values, 50k draws: all should appear
+  spec.n = 50'000;
+  std::map<uint64_t, int> counts;
+  for (uint64_t v : GenerateDataset(spec)) ++counts[v];
+  EXPECT_EQ(counts.size(), 256u);
+}
+
+TEST(GeneratorsTest, NormalIsConcentrated) {
+  DatasetSpec spec;
+  spec.distribution = Distribution::kNormal;
+  spec.log_universe = 20;
+  spec.sigma = 0.05;
+  spec.n = 50'000;
+  const double u = static_cast<double>(spec.Universe());
+  double sum = 0;
+  uint64_t inside = 0;
+  for (uint64_t v : GenerateDataset(spec)) {
+    sum += static_cast<double>(v);
+    if (std::abs(static_cast<double>(v) - u / 2) < 2 * spec.sigma * u) ++inside;
+  }
+  EXPECT_NEAR(sum / spec.n, u / 2, 0.01 * u);
+  // ~95% within two standard deviations.
+  EXPECT_GT(inside, spec.n * 90 / 100);
+}
+
+TEST(GeneratorsTest, NormalSkewResponds) {
+  // Smaller sigma -> smaller spread.
+  auto spread = [](double sigma) {
+    DatasetSpec spec;
+    spec.distribution = Distribution::kNormal;
+    spec.log_universe = 24;
+    spec.sigma = sigma;
+    spec.n = 20'000;
+    auto data = GenerateDataset(spec);
+    const double mean =
+        std::accumulate(data.begin(), data.end(), 0.0) / data.size();
+    double var = 0;
+    for (uint64_t v : data) {
+      var += (v - mean) * (v - mean);
+    }
+    return std::sqrt(var / data.size());
+  };
+  EXPECT_LT(spread(0.05), spread(0.25));
+}
+
+TEST(GeneratorsTest, SortedOrderIsSorted) {
+  DatasetSpec spec;
+  spec.order = Order::kSorted;
+  spec.n = 10'000;
+  auto data = GenerateDataset(spec);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+}
+
+TEST(GeneratorsTest, ChunkedSortedHasLocalRuns) {
+  DatasetSpec spec;
+  spec.distribution = Distribution::kMpcatLike;
+  spec.order = Order::kChunkedSorted;
+  spec.n = 100'000;
+  auto data = GenerateDataset(spec);
+  // Not globally sorted ...
+  EXPECT_FALSE(std::is_sorted(data.begin(), data.end()));
+  // ... but far more locally ascending than a random stream (~50%).
+  uint64_t ascending = 0;
+  for (size_t i = 1; i < data.size(); ++i) ascending += data[i - 1] <= data[i];
+  EXPECT_GT(ascending, data.size() * 90 / 100);
+}
+
+TEST(GeneratorsTest, MpcatUniverse) {
+  DatasetSpec spec;
+  spec.distribution = Distribution::kMpcatLike;
+  spec.n = 20'000;
+  EXPECT_EQ(spec.Universe(), 8'640'000u);
+  EXPECT_EQ(spec.LogUniverse(), 24);
+  for (uint64_t v : GenerateDataset(spec)) EXPECT_LT(v, 8'640'000u);
+}
+
+TEST(GeneratorsTest, MpcatIsNonUniform) {
+  DatasetSpec spec;
+  spec.distribution = Distribution::kMpcatLike;
+  spec.n = 100'000;
+  auto data = GenerateDataset(spec);
+  // Bucket into 10 ranges; a uniform distribution would put ~10% in each.
+  int buckets[10] = {0};
+  for (uint64_t v : data) {
+    ++buckets[v * 10 / 8'640'000];
+  }
+  const int mx = *std::max_element(buckets, buckets + 10);
+  const int mn = *std::min_element(buckets, buckets + 10);
+  EXPECT_GT(mx, 2 * mn);
+}
+
+TEST(GeneratorsTest, TerrainUniverse) {
+  DatasetSpec spec;
+  spec.distribution = Distribution::kTerrainLike;
+  spec.n = 10'000;
+  EXPECT_EQ(spec.Universe(), 1ULL << 24);
+  for (uint64_t v : GenerateDataset(spec)) EXPECT_LT(v, 1ULL << 24);
+}
+
+TEST(GeneratorsTest, LogUniformIsSkewed) {
+  DatasetSpec spec;
+  spec.distribution = Distribution::kLogUniform;
+  spec.log_universe = 32;
+  spec.n = 50'000;
+  auto data = GenerateDataset(spec);
+  std::sort(data.begin(), data.end());
+  // Median far below the midpoint of the universe.
+  EXPECT_LT(data[data.size() / 2], 1ULL << 31);
+  // Half the mass in the bottom 2^16th of the universe.
+  const auto low = std::upper_bound(data.begin(), data.end(), 1ULL << 16) -
+                   data.begin();
+  EXPECT_GT(low, static_cast<long>(data.size() / 4));
+}
+
+TEST(GeneratorsTest, SpecName) {
+  DatasetSpec spec;
+  spec.distribution = Distribution::kNormal;
+  spec.n = 12;
+  spec.log_universe = 16;
+  spec.order = Order::kSorted;
+  EXPECT_EQ(spec.Name(), "normal-n12-logu16-sorted");
+}
+
+TEST(TurnstileWorkloadTest, SurvivorsMatchData) {
+  DatasetSpec spec;
+  spec.n = 2'000;
+  spec.log_universe = 12;
+  auto data = GenerateDataset(spec);
+  auto updates = MakeTurnstileWorkload(data, 0.5, spec.Universe(), 9);
+
+  std::map<uint64_t, int64_t> multiset;
+  for (const Update& u : updates) {
+    multiset[u.value] += u.delta;
+    ASSERT_GE(multiset[u.value], 0) << "multiplicity went negative";
+  }
+  std::map<uint64_t, int64_t> expected;
+  for (uint64_t v : data) ++expected[v];
+  for (auto& [v, c] : multiset) {
+    if (c != 0) {
+      EXPECT_EQ(expected[v], c);
+    }
+  }
+  for (auto& [v, c] : expected) EXPECT_EQ(multiset[v], c);
+}
+
+TEST(TurnstileWorkloadTest, ChurnAddsUpdates) {
+  std::vector<uint64_t> data(1000, 5);
+  auto updates = MakeTurnstileWorkload(data, 0.25, 1 << 10, 3);
+  EXPECT_EQ(updates.size(), 1000u + 2 * 250u);
+}
+
+}  // namespace
+}  // namespace streamq

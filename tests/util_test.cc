@@ -1,0 +1,206 @@
+// Tests for util/: random generation, hashing, bit helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/float_order.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace streamq {
+namespace {
+
+TEST(BitsTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(4), 2);
+  EXPECT_EQ(FloorLog2(1023), 9);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(FloorLog2(~0ULL), 63);
+}
+
+TEST(BitsTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(1ULL << 32), 32);
+  EXPECT_EQ(CeilLog2((1ULL << 32) + 1), 33);
+}
+
+TEST(BitsTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1ULL << 40));
+}
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RandomTest, BelowIsInRange) {
+  Xoshiro256 rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.Below(bound), bound);
+  }
+}
+
+TEST(RandomTest, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(99);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80'000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 5 * std::sqrt(kDraws / kBuckets));
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Xoshiro256 rng(17);
+  constexpr int kDraws = 200'000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.03);
+}
+
+TEST(HashTest, Deterministic) {
+  BucketHash h(42, 1024);
+  for (uint64_t x = 0; x < 100; ++x) EXPECT_EQ(h(x), h(x));
+}
+
+TEST(HashTest, BucketRange) {
+  BucketHash h(7, 37);
+  for (uint64_t x = 0; x < 10'000; ++x) EXPECT_LT(h(x), 37u);
+}
+
+TEST(HashTest, BucketsRoughlyBalanced) {
+  constexpr uint64_t kBuckets = 16;
+  constexpr uint64_t kItems = 64'000;
+  BucketHash h(3, kBuckets);
+  std::vector<int> counts(kBuckets, 0);
+  for (uint64_t x = 0; x < kItems; ++x) ++counts[h(x)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kItems / kBuckets, 6 * std::sqrt(kItems / kBuckets));
+  }
+}
+
+TEST(HashTest, SignHashBalanced) {
+  SignHash g(11);
+  int64_t sum = 0;
+  for (uint64_t x = 0; x < 100'000; ++x) sum += g(x);
+  EXPECT_LT(std::abs(sum), 3'000);
+}
+
+TEST(HashTest, SignHashPairProductsBalanced) {
+  // 4-wise independence implies E[g(x) g(y)] = 0 for x != y.
+  SignHash g(13);
+  int64_t sum = 0;
+  for (uint64_t x = 0; x < 50'000; ++x) sum += g(2 * x) * g(2 * x + 1);
+  EXPECT_LT(std::abs(sum), 2'000);
+}
+
+TEST(HashTest, DifferentSeedsGiveDifferentFunctions) {
+  BucketHash h1(1, 1 << 20), h2(2, 1 << 20);
+  int collisions = 0;
+  for (uint64_t x = 0; x < 1000; ++x) collisions += (h1(x) == h2(x));
+  EXPECT_LT(collisions, 10);
+}
+
+TEST(HashTest, SubsetHashAboutHalf) {
+  SubsetHash s(23);
+  int in = 0;
+  for (uint64_t x = 0; x < 100'000; ++x) in += s(x);
+  EXPECT_NEAR(in, 50'000, 1'500);
+}
+
+TEST(HashTest, MersenneReduction) {
+  EXPECT_EQ(ReduceMersenne61(0), 0u);
+  EXPECT_EQ(ReduceMersenne61(kMersenne61), 0u);
+  EXPECT_EQ(ReduceMersenne61(kMersenne61 + 5), 5u);
+  // (p-1)^2 mod p == 1.
+  const __uint128_t sq =
+      static_cast<__uint128_t>(kMersenne61 - 1) * (kMersenne61 - 1);
+  EXPECT_EQ(ReduceMersenne61(sq), 1u);
+}
+
+TEST(FloatOrderTest, RoundTripDoubles) {
+  for (double v : {-1e300, -3.5, -0.0, 0.0, 1e-300, 2.25, 7.0, 1e308}) {
+    EXPECT_EQ(DoubleFromOrdered(OrderedFromDouble(v)), v);
+  }
+}
+
+TEST(FloatOrderTest, PreservesDoubleOrder) {
+  Xoshiro256 rng(19);
+  std::vector<double> values = {-1e12, -5.0, -1e-9, 0.0, 1e-9, 3.0, 1e12};
+  for (int i = 0; i < 500; ++i) {
+    values.push_back((rng.NextDouble() - 0.5) * 1e6);
+  }
+  std::sort(values.begin(), values.end());
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i - 1] < values[i]) {
+      EXPECT_LT(OrderedFromDouble(values[i - 1]), OrderedFromDouble(values[i]))
+          << values[i - 1] << " vs " << values[i];
+    }
+  }
+}
+
+TEST(FloatOrderTest, NegativeZeroBelowPositiveZero) {
+  EXPECT_LT(OrderedFromDouble(-0.0), OrderedFromDouble(0.0));
+}
+
+TEST(FloatOrderTest, RoundTripFloats) {
+  for (float v : {-1e30f, -2.5f, 0.0f, 1.5f, 3e38f}) {
+    EXPECT_EQ(FloatFromOrdered(OrderedFromFloat(v)), v);
+  }
+  EXPECT_LT(OrderedFromFloat(-1.0f), OrderedFromFloat(-0.5f));
+  EXPECT_LT(OrderedFromFloat(-0.5f), OrderedFromFloat(0.5f));
+  EXPECT_LT(OrderedFromFloat(0.5f), OrderedFromFloat(2.0f));
+}
+
+TEST(RandomTest, SplitMix64KnownValues) {
+  // Reference values from the SplitMix64 reference implementation.
+  uint64_t state = 0;
+  const uint64_t first = SplitMix64(&state);
+  EXPECT_EQ(first, 0xE220A8397B1DCDAFULL);
+}
+
+}  // namespace
+}  // namespace streamq
