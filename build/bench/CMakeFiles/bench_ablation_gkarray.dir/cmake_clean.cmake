@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gkarray.dir/bench_ablation_gkarray.cc.o"
+  "CMakeFiles/bench_ablation_gkarray.dir/bench_ablation_gkarray.cc.o.d"
+  "bench_ablation_gkarray"
+  "bench_ablation_gkarray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gkarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

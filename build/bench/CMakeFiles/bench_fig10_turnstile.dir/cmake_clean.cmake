@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_turnstile.dir/bench_fig10_turnstile.cc.o"
+  "CMakeFiles/bench_fig10_turnstile.dir/bench_fig10_turnstile.cc.o.d"
+  "bench_fig10_turnstile"
+  "bench_fig10_turnstile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_turnstile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_universe_turnstile.dir/bench_fig11_universe_turnstile.cc.o"
+  "CMakeFiles/bench_fig11_universe_turnstile.dir/bench_fig11_universe_turnstile.cc.o.d"
+  "bench_fig11_universe_turnstile"
+  "bench_fig11_universe_turnstile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_universe_turnstile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cash_register.dir/bench_fig5_cash_register.cc.o"
+  "CMakeFiles/bench_fig5_cash_register.dir/bench_fig5_cash_register.cc.o.d"
+  "bench_fig5_cash_register"
+  "bench_fig5_cash_register.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cash_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_universe.dir/bench_fig6_universe.cc.o"
+  "CMakeFiles/bench_fig6_universe.dir/bench_fig6_universe.cc.o.d"
+  "bench_fig6_universe"
+  "bench_fig6_universe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_universe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

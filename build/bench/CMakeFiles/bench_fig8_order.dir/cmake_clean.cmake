@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_order.dir/bench_fig8_order.cc.o"
+  "CMakeFiles/bench_fig8_order.dir/bench_fig8_order.cc.o.d"
+  "bench_fig8_order"
+  "bench_fig8_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prior_deterministic.dir/bench_prior_deterministic.cc.o"
+  "CMakeFiles/bench_prior_deterministic.dir/bench_prior_deterministic.cc.o.d"
+  "bench_prior_deterministic"
+  "bench_prior_deterministic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prior_deterministic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

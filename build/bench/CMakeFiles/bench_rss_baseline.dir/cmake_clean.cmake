@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rss_baseline.dir/bench_rss_baseline.cc.o"
+  "CMakeFiles/bench_rss_baseline.dir/bench_rss_baseline.cc.o.d"
+  "bench_rss_baseline"
+  "bench_rss_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rss_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

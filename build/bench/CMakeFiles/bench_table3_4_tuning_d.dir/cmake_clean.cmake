@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_4_tuning_d.dir/bench_table3_4_tuning_d.cc.o"
+  "CMakeFiles/bench_table3_4_tuning_d.dir/bench_table3_4_tuning_d.cc.o.d"
+  "bench_table3_4_tuning_d"
+  "bench_table3_4_tuning_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_4_tuning_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

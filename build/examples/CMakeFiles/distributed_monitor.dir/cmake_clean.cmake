@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_monitor.dir/distributed_monitor.cpp.o"
+  "CMakeFiles/distributed_monitor.dir/distributed_monitor.cpp.o.d"
+  "distributed_monitor"
+  "distributed_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

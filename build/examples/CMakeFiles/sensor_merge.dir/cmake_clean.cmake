@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_merge.dir/sensor_merge.cpp.o"
+  "CMakeFiles/sensor_merge.dir/sensor_merge.cpp.o.d"
+  "sensor_merge"
+  "sensor_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turnstile_inventory.dir/turnstile_inventory.cpp.o"
+  "CMakeFiles/turnstile_inventory.dir/turnstile_inventory.cpp.o.d"
+  "turnstile_inventory"
+  "turnstile_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turnstile_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distributed/monitor.cc" "src/CMakeFiles/streamq.dir/distributed/monitor.cc.o" "gcc" "src/CMakeFiles/streamq.dir/distributed/monitor.cc.o.d"
+  "/root/repo/src/exact/error_metrics.cc" "src/CMakeFiles/streamq.dir/exact/error_metrics.cc.o" "gcc" "src/CMakeFiles/streamq.dir/exact/error_metrics.cc.o.d"
+  "/root/repo/src/exact/exact_oracle.cc" "src/CMakeFiles/streamq.dir/exact/exact_oracle.cc.o" "gcc" "src/CMakeFiles/streamq.dir/exact/exact_oracle.cc.o.d"
+  "/root/repo/src/quantile/dyadic_quantile.cc" "src/CMakeFiles/streamq.dir/quantile/dyadic_quantile.cc.o" "gcc" "src/CMakeFiles/streamq.dir/quantile/dyadic_quantile.cc.o.d"
+  "/root/repo/src/quantile/factory.cc" "src/CMakeFiles/streamq.dir/quantile/factory.cc.o" "gcc" "src/CMakeFiles/streamq.dir/quantile/factory.cc.o.d"
+  "/root/repo/src/quantile/fast_qdigest.cc" "src/CMakeFiles/streamq.dir/quantile/fast_qdigest.cc.o" "gcc" "src/CMakeFiles/streamq.dir/quantile/fast_qdigest.cc.o.d"
+  "/root/repo/src/quantile/post/blue_solver.cc" "src/CMakeFiles/streamq.dir/quantile/post/blue_solver.cc.o" "gcc" "src/CMakeFiles/streamq.dir/quantile/post/blue_solver.cc.o.d"
+  "/root/repo/src/quantile/post/post_process.cc" "src/CMakeFiles/streamq.dir/quantile/post/post_process.cc.o" "gcc" "src/CMakeFiles/streamq.dir/quantile/post/post_process.cc.o.d"
+  "/root/repo/src/quantile/post/truncated_tree.cc" "src/CMakeFiles/streamq.dir/quantile/post/truncated_tree.cc.o" "gcc" "src/CMakeFiles/streamq.dir/quantile/post/truncated_tree.cc.o.d"
+  "/root/repo/src/quantile/quantile_sketch.cc" "src/CMakeFiles/streamq.dir/quantile/quantile_sketch.cc.o" "gcc" "src/CMakeFiles/streamq.dir/quantile/quantile_sketch.cc.o.d"
+  "/root/repo/src/quantile/sliding_window.cc" "src/CMakeFiles/streamq.dir/quantile/sliding_window.cc.o" "gcc" "src/CMakeFiles/streamq.dir/quantile/sliding_window.cc.o.d"
+  "/root/repo/src/sketch/count_min.cc" "src/CMakeFiles/streamq.dir/sketch/count_min.cc.o" "gcc" "src/CMakeFiles/streamq.dir/sketch/count_min.cc.o.d"
+  "/root/repo/src/sketch/count_sketch.cc" "src/CMakeFiles/streamq.dir/sketch/count_sketch.cc.o" "gcc" "src/CMakeFiles/streamq.dir/sketch/count_sketch.cc.o.d"
+  "/root/repo/src/sketch/dyadic.cc" "src/CMakeFiles/streamq.dir/sketch/dyadic.cc.o" "gcc" "src/CMakeFiles/streamq.dir/sketch/dyadic.cc.o.d"
+  "/root/repo/src/sketch/rss_sketch.cc" "src/CMakeFiles/streamq.dir/sketch/rss_sketch.cc.o" "gcc" "src/CMakeFiles/streamq.dir/sketch/rss_sketch.cc.o.d"
+  "/root/repo/src/stream/generators.cc" "src/CMakeFiles/streamq.dir/stream/generators.cc.o" "gcc" "src/CMakeFiles/streamq.dir/stream/generators.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/CMakeFiles/streamq.dir/util/hash.cc.o" "gcc" "src/CMakeFiles/streamq.dir/util/hash.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/streamq.dir/util/random.cc.o" "gcc" "src/CMakeFiles/streamq.dir/util/random.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/biased_quantiles_test.cc" "tests/CMakeFiles/streamq_tests.dir/biased_quantiles_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/biased_quantiles_test.cc.o.d"
+  "/root/repo/tests/blue_solver_test.cc" "tests/CMakeFiles/streamq_tests.dir/blue_solver_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/blue_solver_test.cc.o.d"
+  "/root/repo/tests/differential_test.cc" "tests/CMakeFiles/streamq_tests.dir/differential_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/differential_test.cc.o.d"
+  "/root/repo/tests/distributed_test.cc" "tests/CMakeFiles/streamq_tests.dir/distributed_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/distributed_test.cc.o.d"
+  "/root/repo/tests/dyadic_quantile_test.cc" "tests/CMakeFiles/streamq_tests.dir/dyadic_quantile_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/dyadic_quantile_test.cc.o.d"
+  "/root/repo/tests/exact_test.cc" "tests/CMakeFiles/streamq_tests.dir/exact_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/exact_test.cc.o.d"
+  "/root/repo/tests/gk_test.cc" "tests/CMakeFiles/streamq_tests.dir/gk_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/gk_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/streamq_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/legacy_test.cc" "tests/CMakeFiles/streamq_tests.dir/legacy_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/legacy_test.cc.o.d"
+  "/root/repo/tests/post_test.cc" "tests/CMakeFiles/streamq_tests.dir/post_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/post_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/streamq_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/qdigest_test.cc" "tests/CMakeFiles/streamq_tests.dir/qdigest_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/qdigest_test.cc.o.d"
+  "/root/repo/tests/random_mrl_test.cc" "tests/CMakeFiles/streamq_tests.dir/random_mrl_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/random_mrl_test.cc.o.d"
+  "/root/repo/tests/serde_test.cc" "tests/CMakeFiles/streamq_tests.dir/serde_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/serde_test.cc.o.d"
+  "/root/repo/tests/sketch_test.cc" "tests/CMakeFiles/streamq_tests.dir/sketch_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/sketch_test.cc.o.d"
+  "/root/repo/tests/sliding_window_test.cc" "tests/CMakeFiles/streamq_tests.dir/sliding_window_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/sliding_window_test.cc.o.d"
+  "/root/repo/tests/stream_test.cc" "tests/CMakeFiles/streamq_tests.dir/stream_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/stream_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/streamq_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/streamq_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/streamq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
