@@ -1,0 +1,121 @@
+#include "distributed/coordinator.h"
+
+#include "util/serde.h"
+
+namespace streamq {
+
+MonitorCoordinator::MonitorCoordinator(int num_sites, double eps_local)
+    : eps_(eps_local), views_(num_sites) {}
+
+void MonitorCoordinator::HandleMessage(const std::string& bytes, uint64_t now,
+                                       FaultyChannel& ack_tx) {
+  // 1. Frame validation: CRC32C + header. A flipped byte anywhere in the
+  // shipment fails here, before any payload byte is interpreted.
+  std::string payload;
+  if (!UnframeSnapshot(bytes, SnapshotType::kMonitorShipment, &payload)) {
+    ++stats_.rejected_corrupt;
+    return;
+  }
+  SerdeReader r(payload);
+  uint32_t site = 0;
+  uint64_t seq = 0, count = 0;
+  std::string summary_bytes;
+  if (!r.U32(&site) || !r.U64(&seq) || !r.U64(&count) ||
+      !r.Bytes(&summary_bytes) || !r.Done() ||
+      site >= views_.size() || seq == 0) {
+    ++stats_.rejected_malformed;
+    return;
+  }
+  SiteView& view = views_[site];
+  // 2. Sequence dedup: duplicates and stale reorders are acknowledged (the
+  // sender needs to learn our horizon) but never re-applied, so ReportedCount
+  // stays exact no matter how often the network duplicates a shipment.
+  if (seq <= view.seq) {
+    ++stats_.rejected_stale;
+    SendAck(static_cast<int>(site), now, ack_tx);
+    return;
+  }
+  // 3. Structural validation into a fresh summary; the site view is only
+  // replaced after a fully successful decode (no partial mutation).
+  auto received = std::make_unique<GkArrayImpl<uint64_t>>(eps_);
+  SerdeReader sr(summary_bytes);
+  if (!received->Deserialize(sr) || !sr.Done() ||
+      received->Count() != count) {
+    ++stats_.rejected_malformed;
+    return;
+  }
+  view.seq = seq;
+  view.count = count;
+  view.summary = std::move(received);
+  ++stats_.accepted;
+  SendAck(static_cast<int>(site), now, ack_tx);
+}
+
+void MonitorCoordinator::SendAck(int site, uint64_t now,
+                                 FaultyChannel& ack_tx) {
+  SerdeWriter w;
+  w.U32(static_cast<uint32_t>(site));
+  w.U64(views_[site].seq);
+  ack_tx.Send(now, FrameSnapshot(SnapshotType::kMonitorAck, w.Take()));
+  ++stats_.acks_sent;
+}
+
+bool MonitorCoordinator::ParseAck(const std::string& bytes, int* site,
+                                  uint64_t* seq) {
+  std::string payload;
+  if (!UnframeSnapshot(bytes, SnapshotType::kMonitorAck, &payload)) {
+    return false;
+  }
+  SerdeReader r(payload);
+  uint32_t s = 0;
+  if (!r.U32(&s) || !r.U64(seq) || !r.Done()) return false;
+  *site = static_cast<int>(s);
+  return true;
+}
+
+std::vector<WeightedElement<uint64_t>> MonitorCoordinator::Sample() const {
+  std::vector<WeightedElement<uint64_t>> sample;
+  for (const SiteView& view : views_) {
+    if (view.summary == nullptr) continue;
+    view.summary->ForEachTuple([&](uint64_t v, int64_t g, int64_t /*delta*/) {
+      sample.push_back({v, g});
+    });
+  }
+  return sample;
+}
+
+uint64_t MonitorCoordinator::Query(double phi) const {
+  WeightedSampleView<uint64_t> view(Sample());
+  if (view.Empty()) return 0;
+  // Target relative to what the coordinator knows about; the unreported
+  // remainder is bounded by the staleness accounting (monitor level).
+  return view.Quantile(phi * static_cast<double>(view.TotalWeight()));
+}
+
+int64_t MonitorCoordinator::EstimateRank(uint64_t value) const {
+  return WeightedSampleView<uint64_t>(Sample()).EstimateRank(value);
+}
+
+uint64_t MonitorCoordinator::ReportedCount() const {
+  uint64_t total = 0;
+  for (const SiteView& view : views_) total += view.count;
+  return total;
+}
+
+uint64_t MonitorCoordinator::KnownCount(int site) const {
+  return views_[site].count;
+}
+
+uint64_t MonitorCoordinator::HighestSeq(int site) const {
+  return views_[site].seq;
+}
+
+size_t MonitorCoordinator::MemoryBytes() const {
+  size_t total = 0;
+  for (const SiteView& view : views_) {
+    if (view.summary != nullptr) total += view.summary->MemoryBytes();
+  }
+  return total;
+}
+
+}  // namespace streamq

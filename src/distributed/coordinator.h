@@ -1,0 +1,100 @@
+// Coordinator half of the distributed quantile monitor.
+//
+// The coordinator's entire knowledge is the latest validly delivered
+// summary per site. Incoming shipments arrive over a lossy channel, so
+// every message is treated as untrusted bytes:
+//
+//   1. Frame validation (util/serde.h): magic, version, type tag, exact
+//      length, CRC32C. Any corrupted or truncated shipment is rejected here
+//      — no payload byte is interpreted, nothing crashes, no state changes.
+//   2. Sequence-number dedup: a shipment whose per-site sequence number is
+//      not strictly newer than the last accepted one is discarded
+//      (duplicate or reordered-stale delivery), which keeps the reported
+//      global count exact under duplication.
+//   3. Structural validation of the decoded summary; only then is the
+//      site's view atomically replaced.
+//
+// Every delivery — fresh or duplicate — is acknowledged with the site's
+// highest accepted sequence number, so senders can both stop retrying and
+// (after a crash-restart from an old checkpoint) fast-forward their
+// sequence horizon.
+
+#ifndef STREAMQ_DISTRIBUTED_COORDINATOR_H_
+#define STREAMQ_DISTRIBUTED_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "distributed/channel.h"
+#include "quantile/gk_array.h"
+#include "quantile/weighted_sample.h"
+
+namespace streamq {
+
+class MonitorCoordinator {
+ public:
+  /// Message-validation outcomes (accounting; see stats()).
+  struct Stats {
+    size_t accepted = 0;          ///< fresh shipments applied
+    size_t rejected_corrupt = 0;  ///< frame/CRC validation failures
+    size_t rejected_stale = 0;    ///< duplicates and stale reorders
+    size_t rejected_malformed = 0;  ///< valid frame, invalid content
+    size_t acks_sent = 0;
+  };
+
+  /// eps_local must match the sites' local summary error (monitor: eps/2).
+  MonitorCoordinator(int num_sites, double eps_local);
+
+  /// Validates and applies one delivered message; acknowledges through
+  /// `ack_tx`. Corrupt or malformed input is counted and dropped — never
+  /// trusted, never fatal.
+  void HandleMessage(const std::string& bytes, uint64_t now,
+                     FaultyChannel& ack_tx);
+
+  /// Parses an ack frame (used by the site side of the transport).
+  /// Returns false on corrupt input.
+  static bool ParseAck(const std::string& bytes, int* site, uint64_t* seq);
+
+  /// phi-quantile over the union of the latest accepted site summaries.
+  uint64_t Query(double phi) const;
+
+  /// Rank estimate over the same union.
+  int64_t EstimateRank(uint64_t value) const;
+
+  /// Sum of the site counts carried by the latest accepted shipments:
+  /// exactly the number of stream elements the coordinator's answers
+  /// reflect (dedup keeps this exact under duplicated deliveries).
+  uint64_t ReportedCount() const;
+
+  /// Count carried by the latest accepted shipment of `site` (0 if none).
+  uint64_t KnownCount(int site) const;
+
+  /// Highest accepted sequence number of `site` (0 if none).
+  uint64_t HighestSeq(int site) const;
+
+  /// Accounting bytes of coordinator state (latest summary per site).
+  size_t MemoryBytes() const;
+
+  int num_sites() const { return static_cast<int>(views_.size()); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct SiteView {
+    uint64_t seq = 0;
+    uint64_t count = 0;
+    std::unique_ptr<GkArrayImpl<uint64_t>> summary;
+  };
+
+  void SendAck(int site, uint64_t now, FaultyChannel& ack_tx);
+  std::vector<WeightedElement<uint64_t>> Sample() const;
+
+  double eps_;
+  std::vector<SiteView> views_;
+  Stats stats_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_DISTRIBUTED_COORDINATOR_H_

@@ -2,85 +2,131 @@
 
 #include <cassert>
 
-#include "util/serde.h"
-
 namespace streamq {
 
-DistributedQuantileMonitor::DistributedQuantileMonitor(int num_sites,
-                                                       double eps,
-                                                       double theta)
-    : eps_(eps), theta_(theta > 0 ? theta : eps / 2.0) {
+DistributedQuantileMonitor::DistributedQuantileMonitor(
+    int num_sites, double eps, double theta, const MonitorOptions& options)
+    : eps_(eps),
+      theta_(theta > 0 ? theta : eps / 2.0),
+      options_(options),
+      coordinator_(num_sites, eps / 2.0),
+      data_channel_(options.data_faults, options.seed * 2 + 1),
+      ack_channel_(options.ack_faults, options.seed * 2 + 2) {
   assert(num_sites > 0);
   sites_.reserve(num_sites);
-  coordinator_view_.resize(num_sites);
   for (int i = 0; i < num_sites; ++i) {
-    sites_.emplace_back(eps_ / 2.0);
+    sites_.push_back(std::make_unique<MonitorSite>(i, eps_ / 2.0, theta_,
+                                                   options.retry));
   }
 }
 
 void DistributedQuantileMonitor::Observe(int site, uint64_t value) {
   assert(site >= 0 && site < num_sites());
-  Site& s = sites_[site];
-  s.summary.Insert(value);
-  ++s.count;
-  ++global_count_;
-  // Ship when the local count grew by a (1 + theta) factor (every site's
-  // first element ships immediately).
-  const double trigger =
-      (1.0 + theta_) * static_cast<double>(s.last_shipped_count);
-  if (s.last_shipped_count == 0 || static_cast<double>(s.count) >= trigger) {
-    Ship(site);
-  }
+  ++now_;
+  sites_[site]->Observe(value, now_, data_channel_);
+  Pump();
 }
 
-void DistributedQuantileMonitor::Ship(int site) {
-  Site& s = sites_[site];
-  // Serialise the real wire payload so communication cost is honest.
-  SerdeWriter w;
-  s.summary.Flush();
-  s.summary.Serialize(w);
-  communication_bytes_ += w.buffer().size();
-  ++shipments_;
-  // The coordinator decodes its fresh copy of the site's summary.
-  auto received = std::make_unique<GkArrayImpl<uint64_t>>(eps_ / 2.0);
-  SerdeReader r(w.buffer());
-  const bool ok = received->Deserialize(r) && r.Done();
-  assert(ok);
-  (void)ok;
-  coordinator_view_[site] = std::move(received);
-  s.last_shipped_count = s.count;
-}
-
-std::vector<WeightedElement<uint64_t>>
-DistributedQuantileMonitor::CoordinatorSample() const {
-  std::vector<WeightedElement<uint64_t>> sample;
-  for (const auto& summary : coordinator_view_) {
-    if (summary == nullptr) continue;
-    summary->ForEachTuple([&](uint64_t v, int64_t g, int64_t /*delta*/) {
-      sample.push_back({v, g});
-    });
+void DistributedQuantileMonitor::Pump() {
+  for (std::string& msg : data_channel_.Poll(now_)) {
+    coordinator_.HandleMessage(msg, now_, ack_channel_);
   }
-  return sample;
+  for (std::string& ack : ack_channel_.Poll(now_)) {
+    int site = 0;
+    uint64_t seq = 0;
+    // A corrupted ack fails frame validation and is simply dropped; the
+    // affected site keeps retrying.
+    if (!MonitorCoordinator::ParseAck(ack, &site, &seq)) continue;
+    if (site < 0 || site >= num_sites()) continue;
+    sites_[site]->HandleAck(seq);
+  }
+  for (auto& s : sites_) s->Tick(now_, data_channel_);
 }
 
 uint64_t DistributedQuantileMonitor::Query(double phi) {
-  WeightedSampleView<uint64_t> view(CoordinatorSample());
-  if (view.Empty()) return 0;
-  // Target relative to what the coordinator knows about; the unreported
-  // remainder is below theta * n by construction.
-  return view.Quantile(phi * static_cast<double>(view.TotalWeight()));
+  return coordinator_.Query(phi);
 }
 
 int64_t DistributedQuantileMonitor::EstimateRank(uint64_t value) {
-  return WeightedSampleView<uint64_t>(CoordinatorSample()).EstimateRank(value);
+  return coordinator_.EstimateRank(value);
+}
+
+uint64_t DistributedQuantileMonitor::GlobalCount() const {
+  uint64_t total = 0;
+  for (const auto& s : sites_) total += s->count();
+  return total;
+}
+
+uint64_t DistributedQuantileMonitor::StalenessBound() const {
+  uint64_t total = 0;
+  for (int i = 0; i < num_sites(); ++i) {
+    const uint64_t observed = sites_[i]->count();
+    const uint64_t known = coordinator_.KnownCount(i);
+    if (observed > known) total += observed - known;
+  }
+  return total;
+}
+
+bool DistributedQuantileMonitor::Quiesce(uint64_t max_ticks) {
+  const uint64_t deadline = now_ + max_ticks;
+  for (auto& s : sites_) s->ForceShip(now_, data_channel_);
+  while (now_ < deadline) {
+    ++now_;
+    Pump();
+    bool settled = data_channel_.Idle() && ack_channel_.Idle();
+    for (const auto& s : sites_) settled = settled && !s->HasUnacked();
+    if (settled && StalenessBound() == 0) return true;
+  }
+  return false;
+}
+
+std::string DistributedQuantileMonitor::CheckpointSite(int site) const {
+  assert(site >= 0 && site < num_sites());
+  return sites_[site]->Checkpoint();
+}
+
+void DistributedQuantileMonitor::CrashSite(int site) {
+  assert(site >= 0 && site < num_sites());
+  sites_[site] = std::make_unique<MonitorSite>(site, eps_ / 2.0, theta_,
+                                               options_.retry);
+}
+
+bool DistributedQuantileMonitor::RestartSite(int site,
+                                             const std::string& checkpoint) {
+  assert(site >= 0 && site < num_sites());
+  auto restored = MonitorSite::FromCheckpoint(checkpoint, options_.retry);
+  if (restored == nullptr || restored->id() != site) return false;
+  sites_[site] = std::move(restored);
+  return true;
+}
+
+uint64_t DistributedQuantileMonitor::SiteCount(int site) const {
+  assert(site >= 0 && site < num_sites());
+  return sites_[site]->count();
+}
+
+size_t DistributedQuantileMonitor::CommunicationBytes() const {
+  return data_channel_.stats().bytes_offered;
+}
+
+size_t DistributedQuantileMonitor::AckBytes() const {
+  return ack_channel_.stats().bytes_offered;
+}
+
+size_t DistributedQuantileMonitor::ShipmentCount() const {
+  size_t total = 0;
+  for (const auto& s : sites_) total += s->shipments() + s->retransmits();
+  return total;
+}
+
+size_t DistributedQuantileMonitor::RetransmitCount() const {
+  size_t total = 0;
+  for (const auto& s : sites_) total += s->retransmits();
+  return total;
 }
 
 size_t DistributedQuantileMonitor::CoordinatorMemoryBytes() const {
-  size_t total = 0;
-  for (const auto& summary : coordinator_view_) {
-    if (summary != nullptr) total += summary->MemoryBytes();
-  }
-  return total;
+  return coordinator_.MemoryBytes();
 }
 
 }  // namespace streamq

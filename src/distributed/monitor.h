@@ -6,76 +6,139 @@
 // eps-approximate quantiles over the union at any time, while keeping the
 // site -> coordinator communication far below shipping the raw streams.
 //
-// Protocol (the classic count-triggered synchronisation): every site keeps
-// a local GKArray summary with error eps/2 and re-ships it to the
-// coordinator whenever its local count has grown by a factor (1 + theta)
-// since the last shipment. Elements a site has not yet reported number at
-// most theta * n_i, so the coordinator's merged answer carries at most
-// (eps/2 + theta) * n rank error; theta = eps/2 restores the eps guarantee.
-// Shipments are real serialised bytes (util/serde.h), so the communication
-// accounting is honest: O((k/eps) log(eps n) log n) bytes total versus
-// 4n bytes for raw forwarding.
+// Protocol (count-triggered synchronisation, hardened for a lossy
+// transport): every site keeps a local GKArray summary with error eps/2 and
+// ships it — as real serialized, CRC32C-framed bytes — whenever its local
+// count has grown by a factor (1 + theta) since the last shipment
+// (theta = eps/2 restores the eps guarantee over a perfect channel).
+// Shipments and acknowledgments travel through FaultyChannel (see
+// channel.h), which can drop, duplicate, reorder, delay, and corrupt
+// messages under a deterministic seed and a virtual clock (one tick per
+// observed element). Sites retry unacked shipments with capped exponential
+// backoff; the coordinator validates every frame, dedups by per-site
+// sequence number, and acknowledges its high-water mark. Degradation is
+// exposed honestly: StalenessBound() reports the number of observed
+// elements not yet reflected in any accepted shipment — the worst-case
+// extra rank error on top of eps * n.
 
 #ifndef STREAMQ_DISTRIBUTED_MONITOR_H_
 #define STREAMQ_DISTRIBUTED_MONITOR_H_
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
-#include "quantile/gk_array.h"
-#include "quantile/weighted_sample.h"
+#include "distributed/channel.h"
+#include "distributed/coordinator.h"
+#include "distributed/site.h"
 
 namespace streamq {
+
+/// Transport and retry configuration of a monitor. Defaults give a
+/// perfect, instantaneous channel — the behaviour of the classic protocol.
+struct MonitorOptions {
+  FaultSpec data_faults;  ///< site -> coordinator direction
+  FaultSpec ack_faults;   ///< coordinator -> site direction
+  RetryPolicy retry;
+  uint64_t seed = 1;  ///< drives all fault-injection randomness
+};
 
 class DistributedQuantileMonitor {
  public:
   /// num_sites remote observers; eps: total rank-error target; theta:
   /// staleness factor (defaults to eps/2, the analysis-backed choice).
-  DistributedQuantileMonitor(int num_sites, double eps, double theta = -1.0);
+  DistributedQuantileMonitor(int num_sites, double eps, double theta = -1.0,
+                             const MonitorOptions& options = {});
 
-  /// One element observed at `site` (0-based). May trigger a shipment.
+  /// One element observed at `site` (0-based). Advances the virtual clock
+  /// one tick: may trigger a shipment, deliver due messages, retransmit.
   void Observe(int site, uint64_t value);
 
-  /// Coordinator-side phi-quantile over everything observed so far.
+  /// Coordinator-side phi-quantile over everything the coordinator has
+  /// accepted so far.
   uint64_t Query(double phi);
 
   /// Coordinator-side rank estimate.
   int64_t EstimateRank(uint64_t value);
 
-  /// Total elements observed across all sites.
-  uint64_t GlobalCount() const { return global_count_; }
+  /// Total elements currently observed across all sites (sum of live site
+  /// counts; a crashed site's lost elements leave this sum).
+  uint64_t GlobalCount() const;
 
-  /// Total site -> coordinator bytes shipped so far (serialised summaries).
-  size_t CommunicationBytes() const { return communication_bytes_; }
+  /// Worst-case extra rank error of coordinator answers beyond eps * n:
+  /// the number of observed elements not yet reflected in any accepted
+  /// shipment. 0 once quiesced over any channel that eventually delivers.
+  uint64_t StalenessBound() const;
 
-  /// Number of summary shipments so far.
-  size_t ShipmentCount() const { return shipments_; }
+  /// Runs the protocol with no new observations until every site is fully
+  /// acked and both channels are drained (or `max_ticks` elapse — only a
+  /// channel that drops everything forever gets that far). Returns true if
+  /// fully quiesced.
+  bool Quiesce(uint64_t max_ticks = 200'000);
+
+  // --- crash / recovery -----------------------------------------------
+
+  /// Serialized, framed checkpoint of one site's full state.
+  std::string CheckpointSite(int site) const;
+
+  /// Simulates a site crash: all local state (summary, counts, retry
+  /// bookkeeping) is lost. The coordinator keeps the site's last accepted
+  /// summary. Elements observed since the last checkpoint are gone unless
+  /// the caller replays them after RestartSite().
+  void CrashSite(int site);
+
+  /// Restores a site from a CheckpointSite() snapshot; the revived site
+  /// re-ships its state and resynchronises its sequence horizon with the
+  /// coordinator automatically. Returns false on corrupt input (the
+  /// crashed-empty site stays in place).
+  bool RestartSite(int site, const std::string& checkpoint);
+
+  /// Elements currently observed at `site`.
+  uint64_t SiteCount(int site) const;
+
+  // --- accounting ------------------------------------------------------
+
+  /// Total site -> coordinator bytes offered to the wire (serialized
+  /// framed summaries, retransmissions included).
+  size_t CommunicationBytes() const;
+
+  /// Coordinator -> site ack bytes offered to the wire.
+  size_t AckBytes() const;
+
+  /// Number of summary shipments offered so far (retransmissions included).
+  size_t ShipmentCount() const;
+
+  /// Retransmissions alone.
+  size_t RetransmitCount() const;
 
   /// Accounting bytes of coordinator state (latest summary per site).
   size_t CoordinatorMemoryBytes() const;
 
   int num_sites() const { return static_cast<int>(sites_.size()); }
+  uint64_t now() const { return now_; }
+
+  const MonitorCoordinator& coordinator() const { return coordinator_; }
+  const ChannelStats& data_channel_stats() const {
+    return data_channel_.stats();
+  }
+  const ChannelStats& ack_channel_stats() const {
+    return ack_channel_.stats();
+  }
 
  private:
-  struct Site {
-    explicit Site(double eps) : summary(eps) {}
-    GkArrayImpl<uint64_t> summary;   // local, full-history
-    uint64_t count = 0;
-    uint64_t last_shipped_count = 0;
-  };
-
-  void Ship(int site);
-  std::vector<WeightedElement<uint64_t>> CoordinatorSample() const;
+  /// Delivers due shipments to the coordinator, routes due acks back to
+  /// sites, and lets every site retransmit if its backoff expired.
+  void Pump();
 
   double eps_;
   double theta_;
-  uint64_t global_count_ = 0;
-  size_t communication_bytes_ = 0;
-  size_t shipments_ = 0;
-  std::vector<Site> sites_;
-  // Coordinator's view: the latest shipped summary per site.
-  std::vector<std::unique_ptr<GkArrayImpl<uint64_t>>> coordinator_view_;
+  MonitorOptions options_;
+  uint64_t now_ = 0;
+  std::vector<std::unique_ptr<MonitorSite>> sites_;
+  MonitorCoordinator coordinator_;
+  FaultyChannel data_channel_;
+  FaultyChannel ack_channel_;
 };
 
 }  // namespace streamq

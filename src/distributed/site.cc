@@ -1,0 +1,133 @@
+#include "distributed/site.h"
+
+#include <algorithm>
+
+#include "util/serde.h"
+
+namespace streamq {
+
+MonitorSite::MonitorSite(int id, double eps_local, double theta,
+                         RetryPolicy retry)
+    : id_(id), eps_(eps_local), theta_(theta), retry_(retry), summary_(eps_local) {}
+
+void MonitorSite::Observe(uint64_t value, uint64_t now, FaultyChannel& tx) {
+  summary_.Insert(value);
+  ++count_;
+  // Ship when the local count grew by a (1 + theta) factor (every site's
+  // first element ships immediately).
+  const double trigger =
+      (1.0 + theta_) * static_cast<double>(last_shipped_count_);
+  if (last_shipped_count_ == 0 ||
+      static_cast<double>(count_) >= trigger) {
+    Ship(now, tx, /*is_retransmit=*/false);
+  }
+}
+
+void MonitorSite::Ship(uint64_t now, FaultyChannel& tx, bool is_retransmit) {
+  // Cumulative shipment: the full current summary under a fresh sequence
+  // number, so one delivered copy supersedes everything before it.
+  const uint64_t seq = ++last_sent_seq_;
+  summary_.Flush();
+  SerdeWriter w;
+  w.U32(static_cast<uint32_t>(id_));
+  w.U64(seq);
+  w.U64(count_);
+  SerdeWriter summary_writer;
+  summary_.Serialize(summary_writer);
+  w.Bytes(summary_writer.buffer());
+  tx.Send(now, FrameSnapshot(SnapshotType::kMonitorShipment, w.Take()));
+  last_shipped_count_ = count_;
+  if (is_retransmit) {
+    ++retransmits_;
+    backoff_ = std::min(backoff_ * 2, retry_.max_backoff);
+  } else {
+    ++shipments_;
+    backoff_ = retry_.initial_backoff;
+  }
+  next_retry_at_ = now + backoff_;
+}
+
+void MonitorSite::HandleAck(uint64_t seq) {
+  last_acked_seq_ = std::max(last_acked_seq_, seq);
+  if (seq > last_sent_seq_) {
+    // The coordinator has accepted shipments this incarnation never sent —
+    // we were restarted from a checkpoint older than the crash point. Jump
+    // past the foreign horizon and re-ship our current state so the
+    // coordinator converges back onto what this incarnation knows.
+    last_sent_seq_ = seq;
+    needs_reship_ = count_ > 0;
+  }
+}
+
+void MonitorSite::Tick(uint64_t now, FaultyChannel& tx) {
+  if (needs_reship_) {
+    needs_reship_ = false;
+    Ship(now, tx, /*is_retransmit=*/false);
+    return;
+  }
+  if (HasUnacked() && now >= next_retry_at_) {
+    Ship(now, tx, /*is_retransmit=*/true);
+  }
+}
+
+void MonitorSite::ForceShip(uint64_t now, FaultyChannel& tx) {
+  if (count_ > last_shipped_count_) {
+    Ship(now, tx, /*is_retransmit=*/false);
+  }
+}
+
+std::string MonitorSite::Checkpoint() const {
+  // Serialize a flushed copy so the snapshot has no buffered residue; the
+  // live summary is untouched.
+  GkArrayImpl<uint64_t> flushed = summary_;
+  flushed.Flush();
+  SerdeWriter summary_writer;
+  flushed.Serialize(summary_writer);
+
+  SerdeWriter w;
+  w.U32(static_cast<uint32_t>(id_));
+  w.F64(eps_);
+  w.F64(theta_);
+  w.U64(count_);
+  w.U64(last_shipped_count_);
+  w.U64(last_sent_seq_);
+  w.U64(last_acked_seq_);
+  w.Bytes(summary_writer.buffer());
+  return FrameSnapshot(SnapshotType::kSiteCheckpoint, w.Take());
+}
+
+std::unique_ptr<MonitorSite> MonitorSite::FromCheckpoint(
+    const std::string& frame, RetryPolicy retry) {
+  std::string payload;
+  if (!UnframeSnapshot(frame, SnapshotType::kSiteCheckpoint, &payload)) {
+    return nullptr;
+  }
+  SerdeReader r(payload);
+  uint32_t id = 0;
+  double eps = 0, theta = 0;
+  uint64_t count = 0, last_shipped = 0, last_sent = 0, last_acked = 0;
+  std::string summary_bytes;
+  if (!r.U32(&id) || !r.F64(&eps) || !r.F64(&theta) || !r.U64(&count) ||
+      !r.U64(&last_shipped) || !r.U64(&last_sent) || !r.U64(&last_acked) ||
+      !r.Bytes(&summary_bytes) || !r.Done()) {
+    return nullptr;
+  }
+  if (!(eps > 0.0 && eps < 1.0) || !(theta > 0.0) || id > (1u << 20)) {
+    return nullptr;
+  }
+  auto site = std::make_unique<MonitorSite>(static_cast<int>(id), eps, theta,
+                                            retry);
+  SerdeReader sr(summary_bytes);
+  if (!site->summary_.Deserialize(sr) || !sr.Done()) return nullptr;
+  if (site->summary_.Count() != count) return nullptr;  // inconsistent
+  site->count_ = count;
+  site->last_shipped_count_ = last_shipped;
+  site->last_sent_seq_ = last_sent;
+  site->last_acked_seq_ = std::min(last_acked, last_sent);
+  // The coordinator may or may not have our latest state; re-ship promptly
+  // and let its seq-based dedup sort it out.
+  site->needs_reship_ = count > 0;
+  return site;
+}
+
+}  // namespace streamq

@@ -1,0 +1,98 @@
+// Site half of the distributed quantile monitor.
+//
+// A site observes its local stream into a GKArray summary (error eps_local)
+// and ships the serialized summary to the coordinator whenever its local
+// count has grown by a factor (1 + theta) since the last shipment — the
+// classic count-triggered protocol. Because the transport may drop,
+// duplicate, reorder, or corrupt shipments, every shipment carries a
+// monotonically increasing per-site sequence number, and the site keeps
+// retrying (with capped exponential backoff, in virtual ticks) until the
+// coordinator acknowledges a sequence number at least as new as the last
+// one sent. Shipments are cumulative (the full summary), so a retry simply
+// sends the CURRENT state under a fresh sequence number — any one delivery
+// brings the coordinator fully up to date.
+//
+// Sites can checkpoint their entire state (summary, counts, sequence
+// numbers) to a framed byte string and be restarted from it after a crash.
+// A restarted site may lag the coordinator's sequence horizon; the
+// coordinator's acks carry its highest accepted sequence number, which the
+// site uses to fast-forward and re-ship, so recovery needs no extra
+// protocol machinery.
+
+#ifndef STREAMQ_DISTRIBUTED_SITE_H_
+#define STREAMQ_DISTRIBUTED_SITE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "distributed/channel.h"
+#include "quantile/gk_array.h"
+
+namespace streamq {
+
+/// Retransmission policy, in virtual ticks.
+struct RetryPolicy {
+  uint64_t initial_backoff = 8;
+  uint64_t max_backoff = 1024;
+};
+
+class MonitorSite {
+ public:
+  /// eps_local: rank-error budget of the local summary (the monitor passes
+  /// eps/2); theta: count-growth shipping trigger.
+  MonitorSite(int id, double eps_local, double theta, RetryPolicy retry = {});
+
+  /// One element observed locally at time `now`; ships through `tx` when
+  /// the count trigger fires.
+  void Observe(uint64_t value, uint64_t now, FaultyChannel& tx);
+
+  /// Coordinator acknowledged sequence number `seq` (its highest accepted).
+  /// A seq beyond anything this site sent means the coordinator holds state
+  /// from a pre-crash incarnation: the site fast-forwards past it and
+  /// re-ships its current state.
+  void HandleAck(uint64_t seq);
+
+  /// Advances virtual time: retransmits the current state if an unacked
+  /// shipment's backoff deadline has passed.
+  void Tick(uint64_t now, FaultyChannel& tx);
+
+  /// Ships the current state if it is newer than the last shipment
+  /// (used to flush residual staleness, e.g. before quiescing).
+  void ForceShip(uint64_t now, FaultyChannel& tx);
+
+  /// Serialized, framed checkpoint of the full site state.
+  std::string Checkpoint() const;
+
+  /// Restores a Checkpoint(); nullptr on corrupt input.
+  static std::unique_ptr<MonitorSite> FromCheckpoint(const std::string& frame,
+                                                     RetryPolicy retry = {});
+
+  int id() const { return id_; }
+  uint64_t count() const { return count_; }
+  bool HasUnacked() const { return last_acked_seq_ < last_sent_seq_; }
+  size_t shipments() const { return shipments_; }
+  size_t retransmits() const { return retransmits_; }
+
+ private:
+  void Ship(uint64_t now, FaultyChannel& tx, bool is_retransmit);
+
+  int id_;
+  double eps_;
+  double theta_;
+  RetryPolicy retry_;
+  GkArrayImpl<uint64_t> summary_;
+  uint64_t count_ = 0;
+  uint64_t last_shipped_count_ = 0;
+  uint64_t last_sent_seq_ = 0;
+  uint64_t last_acked_seq_ = 0;
+  uint64_t next_retry_at_ = 0;
+  uint64_t backoff_ = 0;
+  bool needs_reship_ = false;
+  size_t shipments_ = 0;
+  size_t retransmits_ = 0;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_DISTRIBUTED_SITE_H_

@@ -2,6 +2,10 @@
 // summaries, instantiated for uint64_t streams. The underlying
 // implementations (gk_*.h, random_impl.h, mrl99_impl.h) are templates over
 // any strict-weak-ordered element type, reflecting the comparison model.
+//
+// Snapshots (Serialize/Deserialize) use the framed format of util/serde.h:
+// a per-type tag plus CRC32C, so corrupted or cross-type input is rejected
+// before any payload byte is interpreted.
 
 #ifndef STREAMQ_QUANTILE_CASH_REGISTER_H_
 #define STREAMQ_QUANTILE_CASH_REGISTER_H_
@@ -22,10 +26,9 @@ namespace streamq {
 class GkTheory : public QuantileSketch {
  public:
   explicit GkTheory(double eps) : impl_(eps) {}
-  void Insert(uint64_t value) override { impl_.Insert(value); }
-  uint64_t Query(double phi) override { return impl_.Query(phi); }
-  std::vector<uint64_t> QueryMany(const std::vector<double>& phis) override {
-    return impl_.QueryMany(phis);
+  StreamqStatus Insert(uint64_t value) override {
+    impl_.Insert(value);
+    return StreamqStatus::kOk;
   }
   int64_t EstimateRank(uint64_t value) override {
     return impl_.EstimateRank(value);
@@ -35,18 +38,29 @@ class GkTheory : public QuantileSketch {
   std::string Name() const override { return "GKTheory"; }
   GkTheoryImpl<uint64_t>& impl() { return impl_; }
 
-  /// Snapshot of the summary; restore with Deserialize.
+  /// Framed snapshot of the summary; restore with Deserialize.
   std::string Serialize() const {
     SerdeWriter w;
     impl_.Serialize(w);
-    return w.Take();
+    return FrameSnapshot(SnapshotType::kGkTheory, w.Take());
   }
   /// Restores a Serialize() snapshot; nullptr on corrupt input.
   static std::unique_ptr<GkTheory> Deserialize(const std::string& bytes) {
+    std::string payload;
+    if (!UnframeSnapshot(bytes, SnapshotType::kGkTheory, &payload)) {
+      return nullptr;
+    }
     auto sketch = std::make_unique<GkTheory>(0.5);
-    SerdeReader r(bytes);
+    SerdeReader r(payload);
     if (!sketch->impl_.Deserialize(r) || !r.Done()) return nullptr;
     return sketch;
+  }
+
+ protected:
+  uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
+  std::vector<uint64_t> QueryManyImpl(
+      const std::vector<double>& phis) override {
+    return impl_.QueryMany(phis);
   }
 
  private:
@@ -57,10 +71,9 @@ class GkTheory : public QuantileSketch {
 class GkAdaptive : public QuantileSketch {
  public:
   explicit GkAdaptive(double eps) : impl_(eps) {}
-  void Insert(uint64_t value) override { impl_.Insert(value); }
-  uint64_t Query(double phi) override { return impl_.Query(phi); }
-  std::vector<uint64_t> QueryMany(const std::vector<double>& phis) override {
-    return impl_.QueryMany(phis);
+  StreamqStatus Insert(uint64_t value) override {
+    impl_.Insert(value);
+    return StreamqStatus::kOk;
   }
   int64_t EstimateRank(uint64_t value) override {
     return impl_.EstimateRank(value);
@@ -70,18 +83,29 @@ class GkAdaptive : public QuantileSketch {
   std::string Name() const override { return "GKAdaptive"; }
   GkAdaptiveImpl<uint64_t>& impl() { return impl_; }
 
-  /// Snapshot of the summary; restore with Deserialize.
+  /// Framed snapshot of the summary; restore with Deserialize.
   std::string Serialize() const {
     SerdeWriter w;
     impl_.Serialize(w);
-    return w.Take();
+    return FrameSnapshot(SnapshotType::kGkAdaptive, w.Take());
   }
   /// Restores a Serialize() snapshot; nullptr on corrupt input.
   static std::unique_ptr<GkAdaptive> Deserialize(const std::string& bytes) {
+    std::string payload;
+    if (!UnframeSnapshot(bytes, SnapshotType::kGkAdaptive, &payload)) {
+      return nullptr;
+    }
     auto sketch = std::make_unique<GkAdaptive>(0.5);
-    SerdeReader r(bytes);
+    SerdeReader r(payload);
     if (!sketch->impl_.Deserialize(r) || !r.Done()) return nullptr;
     return sketch;
+  }
+
+ protected:
+  uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
+  std::vector<uint64_t> QueryManyImpl(
+      const std::vector<double>& phis) override {
+    return impl_.QueryMany(phis);
   }
 
  private:
@@ -92,10 +116,9 @@ class GkAdaptive : public QuantileSketch {
 class GkArray : public QuantileSketch {
  public:
   explicit GkArray(double eps) : impl_(eps) {}
-  void Insert(uint64_t value) override { impl_.Insert(value); }
-  uint64_t Query(double phi) override { return impl_.Query(phi); }
-  std::vector<uint64_t> QueryMany(const std::vector<double>& phis) override {
-    return impl_.QueryMany(phis);
+  StreamqStatus Insert(uint64_t value) override {
+    impl_.Insert(value);
+    return StreamqStatus::kOk;
   }
   int64_t EstimateRank(uint64_t value) override {
     return impl_.EstimateRank(value);
@@ -105,18 +128,29 @@ class GkArray : public QuantileSketch {
   std::string Name() const override { return "GKArray"; }
   GkArrayImpl<uint64_t>& impl() { return impl_; }
 
-  /// Snapshot of the summary; restore with Deserialize.
+  /// Framed snapshot of the summary; restore with Deserialize.
   std::string Serialize() const {
     SerdeWriter w;
     impl_.Serialize(w);
-    return w.Take();
+    return FrameSnapshot(SnapshotType::kGkArray, w.Take());
   }
   /// Restores a Serialize() snapshot; nullptr on corrupt input.
   static std::unique_ptr<GkArray> Deserialize(const std::string& bytes) {
+    std::string payload;
+    if (!UnframeSnapshot(bytes, SnapshotType::kGkArray, &payload)) {
+      return nullptr;
+    }
     auto sketch = std::make_unique<GkArray>(0.5);
-    SerdeReader r(bytes);
+    SerdeReader r(payload);
     if (!sketch->impl_.Deserialize(r) || !r.Done()) return nullptr;
     return sketch;
+  }
+
+ protected:
+  uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
+  std::vector<uint64_t> QueryManyImpl(
+      const std::vector<double>& phis) override {
+    return impl_.QueryMany(phis);
   }
 
  private:
@@ -127,10 +161,9 @@ class GkArray : public QuantileSketch {
 class RandomSketch : public QuantileSketch {
  public:
   RandomSketch(double eps, uint64_t seed = 1) : impl_(eps, seed) {}
-  void Insert(uint64_t value) override { impl_.Insert(value); }
-  uint64_t Query(double phi) override { return impl_.Query(phi); }
-  std::vector<uint64_t> QueryMany(const std::vector<double>& phis) override {
-    return impl_.QueryMany(phis);
+  StreamqStatus Insert(uint64_t value) override {
+    impl_.Insert(value);
+    return StreamqStatus::kOk;
   }
   int64_t EstimateRank(uint64_t value) override {
     return impl_.EstimateRank(value);
@@ -144,18 +177,29 @@ class RandomSketch : public QuantileSketch {
   /// summary property of Agarwal et al. that Random inherits).
   void Merge(const RandomSketch& other) { impl_.Merge(other.impl_); }
 
-  /// Snapshot of the summary (including PRNG state).
+  /// Framed snapshot of the summary (including PRNG state).
   std::string Serialize() const {
     SerdeWriter w;
     impl_.Serialize(w);
-    return w.Take();
+    return FrameSnapshot(SnapshotType::kRandom, w.Take());
   }
   /// Restores a Serialize() snapshot; nullptr on corrupt input.
   static std::unique_ptr<RandomSketch> Deserialize(const std::string& bytes) {
+    std::string payload;
+    if (!UnframeSnapshot(bytes, SnapshotType::kRandom, &payload)) {
+      return nullptr;
+    }
     auto sketch = std::make_unique<RandomSketch>(0.5);
-    SerdeReader r(bytes);
+    SerdeReader r(payload);
     if (!sketch->impl_.Deserialize(r) || !r.Done()) return nullptr;
     return sketch;
+  }
+
+ protected:
+  uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
+  std::vector<uint64_t> QueryManyImpl(
+      const std::vector<double>& phis) override {
+    return impl_.QueryMany(phis);
   }
 
  private:
@@ -166,10 +210,9 @@ class RandomSketch : public QuantileSketch {
 class Mrl99 : public QuantileSketch {
  public:
   Mrl99(double eps, uint64_t seed = 1) : impl_(eps, seed) {}
-  void Insert(uint64_t value) override { impl_.Insert(value); }
-  uint64_t Query(double phi) override { return impl_.Query(phi); }
-  std::vector<uint64_t> QueryMany(const std::vector<double>& phis) override {
-    return impl_.QueryMany(phis);
+  StreamqStatus Insert(uint64_t value) override {
+    impl_.Insert(value);
+    return StreamqStatus::kOk;
   }
   int64_t EstimateRank(uint64_t value) override {
     return impl_.EstimateRank(value);
@@ -179,18 +222,29 @@ class Mrl99 : public QuantileSketch {
   std::string Name() const override { return "MRL99"; }
   Mrl99Impl<uint64_t>& impl() { return impl_; }
 
-  /// Snapshot of the summary (including PRNG state).
+  /// Framed snapshot of the summary (including PRNG state).
   std::string Serialize() const {
     SerdeWriter w;
     impl_.Serialize(w);
-    return w.Take();
+    return FrameSnapshot(SnapshotType::kMrl99, w.Take());
   }
   /// Restores a Serialize() snapshot; nullptr on corrupt input.
   static std::unique_ptr<Mrl99> Deserialize(const std::string& bytes) {
+    std::string payload;
+    if (!UnframeSnapshot(bytes, SnapshotType::kMrl99, &payload)) {
+      return nullptr;
+    }
     auto sketch = std::make_unique<Mrl99>(0.5);
-    SerdeReader r(bytes);
+    SerdeReader r(payload);
     if (!sketch->impl_.Deserialize(r) || !r.Done()) return nullptr;
     return sketch;
+  }
+
+ protected:
+  uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
+  std::vector<uint64_t> QueryManyImpl(
+      const std::vector<double>& phis) override {
+    return impl_.QueryMany(phis);
   }
 
  private:

@@ -13,18 +13,20 @@
 
 namespace streamq {
 
-void DyadicQuantileBase::ApplyUpdate(uint64_t value, int64_t delta) {
-  // Values outside the configured universe are clamped to its maximum:
-  // better a bounded bias at the top cell than an out-of-bounds write into
-  // an exact-level counter array (Insert and Erase clamp identically, so a
-  // clamped deletion still cancels its insertion).
+StreamqStatus DyadicQuantileBase::ApplyUpdate(uint64_t value, int64_t delta) {
+  // Values outside the configured universe are rejected, not clamped: a
+  // clamp would silently bias the top cell, and an unchecked update would
+  // be an out-of-bounds write into an exact-level counter array. Insert and
+  // Erase reject identically, so no rejected insertion can leave a stray
+  // deletion behind.
   if (log_u_ < 64 && value >= (uint64_t{1} << log_u_)) {
-    value = (uint64_t{1} << log_u_) - 1;
+    return StreamqStatus::kOutOfUniverse;
   }
   n_ += delta;
   for (int i = 0; i < log_u_; ++i) {
     levels_[i]->Update(value >> i, delta);
   }
+  return StreamqStatus::kOk;
 }
 
 double DyadicQuantileBase::CellEstimate(int level, uint64_t index) const {
@@ -50,7 +52,7 @@ int64_t DyadicQuantileBase::EstimateRank(uint64_t value) {
   return static_cast<int64_t>(std::llround(rank));
 }
 
-uint64_t DyadicQuantileBase::Query(double phi) {
+uint64_t DyadicQuantileBase::QueryImpl(double phi) {
   // Build the answer bit by bit: x stays the largest prefix whose estimated
   // rank is below the target (binary search on [u], as in the paper).
   double target = std::clamp(phi * static_cast<double>(n_), 0.0,
@@ -69,6 +71,7 @@ uint64_t DyadicQuantileBase::Query(double phi) {
 }
 
 uint64_t DyadicQuantileBase::QueryByDescent(double phi) {
+  if (!PhiIsValid(phi)) return 0;
   double target = phi * static_cast<double>(n_);
   target = std::clamp(target, 0.0, static_cast<double>(n_));
   uint64_t cell = 0;
@@ -95,7 +98,7 @@ std::string DyadicQuantileBase::Serialize() const {
   w.U64(seed_);
   w.I64(n_);
   for (const auto& level : levels_) level->SaveCounters(w);
-  return w.Take();
+  return FrameSnapshot(snapshot_type(), w.Take());
 }
 
 bool DyadicQuantileBase::LoadFrom(SerdeReader& r) {
@@ -181,7 +184,9 @@ void Dcm::BuildLevels(uint64_t width, int depth, uint64_t seed) {
 }
 
 std::unique_ptr<Dcm> Dcm::Deserialize(const std::string& bytes) {
-  SerdeReader r(bytes);
+  std::string payload;
+  if (!UnframeSnapshot(bytes, SnapshotType::kDcm, &payload)) return nullptr;
+  SerdeReader r(payload);
   DyadicHeader h;
   if (!ReadDyadicHeader(r, &h)) return nullptr;
   auto dcm = WithWidth(h.width, h.depth, h.log_u, h.seed);
@@ -211,7 +216,9 @@ void Dcs::BuildLevels(uint64_t width, int depth, uint64_t seed) {
 }
 
 std::unique_ptr<Dcs> Dcs::Deserialize(const std::string& bytes) {
-  SerdeReader r(bytes);
+  std::string payload;
+  if (!UnframeSnapshot(bytes, SnapshotType::kDcs, &payload)) return nullptr;
+  SerdeReader r(payload);
   DyadicHeader h;
   if (!ReadDyadicHeader(r, &h)) return nullptr;
   auto dcs = WithWidth(h.width, h.depth, h.log_u, h.seed);

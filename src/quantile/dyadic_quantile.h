@@ -11,6 +11,7 @@
 
 #include "quantile/quantile_sketch.h"
 #include "sketch/frequency_estimator.h"
+#include "util/serde.h"
 
 namespace streamq {
 
@@ -19,17 +20,16 @@ namespace streamq {
 /// universe is no larger than the sketch use ExactCounts instead.
 class DyadicQuantileBase : public QuantileSketch {
  public:
-  void Insert(uint64_t value) override { ApplyUpdate(value, +1); }
-  void Erase(uint64_t value) override { ApplyUpdate(value, -1); }
+  /// Values outside the configured universe [0, 2^log_u) are rejected with
+  /// kOutOfUniverse; the sketch is not modified (no clamping, no
+  /// out-of-bounds write).
+  StreamqStatus Insert(uint64_t value) override {
+    return ApplyUpdate(value, +1);
+  }
+  StreamqStatus Erase(uint64_t value) override {
+    return ApplyUpdate(value, -1);
+  }
   bool SupportsDeletion() const override { return true; }
-
-  /// The paper's quantile query: binary search over [u] for the largest
-  /// value whose estimated rank (sum over the dyadic decomposition, one
-  /// estimate per level) stays below phi*n. Unbiased per-level estimators
-  /// (DCS) profit from error cancellation across levels here; Count-Min's
-  /// one-sided bias accumulates, which is the mechanism behind the paper's
-  /// Fig. 10 separation between DCM and DCS.
-  uint64_t Query(double phi) override;
 
   /// Alternative query (not in the paper): descend the dyadic tree keeping
   /// a running mass bound and clamping each child estimate into
@@ -57,14 +57,26 @@ class DyadicQuantileBase : public QuantileSketch {
   /// Variance proxy of one cell estimate at `level` (0 when exact).
   double LevelVariance(int level) const;
 
-  /// Snapshot of the sketch (construction parameters + all counters).
-  /// Restore with the matching Deserialize of the concrete class.
+  /// Framed snapshot of the sketch (construction parameters + all
+  /// counters). Restore with the matching Deserialize of the concrete
+  /// class; a snapshot of one dyadic sketch type is rejected by another's.
   std::string Serialize() const;
 
  protected:
   explicit DyadicQuantileBase(int log_u) : log_u_(log_u), levels_(log_u) {}
 
-  void ApplyUpdate(uint64_t value, int64_t delta);
+  /// The paper's quantile query: binary search over [u] for the largest
+  /// value whose estimated rank (sum over the dyadic decomposition, one
+  /// estimate per level) stays below phi*n. Unbiased per-level estimators
+  /// (DCS) profit from error cancellation across levels here; Count-Min's
+  /// one-sided bias accumulates, which is the mechanism behind the paper's
+  /// Fig. 10 separation between DCM and DCS.
+  uint64_t QueryImpl(double phi) override;
+
+  /// Frame type tag for Serialize (one per concrete sketch).
+  virtual SnapshotType snapshot_type() const = 0;
+
+  StreamqStatus ApplyUpdate(uint64_t value, int64_t delta);
   bool LoadFrom(class SerdeReader& r);
 
   int log_u_;
@@ -87,6 +99,9 @@ class Dcm : public DyadicQuantileBase {
   static std::unique_ptr<Dcm> Deserialize(const std::string& bytes);
   std::string Name() const override { return "DCM"; }
 
+ protected:
+  SnapshotType snapshot_type() const override { return SnapshotType::kDcm; }
+
  private:
   Dcm(int log_u) : DyadicQuantileBase(log_u) {}
   void BuildLevels(uint64_t width, int depth, uint64_t seed);
@@ -103,6 +118,9 @@ class Dcs : public DyadicQuantileBase {
   static std::unique_ptr<Dcs> Deserialize(const std::string& bytes);
   std::string Name() const override { return "DCS"; }
 
+ protected:
+  SnapshotType snapshot_type() const override { return SnapshotType::kDcs; }
+
  private:
   Dcs(int log_u) : DyadicQuantileBase(log_u) {}
   void BuildLevels(uint64_t width, int depth, uint64_t seed);
@@ -115,6 +133,9 @@ class RssQuantile : public DyadicQuantileBase {
  public:
   RssQuantile(uint64_t width, int depth, int log_u, uint64_t seed = 1);
   std::string Name() const override { return "RSS"; }
+
+ protected:
+  SnapshotType snapshot_type() const override { return SnapshotType::kRss; }
 };
 
 }  // namespace streamq

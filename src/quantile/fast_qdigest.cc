@@ -32,15 +32,17 @@ int64_t FastQDigest::Threshold() const {
                               static_cast<double>(log_u_));
 }
 
-void FastQDigest::Insert(uint64_t value) {
-  // Clamp out-of-universe values to the maximum representable leaf rather
-  // than silently creating ids outside the tree.
+StreamqStatus FastQDigest::Insert(uint64_t value) {
+  // Out-of-universe values are rejected rather than clamped: a clamp would
+  // silently bias the top leaf, and an unchecked id would fall outside the
+  // tree.
   const uint64_t max_value = (uint64_t{1} << log_u_) - 1;
-  if (value > max_value) value = max_value;
+  if (value > max_value) return StreamqStatus::kOutOfUniverse;
   ++n_;
   counts_[(uint64_t{1} << log_u_) + value] += 1;
   snapshot_dirty_ = true;
   MaybeCompress();
+  return StreamqStatus::kOk;
 }
 
 void FastQDigest::MaybeCompress() {
@@ -112,7 +114,7 @@ const std::vector<FastQDigest::Entry>& FastQDigest::SortedEntries() {
   return snapshot_;
 }
 
-uint64_t FastQDigest::Query(double phi) {
+uint64_t FastQDigest::QueryImpl(double phi) {
   const auto& entries = SortedEntries();
   if (entries.empty()) return 0;  // empty digest: nothing to report
   const double target = phi * static_cast<double>(n_);
@@ -124,7 +126,7 @@ uint64_t FastQDigest::Query(double phi) {
   return entries.back().hi;
 }
 
-std::vector<uint64_t> FastQDigest::QueryMany(const std::vector<double>& phis) {
+std::vector<uint64_t> FastQDigest::QueryManyImpl(const std::vector<double>& phis) {
   const auto& entries = SortedEntries();
   std::vector<uint64_t> out;
   if (entries.empty()) {
@@ -179,11 +181,15 @@ std::string FastQDigest::Serialize() const {
   entries.reserve(counts_.size());
   for (const auto& [id, cnt] : counts_) entries.push_back({id, cnt});
   w.PodVector(entries);
-  return w.Take();
+  return FrameSnapshot(SnapshotType::kFastQDigest, w.Take());
 }
 
 std::unique_ptr<FastQDigest> FastQDigest::Deserialize(const std::string& bytes) {
-  SerdeReader r(bytes);
+  std::string payload;
+  if (!UnframeSnapshot(bytes, SnapshotType::kFastQDigest, &payload)) {
+    return nullptr;
+  }
+  SerdeReader r(payload);
   double eps = 0;
   uint32_t log_u = 0;
   uint64_t n = 0, last = 0, limit = 0;

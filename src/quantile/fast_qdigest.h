@@ -30,9 +30,8 @@ class FastQDigest : public QuantileSketch {
   /// eps: target rank error; log_universe: values are in [0, 2^log_universe).
   FastQDigest(double eps, int log_universe);
 
-  void Insert(uint64_t value) override;
-  uint64_t Query(double phi) override;
-  std::vector<uint64_t> QueryMany(const std::vector<double>& phis) override;
+  /// Values outside [0, 2^log_universe) are rejected with kOutOfUniverse.
+  StreamqStatus Insert(uint64_t value) override;
   int64_t EstimateRank(uint64_t value) override;
   uint64_t Count() const override { return n_; }
   size_t MemoryBytes() const override;
@@ -52,6 +51,10 @@ class FastQDigest : public QuantileSketch {
 
   size_t NodeCount() const { return counts_.size(); }
   int log_universe() const { return log_u_; }
+
+ protected:
+  uint64_t QueryImpl(double phi) override;
+  std::vector<uint64_t> QueryManyImpl(const std::vector<double>& phis) override;
 
  private:
   int64_t Threshold() const;

@@ -356,10 +356,9 @@ class Mrl98Impl {
 class Mp80 : public QuantileSketch {
  public:
   explicit Mp80(double eps) : impl_(eps) {}
-  void Insert(uint64_t value) override { impl_.Insert(value); }
-  uint64_t Query(double phi) override { return impl_.Query(phi); }
-  std::vector<uint64_t> QueryMany(const std::vector<double>& phis) override {
-    return impl_.QueryMany(phis);
+  StreamqStatus Insert(uint64_t value) override {
+    impl_.Insert(value);
+    return StreamqStatus::kOk;
   }
   int64_t EstimateRank(uint64_t value) override {
     return impl_.EstimateRank(value);
@@ -369,6 +368,13 @@ class Mp80 : public QuantileSketch {
   std::string Name() const override { return "MP80"; }
   Mp80Impl<uint64_t>& impl() { return impl_; }
 
+ protected:
+  uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
+  std::vector<uint64_t> QueryManyImpl(
+      const std::vector<double>& phis) override {
+    return impl_.QueryMany(phis);
+  }
+
  private:
   Mp80Impl<uint64_t> impl_;
 };
@@ -377,10 +383,9 @@ class Mp80 : public QuantileSketch {
 class Mrl98 : public QuantileSketch {
  public:
   Mrl98(double eps, uint64_t n_hint) : impl_(eps, n_hint) {}
-  void Insert(uint64_t value) override { impl_.Insert(value); }
-  uint64_t Query(double phi) override { return impl_.Query(phi); }
-  std::vector<uint64_t> QueryMany(const std::vector<double>& phis) override {
-    return impl_.QueryMany(phis);
+  StreamqStatus Insert(uint64_t value) override {
+    impl_.Insert(value);
+    return StreamqStatus::kOk;
   }
   int64_t EstimateRank(uint64_t value) override {
     return impl_.EstimateRank(value);
@@ -389,6 +394,13 @@ class Mrl98 : public QuantileSketch {
   size_t MemoryBytes() const override { return impl_.MemoryBytes(); }
   std::string Name() const override { return "MRL98"; }
   Mrl98Impl<uint64_t>& impl() { return impl_; }
+
+ protected:
+  uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
+  std::vector<uint64_t> QueryManyImpl(
+      const std::vector<double>& phis) override {
+    return impl_.QueryMany(phis);
+  }
 
  private:
   Mrl98Impl<uint64_t> impl_;

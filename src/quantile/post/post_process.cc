@@ -30,14 +30,16 @@ std::unique_ptr<DcsPost> DcsPost::WithWidth(uint64_t width, int depth,
       new DcsPost(Dcs::WithWidth(width, depth, log_u, seed), eps, eta));
 }
 
-void DcsPost::Insert(uint64_t value) {
-  dcs_->Insert(value);
-  dirty_ = true;
+StreamqStatus DcsPost::Insert(uint64_t value) {
+  const StreamqStatus status = dcs_->Insert(value);
+  if (status == StreamqStatus::kOk) dirty_ = true;
+  return status;
 }
 
-void DcsPost::Erase(uint64_t value) {
-  dcs_->Erase(value);
-  dirty_ = true;
+StreamqStatus DcsPost::Erase(uint64_t value) {
+  const StreamqStatus status = dcs_->Erase(value);
+  if (status == StreamqStatus::kOk) dirty_ = true;
+  return status;
 }
 
 void DcsPost::Finalize() {
@@ -116,7 +118,7 @@ int64_t DcsPost::EstimateRank(uint64_t value) {
   return static_cast<int64_t>(std::llround(TreePrefixMass(value)));
 }
 
-uint64_t DcsPost::Query(double phi) {
+uint64_t DcsPost::QueryImpl(double phi) {
   EnsureFinalized();
   if (tree_.empty()) return 0;
   const double n = static_cast<double>(dcs_->Count());

@@ -32,10 +32,9 @@ class DcsPost : public QuantileSketch {
                                             int log_u, double eps, double eta,
                                             uint64_t seed);
 
-  void Insert(uint64_t value) override;
-  void Erase(uint64_t value) override;
+  StreamqStatus Insert(uint64_t value) override;
+  StreamqStatus Erase(uint64_t value) override;
   bool SupportsDeletion() const override { return true; }
-  uint64_t Query(double phi) override;
   int64_t EstimateRank(uint64_t value) override;
   uint64_t Count() const override { return dcs_->Count(); }
   size_t MemoryBytes() const override { return dcs_->MemoryBytes(); }
@@ -52,6 +51,9 @@ class DcsPost : public QuantileSketch {
 
   /// Re-runs truncation + BLUE immediately (normally lazy on query).
   void Finalize();
+
+ protected:
+  uint64_t QueryImpl(double phi) override;
 
  private:
   DcsPost(std::unique_ptr<Dcs> dcs, double eps, double eta);

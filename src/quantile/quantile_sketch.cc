@@ -1,22 +1,32 @@
 #include "quantile/quantile_sketch.h"
 
-#include <cstdio>
-#include <cstdlib>
-
 namespace streamq {
 
-void QuantileSketch::Erase(uint64_t /*value*/) {
-  std::fprintf(stderr,
-               "streamq: Erase() called on cash-register summary %s, which "
-               "does not support deletions\n",
-               Name().c_str());
-  std::abort();
+const char* StreamqStatusName(StreamqStatus status) {
+  switch (status) {
+    case StreamqStatus::kOk:
+      return "kOk";
+    case StreamqStatus::kUnsupported:
+      return "kUnsupported";
+    case StreamqStatus::kOutOfUniverse:
+      return "kOutOfUniverse";
+    case StreamqStatus::kInvalidArgument:
+      return "kInvalidArgument";
+  }
+  return "unknown";
 }
 
-std::vector<uint64_t> QuantileSketch::QueryMany(const std::vector<double>& phis) {
+StreamqStatus QuantileSketch::Erase(uint64_t /*value*/) {
+  // Cash-register summaries do not support deletions; refusing is part of
+  // the contract, not a programming error, so no abort.
+  return StreamqStatus::kUnsupported;
+}
+
+std::vector<uint64_t> QuantileSketch::QueryManyImpl(
+    const std::vector<double>& phis) {
   std::vector<uint64_t> out;
   out.reserve(phis.size());
-  for (double phi : phis) out.push_back(Query(phi));
+  for (double phi : phis) out.push_back(QueryImpl(phi));
   return out;
 }
 

@@ -10,6 +10,24 @@
 
 namespace streamq {
 
+/// Result of a sketch mutation or query. The library's single error-path
+/// convention: operations that can be refused return a StreamqStatus
+/// instead of aborting, and refuse WITHOUT mutating the sketch.
+enum class StreamqStatus {
+  kOk = 0,
+  /// The operation is not supported by this summary's stream model
+  /// (e.g. Erase on a cash-register summary).
+  kUnsupported,
+  /// The value lies outside the fixed universe [0, 2^log_u) of a
+  /// fixed-universe summary; the update was rejected, not clamped.
+  kOutOfUniverse,
+  /// A parameter was malformed (e.g. phi outside [0, 1] or NaN).
+  kInvalidArgument,
+};
+
+/// Human-readable status name (for logs and test failure messages).
+const char* StreamqStatusName(StreamqStatus status);
+
 /// Abstract streaming quantile summary.
 ///
 /// All implementations process one update at a time and can answer quantile
@@ -21,24 +39,38 @@ class QuantileSketch {
  public:
   virtual ~QuantileSketch() = default;
 
-  /// Inserts one value.
-  virtual void Insert(uint64_t value) = 0;
+  /// Inserts one value. Fixed-universe (turnstile) summaries reject values
+  /// outside their universe with kOutOfUniverse and leave the summary
+  /// unchanged; comparison-based summaries accept any value.
+  virtual StreamqStatus Insert(uint64_t value) = 0;
 
   /// Deletes one previously inserted occurrence of value. Only supported in
-  /// the turnstile model; cash-register summaries abort.
-  virtual void Erase(uint64_t value);
+  /// the turnstile model; cash-register summaries return kUnsupported (the
+  /// summary is unchanged — no abort).
+  virtual StreamqStatus Erase(uint64_t value);
 
   /// Whether Erase is supported (turnstile model).
   virtual bool SupportsDeletion() const { return false; }
 
   /// Returns an eps-approximate phi-quantile of the elements currently
-  /// summarised, 0 < phi < 1.
-  virtual uint64_t Query(double phi) = 0;
+  /// summarised. phi is validated against [0, 1] (NaN rejected); an invalid
+  /// phi yields 0 without consulting the summary.
+  uint64_t Query(double phi) {
+    if (!PhiIsValid(phi)) return 0;
+    return QueryImpl(phi);
+  }
 
-  /// Batch quantile query; phis must be sorted ascending. The default loops
-  /// over Query(); summaries with linear-scan query paths override this with
-  /// a single pass.
-  virtual std::vector<uint64_t> QueryMany(const std::vector<double>& phis);
+  /// Batch quantile query; phis must be sorted ascending and each valid per
+  /// Query(). Any invalid phi yields an all-zero result of the same length.
+  std::vector<uint64_t> QueryMany(const std::vector<double>& phis) {
+    for (double phi : phis) {
+      if (!PhiIsValid(phi)) return std::vector<uint64_t>(phis.size(), 0);
+    }
+    return QueryManyImpl(phis);
+  }
+
+  /// The Query() validity test: phi in [0, 1], rejecting NaN.
+  static bool PhiIsValid(double phi) { return phi >= 0.0 && phi <= 1.0; }
 
   /// Estimated rank (number of summarised elements < value). Exposed for
   /// diagnostics and tests; all summaries can answer it.
@@ -53,6 +85,15 @@ class QuantileSketch {
 
   /// Algorithm name as used in the paper's figures.
   virtual std::string Name() const = 0;
+
+ protected:
+  /// Quantile query with phi already validated.
+  virtual uint64_t QueryImpl(double phi) = 0;
+
+  /// Batch query with all phis validated. The default loops over
+  /// QueryImpl(); summaries with linear-scan query paths override this with
+  /// a single pass.
+  virtual std::vector<uint64_t> QueryManyImpl(const std::vector<double>& phis);
 };
 
 }  // namespace streamq

@@ -1,0 +1,57 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace streamq {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli polynomial
+
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+};
+
+Tables BuildTables() {
+  Tables tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    tables.t[1][i] = (tables.t[0][i] >> 8) ^ tables.t[0][tables.t[0][i] & 0xFF];
+    tables.t[2][i] = (tables.t[1][i] >> 8) ^ tables.t[0][tables.t[1][i] & 0xFF];
+    tables.t[3][i] = (tables.t[2][i] >> 8) ^ tables.t[0][tables.t[2][i] & 0xFF];
+  }
+  return tables;
+}
+
+const Tables& GetTables() {
+  static const Tables tables = BuildTables();
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t crc) {
+  const Tables& tb = GetTables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (size >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tb.t[3][crc & 0xFF] ^ tb.t[2][(crc >> 8) & 0xFF] ^
+          tb.t[1][(crc >> 16) & 0xFF] ^ tb.t[0][crc >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace streamq

@@ -1,0 +1,23 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum used by the framed snapshot format (util/serde.h). CRC32C detects
+// every single-bit and single-byte error and all burst errors up to 32 bits,
+// which is exactly the failure mode a lossy/corrupting transport introduces.
+//
+// Software slice-by-4 table implementation: no SSE4.2 dependency, fast
+// enough for snapshot-sized payloads (KBs, not GBs).
+
+#ifndef STREAMQ_UTIL_CRC32C_H_
+#define STREAMQ_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace streamq {
+
+/// CRC32C of `size` bytes at `data`, seeded with `crc` (pass 0 for a fresh
+/// checksum; chain calls to checksum discontiguous regions).
+uint32_t Crc32c(const void* data, size_t size, uint32_t crc = 0);
+
+}  // namespace streamq
+
+#endif  // STREAMQ_UTIL_CRC32C_H_

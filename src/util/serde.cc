@@ -1,0 +1,69 @@
+#include "util/serde.h"
+
+#include "util/crc32c.h"
+
+namespace streamq {
+
+std::string FrameSnapshot(SnapshotType type, const std::string& payload) {
+  SerdeWriter w;
+  w.U32(kFrameMagic);
+  uint32_t ver_type = kFrameVersion |
+                      (static_cast<uint32_t>(static_cast<uint16_t>(type)) << 16);
+  w.U32(ver_type);
+  w.U64(payload.size());
+  w.U32(Crc32c(payload.data(), payload.size()));
+  std::string out = w.Take();
+  out += payload;
+  return out;
+}
+
+namespace {
+
+struct FrameHeader {
+  SnapshotType type;
+  uint64_t payload_len;
+  uint32_t crc;
+};
+
+bool ParseHeader(const std::string& frame, FrameHeader* h) {
+  if (frame.size() < kFrameHeaderBytes) return false;
+  SerdeReader r(frame);
+  uint32_t magic = 0, ver_type = 0, crc = 0;
+  uint64_t len = 0;
+  if (!r.U32(&magic) || !r.U32(&ver_type) || !r.U64(&len) || !r.U32(&crc)) {
+    return false;
+  }
+  if (magic != kFrameMagic) return false;
+  if ((ver_type & 0xFFFF) != kFrameVersion) return false;
+  h->type = static_cast<SnapshotType>(ver_type >> 16);
+  h->payload_len = len;
+  h->crc = crc;
+  return true;
+}
+
+}  // namespace
+
+bool UnframeSnapshot(const std::string& frame, SnapshotType expected,
+                     std::string* payload) {
+  FrameHeader h{};
+  if (!ParseHeader(frame, &h)) return false;
+  if (h.type != expected) return false;
+  // The declared payload length must match the buffer exactly: truncated and
+  // padded frames are both rejected, and no allocation ever exceeds the
+  // bytes actually present.
+  if (h.payload_len != frame.size() - kFrameHeaderBytes) return false;
+  const char* data = frame.data() + kFrameHeaderBytes;
+  if (Crc32c(data, static_cast<size_t>(h.payload_len)) != h.crc) return false;
+  payload->assign(data, static_cast<size_t>(h.payload_len));
+  return true;
+}
+
+bool PeekSnapshotType(const std::string& frame, SnapshotType* type) {
+  FrameHeader h{};
+  if (!ParseHeader(frame, &h)) return false;
+  if (h.payload_len != frame.size() - kFrameHeaderBytes) return false;
+  *type = h.type;
+  return true;
+}
+
+}  // namespace streamq

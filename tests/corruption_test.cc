@@ -1,0 +1,137 @@
+// Snapshot hardening: a corrupted snapshot must never be accepted.
+//
+// For every sketch with Save/Load we take a small valid snapshot and flip
+// every single byte in turn (all 8 bit positions would be 8x slower for no
+// extra coverage: the CRC32C detects any single flipped bit, so one mask per
+// position exercises every code path). Each corrupted snapshot must be
+// rejected cleanly — Deserialize returns nullptr, no crash, no partially
+// constructed sketch. Truncations and extensions of the frame must fail
+// too.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "quantile/cash_register.h"
+#include "quantile/dyadic_quantile.h"
+#include "quantile/fast_qdigest.h"
+#include "util/serde.h"
+
+namespace streamq {
+namespace {
+
+struct SnapshotCase {
+  std::string name;
+  std::string bytes;
+  // Returns nullptr-ness of the deserialization attempt.
+  std::function<bool(const std::string&)> loads;
+};
+
+template <typename Sketch>
+SnapshotCase MakeCase(std::string name, std::unique_ptr<Sketch> sketch) {
+  SnapshotCase c;
+  c.name = std::move(name);
+  c.bytes = sketch->Serialize();
+  c.loads = [](const std::string& bytes) {
+    return Sketch::Deserialize(bytes) != nullptr;
+  };
+  return c;
+}
+
+std::vector<SnapshotCase> AllSnapshotCases() {
+  // Small streams and coarse parameters keep the snapshots (and thus the
+  // number of byte positions to sweep) small.
+  std::vector<SnapshotCase> cases;
+  {
+    auto s = std::make_unique<GkTheory>(0.1);
+    for (uint64_t v = 0; v < 200; ++v) s->Insert(v * 17 % 1000);
+    cases.push_back(MakeCase("GKTheory", std::move(s)));
+  }
+  {
+    auto s = std::make_unique<GkAdaptive>(0.1);
+    for (uint64_t v = 0; v < 200; ++v) s->Insert(v * 31 % 1000);
+    cases.push_back(MakeCase("GKAdaptive", std::move(s)));
+  }
+  {
+    auto s = std::make_unique<GkArray>(0.1);
+    for (uint64_t v = 0; v < 200; ++v) s->Insert(v * 13 % 1000);
+    cases.push_back(MakeCase("GKArray", std::move(s)));
+  }
+  {
+    auto s = std::make_unique<RandomSketch>(0.1, 7);
+    for (uint64_t v = 0; v < 200; ++v) s->Insert(v * 7 % 1000);
+    cases.push_back(MakeCase("Random", std::move(s)));
+  }
+  {
+    auto s = std::make_unique<Mrl99>(0.1, 7);
+    for (uint64_t v = 0; v < 200; ++v) s->Insert(v * 11 % 1000);
+    cases.push_back(MakeCase("MRL99", std::move(s)));
+  }
+  {
+    auto s = std::make_unique<FastQDigest>(0.1, 10);
+    for (uint64_t v = 0; v < 200; ++v) s->Insert(v % 1024);
+    cases.push_back(MakeCase("FastQDigest", std::move(s)));
+  }
+  {
+    auto s = Dcm::WithWidth(16, 2, 8, 7);
+    for (uint64_t v = 0; v < 200; ++v) s->Insert(v % 256);
+    cases.push_back(MakeCase("DCM", std::move(s)));
+  }
+  {
+    auto s = Dcs::WithWidth(16, 2, 8, 7);
+    for (uint64_t v = 0; v < 200; ++v) s->Insert(v % 256);
+    cases.push_back(MakeCase("DCS", std::move(s)));
+  }
+  return cases;
+}
+
+TEST(CorruptionTest, ValidSnapshotsLoad) {
+  for (const SnapshotCase& c : AllSnapshotCases()) {
+    EXPECT_TRUE(c.loads(c.bytes)) << c.name;
+  }
+}
+
+TEST(CorruptionTest, EveryFlippedByteIsRejected) {
+  for (const SnapshotCase& c : AllSnapshotCases()) {
+    ASSERT_GE(c.bytes.size(), kFrameHeaderBytes) << c.name;
+    for (size_t i = 0; i < c.bytes.size(); ++i) {
+      std::string corrupted = c.bytes;
+      corrupted[i] = static_cast<char>(corrupted[i] ^ 0x5A);
+      EXPECT_FALSE(c.loads(corrupted))
+          << c.name << ": flipped byte " << i << " of " << c.bytes.size()
+          << " was accepted";
+    }
+  }
+}
+
+TEST(CorruptionTest, TruncationsAndExtensionsAreRejected) {
+  for (const SnapshotCase& c : AllSnapshotCases()) {
+    EXPECT_FALSE(c.loads(std::string())) << c.name;
+    // Every proper prefix, including a cut inside the header.
+    for (size_t len : {size_t{1}, kFrameHeaderBytes - 1, kFrameHeaderBytes,
+                       c.bytes.size() / 2, c.bytes.size() - 1}) {
+      EXPECT_FALSE(c.loads(c.bytes.substr(0, len)))
+          << c.name << ": prefix of " << len;
+    }
+    EXPECT_FALSE(c.loads(c.bytes + std::string(1, '\0')))
+        << c.name << ": one trailing byte";
+    EXPECT_FALSE(c.loads(c.bytes + c.bytes)) << c.name << ": doubled";
+  }
+}
+
+TEST(CorruptionTest, MismatchedSnapshotTypeIsRejected) {
+  // A bit-perfect GKArray snapshot must not load as any other sketch: the
+  // type tag in the frame header distinguishes them.
+  GkArray s(0.1);
+  for (uint64_t v = 0; v < 100; ++v) s.Insert(v);
+  const std::string bytes = s.Serialize();
+  EXPECT_NE(GkArray::Deserialize(bytes), nullptr);
+  EXPECT_EQ(GkTheory::Deserialize(bytes), nullptr);
+  EXPECT_EQ(Mrl99::Deserialize(bytes), nullptr);
+  EXPECT_EQ(FastQDigest::Deserialize(bytes), nullptr);
+}
+
+}  // namespace
+}  // namespace streamq

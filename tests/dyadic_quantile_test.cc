@@ -209,18 +209,19 @@ TEST(DyadicQuantileTest, DescentQueryAlsoWithinEps) {
   }
 }
 
-TEST(DyadicQuantileTest, OutOfUniverseValuesAreClamped) {
+TEST(DyadicQuantileTest, OutOfUniverseValuesAreRejected) {
   // Feeding values beyond 2^log_u must not corrupt state (release builds
-  // previously risked an out-of-bounds write in the exact-level counters);
-  // they count as the maximum value, and a clamped Erase cancels a clamped
-  // Insert.
+  // previously risked an out-of-bounds write in the exact-level counters):
+  // the update is rejected with kOutOfUniverse and the sketch is unchanged.
   Dcs dcs(0.05, 8, 5, 3);
-  for (int i = 0; i < 1000; ++i) dcs.Insert(1 << 20);
-  EXPECT_EQ(dcs.Count(), 1000u);
-  EXPECT_EQ(dcs.Query(0.5), 255u);
-  for (int i = 0; i < 1000; ++i) dcs.Erase(1 << 20);
+  EXPECT_EQ(dcs.Insert(1 << 20), StreamqStatus::kOutOfUniverse);
+  EXPECT_EQ(dcs.Erase(1 << 20), StreamqStatus::kOutOfUniverse);
   EXPECT_EQ(dcs.Count(), 0u);
-  EXPECT_EQ(dcs.EstimateRank(256), 0);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(dcs.Insert(200), StreamqStatus::kOk);
+  EXPECT_EQ(dcs.Count(), 1000u);
+  EXPECT_EQ(dcs.Insert(1 << 20), StreamqStatus::kOutOfUniverse);
+  EXPECT_EQ(dcs.Count(), 1000u);  // rejected update did not mutate
+  EXPECT_EQ(dcs.Query(0.5), 200u);
 }
 
 TEST(DyadicQuantileTest, EmptySketchQueriesSafely) {

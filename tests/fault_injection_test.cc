@@ -1,0 +1,418 @@
+// Fault-injected distributed monitoring: the channel's deterministic fault
+// injector, the retry/dedup protocol under a fault matrix, and site
+// crash/checkpoint recovery.
+//
+// Everything here is driven by fixed seeds and virtual time, so each
+// scenario is reproducible bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "distributed/channel.h"
+#include "distributed/monitor.h"
+#include "exact/exact_oracle.h"
+#include "util/random.h"
+
+namespace streamq {
+namespace {
+
+// ---------------------------------------------------------------- channel
+
+TEST(FaultyChannelTest, PerfectChannelDeliversImmediatelyInOrder) {
+  FaultyChannel ch(FaultSpec{}, 1);
+  ch.Send(5, "alpha");
+  ch.Send(5, "beta");
+  EXPECT_TRUE(ch.Poll(4).empty());  // nothing due before send time
+  const auto msgs = ch.Poll(5);
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0], "alpha");
+  EXPECT_EQ(msgs[1], "beta");
+  EXPECT_TRUE(ch.Idle());
+  EXPECT_EQ(ch.stats().sent, 2u);
+  EXPECT_EQ(ch.stats().delivered, 2u);
+  EXPECT_EQ(ch.stats().dropped, 0u);
+  EXPECT_EQ(ch.stats().bytes_offered, 9u);
+  EXPECT_EQ(ch.stats().bytes_delivered, 9u);
+}
+
+TEST(FaultyChannelTest, DropRateIsRespectedStatistically) {
+  FaultSpec spec;
+  spec.drop = 0.3;
+  FaultyChannel ch(spec, 42);
+  const int kSends = 4000;
+  for (int i = 0; i < kSends; ++i) ch.Send(i, "x");
+  size_t delivered = 0;
+  for (int i = 0; i < kSends; ++i) delivered += ch.Poll(i).size();
+  EXPECT_EQ(ch.stats().dropped + delivered, static_cast<size_t>(kSends));
+  // 0.3 +- 5 sigma on 4000 trials.
+  EXPECT_NEAR(static_cast<double>(ch.stats().dropped) / kSends, 0.3, 0.04);
+}
+
+TEST(FaultyChannelTest, DuplicatesProduceExtraCopies) {
+  FaultSpec spec;
+  spec.duplicate = 1.0;
+  FaultyChannel ch(spec, 7);
+  ch.Send(0, "msg");
+  const auto msgs = ch.Poll(0);
+  EXPECT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(ch.stats().duplicated, 1u);
+}
+
+TEST(FaultyChannelTest, CorruptionFlipsExactlyOneByte) {
+  FaultSpec spec;
+  spec.corrupt = 1.0;
+  FaultyChannel ch(spec, 9);
+  const std::string original(64, 'A');
+  ch.Send(0, original);
+  const auto msgs = ch.Poll(0);
+  ASSERT_EQ(msgs.size(), 1u);
+  ASSERT_EQ(msgs[0].size(), original.size());
+  size_t differing = 0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    if (msgs[0][i] != original[i]) ++differing;
+  }
+  EXPECT_EQ(differing, 1u);
+  EXPECT_EQ(ch.stats().corrupted, 1u);
+}
+
+TEST(FaultyChannelTest, ReorderHoldsACopyBack) {
+  FaultSpec spec;
+  spec.reorder = 1.0;
+  spec.reorder_extra = 16;
+  FaultyChannel ch(spec, 11);
+  ch.Send(0, "held");
+  EXPECT_TRUE(ch.Poll(0).empty());  // held back
+  size_t delivered = 0;
+  for (uint64_t t = 1; t <= 1 + spec.reorder_extra; ++t) {
+    delivered += ch.Poll(t).size();
+  }
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(ch.stats().reordered, 1u);
+}
+
+TEST(FaultyChannelTest, SameSeedSameFaults) {
+  FaultSpec spec;
+  spec.drop = 0.4;
+  spec.duplicate = 0.2;
+  spec.corrupt = 0.3;
+  spec.min_delay = 1;
+  spec.max_delay = 9;
+  auto run = [&](uint64_t seed) {
+    FaultyChannel ch(spec, seed);
+    std::vector<std::string> out;
+    for (int i = 0; i < 500; ++i) {
+      ch.Send(i, std::string(16, static_cast<char>('a' + i % 26)));
+      for (std::string& m : ch.Poll(i)) out.push_back(std::move(m));
+    }
+    for (int i = 500; i < 600; ++i) {
+      for (std::string& m : ch.Poll(i)) out.push_back(std::move(m));
+    }
+    return out;
+  };
+  EXPECT_EQ(run(123), run(123));
+  EXPECT_NE(run(123), run(124));  // and the seed actually matters
+}
+
+// ----------------------------------------------------- protocol vs oracle
+
+struct Scenario {
+  const char* name;
+  FaultSpec faults;  // applied to both directions
+};
+
+std::vector<Scenario> FaultMatrix() {
+  std::vector<Scenario> rows;
+  for (double drop : {0.0, 0.1, 0.3, 0.5}) {
+    FaultSpec f;
+    f.drop = drop;
+    f.min_delay = 1;
+    f.max_delay = 8;
+    rows.push_back({"drop", f});
+  }
+  {
+    FaultSpec f;
+    f.duplicate = 0.5;
+    f.min_delay = 1;
+    f.max_delay = 8;
+    rows.push_back({"duplicate", f});
+  }
+  {
+    FaultSpec f;
+    f.reorder = 0.5;
+    f.reorder_extra = 32;
+    f.min_delay = 1;
+    f.max_delay = 8;
+    rows.push_back({"reorder", f});
+  }
+  {
+    FaultSpec f;
+    f.corrupt = 0.3;
+    f.min_delay = 1;
+    f.max_delay = 8;
+    rows.push_back({"corrupt", f});
+  }
+  {
+    FaultSpec f;  // everything at once
+    f.drop = 0.25;
+    f.duplicate = 0.25;
+    f.reorder = 0.25;
+    f.corrupt = 0.25;
+    f.min_delay = 1;
+    f.max_delay = 12;
+    rows.push_back({"combined", f});
+  }
+  return rows;
+}
+
+// Worst-case rank error of a coordinator answer: the local summaries carry
+// eps/2 each, and un-delivered suffixes add StalenessBound() whole ranks.
+void ExpectWithinBound(DistributedQuantileMonitor& monitor,
+                       const std::vector<uint64_t>& observed, double eps,
+                       const std::string& context) {
+  if (observed.empty()) return;
+  ExactOracle oracle(observed);
+  const double n = static_cast<double>(observed.size());
+  const double bound =
+      eps * n + static_cast<double>(monitor.StalenessBound()) + 1.0;
+  for (double phi : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const uint64_t exact_q = oracle.Quantile(phi);
+    const auto interval = oracle.RankInterval(exact_q);
+    const int64_t est = monitor.EstimateRank(exact_q);
+    const double lo = static_cast<double>(interval.first) - bound;
+    const double hi = static_cast<double>(interval.second) + bound;
+    EXPECT_GE(static_cast<double>(est), lo)
+        << context << " phi=" << phi << " staleness="
+        << monitor.StalenessBound();
+    EXPECT_LE(static_cast<double>(est), hi)
+        << context << " phi=" << phi << " staleness="
+        << monitor.StalenessBound();
+  }
+}
+
+TEST(FaultMatrixTest, CoordinatorStaysWithinEpsPlusStaleness) {
+  const double eps = 0.05;
+  const int kSites = 3;
+  const int kN = 3000;
+  for (const Scenario& scenario : FaultMatrix()) {
+    for (uint64_t seed : {1u, 7u, 23u}) {
+      MonitorOptions options;
+      options.data_faults = scenario.faults;
+      options.ack_faults = scenario.faults;
+      options.seed = seed;
+      DistributedQuantileMonitor monitor(kSites, eps, -1.0, options);
+      Xoshiro256 rng(seed * 1000 + 17);
+      std::vector<uint64_t> observed;
+      observed.reserve(kN);
+      const std::string context = std::string(scenario.name) + " drop=" +
+                                  std::to_string(scenario.faults.drop) +
+                                  " seed=" + std::to_string(seed);
+      for (int i = 0; i < kN; ++i) {
+        const int site = static_cast<int>(rng.Below(kSites));
+        // Skewed per-site ranges so the union genuinely needs all sites.
+        const uint64_t value =
+            static_cast<uint64_t>(site) * 100'000 + rng.Below(100'000);
+        monitor.Observe(site, value);
+        observed.push_back(value);
+        if ((i + 1) % 1000 == 0) {
+          // Mid-stream: answers may be stale, but never beyond the bound
+          // the monitor itself reports.
+          ExpectWithinBound(monitor, observed, eps, context + " mid");
+        }
+      }
+      EXPECT_EQ(monitor.GlobalCount(), static_cast<uint64_t>(kN)) << context;
+      // With retries, even 50% drop in both directions quiesces.
+      EXPECT_TRUE(monitor.Quiesce()) << context;
+      EXPECT_EQ(monitor.StalenessBound(), 0u) << context;
+      EXPECT_EQ(monitor.coordinator().ReportedCount(),
+                static_cast<uint64_t>(kN))
+          << context << ": dedup must keep the reported count exact";
+      ExpectWithinBound(monitor, observed, eps, context + " final");
+      if (scenario.faults.corrupt > 0.0) {
+        // The injector did corrupt shipments, and every one was caught by
+        // the frame check rather than accepted.
+        EXPECT_GT(monitor.data_channel_stats().corrupted, 0u) << context;
+        EXPECT_GT(monitor.coordinator().stats().rejected_corrupt, 0u)
+            << context;
+      }
+    }
+  }
+}
+
+TEST(FaultMatrixTest, HeavyDuplicationKeepsCountsExact) {
+  FaultSpec f;
+  f.duplicate = 0.9;
+  MonitorOptions options;
+  options.data_faults = f;
+  options.ack_faults = f;
+  options.seed = 5;
+  DistributedQuantileMonitor monitor(2, 0.1, -1.0, options);
+  for (int i = 0; i < 2000; ++i) {
+    monitor.Observe(i % 2, static_cast<uint64_t>(i));
+  }
+  ASSERT_TRUE(monitor.Quiesce());
+  EXPECT_GT(monitor.data_channel_stats().duplicated, 0u);
+  EXPECT_GT(monitor.coordinator().stats().rejected_stale, 0u);
+  EXPECT_EQ(monitor.GlobalCount(), 2000u);
+  EXPECT_EQ(monitor.coordinator().ReportedCount(), 2000u);
+}
+
+TEST(FaultMatrixTest, StalenessBoundShrinksOnQuiesce) {
+  FaultSpec f;
+  f.drop = 0.5;
+  f.min_delay = 2;
+  f.max_delay = 16;
+  MonitorOptions options;
+  options.data_faults = f;
+  options.ack_faults = f;
+  options.seed = 3;
+  DistributedQuantileMonitor monitor(4, 0.05, -1.0, options);
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 4000; ++i) {
+    monitor.Observe(static_cast<int>(rng.Below(4)), rng.Below(1 << 20));
+  }
+  ASSERT_TRUE(monitor.Quiesce());
+  EXPECT_EQ(monitor.StalenessBound(), 0u);
+  EXPECT_GT(monitor.RetransmitCount(), 0u);  // retries actually happened
+}
+
+TEST(FaultMatrixTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    FaultSpec f;
+    f.drop = 0.3;
+    f.duplicate = 0.2;
+    f.corrupt = 0.2;
+    f.min_delay = 1;
+    f.max_delay = 10;
+    MonitorOptions options;
+    options.data_faults = f;
+    options.ack_faults = f;
+    options.seed = 77;
+    DistributedQuantileMonitor monitor(3, 0.05, -1.0, options);
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 2000; ++i) {
+      monitor.Observe(static_cast<int>(rng.Below(3)), rng.Below(1 << 16));
+    }
+    monitor.Quiesce();
+    return std::tuple(monitor.CommunicationBytes(), monitor.ShipmentCount(),
+                      monitor.RetransmitCount(),
+                      monitor.coordinator().stats().rejected_corrupt,
+                      monitor.Query(0.5));
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// -------------------------------------------------------- crash / restart
+
+TEST(RecoveryTest, CheckpointRestartReplaysLostTail) {
+  const double eps = 0.05;
+  FaultSpec f;
+  f.drop = 0.2;
+  f.min_delay = 1;
+  f.max_delay = 6;
+  MonitorOptions options;
+  options.data_faults = f;
+  options.ack_faults = f;
+  options.seed = 13;
+  DistributedQuantileMonitor monitor(2, eps, -1.0, options);
+  Xoshiro256 rng(21);
+  std::vector<uint64_t> observed;
+  std::vector<uint64_t> site0_since_checkpoint;
+  std::string checkpoint;
+  for (int i = 0; i < 3000; ++i) {
+    const int site = static_cast<int>(rng.Below(2));
+    const uint64_t value = rng.Below(1 << 20);
+    monitor.Observe(site, value);
+    observed.push_back(value);
+    if (site == 0) site0_since_checkpoint.push_back(value);
+    if (i == 1500) {
+      checkpoint = monitor.CheckpointSite(0);
+      ASSERT_FALSE(checkpoint.empty());
+      site0_since_checkpoint.clear();
+    }
+  }
+  const uint64_t count_before_crash = monitor.SiteCount(0);
+  monitor.CrashSite(0);
+  EXPECT_EQ(monitor.SiteCount(0), 0u);
+  ASSERT_TRUE(monitor.RestartSite(0, checkpoint));
+  EXPECT_LT(monitor.SiteCount(0), count_before_crash);  // tail was lost
+  // The application replays the lost tail (e.g. from an upstream log).
+  for (uint64_t value : site0_since_checkpoint) monitor.Observe(0, value);
+  EXPECT_EQ(monitor.SiteCount(0), count_before_crash);
+  ASSERT_TRUE(monitor.Quiesce());
+  EXPECT_EQ(monitor.coordinator().ReportedCount(),
+            static_cast<uint64_t>(observed.size()));
+  ExactOracle oracle(observed);
+  const double n = static_cast<double>(observed.size());
+  for (double phi : {0.25, 0.5, 0.75}) {
+    const uint64_t exact_q = oracle.Quantile(phi);
+    const auto interval = oracle.RankInterval(exact_q);
+    const int64_t est = monitor.EstimateRank(exact_q);
+    EXPECT_GE(est, static_cast<int64_t>(interval.first) -
+                       static_cast<int64_t>(eps * n) - 1)
+        << phi;
+    EXPECT_LE(est, static_cast<int64_t>(interval.second) +
+                       static_cast<int64_t>(eps * n) + 1)
+        << phi;
+  }
+}
+
+TEST(RecoveryTest, RestartWithoutReplayKeepsCheckpointState) {
+  // If the tail is simply lost, the monitor converges on the checkpointed
+  // prefix: the coordinator ends up reflecting exactly the restored count.
+  DistributedQuantileMonitor monitor(2, 0.1);
+  for (int i = 0; i < 1000; ++i) {
+    monitor.Observe(i % 2, static_cast<uint64_t>(i));
+  }
+  const std::string checkpoint = monitor.CheckpointSite(1);
+  const uint64_t checkpointed = monitor.SiteCount(1);
+  for (int i = 1000; i < 1500; ++i) monitor.Observe(1, static_cast<uint64_t>(i));
+  monitor.CrashSite(1);
+  ASSERT_TRUE(monitor.RestartSite(1, checkpoint));
+  EXPECT_EQ(monitor.SiteCount(1), checkpointed);
+  ASSERT_TRUE(monitor.Quiesce());
+  EXPECT_EQ(monitor.coordinator().KnownCount(1), checkpointed);
+  EXPECT_EQ(monitor.GlobalCount(),
+            monitor.SiteCount(0) + checkpointed);
+}
+
+TEST(RecoveryTest, CorruptCheckpointIsRejected) {
+  DistributedQuantileMonitor monitor(1, 0.1);
+  for (int i = 0; i < 500; ++i) monitor.Observe(0, static_cast<uint64_t>(i));
+  const std::string checkpoint = monitor.CheckpointSite(0);
+  for (size_t i = 0; i < checkpoint.size(); ++i) {
+    std::string corrupted = checkpoint;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x5A);
+    EXPECT_FALSE(monitor.RestartSite(0, corrupted)) << "byte " << i;
+  }
+  EXPECT_FALSE(monitor.RestartSite(0, std::string()));
+  EXPECT_FALSE(monitor.RestartSite(0, checkpoint.substr(0, 10)));
+  // The intact checkpoint still restores.
+  EXPECT_TRUE(monitor.RestartSite(0, checkpoint));
+}
+
+TEST(RecoveryTest, RestartAfterCoordinatorAdvancedFastForwards) {
+  // Checkpoint early, let the site ship far past it, crash, restore the
+  // OLD checkpoint: the coordinator's acks teach the revived site the
+  // foreign sequence horizon and it re-ships, so the coordinator converges
+  // back to the (older) truthful state instead of rejecting it forever.
+  DistributedQuantileMonitor monitor(1, 0.1);
+  for (int i = 0; i < 200; ++i) monitor.Observe(0, static_cast<uint64_t>(i));
+  const std::string old_checkpoint = monitor.CheckpointSite(0);
+  const uint64_t old_count = monitor.SiteCount(0);
+  for (int i = 200; i < 2000; ++i) monitor.Observe(0, static_cast<uint64_t>(i));
+  ASSERT_TRUE(monitor.Quiesce());
+  ASSERT_EQ(monitor.coordinator().KnownCount(0), 2000u);
+  monitor.CrashSite(0);
+  ASSERT_TRUE(monitor.RestartSite(0, old_checkpoint));
+  ASSERT_TRUE(monitor.Quiesce());
+  EXPECT_EQ(monitor.coordinator().KnownCount(0), old_count);
+  EXPECT_EQ(monitor.StalenessBound(), 0u);
+}
+
+}  // namespace
+}  // namespace streamq

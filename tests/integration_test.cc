@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <set>
 #include <tuple>
@@ -206,13 +207,33 @@ TEST(IntegrationTest, TurnstileWorkloadThroughInterface) {
   }
 }
 
-TEST(IntegrationTest, EraseOnCashRegisterDies) {
+TEST(IntegrationTest, EraseOnCashRegisterIsCleanlyRejected) {
+  // Cash-register sketches cannot delete; Erase is a documented error, not
+  // an abort, and leaves the sketch untouched.
   SketchConfig config;
   config.algorithm = Algorithm::kGkArray;
   config.eps = 0.1;
   auto sketch = MakeSketch(config);
-  sketch->Insert(5);
-  EXPECT_DEATH(sketch->Erase(5), "does not support deletions");
+  EXPECT_EQ(sketch->Insert(5), StreamqStatus::kOk);
+  EXPECT_EQ(sketch->Erase(5), StreamqStatus::kUnsupported);
+  EXPECT_EQ(sketch->Count(), 1u);
+  EXPECT_EQ(sketch->Query(0.5), 5u);
+}
+
+TEST(IntegrationTest, InvalidPhiIsRejected) {
+  // Query validates phi in [0, 1]; out-of-range (and NaN) return 0 /
+  // an empty batch instead of reading out of bounds.
+  SketchConfig config;
+  config.algorithm = Algorithm::kGkArray;
+  config.eps = 0.1;
+  auto sketch = MakeSketch(config);
+  for (uint64_t v = 1; v <= 100; ++v) sketch->Insert(v);
+  EXPECT_EQ(sketch->Query(-0.1), 0u);
+  EXPECT_EQ(sketch->Query(1.5), 0u);
+  EXPECT_EQ(sketch->Query(std::numeric_limits<double>::quiet_NaN()), 0u);
+  EXPECT_EQ(sketch->QueryMany({0.5, -1.0}),
+            (std::vector<uint64_t>{0, 0}));  // batch: all-zero on any bad phi
+  EXPECT_GE(sketch->Query(0.5), 1u);
 }
 
 TEST(IntegrationTest, EmptySketchesQuerySafely) {

@@ -154,7 +154,11 @@ TEST(SerdeTest, GkStoreRejectsUnsortedTuples) {
   w.Pod<uint64_t>(5);  // decreasing: invalid
   w.I64(1);
   w.I64(0);
-  EXPECT_EQ(GkTheory::Deserialize(w.buffer()), nullptr);
+  // A valid frame around an invalid payload: the frame layer accepts it,
+  // the structural validation must still reject it.
+  EXPECT_EQ(GkTheory::Deserialize(
+                FrameSnapshot(SnapshotType::kGkTheory, w.Take())),
+            nullptr);
 }
 
 TEST(SerdeTest, RandomSketchRoundTripContinuesStream) {
