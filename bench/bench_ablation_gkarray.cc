@@ -55,16 +55,16 @@ int main() {
     class Wrapper : public QuantileSketch {
      public:
       Wrapper(double eps, double factor) : impl_(eps, 256, factor) {}
-      StreamqStatus Insert(uint64_t v) override {
-        impl_.Insert(v);
-        return StreamqStatus::kOk;
-      }
       int64_t EstimateRank(uint64_t v) override { return impl_.EstimateRank(v); }
       uint64_t Count() const override { return impl_.Count(); }
       size_t MemoryBytes() const override { return impl_.MemoryBytes(); }
       std::string Name() const override { return "GKArray"; }
 
      protected:
+      StreamqStatus InsertImpl(uint64_t v) override {
+        impl_.Insert(v);
+        return StreamqStatus::kOk;
+      }
       uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
       std::vector<uint64_t> QueryManyImpl(
           const std::vector<double>& p) override {

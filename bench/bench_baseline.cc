@@ -1,0 +1,153 @@
+// bench_baseline: machine-readable performance/accuracy baseline over every
+// algorithm of Table 1 (plus DCS+Post), on a small grid of dataset types.
+//
+// Unlike the per-figure binaries (human-readable tables for one figure
+// each), this one emits a single JSON file consumed by
+// scripts/check_bench_json.py, which validates the schema and flags
+// ns/update regressions beyond 20% against the committed BENCH_baseline.json.
+//
+// Usage: bench_baseline [output.json]     (default: BENCH_baseline.json)
+// Scale knobs: STREAMQ_SCALE / STREAMQ_REPS as in every other bench binary.
+// RSS is ~4 orders of magnitude slower per update than the rest (its
+// update touches every counter of every dyadic level, ~8 ms each at the
+// factory's default width cap); it runs on a shorter prefix so the whole
+// baseline stays in laptop territory.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+namespace streamq::bench {
+namespace {
+
+struct DatasetCase {
+  const char* tag;  // stable id used in the JSON and the checker
+  DatasetSpec spec;
+};
+
+std::vector<DatasetCase> BaselineDatasets(uint64_t n) {
+  DatasetCase uniform{"uniform-random", {}};
+  uniform.spec.distribution = Distribution::kUniform;
+  uniform.spec.n = n;
+  uniform.spec.log_universe = 29;
+  uniform.spec.order = Order::kRandom;
+
+  DatasetCase normal{"normal-random", {}};
+  normal.spec.distribution = Distribution::kNormal;
+  normal.spec.n = n;
+  normal.spec.log_universe = 29;
+  normal.spec.sigma = 0.15;
+  normal.spec.order = Order::kRandom;
+
+  DatasetCase sorted{"uniform-sorted", {}};
+  sorted.spec.distribution = Distribution::kUniform;
+  sorted.spec.n = n;
+  sorted.spec.log_universe = 29;
+  sorted.spec.order = Order::kSorted;
+
+  DatasetCase skewed{"loguniform-random", {}};
+  skewed.spec.distribution = Distribution::kLogUniform;
+  skewed.spec.n = n;
+  skewed.spec.log_universe = 29;
+  skewed.spec.order = Order::kRandom;
+
+  return {uniform, normal, sorted, skewed};
+}
+
+// JSON-escapes nothing because every string we emit is a [A-Za-z0-9_.+-]
+// tag; kept as a function so a future fancy tag fails loudly here.
+std::string JsonString(const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(stderr, "tag not JSON-safe: %s\n", s.c_str());
+      std::exit(1);
+    }
+  }
+  return "\"" + s + "\"";
+}
+
+int Main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_baseline.json";
+
+  const uint64_t n = ScaledN(500'000);
+  // RSS updates every counter of every dyadic level per insert -- ~8 ms
+  // each. A shorter prefix keeps its run honest but bounded.
+  const uint64_t rss_n = std::min<uint64_t>(n, ScaledN(20'000));
+  const int reps = Repetitions();
+  const double eps = 0.01;
+
+  std::string json;
+  json += "{\n";
+  json += "  \"schema_version\": 1,\n";
+  json += "  \"eps\": 0.01,\n";
+  json += "  \"n\": " + std::to_string(n) + ",\n";
+  json += "  \"rss_n\": " + std::to_string(rss_n) + ",\n";
+  json += "  \"entries\": [\n";
+
+  bool first = true;
+  for (const DatasetCase& dataset : BaselineDatasets(n)) {
+    std::fprintf(stderr, "dataset %s (n=%" PRIu64 ")\n", dataset.tag,
+                 dataset.spec.n);
+    const std::vector<uint64_t> data = GenerateDataset(dataset.spec);
+    const ExactOracle oracle(data);
+
+    // RSS prefix workload, with its own oracle.
+    DatasetSpec rss_spec = dataset.spec;
+    rss_spec.n = rss_n;
+    const std::vector<uint64_t> rss_data = GenerateDataset(rss_spec);
+    const ExactOracle rss_oracle(rss_data);
+
+    for (Algorithm algorithm :
+         {Algorithm::kGkTheory, Algorithm::kGkAdaptive, Algorithm::kGkArray,
+          Algorithm::kFastQDigest, Algorithm::kMrl99, Algorithm::kRandom,
+          Algorithm::kRss, Algorithm::kDcm, Algorithm::kDcs,
+          Algorithm::kDcsPost}) {
+      SketchConfig config;
+      config.algorithm = algorithm;
+      config.eps = eps;
+      config.log_universe = dataset.spec.LogUniverse();
+
+      const bool is_rss = algorithm == Algorithm::kRss;
+      const RunResult r =
+          RunCashRegister(config, is_rss ? rss_data : data,
+                          is_rss ? rss_oracle : oracle, reps);
+      std::fprintf(stderr, "  %-10s %10.1f ns/update  %9zu B  maxerr %.5f\n",
+                   r.algorithm.c_str(), r.ns_per_update, r.max_memory_bytes,
+                   r.max_error);
+
+      if (!first) json += ",\n";
+      first = false;
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"dataset\": %s, \"algorithm\": %s, "
+                    "\"ns_per_update\": %.3f, \"max_memory_bytes\": %zu, "
+                    "\"max_rank_error\": %.6f, \"avg_rank_error\": %.6f}",
+                    JsonString(dataset.tag).c_str(),
+                    JsonString(r.algorithm).c_str(), r.ns_per_update,
+                    r.max_memory_bytes, r.max_error, r.avg_error);
+      json += buf;
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", out_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace streamq::bench
+
+int main(int argc, char** argv) { return streamq::bench::Main(argc, argv); }

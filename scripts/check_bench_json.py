@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Validates a bench_baseline JSON file and flags performance regressions.
+
+Usage:
+    check_bench_json.py CANDIDATE.json [--baseline BASELINE.json]
+                        [--threshold 0.20]
+
+Schema checks (always):
+  * top-level keys: schema_version (== 1), eps, n, rss_n, entries
+  * every entry has dataset/algorithm/ns_per_update/max_memory_bytes/
+    max_rank_error/avg_rank_error with sane types and ranges
+  * all expected (dataset, algorithm) cells are present, none duplicated
+  * observed max rank error respects the configured eps with the same
+    slack the repo's integration tests allow (3x for the randomized
+    algorithms whose guarantee is probabilistic, and RSS's width cap
+    makes it advisory-only)
+
+Regression check (with --baseline): every cell's ns_per_update must stay
+within (1 + threshold) of the baseline's. Comparing a file against itself
+(as the `verify` target does) degenerates to the schema check.
+
+Exit code 0 = clean, 1 = any failure (messages on stderr).
+"""
+
+import argparse
+import json
+import sys
+
+EXPECTED_ALGORITHMS = [
+    "GKTheory",
+    "GKAdaptive",
+    "GKArray",
+    "FastQDigest",
+    "MRL99",
+    "Random",
+    "RSS",
+    "DCM",
+    "DCS",
+    "Post",
+]
+
+EXPECTED_DATASETS = [
+    "uniform-random",
+    "normal-random",
+    "uniform-sorted",
+    "loguniform-random",
+]
+
+# Observed max rank error is allowed eps * slack. Deterministic
+# comparison-based summaries must meet eps outright; randomized and
+# universe-capped ones get the same latitude the integration tests grant.
+ERROR_SLACK = {
+    "GKTheory": 1.0,
+    "GKAdaptive": 1.0,
+    "GKArray": 1.0,
+    "FastQDigest": 1.0,
+    "MRL99": 3.0,
+    "Random": 3.0,
+    "DCM": 3.0,
+    "DCS": 3.0,
+    "Post": 3.0,
+    "RSS": None,  # width-capped far below its 1/eps^2 theory: advisory
+}
+
+
+def fail(msg):
+    print(f"check_bench_json: {msg}", file=sys.stderr)
+    return 1
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def check_schema(doc, path):
+    errors = 0
+    for key in ("schema_version", "eps", "n", "rss_n", "entries"):
+        if key not in doc:
+            errors += fail(f"{path}: missing top-level key '{key}'")
+    if errors:
+        return errors, {}
+    if doc["schema_version"] != 1:
+        errors += fail(f"{path}: unsupported schema_version {doc['schema_version']}")
+    eps = doc["eps"]
+    if not (isinstance(eps, float) and 0.0 < eps < 1.0):
+        errors += fail(f"{path}: eps must be a float in (0, 1), got {eps!r}")
+    for key in ("n", "rss_n"):
+        if not (isinstance(doc[key], int) and doc[key] > 0):
+            errors += fail(f"{path}: {key} must be a positive integer")
+
+    cells = {}
+    for i, entry in enumerate(doc["entries"]):
+        where = f"{path}: entries[{i}]"
+        if not isinstance(entry, dict):
+            errors += fail(f"{where}: not an object")
+            continue
+        missing = [
+            k
+            for k in (
+                "dataset",
+                "algorithm",
+                "ns_per_update",
+                "max_memory_bytes",
+                "max_rank_error",
+                "avg_rank_error",
+            )
+            if k not in entry
+        ]
+        if missing:
+            errors += fail(f"{where}: missing keys {missing}")
+            continue
+        dataset, algorithm = entry["dataset"], entry["algorithm"]
+        if dataset not in EXPECTED_DATASETS:
+            errors += fail(f"{where}: unknown dataset {dataset!r}")
+        if algorithm not in EXPECTED_ALGORITHMS:
+            errors += fail(f"{where}: unknown algorithm {algorithm!r}")
+        if not (isinstance(entry["ns_per_update"], (int, float)) and entry["ns_per_update"] > 0):
+            errors += fail(f"{where}: ns_per_update must be > 0")
+        if not (isinstance(entry["max_memory_bytes"], int) and entry["max_memory_bytes"] > 0):
+            errors += fail(f"{where}: max_memory_bytes must be a positive integer")
+        for k in ("max_rank_error", "avg_rank_error"):
+            v = entry[k]
+            if not (isinstance(v, (int, float)) and 0.0 <= v <= 1.0):
+                errors += fail(f"{where}: {k} must be in [0, 1]")
+        if entry["avg_rank_error"] > entry["max_rank_error"]:
+            errors += fail(f"{where}: avg_rank_error exceeds max_rank_error")
+
+        key = (dataset, algorithm)
+        if key in cells:
+            errors += fail(f"{where}: duplicate cell {key}")
+        cells[key] = entry
+
+        slack = ERROR_SLACK.get(algorithm)
+        if slack is not None and entry["max_rank_error"] > eps * slack:
+            errors += fail(
+                f"{where}: max_rank_error {entry['max_rank_error']:.6f} "
+                f"exceeds eps*{slack} = {eps * slack:.6f}"
+            )
+
+    for dataset in EXPECTED_DATASETS:
+        for algorithm in EXPECTED_ALGORITHMS:
+            if (dataset, algorithm) not in cells:
+                errors += fail(f"{path}: missing cell ({dataset}, {algorithm})")
+    return errors, cells
+
+
+def check_regression(candidate, baseline, threshold):
+    errors = 0
+    for key, base_entry in baseline.items():
+        cand_entry = candidate.get(key)
+        if cand_entry is None:
+            continue  # absence already reported by the schema pass
+        base_ns = base_entry["ns_per_update"]
+        cand_ns = cand_entry["ns_per_update"]
+        if cand_ns > base_ns * (1.0 + threshold):
+            errors += fail(
+                f"regression: {key[1]} on {key[0]} went from "
+                f"{base_ns:.1f} to {cand_ns:.1f} ns/update "
+                f"(> {threshold:.0%} over baseline)"
+            )
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("candidate", help="bench_baseline JSON to validate")
+    parser.add_argument("--baseline", help="committed baseline to compare against")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional ns/update increase (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    try:
+        candidate_doc = load(args.candidate)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{args.candidate}: {e}")
+
+    errors, candidate_cells = check_schema(candidate_doc, args.candidate)
+
+    if args.baseline and args.baseline != args.candidate:
+        try:
+            baseline_doc = load(args.baseline)
+        except (OSError, json.JSONDecodeError) as e:
+            return fail(f"{args.baseline}: {e}")
+        base_errors, baseline_cells = check_schema(baseline_doc, args.baseline)
+        errors += base_errors
+        errors += check_regression(candidate_cells, baseline_cells, args.threshold)
+
+    if errors:
+        print(f"check_bench_json: {errors} problem(s)", file=sys.stderr)
+        return 1
+    print(f"check_bench_json: {args.candidate} OK "
+          f"({len(candidate_cells)} cells)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Fails when a repo markdown file references a file that does not exist.
+
+Usage: check_docs_links.py [REPO_ROOT]
+
+Scans the repo's top-level *.md files for references to repo files --
+markdown links, inline code spans like `src/obs/metrics.h`, and bare
+path-looking tokens -- and reports any that point at nothing on disk.
+Shorthand like `foo.h/.cc` expands into both files; paths ending in "/"
+must be directories; build outputs under build*/ are resolved relative to
+any configured build dir if one exists, and skipped otherwise (a fresh
+checkout has no build tree).
+
+Exit code 0 = clean, 1 = dangling references (listed on stderr).
+"""
+
+import glob
+import os
+import re
+import sys
+
+# Tokens that look like repo paths: contain a slash or a known source/doc
+# extension. Deliberately conservative to avoid flagging prose.
+PATH_EXTENSIONS = (
+    ".h", ".cc", ".cpp", ".md", ".txt", ".py", ".json", ".cmake",
+)
+
+# `path` or `path/.ext` inside backticks, and [text](path) markdown links.
+CODE_SPAN = re.compile(r"`([^`\n]+)`")
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
+
+# External references we never check.
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def looks_like_path(token):
+    if token.startswith(SKIP_PREFIXES):
+        return False
+    if any(ch in token for ch in " <>{}$=;,"):
+        return False
+    if token.endswith("/"):
+        return "/" in token.rstrip("/")
+    base = token.split("/")[-1]
+    has_ext = any(base.endswith(ext) for ext in PATH_EXTENSIONS)
+    named_file = base in ("CMakeLists.txt", "Makefile")
+    return ("/" in token and (has_ext or named_file)) or has_ext or named_file
+
+
+def expand_shorthand(token):
+    """`foo.h/.cc` -> [foo.h, foo.cc]; `foo.{h,cc}` -> both too."""
+    m = re.fullmatch(r"(.+)\.([a-z]+)/\.([a-z]+)", token)
+    if m:
+        return [f"{m.group(1)}.{m.group(2)}", f"{m.group(1)}.{m.group(3)}"]
+    m = re.fullmatch(r"(.+)\.\{([a-z]+),([a-z]+)\}", token)
+    if m:
+        return [f"{m.group(1)}.{m.group(2)}", f"{m.group(1)}.{m.group(3)}"]
+    return [token]
+
+
+def candidate_dirs(root, md_path):
+    # Paths in docs are written relative to the repo root (the dominant
+    # convention), to src/ (the include-path convention of the C++ sources),
+    # or occasionally to the doc's own directory.
+    return [root, os.path.join(root, "src"), os.path.dirname(md_path)]
+
+
+def exists_in_repo(root, md_path, token):
+    if token.startswith("build/") or token.startswith("build-"):
+        # Build outputs: a fresh checkout has no build tree, so these are
+        # documentation of what a build *produces*, not checked-in files.
+        return True
+    for base in candidate_dirs(root, md_path):
+        full = os.path.join(base, token)
+        if token.endswith("/"):
+            if os.path.isdir(full.rstrip("/")):
+                return True
+        elif os.path.exists(full):
+            return True
+    return False
+
+
+def check_file(root, md_path):
+    dangling = []
+    with open(md_path, "r", encoding="utf-8") as f:
+        text = f.read()
+
+    tokens = set()
+    for m in CODE_SPAN.finditer(text):
+        span = m.group(1).strip()
+        for piece in span.split():
+            if looks_like_path(piece):
+                tokens.add(piece)
+    for m in MD_LINK.finditer(text):
+        target = m.group(1).strip()
+        if not target.startswith(SKIP_PREFIXES):
+            tokens.add(target)
+
+    for token in sorted(tokens):
+        for path in expand_shorthand(token.rstrip(".,:;")):
+            # Tokens with glob or placeholder characters are illustrative.
+            if any(ch in path for ch in "*?N<>"):
+                continue
+            if not looks_like_path(path):
+                continue
+            if not exists_in_repo(root, md_path, path):
+                dangling.append((md_path, path))
+    return dangling
+
+
+def main():
+    root = os.path.abspath(sys.argv[1]) if len(sys.argv) > 1 else os.getcwd()
+    md_files = sorted(glob.glob(os.path.join(root, "*.md")))
+    if not md_files:
+        print(f"check_docs_links: no markdown files under {root}",
+              file=sys.stderr)
+        return 1
+
+    dangling = []
+    for md in md_files:
+        dangling.extend(check_file(root, md))
+
+    if dangling:
+        for md, path in dangling:
+            print(f"check_docs_links: {os.path.relpath(md, root)} references "
+                  f"missing file: {path}", file=sys.stderr)
+        return 1
+    print(f"check_docs_links: {len(md_files)} markdown files OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

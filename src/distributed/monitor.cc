@@ -129,4 +129,51 @@ size_t DistributedQuantileMonitor::CoordinatorMemoryBytes() const {
   return coordinator_.MemoryBytes();
 }
 
+namespace {
+
+void PublishChannelStats(obs::MetricsRegistry& registry,
+                         const std::string& prefix, const ChannelStats& s) {
+  const auto set = [&](const char* name, size_t v) {
+    auto& c = registry.GetCounter(prefix + name);
+    c.Reset();
+    c.Add(static_cast<uint64_t>(v));
+  };
+  set(".sent", s.sent);
+  set(".delivered", s.delivered);
+  set(".dropped", s.dropped);
+  set(".duplicated", s.duplicated);
+  set(".reordered", s.reordered);
+  set(".corrupted", s.corrupted);
+  set(".bytes_offered", s.bytes_offered);
+  set(".bytes_delivered", s.bytes_delivered);
+}
+
+}  // namespace
+
+void DistributedQuantileMonitor::PublishMetrics(obs::MetricsRegistry& registry,
+                                                const std::string& prefix) const {
+  const auto set_counter = [&](const char* name, uint64_t v) {
+    auto& c = registry.GetCounter(prefix + name);
+    c.Reset();
+    c.Add(v);
+  };
+  set_counter(".shipments", ShipmentCount());
+  set_counter(".retransmits", RetransmitCount());
+  set_counter(".global_count", GlobalCount());
+  registry.GetGauge(prefix + ".staleness_bound")
+      .Set(static_cast<int64_t>(StalenessBound()));
+  registry.GetGauge(prefix + ".coordinator_memory_bytes")
+      .Set(static_cast<int64_t>(CoordinatorMemoryBytes()));
+
+  PublishChannelStats(registry, prefix + ".data", data_channel_.stats());
+  PublishChannelStats(registry, prefix + ".ack", ack_channel_.stats());
+
+  const MonitorCoordinator::Stats& cs = coordinator_.stats();
+  set_counter(".coordinator.accepted", cs.accepted);
+  set_counter(".coordinator.rejected_corrupt", cs.rejected_corrupt);
+  set_counter(".coordinator.rejected_stale", cs.rejected_stale);
+  set_counter(".coordinator.rejected_malformed", cs.rejected_malformed);
+  set_counter(".coordinator.acks_sent", cs.acks_sent);
+}
+
 }  // namespace streamq

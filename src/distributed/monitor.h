@@ -32,6 +32,7 @@
 #include "distributed/channel.h"
 #include "distributed/coordinator.h"
 #include "distributed/site.h"
+#include "obs/metrics.h"
 
 namespace streamq {
 
@@ -117,6 +118,13 @@ class DistributedQuantileMonitor {
 
   int num_sites() const { return static_cast<int>(sites_.size()); }
   uint64_t now() const { return now_; }
+
+  /// Publishes a transport/protocol snapshot into `registry` under
+  /// "<prefix>.*": shipments, retransmits, staleness, global count, per-
+  /// direction channel stats (data.*/ack.*) and coordinator accept/reject
+  /// counters. Cold path; safe to call at any point of the run.
+  void PublishMetrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix) const;
 
   const MonitorCoordinator& coordinator() const { return coordinator_; }
   const ChannelStats& data_channel_stats() const {

@@ -1,0 +1,154 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace streamq::obs {
+
+uint64_t TickClock::Now() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::ResetAll() {
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::Snapshot() const {
+  SerdeWriter w;
+  w.U64(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    w.Bytes(name);
+    w.U64(c->value());
+  }
+  w.U64(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    w.Bytes(name);
+    w.I64(g->value());
+  }
+  w.U64(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    w.Bytes(name);
+    w.U64(h->count_);
+    w.U64(h->sum_);
+    w.U64(h->min_);
+    w.U64(h->max_);
+    for (uint64_t b : h->buckets_) w.U64(b);
+  }
+  return FrameSnapshot(SnapshotType::kMetricsRegistry, w.Take());
+}
+
+bool MetricsRegistry::Restore(const std::string& frame) {
+  std::string payload;
+  if (!UnframeSnapshot(frame, SnapshotType::kMetricsRegistry, &payload)) {
+    return false;
+  }
+  SerdeReader r(payload);
+
+  // Decode into fresh maps; *this is only replaced on a full, exact parse.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+
+  uint64_t n = 0;
+  if (!r.U64(&n) || n > r.Remaining()) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    uint64_t v = 0;
+    if (!r.Bytes(&name) || !r.U64(&v)) return false;
+    auto c = std::make_unique<Counter>();
+    c->Add(v);
+    counters[std::move(name)] = std::move(c);
+  }
+  if (!r.U64(&n) || n > r.Remaining()) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    int64_t v = 0;
+    if (!r.Bytes(&name) || !r.I64(&v)) return false;
+    auto g = std::make_unique<Gauge>();
+    g->Set(v);
+    gauges[std::move(name)] = std::move(g);
+  }
+  if (!r.U64(&n) || n > r.Remaining()) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    auto h = std::make_unique<Histogram>();
+    if (!r.Bytes(&name) || !r.U64(&h->count_) || !r.U64(&h->sum_) ||
+        !r.U64(&h->min_) || !r.U64(&h->max_)) {
+      return false;
+    }
+    for (uint64_t& b : h->buckets_) {
+      if (!r.U64(&b)) return false;
+    }
+    histograms[std::move(name)] = std::move(h);
+  }
+  if (!r.Done()) return false;
+
+  counters_ = std::move(counters);
+  gauges_ = std::move(gauges);
+  histograms_ = std::move(histograms);
+  return true;
+}
+
+std::string MetricsRegistry::DebugString() const {
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += name + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += name + " " + std::to_string(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += name + " count=" + std::to_string(h->count()) +
+           " sum=" + std::to_string(h->sum()) +
+           " min=" + std::to_string(h->min()) +
+           " max=" + std::to_string(h->max()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace streamq::obs

@@ -1,0 +1,131 @@
+// Per-sketch instrumentation and the metrics on/off macro layer.
+//
+// Every QuantileSketch owns one SketchMetrics (see quantile_sketch.h). The
+// base class counts updates and queries; the concrete summaries additionally
+// report their compaction events (COMPRESS, buffer flush, COLLAPSE, buffer
+// merge, OLS finalisation) through the macros below, passing a SketchMetrics*
+// that may be null (e.g. a GkArrayImpl used standalone by the distributed
+// monitor sites).
+//
+// The `STREAMQ_METRICS` CMake option (default ON) controls
+// STREAMQ_METRICS_ENABLED. When OFF:
+//  * SketchMetrics collapses to an empty struct of no-op stubs, so member
+//    accesses still compile and fold to nothing;
+//  * the macros expand to ((void)0), removing the call sites entirely --
+//    no counter increments, no timer reads, no branches remain in the
+//    compiled hot path.
+// The registry layer (obs/metrics.h) stays available either way; it simply
+// has no sketch-side data to publish in an OFF build.
+
+#ifndef STREAMQ_OBS_SKETCH_METRICS_H_
+#define STREAMQ_OBS_SKETCH_METRICS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+#ifndef STREAMQ_METRICS_ENABLED
+#define STREAMQ_METRICS_ENABLED 1
+#endif
+
+namespace streamq::obs {
+
+#if STREAMQ_METRICS_ENABLED
+
+/// The metrics every quantile sketch carries. Counters cover the update and
+/// query paths (single add each); histograms and the memory gauge are only
+/// touched on compaction events and publishes -- the overhead budget of
+/// DESIGN.md section 9.
+struct SketchMetrics {
+  Counter inserts;        ///< accepted Insert() calls
+  Counter erases;         ///< accepted Erase() calls
+  Counter rejected;       ///< updates refused with a non-kOk status
+  Counter queries;        ///< Query()/QueryMany() calls (batch counts once)
+  Counter compressions;   ///< compaction events (COMPRESS/flush/collapse/...)
+  Histogram compress_trigger;  ///< summary size (tuples/nodes/elements) when
+                               ///< a compaction fired
+  Histogram compress_ticks;    ///< TickClock duration of each compaction
+  Gauge memory_bytes;          ///< MemoryBytes() at the last publish
+
+  /// Copies the current values into `registry` under "<prefix>.<metric>".
+  void PublishTo(MetricsRegistry& registry, const std::string& prefix) const {
+    registry.GetCounter(prefix + ".inserts").Reset();
+    registry.GetCounter(prefix + ".inserts").Add(inserts.value());
+    registry.GetCounter(prefix + ".erases").Reset();
+    registry.GetCounter(prefix + ".erases").Add(erases.value());
+    registry.GetCounter(prefix + ".rejected").Reset();
+    registry.GetCounter(prefix + ".rejected").Add(rejected.value());
+    registry.GetCounter(prefix + ".queries").Reset();
+    registry.GetCounter(prefix + ".queries").Add(queries.value());
+    registry.GetCounter(prefix + ".compressions").Reset();
+    registry.GetCounter(prefix + ".compressions").Add(compressions.value());
+    registry.GetGauge(prefix + ".memory_bytes").Set(memory_bytes.value());
+    registry.GetHistogram(prefix + ".compress_trigger") = compress_trigger;
+    registry.GetHistogram(prefix + ".compress_ticks") = compress_ticks;
+  }
+};
+
+/// Executes `stmt` only in a metrics-enabled build.
+#define STREAMQ_IF_METRICS(stmt) stmt
+
+/// Records one compaction event: increments the compressions counter and
+/// logs the summary size that triggered it. `m` is a SketchMetrics* and may
+/// be null.
+#define STREAMQ_COMPACTION_EVENT(m, trigger_size)                       \
+  do {                                                                  \
+    ::streamq::obs::SketchMetrics* sq_m_ = (m);                         \
+    if (sq_m_ != nullptr) {                                             \
+      sq_m_->compressions.Inc();                                        \
+      sq_m_->compress_trigger.Record(                                   \
+          static_cast<uint64_t>(trigger_size));                         \
+    }                                                                   \
+  } while (0)
+
+/// Times the rest of the enclosing scope into the compaction-latency
+/// histogram of `m` (a SketchMetrics*, may be null).
+#define STREAMQ_COMPACTION_TIMER(m)                                  \
+  ::streamq::obs::ScopedTimer sq_compaction_timer_(                  \
+      (m) != nullptr ? &(m)->compress_ticks : nullptr)
+
+#else  // !STREAMQ_METRICS_ENABLED
+
+/// Metrics-off stand-ins: same API surface, every operation a no-op the
+/// optimiser removes. value() reads report zero.
+struct NoopCounter {
+  void Inc() {}
+  void Add(uint64_t) {}
+  uint64_t value() const { return 0; }
+  void Reset() {}
+};
+struct NoopGauge {
+  void Set(int64_t) {}
+  void Add(int64_t) {}
+  int64_t value() const { return 0; }
+  void Reset() {}
+};
+struct NoopHistogram {
+  void Record(uint64_t) {}
+  uint64_t count() const { return 0; }
+  uint64_t sum() const { return 0; }
+  uint64_t min() const { return 0; }
+  uint64_t max() const { return 0; }
+  double Mean() const { return 0.0; }
+  void Reset() {}
+};
+
+struct SketchMetrics {
+  NoopCounter inserts, erases, rejected, queries, compressions;
+  NoopHistogram compress_trigger, compress_ticks;
+  NoopGauge memory_bytes;
+  void PublishTo(MetricsRegistry&, const std::string&) const {}
+};
+
+#define STREAMQ_IF_METRICS(stmt)
+#define STREAMQ_COMPACTION_EVENT(m, trigger_size) ((void)0)
+#define STREAMQ_COMPACTION_TIMER(m) ((void)0)
+
+#endif  // STREAMQ_METRICS_ENABLED
+
+}  // namespace streamq::obs
+
+#endif  // STREAMQ_OBS_SKETCH_METRICS_H_

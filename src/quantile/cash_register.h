@@ -25,10 +25,8 @@ namespace streamq {
 /// GKTheory over uint64_t (section 2.1 of the paper).
 class GkTheory : public QuantileSketch {
  public:
-  explicit GkTheory(double eps) : impl_(eps) {}
-  StreamqStatus Insert(uint64_t value) override {
-    impl_.Insert(value);
-    return StreamqStatus::kOk;
+  explicit GkTheory(double eps) : impl_(eps) {
+    impl_.set_metrics(mutable_metrics());
   }
   int64_t EstimateRank(uint64_t value) override {
     return impl_.EstimateRank(value);
@@ -57,6 +55,10 @@ class GkTheory : public QuantileSketch {
   }
 
  protected:
+  StreamqStatus InsertImpl(uint64_t value) override {
+    impl_.Insert(value);
+    return StreamqStatus::kOk;
+  }
   uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
   std::vector<uint64_t> QueryManyImpl(
       const std::vector<double>& phis) override {
@@ -70,10 +72,8 @@ class GkTheory : public QuantileSketch {
 /// GKAdaptive over uint64_t (section 2.1.1).
 class GkAdaptive : public QuantileSketch {
  public:
-  explicit GkAdaptive(double eps) : impl_(eps) {}
-  StreamqStatus Insert(uint64_t value) override {
-    impl_.Insert(value);
-    return StreamqStatus::kOk;
+  explicit GkAdaptive(double eps) : impl_(eps) {
+    impl_.set_metrics(mutable_metrics());
   }
   int64_t EstimateRank(uint64_t value) override {
     return impl_.EstimateRank(value);
@@ -102,6 +102,10 @@ class GkAdaptive : public QuantileSketch {
   }
 
  protected:
+  StreamqStatus InsertImpl(uint64_t value) override {
+    impl_.Insert(value);
+    return StreamqStatus::kOk;
+  }
   uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
   std::vector<uint64_t> QueryManyImpl(
       const std::vector<double>& phis) override {
@@ -115,10 +119,8 @@ class GkAdaptive : public QuantileSketch {
 /// GKArray over uint64_t (section 2.1.2, journal version).
 class GkArray : public QuantileSketch {
  public:
-  explicit GkArray(double eps) : impl_(eps) {}
-  StreamqStatus Insert(uint64_t value) override {
-    impl_.Insert(value);
-    return StreamqStatus::kOk;
+  explicit GkArray(double eps) : impl_(eps) {
+    impl_.set_metrics(mutable_metrics());
   }
   int64_t EstimateRank(uint64_t value) override {
     return impl_.EstimateRank(value);
@@ -147,6 +149,10 @@ class GkArray : public QuantileSketch {
   }
 
  protected:
+  StreamqStatus InsertImpl(uint64_t value) override {
+    impl_.Insert(value);
+    return StreamqStatus::kOk;
+  }
   uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
   std::vector<uint64_t> QueryManyImpl(
       const std::vector<double>& phis) override {
@@ -160,10 +166,8 @@ class GkArray : public QuantileSketch {
 /// Random over uint64_t (section 2.2).
 class RandomSketch : public QuantileSketch {
  public:
-  RandomSketch(double eps, uint64_t seed = 1) : impl_(eps, seed) {}
-  StreamqStatus Insert(uint64_t value) override {
-    impl_.Insert(value);
-    return StreamqStatus::kOk;
+  RandomSketch(double eps, uint64_t seed = 1) : impl_(eps, seed) {
+    impl_.set_metrics(mutable_metrics());
   }
   int64_t EstimateRank(uint64_t value) override {
     return impl_.EstimateRank(value);
@@ -196,6 +200,10 @@ class RandomSketch : public QuantileSketch {
   }
 
  protected:
+  StreamqStatus InsertImpl(uint64_t value) override {
+    impl_.Insert(value);
+    return StreamqStatus::kOk;
+  }
   uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
   std::vector<uint64_t> QueryManyImpl(
       const std::vector<double>& phis) override {
@@ -209,10 +217,8 @@ class RandomSketch : public QuantileSketch {
 /// MRL99 over uint64_t (section 1.2.1).
 class Mrl99 : public QuantileSketch {
  public:
-  Mrl99(double eps, uint64_t seed = 1) : impl_(eps, seed) {}
-  StreamqStatus Insert(uint64_t value) override {
-    impl_.Insert(value);
-    return StreamqStatus::kOk;
+  Mrl99(double eps, uint64_t seed = 1) : impl_(eps, seed) {
+    impl_.set_metrics(mutable_metrics());
   }
   int64_t EstimateRank(uint64_t value) override {
     return impl_.EstimateRank(value);
@@ -241,6 +247,10 @@ class Mrl99 : public QuantileSketch {
   }
 
  protected:
+  StreamqStatus InsertImpl(uint64_t value) override {
+    impl_.Insert(value);
+    return StreamqStatus::kOk;
+  }
   uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
   std::vector<uint64_t> QueryManyImpl(
       const std::vector<double>& phis) override {

@@ -20,15 +20,6 @@ namespace streamq {
 /// universe is no larger than the sketch use ExactCounts instead.
 class DyadicQuantileBase : public QuantileSketch {
  public:
-  /// Values outside the configured universe [0, 2^log_u) are rejected with
-  /// kOutOfUniverse; the sketch is not modified (no clamping, no
-  /// out-of-bounds write).
-  StreamqStatus Insert(uint64_t value) override {
-    return ApplyUpdate(value, +1);
-  }
-  StreamqStatus Erase(uint64_t value) override {
-    return ApplyUpdate(value, -1);
-  }
   bool SupportsDeletion() const override { return true; }
 
   /// Alternative query (not in the paper): descend the dyadic tree keeping
@@ -64,6 +55,16 @@ class DyadicQuantileBase : public QuantileSketch {
 
  protected:
   explicit DyadicQuantileBase(int log_u) : log_u_(log_u), levels_(log_u) {}
+
+  /// Values outside the configured universe [0, 2^log_u) are rejected with
+  /// kOutOfUniverse; the sketch is not modified (no clamping, no
+  /// out-of-bounds write).
+  StreamqStatus InsertImpl(uint64_t value) override {
+    return ApplyUpdate(value, +1);
+  }
+  StreamqStatus EraseImpl(uint64_t value) override {
+    return ApplyUpdate(value, -1);
+  }
 
   /// The paper's quantile query: binary search over [u] for the largest
   /// value whose estimated rank (sum over the dyadic decomposition, one

@@ -1,5 +1,10 @@
 // Factory constructing any of the paper's algorithms from a uniform config,
 // used by the benches, examples, and integration tests.
+//
+// The factory is the supported way to build sketches generically (sweeps
+// over algorithms, CLI flags, config files); code targeting one specific
+// algorithm can equally construct the concrete class (cash_register.h,
+// fast_qdigest.h, dyadic_quantile.h, post/post_process.h) directly.
 
 #ifndef STREAMQ_QUANTILE_FACTORY_H_
 #define STREAMQ_QUANTILE_FACTORY_H_
@@ -26,14 +31,24 @@ enum class Algorithm {
   kDcsPost,
 };
 
-/// Display name matching the paper's figures.
+/// Display name matching the paper's figures ("GKArray", "DCS", ...).
+/// Total: every enumerator has a name, and the mapping is stable across
+/// versions (bench JSON and serialized references rely on it).
 std::string AlgorithmName(Algorithm algorithm);
 
-/// Parses a display name (case-sensitive, as printed by AlgorithmName).
+/// Parses a display name (case-sensitive, exactly as printed by
+/// AlgorithmName). Returns false -- leaving *out untouched -- for any
+/// other string.
 bool ParseAlgorithm(const std::string& name, Algorithm* out);
 
+/// Uniform construction parameters. Every field has a sensible default;
+/// fields an algorithm does not use are ignored (a config is never
+/// rejected for carrying an irrelevant knob).
 struct SketchConfig {
   Algorithm algorithm = Algorithm::kRandom;
+  /// Target rank-error fraction: answers are within eps * n ranks.
+  /// Must be in (0, 1); the deterministic comparison-based summaries meet
+  /// it outright, the randomized ones with constant probability per query.
   double eps = 0.001;
   /// Universe is [0, 2^log_universe); required by the fixed-universe
   /// algorithms, ignored by the comparison-based ones.
@@ -44,10 +59,17 @@ struct SketchConfig {
   double eta = 0.1;
   /// RSS per-level width cap (its natural 1/eps^2 width is impractical).
   uint64_t rss_width_cap = 1 << 14;
+  /// Seed for all randomness of the randomized algorithms. Two sketches
+  /// built from equal configs behave bit-identically; deterministic
+  /// algorithms ignore it.
   uint64_t seed = 1;
 };
 
-/// Builds the configured sketch.
+/// Builds the configured sketch, never nullptr. The returned summary is
+/// freshly constructed (Count() == 0) with its metrics zeroed; it is not
+/// thread-safe (see QuantileSketch). Invalid numeric parameters are the
+/// caller's responsibility -- the factory forwards them unchecked, as the
+/// constructors clamp or assert per their own documented contracts.
 std::unique_ptr<QuantileSketch> MakeSketch(const SketchConfig& config);
 
 /// All cash-register algorithms, in the paper's order.

@@ -32,7 +32,7 @@ int64_t FastQDigest::Threshold() const {
                               static_cast<double>(log_u_));
 }
 
-StreamqStatus FastQDigest::Insert(uint64_t value) {
+StreamqStatus FastQDigest::InsertImpl(uint64_t value) {
   // Out-of-universe values are rejected rather than clamped: a clamp would
   // silently bias the top leaf, and an unchecked id would fall outside the
   // tree.
@@ -56,6 +56,8 @@ void FastQDigest::MaybeCompress() {
 }
 
 void FastQDigest::Compress() {
+  STREAMQ_COMPACTION_EVENT(mutable_metrics(), counts_.size());
+  STREAMQ_COMPACTION_TIMER(mutable_metrics());
   last_compress_n_ = n_;
   snapshot_dirty_ = true;
   const int64_t t = Threshold();

@@ -30,8 +30,6 @@ class FastQDigest : public QuantileSketch {
   /// eps: target rank error; log_universe: values are in [0, 2^log_universe).
   FastQDigest(double eps, int log_universe);
 
-  /// Values outside [0, 2^log_universe) are rejected with kOutOfUniverse.
-  StreamqStatus Insert(uint64_t value) override;
   int64_t EstimateRank(uint64_t value) override;
   uint64_t Count() const override { return n_; }
   size_t MemoryBytes() const override;
@@ -53,6 +51,8 @@ class FastQDigest : public QuantileSketch {
   int log_universe() const { return log_u_; }
 
  protected:
+  /// Values outside [0, 2^log_universe) are rejected with kOutOfUniverse.
+  StreamqStatus InsertImpl(uint64_t value) override;
   uint64_t QueryImpl(double phi) override;
   std::vector<uint64_t> QueryManyImpl(const std::vector<double>& phis) override;
 

@@ -25,6 +25,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/sketch_metrics.h"
 #include "quantile/gk_tuple_store.h"
 #include "util/memory.h"
 
@@ -76,6 +77,10 @@ class GkAdaptiveImpl {
 
   uint64_t Count() const { return n_; }
   size_t TupleCount() const { return store_.Size(); }
+
+  /// Optional instrumentation hook (owned by the wrapping QuantileSketch);
+  /// never serialized, may stay null.
+  void set_metrics(obs::SketchMetrics* metrics) { metrics_ = metrics; }
 
   size_t MemoryBytes() const {
     // Tuples + BST links (store) plus live heap entries (key + pointer).
@@ -143,6 +148,8 @@ class GkAdaptiveImpl {
   }
 
   void Remove(Iterator it) {
+    // Each fold of a removable tuple is GKAdaptive's (one-tuple) COMPRESS.
+    STREAMQ_IF_METRICS(if (metrics_ != nullptr) metrics_->compressions.Inc();)
     Iterator succ = store_.RemoveIntoSuccessor(it);
     // succ's g changed -> its key changed; the tuple before the removed one
     // now precedes succ -> its key changed too.
@@ -167,6 +174,8 @@ class GkAdaptiveImpl {
 
   void MaybeCompactHeap() {
     if (heap_.size() <= 4 * store_.Size() + 64) return;
+    STREAMQ_COMPACTION_EVENT(metrics_, heap_.size());
+    STREAMQ_COMPACTION_TIMER(metrics_);
     std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> fresh;
     for (auto it = store_.Begin(); it != store_.End(); ++it) {
       if (std::next(it) == store_.End()) break;
@@ -181,6 +190,7 @@ class GkAdaptiveImpl {
   uint64_t n_ = 0;
   Store store_;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  obs::SketchMetrics* metrics_ = nullptr;
 };
 
 }  // namespace streamq

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/sketch_metrics.h"
 #include "util/memory.h"
 #include "util/serde.h"
 
@@ -135,9 +136,15 @@ class GkArrayImpl {
            r.PodVector(&buffer_);
   }
 
+  /// Optional instrumentation hook (owned by the wrapping QuantileSketch);
+  /// never serialized, may stay null.
+  void set_metrics(obs::SketchMetrics* metrics) { metrics_ = metrics; }
+
   /// Flushes buffered elements into the summary (idempotent when empty).
   void Flush() {
     if (buffer_.empty()) return;
+    STREAMQ_COMPACTION_EVENT(metrics_, buffer_.size());
+    STREAMQ_COMPACTION_TIMER(metrics_);
     std::sort(buffer_.begin(), buffer_.end(), Less());
 
     std::vector<Tuple> out;
@@ -217,6 +224,7 @@ class GkArrayImpl {
   uint64_t n_ = 0;  // elements represented by summary_ (excludes buffer)
   std::vector<Tuple> summary_;
   std::vector<T> buffer_;
+  obs::SketchMetrics* metrics_ = nullptr;
 };
 
 }  // namespace streamq

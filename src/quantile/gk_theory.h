@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/sketch_metrics.h"
 #include "quantile/gk_tuple_store.h"
 #include "util/bits.h"
 
@@ -44,8 +45,16 @@ class GkTheoryImpl {
       delta = std::max<int64_t>(0, threshold - 1);
     }
     store_.InsertBefore(succ, v, /*g=*/1, delta);
-    if (n_ % compress_period_ == 0) Compress();
+    if (n_ % compress_period_ == 0) {
+      STREAMQ_COMPACTION_EVENT(metrics_, store_.Size());
+      STREAMQ_COMPACTION_TIMER(metrics_);
+      Compress();
+    }
   }
+
+  /// Optional instrumentation hook (owned by the wrapping QuantileSketch);
+  /// never serialized, may stay null.
+  void set_metrics(obs::SketchMetrics* metrics) { metrics_ = metrics; }
 
   T Query(double phi) const { return store_.Query(phi, n_); }
 
@@ -121,6 +130,7 @@ class GkTheoryImpl {
   uint64_t compress_period_;
   uint64_t n_ = 0;
   GkTupleStore<T, Less> store_;
+  obs::SketchMetrics* metrics_ = nullptr;
 };
 
 }  // namespace streamq

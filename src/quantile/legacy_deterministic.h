@@ -356,10 +356,6 @@ class Mrl98Impl {
 class Mp80 : public QuantileSketch {
  public:
   explicit Mp80(double eps) : impl_(eps) {}
-  StreamqStatus Insert(uint64_t value) override {
-    impl_.Insert(value);
-    return StreamqStatus::kOk;
-  }
   int64_t EstimateRank(uint64_t value) override {
     return impl_.EstimateRank(value);
   }
@@ -369,6 +365,10 @@ class Mp80 : public QuantileSketch {
   Mp80Impl<uint64_t>& impl() { return impl_; }
 
  protected:
+  StreamqStatus InsertImpl(uint64_t value) override {
+    impl_.Insert(value);
+    return StreamqStatus::kOk;
+  }
   uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
   std::vector<uint64_t> QueryManyImpl(
       const std::vector<double>& phis) override {
@@ -383,10 +383,6 @@ class Mp80 : public QuantileSketch {
 class Mrl98 : public QuantileSketch {
  public:
   Mrl98(double eps, uint64_t n_hint) : impl_(eps, n_hint) {}
-  StreamqStatus Insert(uint64_t value) override {
-    impl_.Insert(value);
-    return StreamqStatus::kOk;
-  }
   int64_t EstimateRank(uint64_t value) override {
     return impl_.EstimateRank(value);
   }
@@ -396,6 +392,10 @@ class Mrl98 : public QuantileSketch {
   Mrl98Impl<uint64_t>& impl() { return impl_; }
 
  protected:
+  StreamqStatus InsertImpl(uint64_t value) override {
+    impl_.Insert(value);
+    return StreamqStatus::kOk;
+  }
   uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
   std::vector<uint64_t> QueryManyImpl(
       const std::vector<double>& phis) override {

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/sketch_metrics.h"
 #include "quantile/weighted_sample.h"
 #include "util/bits.h"
 #include "util/memory.h"
@@ -100,6 +101,10 @@ class Mrl99Impl {
 
   size_t buffer_size() const { return k_; }
   int height() const { return h_; }
+
+  /// Optional instrumentation hook (owned by the wrapping QuantileSketch);
+  /// never serialized, may stay null.
+  void set_metrics(obs::SketchMetrics* metrics) { metrics_ = metrics; }
 
   /// Snapshot to a byte buffer, including the PRNG state (see
   /// random_impl.h for the format conventions).
@@ -192,6 +197,8 @@ class Mrl99Impl {
   }
 
   void Collapse() {
+    STREAMQ_COMPACTION_EVENT(metrics_, k_);
+    STREAMQ_COMPACTION_TIMER(metrics_);
     // Gather all full buffers at the minimum level; if only one exists,
     // widen to the two lowest levels so a collapse is always possible.
     int min_level = INT32_MAX;
@@ -282,6 +289,7 @@ class Mrl99Impl {
   T block_choice_{};
   std::vector<Buffer> buffers_;
   mutable Xoshiro256 rng_;
+  obs::SketchMetrics* metrics_ = nullptr;
 };
 
 }  // namespace streamq

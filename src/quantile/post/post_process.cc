@@ -30,24 +30,27 @@ std::unique_ptr<DcsPost> DcsPost::WithWidth(uint64_t width, int depth,
       new DcsPost(Dcs::WithWidth(width, depth, log_u, seed), eps, eta));
 }
 
-StreamqStatus DcsPost::Insert(uint64_t value) {
+StreamqStatus DcsPost::InsertImpl(uint64_t value) {
   const StreamqStatus status = dcs_->Insert(value);
   if (status == StreamqStatus::kOk) dirty_ = true;
   return status;
 }
 
-StreamqStatus DcsPost::Erase(uint64_t value) {
+StreamqStatus DcsPost::EraseImpl(uint64_t value) {
   const StreamqStatus status = dcs_->Erase(value);
   if (status == StreamqStatus::kOk) dirty_ = true;
   return status;
 }
 
 void DcsPost::Finalize() {
+  STREAMQ_COMPACTION_TIMER(mutable_metrics());
   const double threshold = eta_ * eps_ * static_cast<double>(dcs_->Count());
   TruncatedTree tree(*dcs_, threshold);
   xstar_ = SolveBlue(tree);
   tree_ = tree.nodes();
   dirty_ = false;
+  // Trigger histogram logs the truncated-tree size the finalisation built.
+  STREAMQ_COMPACTION_EVENT(mutable_metrics(), tree_.size());
 }
 
 void DcsPost::EnsureFinalized() {

@@ -32,8 +32,6 @@ class DcsPost : public QuantileSketch {
                                             int log_u, double eps, double eta,
                                             uint64_t seed);
 
-  StreamqStatus Insert(uint64_t value) override;
-  StreamqStatus Erase(uint64_t value) override;
   bool SupportsDeletion() const override { return true; }
   int64_t EstimateRank(uint64_t value) override;
   uint64_t Count() const override { return dcs_->Count(); }
@@ -53,6 +51,8 @@ class DcsPost : public QuantileSketch {
   void Finalize();
 
  protected:
+  StreamqStatus InsertImpl(uint64_t value) override;
+  StreamqStatus EraseImpl(uint64_t value) override;
   uint64_t QueryImpl(double phi) override;
 
  private:

@@ -16,7 +16,7 @@ const char* StreamqStatusName(StreamqStatus status) {
   return "unknown";
 }
 
-StreamqStatus QuantileSketch::Erase(uint64_t /*value*/) {
+StreamqStatus QuantileSketch::EraseImpl(uint64_t /*value*/) {
   // Cash-register summaries do not support deletions; refusing is part of
   // the contract, not a programming error, so no abort.
   return StreamqStatus::kUnsupported;

@@ -8,11 +8,23 @@
 #include <string>
 #include <vector>
 
+#include "obs/sketch_metrics.h"
+
 namespace streamq {
 
 /// Result of a sketch mutation or query. The library's single error-path
 /// convention: operations that can be refused return a StreamqStatus
 /// instead of aborting, and refuse WITHOUT mutating the sketch.
+///
+/// Contract (established in PR 1, "error-path semantics"):
+///  * A non-kOk return guarantees the summary is bit-identical to its state
+///    before the call -- callers may retry, skip, or surface the error
+///    without resynchronising.
+///  * No library operation aborts the process on bad input; aborts are
+///    reserved for internal invariant violations (assert, debug builds).
+///  * Statuses are ordered benign-to-worse only for reading convenience;
+///    no code may rely on their numeric values (the serialised form is the
+///    name, never the integer).
 enum class StreamqStatus {
   kOk = 0,
   /// The operation is not supported by this summary's stream model
@@ -26,43 +38,86 @@ enum class StreamqStatus {
 };
 
 /// Human-readable status name (for logs and test failure messages).
+/// Never returns nullptr; out-of-range values map to "unknown".
 const char* StreamqStatusName(StreamqStatus status);
 
 /// Abstract streaming quantile summary.
 ///
 /// All implementations process one update at a time and can answer quantile
 /// queries at any point of the stream (no a-priori knowledge of n).
-/// Query() is non-const because several summaries (GKArray, FastQDigest,
-/// DCS+Post) flush buffers or run a finalisation pass on query; this never
-/// changes the summarised multiset.
+///
+/// The public mutators and queries are non-virtual: they validate input,
+/// maintain the per-sketch metrics (obs/sketch_metrics.h), and dispatch to
+/// the protected *Impl virtuals that concrete summaries override. Query()
+/// is non-const because several summaries (GKArray, FastQDigest, DCS+Post)
+/// flush buffers or run a finalisation pass on query; this never changes
+/// the summarised multiset.
+///
+/// Thread-safety: none. A sketch may be used from one thread at a time;
+/// concurrent Insert/Query on the same instance is a data race. Distinct
+/// instances are fully independent (no shared mutable state).
 class QuantileSketch {
  public:
   virtual ~QuantileSketch() = default;
 
-  /// Inserts one value. Fixed-universe (turnstile) summaries reject values
-  /// outside their universe with kOutOfUniverse and leave the summary
-  /// unchanged; comparison-based summaries accept any value.
-  virtual StreamqStatus Insert(uint64_t value) = 0;
+  /// Inserts one value.
+  ///
+  /// Preconditions: none (any uint64_t is a legal argument).
+  /// Returns kOk on success. Fixed-universe (turnstile) summaries reject
+  /// values outside their universe with kOutOfUniverse and leave the
+  /// summary unchanged; comparison-based summaries accept any value.
+  StreamqStatus Insert(uint64_t value) {
+    const StreamqStatus status = InsertImpl(value);
+    if (status == StreamqStatus::kOk) {
+      metrics_.inserts.Inc();
+    } else {
+      metrics_.rejected.Inc();
+    }
+    return status;
+  }
 
-  /// Deletes one previously inserted occurrence of value. Only supported in
-  /// the turnstile model; cash-register summaries return kUnsupported (the
-  /// summary is unchanged — no abort).
-  virtual StreamqStatus Erase(uint64_t value);
+  /// Deletes one previously inserted occurrence of value.
+  ///
+  /// Preconditions: `value` was inserted more often than erased (the
+  /// turnstile model's "strict" assumption; violating it silently corrupts
+  /// rank estimates but does not crash).
+  /// Returns kOk on success. Only supported in the turnstile model:
+  /// cash-register summaries return kUnsupported, fixed-universe summaries
+  /// reject out-of-universe values with kOutOfUniverse -- in both cases the
+  /// summary is unchanged (no abort).
+  StreamqStatus Erase(uint64_t value) {
+    const StreamqStatus status = EraseImpl(value);
+    if (status == StreamqStatus::kOk) {
+      metrics_.erases.Inc();
+    } else {
+      metrics_.rejected.Inc();
+    }
+    return status;
+  }
 
   /// Whether Erase is supported (turnstile model).
   virtual bool SupportsDeletion() const { return false; }
 
   /// Returns an eps-approximate phi-quantile of the elements currently
-  /// summarised. phi is validated against [0, 1] (NaN rejected); an invalid
-  /// phi yields 0 without consulting the summary.
+  /// summarised.
+  ///
+  /// Preconditions: phi in [0, 1] (NaN rejected); an invalid phi yields 0
+  /// without consulting the summary. An empty summary also yields 0 (there
+  /// is nothing to report).
   uint64_t Query(double phi) {
+    metrics_.queries.Inc();
     if (!PhiIsValid(phi)) return 0;
     return QueryImpl(phi);
   }
 
-  /// Batch quantile query; phis must be sorted ascending and each valid per
-  /// Query(). Any invalid phi yields an all-zero result of the same length.
+  /// Batch quantile query.
+  ///
+  /// Preconditions: phis sorted ascending, each valid per Query(). Any
+  /// invalid phi yields an all-zero result of the same length; an unsorted
+  /// list yields unspecified (but in-range) answers on the summaries with
+  /// single-pass batch paths.
   std::vector<uint64_t> QueryMany(const std::vector<double>& phis) {
+    metrics_.queries.Inc();
     for (double phi : phis) {
       if (!PhiIsValid(phi)) return std::vector<uint64_t>(phis.size(), 0);
     }
@@ -73,7 +128,8 @@ class QuantileSketch {
   static bool PhiIsValid(double phi) { return phi >= 0.0 && phi <= 1.0; }
 
   /// Estimated rank (number of summarised elements < value). Exposed for
-  /// diagnostics and tests; all summaries can answer it.
+  /// diagnostics and tests; all summaries can answer it. No preconditions;
+  /// out-of-universe values clamp naturally (rank 0 or n).
   virtual int64_t EstimateRank(uint64_t value) = 0;
 
   /// Number of elements currently summarised (insertions minus deletions).
@@ -83,10 +139,33 @@ class QuantileSketch {
   /// (see util/memory.h). Harnesses track the maximum over the stream.
   virtual size_t MemoryBytes() const = 0;
 
-  /// Algorithm name as used in the paper's figures.
+  /// Algorithm name as used in the paper's figures. Stable across versions;
+  /// parseable back through ParseAlgorithm() for the factory-built sketches.
   virtual std::string Name() const = 0;
 
+  // --- observability (src/obs/) ---------------------------------------
+
+  /// This sketch's live metrics (update/query/compaction counters; see
+  /// obs/sketch_metrics.h). In a -DSTREAMQ_METRICS=OFF build the returned
+  /// object is a no-op stub whose reads are all zero.
+  const obs::SketchMetrics& metrics() const { return metrics_; }
+
+  /// Publishes the metrics into `registry` under "<prefix>.<metric>",
+  /// sampling MemoryBytes() into the memory gauge at the same moment.
+  /// Cold path: allocates registry entries on first publish of a prefix.
+  void PublishMetrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix) {
+    metrics_.memory_bytes.Set(static_cast<int64_t>(MemoryBytes()));
+    metrics_.PublishTo(registry, prefix);
+  }
+
  protected:
+  /// Insertion with metrics accounting handled by the caller (Insert).
+  virtual StreamqStatus InsertImpl(uint64_t value) = 0;
+
+  /// Deletion; the default refuses (cash-register model).
+  virtual StreamqStatus EraseImpl(uint64_t value);
+
   /// Quantile query with phi already validated.
   virtual uint64_t QueryImpl(double phi) = 0;
 
@@ -94,6 +173,14 @@ class QuantileSketch {
   /// QueryImpl(); summaries with linear-scan query paths override this with
   /// a single pass.
   virtual std::vector<uint64_t> QueryManyImpl(const std::vector<double>& phis);
+
+  /// Hook for concrete summaries (and the template impls they wrap) to
+  /// record compaction events into the shared metrics object. The pointer
+  /// is stable for the sketch's lifetime.
+  obs::SketchMetrics* mutable_metrics() { return &metrics_; }
+
+ private:
+  obs::SketchMetrics metrics_;
 };
 
 }  // namespace streamq

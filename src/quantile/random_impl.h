@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/sketch_metrics.h"
 #include "quantile/weighted_sample.h"
 #include "util/bits.h"
 #include "util/memory.h"
@@ -45,6 +46,10 @@ class RandomSketchImpl {
     buffers_.resize(static_cast<size_t>(h_) + 1);
     for (Buffer& b : buffers_) b.data.reserve(s_);
   }
+
+  /// Optional instrumentation hook (owned by the wrapping QuantileSketch);
+  /// never serialized, may stay null.
+  void set_metrics(obs::SketchMetrics* metrics) { metrics_ = metrics; }
 
   void Insert(const T& v) {
     ++n_;
@@ -248,6 +253,8 @@ class RandomSketchImpl {
 
   // Merges two full buffers, freeing one slot.
   void MergeOnce() {
+    STREAMQ_COMPACTION_EVENT(metrics_, s_);
+    STREAMQ_COMPACTION_TIMER(metrics_);
     // Prefer the lowest level holding >= 2 full buffers.
     int best_level = -1;
     for (const Buffer& b : buffers_) {
@@ -351,6 +358,7 @@ class RandomSketchImpl {
   T block_choice_{};
   std::vector<Buffer> buffers_;
   mutable Xoshiro256 rng_;
+  obs::SketchMetrics* metrics_ = nullptr;
 };
 
 }  // namespace streamq

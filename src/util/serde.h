@@ -145,6 +145,8 @@ enum class SnapshotType : uint16_t {
   kMonitorShipment = 32,
   kMonitorAck = 33,
   kSiteCheckpoint = 34,
+  // Observability (src/obs/): a full MetricsRegistry snapshot.
+  kMetricsRegistry = 48,
 };
 
 inline constexpr uint32_t kFrameMagic = 0x53514652u;  // "SQFR"

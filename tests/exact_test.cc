@@ -70,7 +70,7 @@ TEST(ExactOracleTest, QuantileErrorFavoursAlgorithms) {
 class OracleSketch : public QuantileSketch {
  public:
   explicit OracleSketch(ExactOracle oracle) : oracle_(std::move(oracle)) {}
-  StreamqStatus Insert(uint64_t) override { return StreamqStatus::kOk; }
+  StreamqStatus InsertImpl(uint64_t) override { return StreamqStatus::kOk; }
   uint64_t QueryImpl(double phi) override { return oracle_.Quantile(phi); }
   int64_t EstimateRank(uint64_t v) override {
     return static_cast<int64_t>(oracle_.Rank(v));
@@ -87,7 +87,7 @@ class OracleSketch : public QuantileSketch {
 class ConstantSketch : public QuantileSketch {
  public:
   explicit ConstantSketch(uint64_t v, uint64_t n) : v_(v), n_(n) {}
-  StreamqStatus Insert(uint64_t) override { return StreamqStatus::kOk; }
+  StreamqStatus InsertImpl(uint64_t) override { return StreamqStatus::kOk; }
   uint64_t QueryImpl(double) override { return v_; }
   int64_t EstimateRank(uint64_t) override { return 0; }
   uint64_t Count() const override { return n_; }

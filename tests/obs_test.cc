@@ -1,0 +1,383 @@
+// Tests for the observability layer (src/obs/): metric primitives, the
+// registry and its framed snapshot, the sketch-side instrumentation wired
+// through QuantileSketch, and the distributed monitor's publish path.
+//
+// The file compiles and passes in both metrics build flavours; assertions
+// that require live instrumentation are guarded on STREAMQ_METRICS_ENABLED,
+// and a -DSTREAMQ_METRICS=OFF build instead asserts that every sketch-side
+// reading is zero.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "distributed/monitor.h"
+#include "obs/metrics.h"
+#include "obs/sketch_metrics.h"
+#include "quantile/cash_register.h"
+#include "quantile/dyadic_quantile.h"
+#include "quantile/factory.h"
+#include "quantile/fast_qdigest.h"
+
+namespace streamq {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::ScopedTimer;
+
+// --- primitives ----------------------------------------------------------
+
+TEST(ObsCounterTest, IncAddResetValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc();
+  c.Add(40);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGaugeTest, SetAddResetValue) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(-7);
+  EXPECT_EQ(g.value(), -7);
+  g.Add(10);
+  EXPECT_EQ(g.value(), 3);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(ObsHistogramTest, BucketIndexBoundaries) {
+  // Bucket 0 holds only the value 0; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  for (int i = 1; i < Histogram::kBucketCount - 1; ++i) {
+    const uint64_t lo = Histogram::BucketLowerBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(lo), i) << "lower bound of bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(2 * lo - 1), i)
+        << "upper edge of bucket " << i;
+  }
+  // Everything at or beyond the last lower bound saturates into the last
+  // bucket, up to the largest representable sample.
+  const int last = Histogram::kBucketCount - 1;
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(last)), last);
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}), last);
+}
+
+TEST(ObsHistogramTest, RecordTracksCountSumMinMaxMean) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+
+  h.Record(5);
+  h.Record(0);
+  h.Record(100);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 105u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 35.0);
+
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(0)), 1u);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(5)), 1u);
+  EXPECT_EQ(h.bucket(Histogram::BucketIndex(100)), 1u);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  for (int i = 0; i < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(h.bucket(i), 0u);
+  }
+}
+
+TEST(ObsHistogramTest, BucketCountsMatchTotal) {
+  Histogram h;
+  for (uint64_t v = 0; v < 1000; ++v) h.Record(v * v);
+  uint64_t total = 0;
+  for (int i = 0; i < Histogram::kBucketCount; ++i) total += h.bucket(i);
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(ObsScopedTimerTest, RecordsOneSamplePerScope) {
+  Histogram h;
+  {
+    ScopedTimer t(&h);
+  }
+  {
+    ScopedTimer t(&h);
+  }
+  EXPECT_EQ(h.count(), 2u);
+  // Null histogram: a no-op, not a crash.
+  { ScopedTimer t(nullptr); }
+}
+
+// --- registry ------------------------------------------------------------
+
+TEST(ObsRegistryTest, GetOrCreateReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("x");
+  a.Inc();
+  Counter& b = reg.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(reg.CounterCount(), 1u);
+
+  // The three kinds live in separate namespaces: one name per kind.
+  reg.GetGauge("x").Set(9);
+  reg.GetHistogram("x").Record(3);
+  EXPECT_EQ(reg.GetCounter("x").value(), 1u);
+  EXPECT_EQ(reg.GetGauge("x").value(), 9);
+  EXPECT_EQ(reg.GetHistogram("x").count(), 1u);
+}
+
+TEST(ObsRegistryTest, FindReturnsNullForUnknownNames) {
+  MetricsRegistry reg;
+  reg.GetCounter("known");
+  EXPECT_NE(reg.FindCounter("known"), nullptr);
+  EXPECT_EQ(reg.FindCounter("unknown"), nullptr);
+  EXPECT_EQ(reg.FindGauge("known"), nullptr);  // different kind namespace
+  EXPECT_EQ(reg.FindHistogram("known"), nullptr);
+}
+
+TEST(ObsRegistryTest, ResetAllZeroesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("c");
+  c.Add(5);
+  reg.GetGauge("g").Set(-3);
+  reg.GetHistogram("h").Record(17);
+  reg.ResetAll();
+  EXPECT_EQ(c.value(), 0u);  // handed-out reference still valid
+  EXPECT_EQ(reg.GetGauge("g").value(), 0);
+  EXPECT_EQ(reg.GetHistogram("h").count(), 0u);
+  EXPECT_EQ(reg.CounterCount(), 1u);
+  EXPECT_EQ(reg.GaugeCount(), 1u);
+  EXPECT_EQ(reg.HistogramCount(), 1u);
+}
+
+MetricsRegistry PopulatedRegistry() {
+  MetricsRegistry reg;
+  reg.GetCounter("updates").Add(12345);
+  reg.GetCounter("empty");
+  reg.GetGauge("memory").Set(1 << 20);
+  reg.GetGauge("delta").Set(-99);
+  Histogram& h = reg.GetHistogram("latency");
+  for (uint64_t v : {0, 1, 5, 5, 1000, 1 << 30}) h.Record(v);
+  return reg;
+}
+
+TEST(ObsRegistrySerdeTest, SnapshotRoundTripsExactly) {
+  MetricsRegistry reg = PopulatedRegistry();
+  const std::string frame = reg.Snapshot();
+
+  MetricsRegistry restored;
+  restored.GetCounter("stale").Add(7);  // replaced by Restore
+  ASSERT_TRUE(restored.Restore(frame));
+
+  EXPECT_EQ(restored.CounterCount(), 2u);
+  EXPECT_EQ(restored.GaugeCount(), 2u);
+  EXPECT_EQ(restored.HistogramCount(), 1u);
+  EXPECT_EQ(restored.FindCounter("stale"), nullptr);
+  ASSERT_NE(restored.FindCounter("updates"), nullptr);
+  EXPECT_EQ(restored.FindCounter("updates")->value(), 12345u);
+  ASSERT_NE(restored.FindGauge("delta"), nullptr);
+  EXPECT_EQ(restored.FindGauge("delta")->value(), -99);
+
+  const Histogram* h = restored.FindHistogram("latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 6u);
+  EXPECT_EQ(h->min(), 0u);
+  EXPECT_EQ(h->max(), uint64_t{1} << 30);
+  for (int i = 0; i < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(h->bucket(i), reg.GetHistogram("latency").bucket(i));
+  }
+  EXPECT_EQ(restored.DebugString(), reg.DebugString());
+  // A restored registry snapshots to the identical frame.
+  EXPECT_EQ(restored.Snapshot(), frame);
+}
+
+TEST(ObsRegistrySerdeTest, EveryByteFlipIsRejectedAndLeavesRegistryIntact) {
+  MetricsRegistry reg = PopulatedRegistry();
+  const std::string frame = reg.Snapshot();
+
+  for (size_t i = 0; i < frame.size(); ++i) {
+    std::string bad = frame;
+    bad[i] = static_cast<char>(bad[i] ^ 0x5a);
+    MetricsRegistry victim;
+    victim.GetCounter("sentinel").Add(1);
+    EXPECT_FALSE(victim.Restore(bad)) << "byte " << i;
+    // Failed restores must not touch the registry.
+    ASSERT_NE(victim.FindCounter("sentinel"), nullptr);
+    EXPECT_EQ(victim.FindCounter("sentinel")->value(), 1u);
+  }
+}
+
+TEST(ObsRegistrySerdeTest, TruncationAndGarbageAreRejected) {
+  MetricsRegistry reg = PopulatedRegistry();
+  const std::string frame = reg.Snapshot();
+  MetricsRegistry victim;
+  for (size_t len : {size_t{0}, size_t{1}, frame.size() / 2,
+                     frame.size() - 1}) {
+    EXPECT_FALSE(victim.Restore(frame.substr(0, len))) << "len " << len;
+  }
+  EXPECT_FALSE(victim.Restore(frame + "x"));
+  EXPECT_FALSE(victim.Restore("not a frame at all"));
+}
+
+// --- sketch instrumentation ---------------------------------------------
+
+TEST(SketchMetricsTest, BaseClassCountsUpdatesAndQueries) {
+  GkArray sketch(0.01);
+  for (uint64_t v = 0; v < 100; ++v) {
+    ASSERT_EQ(sketch.Insert(v), StreamqStatus::kOk);
+  }
+  sketch.Query(0.5);
+  sketch.QueryMany({0.1, 0.5, 0.9});
+  EXPECT_EQ(sketch.Erase(1), StreamqStatus::kUnsupported);
+
+#if STREAMQ_METRICS_ENABLED
+  EXPECT_EQ(sketch.metrics().inserts.value(), 100u);
+  EXPECT_EQ(sketch.metrics().queries.value(), 2u);  // batch counts once
+  EXPECT_EQ(sketch.metrics().erases.value(), 0u);
+  EXPECT_EQ(sketch.metrics().rejected.value(), 1u);
+#else
+  // The OFF build keeps the API but every reading is zero.
+  EXPECT_EQ(sketch.metrics().inserts.value(), 0u);
+  EXPECT_EQ(sketch.metrics().queries.value(), 0u);
+  EXPECT_EQ(sketch.metrics().rejected.value(), 0u);
+#endif
+}
+
+TEST(SketchMetricsTest, RejectedUpdatesAreCountedNotInserted) {
+  FastQDigest digest(0.01, /*log_universe=*/8);
+  EXPECT_EQ(digest.Insert(255), StreamqStatus::kOk);
+  EXPECT_EQ(digest.Insert(256), StreamqStatus::kOutOfUniverse);
+  EXPECT_EQ(digest.Count(), 1u);
+#if STREAMQ_METRICS_ENABLED
+  EXPECT_EQ(digest.metrics().inserts.value(), 1u);
+  EXPECT_EQ(digest.metrics().rejected.value(), 1u);
+#endif
+}
+
+TEST(SketchMetricsTest, TurnstileEraseIsCounted) {
+  Dcs sketch(0.05, /*log_u=*/12, /*depth=*/5, /*seed=*/1);
+  ASSERT_EQ(sketch.Insert(7), StreamqStatus::kOk);
+  ASSERT_EQ(sketch.Erase(7), StreamqStatus::kOk);
+  EXPECT_EQ(sketch.Erase(uint64_t{1} << 40), StreamqStatus::kOutOfUniverse);
+#if STREAMQ_METRICS_ENABLED
+  EXPECT_EQ(sketch.metrics().inserts.value(), 1u);
+  EXPECT_EQ(sketch.metrics().erases.value(), 1u);
+  EXPECT_EQ(sketch.metrics().rejected.value(), 1u);
+#endif
+}
+
+#if STREAMQ_METRICS_ENABLED
+TEST(SketchMetricsTest, EverySketchReportsCompactions) {
+  // Enough stream to force at least one compaction event out of each
+  // algorithm that has one (DCM/DCS/RSS are flat arrays: no compaction).
+  for (Algorithm algorithm :
+       {Algorithm::kGkTheory, Algorithm::kGkAdaptive, Algorithm::kGkArray,
+        Algorithm::kFastQDigest, Algorithm::kMrl99, Algorithm::kRandom}) {
+    SketchConfig config;
+    config.algorithm = algorithm;
+    config.eps = 0.05;
+    config.log_universe = 16;
+    auto sketch = MakeSketch(config);
+    for (uint64_t v = 0; v < 20000; ++v) {
+      sketch->Insert((v * 2654435761u) % 65536);
+    }
+    EXPECT_GT(sketch->metrics().compressions.value(), 0u) << sketch->Name();
+    EXPECT_GT(sketch->metrics().compress_trigger.count(), 0u)
+        << sketch->Name();
+    EXPECT_GT(sketch->metrics().compress_ticks.count(), 0u) << sketch->Name();
+  }
+}
+#endif  // STREAMQ_METRICS_ENABLED
+
+TEST(SketchMetricsTest, PublishMetricsFillsRegistryUnderPrefix) {
+  GkTheory sketch(0.01);
+  for (uint64_t v = 0; v < 5000; ++v) sketch.Insert(v % 977);
+  sketch.Query(0.5);
+
+  MetricsRegistry reg;
+  sketch.PublishMetrics(reg, "gk");
+#if STREAMQ_METRICS_ENABLED
+  ASSERT_NE(reg.FindCounter("gk.inserts"), nullptr);
+  ASSERT_NE(reg.FindCounter("gk.queries"), nullptr);
+  ASSERT_NE(reg.FindGauge("gk.memory_bytes"), nullptr);
+  ASSERT_NE(reg.FindHistogram("gk.compress_trigger"), nullptr);
+  EXPECT_EQ(reg.FindCounter("gk.inserts")->value(), 5000u);
+  EXPECT_EQ(reg.FindCounter("gk.queries")->value(), 1u);
+  EXPECT_EQ(reg.FindGauge("gk.memory_bytes")->value(),
+            static_cast<int64_t>(sketch.MemoryBytes()));
+  EXPECT_GT(reg.FindCounter("gk.compressions")->value(), 0u);
+  // Publish is a copy, not a drain: publishing twice is idempotent.
+  sketch.PublishMetrics(reg, "gk");
+  EXPECT_EQ(reg.FindCounter("gk.inserts")->value(), 5000u);
+#else
+  // The OFF build's PublishTo is a no-op: nothing gets registered.
+  EXPECT_EQ(reg.CounterCount(), 0u);
+#endif
+}
+
+// --- distributed monitor publish ----------------------------------------
+
+TEST(MonitorMetricsTest, PublishMetricsReportsTransportAndCoordinator) {
+  MonitorOptions options;
+  options.data_faults.drop = 0.1;
+  options.data_faults.corrupt = 0.05;
+  options.seed = 7;
+  DistributedQuantileMonitor monitor(/*num_sites=*/3, /*eps=*/0.05,
+                                     /*theta=*/-1.0, options);
+  for (uint64_t i = 0; i < 3000; ++i) {
+    monitor.Observe(static_cast<int>(i % 3), i % 1024);
+  }
+  monitor.Quiesce();
+
+  MetricsRegistry reg;
+  monitor.PublishMetrics(reg, "monitor");
+
+  ASSERT_NE(reg.FindCounter("monitor.shipments"), nullptr);
+  EXPECT_EQ(reg.FindCounter("monitor.shipments")->value(),
+            monitor.ShipmentCount());
+  EXPECT_EQ(reg.FindCounter("monitor.global_count")->value(),
+            monitor.GlobalCount());
+  EXPECT_EQ(reg.FindGauge("monitor.staleness_bound")->value(),
+            static_cast<int64_t>(monitor.StalenessBound()));
+
+  // Per-direction channel stats: the lossy data channel dropped something.
+  ASSERT_NE(reg.FindCounter("monitor.data.sent"), nullptr);
+  EXPECT_EQ(reg.FindCounter("monitor.data.sent")->value(),
+            monitor.data_channel_stats().sent);
+  EXPECT_GT(reg.FindCounter("monitor.data.sent")->value(), 0u);
+  EXPECT_EQ(reg.FindCounter("monitor.data.dropped")->value(),
+            monitor.data_channel_stats().dropped);
+  EXPECT_EQ(reg.FindCounter("monitor.ack.delivered")->value(),
+            monitor.ack_channel_stats().delivered);
+
+  // Coordinator accept/reject accounting made it over too.
+  EXPECT_EQ(reg.FindCounter("monitor.coordinator.accepted")->value(),
+            monitor.coordinator().stats().accepted);
+  EXPECT_GT(reg.FindCounter("monitor.coordinator.accepted")->value(), 0u);
+
+  // The published registry survives the same framed serde as everything
+  // else in the repo.
+  MetricsRegistry copy;
+  ASSERT_TRUE(copy.Restore(reg.Snapshot()));
+  EXPECT_EQ(copy.DebugString(), reg.DebugString());
+}
+
+}  // namespace
+}  // namespace streamq
