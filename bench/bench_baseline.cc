@@ -84,7 +84,7 @@ int Main(int argc, char** argv) {
 
   std::string json;
   json += "{\n";
-  json += "  \"schema_version\": 1,\n";
+  json += "  \"schema_version\": 2,\n";
   json += "  \"eps\": 0.01,\n";
   json += "  \"n\": " + std::to_string(n) + ",\n";
   json += "  \"rss_n\": " + std::to_string(rss_n) + ",\n";
@@ -134,7 +134,50 @@ int Main(int argc, char** argv) {
       json += buf;
     }
   }
-  json += "\n  ]\n}\n";
+  json += "\n  ],\n";
+
+  // Parallel-ingest sweep (schema_version 2): the sharded pipeline over
+  // the uniform dataset with the Random summary, 1..8 shard workers. The
+  // checker validates schema and merged accuracy but deliberately runs no
+  // ns/update regression gate on this section -- thread-scheduling noise
+  // dwarfs the 20% budget, especially on small hosts.
+  {
+    DatasetSpec spec = BaselineDatasets(n)[0].spec;  // uniform-random
+    const std::vector<uint64_t> data = GenerateDataset(spec);
+    const ExactOracle oracle(data);
+    SketchConfig config;
+    config.algorithm = Algorithm::kRandom;
+    config.eps = eps;
+    config.log_universe = spec.LogUniverse();
+
+    json += "  \"parallel_ingest\": {\n";
+    json += "    \"algorithm\": " + JsonString("Random") + ",\n";
+    json += "    \"dataset\": " + JsonString("uniform-random") + ",\n";
+    json += "    \"n\": " + std::to_string(n) + ",\n";
+    json += "    \"sweep\": [\n";
+    bool first_sweep = true;
+    for (int threads : {1, 2, 4, 8}) {
+      const ParallelIngestResult r =
+          RunParallelIngest(config, data, oracle, threads);
+      std::fprintf(stderr,
+                   "  ingest %d thread(s) %10.1f ns/update  %9zu B  "
+                   "maxerr %.5f\n",
+                   threads, r.ns_per_update, r.peak_memory_bytes, r.max_error);
+      if (!first_sweep) json += ",\n";
+      first_sweep = false;
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "      {\"threads\": %d, \"ns_per_update\": %.3f, "
+                    "\"updates_per_sec\": %.1f, "
+                    "\"merged_max_rank_error\": %.6f, "
+                    "\"peak_memory_bytes\": %zu}",
+                    r.threads, r.ns_per_update, r.updates_per_sec,
+                    r.max_error, r.peak_memory_bytes);
+      json += buf;
+    }
+    json += "\n    ]\n  }\n";
+  }
+  json += "}\n";
 
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {

@@ -1,0 +1,76 @@
+// bench_parallel_ingest: throughput scaling of the sharded ingest pipeline
+// (src/ingest/) across worker-thread counts, plus the accuracy of the
+// merged query view against ground truth.
+//
+// Not a paper figure: the paper's experiments are single-threaded. This
+// bench backs the repo's parallel-ingest subsystem (DESIGN.md section 10):
+// it sweeps 1..8 shard workers over the mergeable algorithms and reports
+// end-to-end updates/sec (Push of the whole stream + Flush), the speedup
+// over the 1-shard pipeline, the merged view's max rank error, and the
+// pipeline's peak memory (sum of shard sketch peaks + query-view buffers).
+//
+// Interpreting the speedup column: shard workers only help when the
+// machine has cores for them. On a single-core host the sweep measures the
+// pipeline's overhead, not its scaling -- the binary prints the core count
+// it sees so the numbers are read in context.
+//
+// Scale knobs: STREAMQ_SCALE as everywhere (base n = 2,000,000).
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+
+namespace streamq::bench {
+namespace {
+
+int Main() {
+  const uint64_t n = ScaledN(2'000'000);
+  const double eps = 0.01;
+  std::printf("parallel ingest sweep: n=%llu eps=%.2g hardware threads=%u\n",
+              static_cast<unsigned long long>(n), eps,
+              std::thread::hardware_concurrency());
+
+  DatasetSpec spec;
+  spec.distribution = Distribution::kUniform;
+  spec.n = n;
+  spec.log_universe = 29;
+  spec.order = Order::kRandom;
+  const std::vector<uint64_t> data = GenerateDataset(spec);
+  const ExactOracle oracle(data);
+
+  for (Algorithm algorithm : {Algorithm::kRandom, Algorithm::kDcs}) {
+    SketchConfig config;
+    config.algorithm = algorithm;
+    config.eps = eps;
+    config.log_universe = spec.LogUniverse();
+
+    PrintHeader(AlgorithmName(algorithm) + " / " + spec.Name(),
+                {"threads", "ns/upd", "Mupd/s", "speedup", "maxerr",
+                 "peak mem", "rings", "stalls"});
+    double base_rate = 0.0;
+    for (int threads : {1, 2, 4, 8}) {
+      const ParallelIngestResult r =
+          RunParallelIngest(config, data, oracle, threads);
+      if (threads == 1) base_rate = r.updates_per_sec;
+      char speedup[32], rate[32], stalls[32];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    r.updates_per_sec / base_rate);
+      std::snprintf(rate, sizeof(rate), "%.2f", r.updates_per_sec / 1e6);
+      std::snprintf(stalls, sizeof(stalls), "%llu",
+                    static_cast<unsigned long long>(r.ring_full_stalls));
+      PrintRow({std::to_string(threads), FmtTime(r.ns_per_update), rate,
+                speedup, FmtErr(r.max_error), FmtBytes(r.peak_memory_bytes),
+                FmtBytes(r.ring_bytes), stalls});
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace streamq::bench
+
+int main() { return streamq::bench::Main(); }

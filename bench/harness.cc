@@ -107,6 +107,60 @@ RunResult Run(const SketchConfig& config, const std::vector<uint64_t>& data,
   return RunCashRegister(config, data, oracle, Repetitions());
 }
 
+ParallelIngestResult RunParallelIngest(const SketchConfig& config,
+                                       const std::vector<uint64_t>& data,
+                                       const ExactOracle& oracle,
+                                       int threads) {
+  ingest::IngestOptions options;
+  options.sketch = config;
+  options.shards = threads;
+  auto pipeline = ingest::IngestPipeline::Create(options);
+  if (pipeline == nullptr) {
+    std::fprintf(stderr,
+                 "RunParallelIngest: %s cannot back a pipeline "
+                 "(not mergeable or not clonable)\n",
+                 AlgorithmName(config.algorithm).c_str());
+    std::exit(1);
+  }
+
+  // End-to-end timing: everything between the first Push and the moment
+  // the merged view covers the whole stream. This charges the pipeline for
+  // routing, queueing, sharded inserts, and the final merge -- the number a
+  // deployment would see, and the honest denominator for the scaling
+  // claim.
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t v : data) pipeline->Push(Update{v, +1});
+  pipeline->Flush();
+  const auto stop = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+
+  ParallelIngestResult result;
+  result.threads = threads;
+  result.ns_per_update = seconds * 1e9 / static_cast<double>(data.size());
+  result.updates_per_sec = static_cast<double>(data.size()) / seconds;
+
+  // Merged-view accuracy on the same phi grid the single-stream harness
+  // uses (capped like EvaluateQuantiles to keep dense grids affordable).
+  const size_t grid = std::min<size_t>(
+      static_cast<size_t>(1.0 / config.eps), size_t{1000});
+  double max_error = 0.0;
+  for (size_t i = 1; i < grid; ++i) {
+    const double phi = static_cast<double>(i) / static_cast<double>(grid);
+    const uint64_t q = pipeline->Query(phi);
+    max_error = std::max(max_error, oracle.QuantileError(q, phi));
+  }
+  result.max_error = max_error;
+
+  pipeline->Stop();
+  result.peak_memory_bytes = pipeline->PeakMemoryBytes();
+  result.ring_bytes = pipeline->RingBytes();
+  for (int s = 0; s < pipeline->shard_count(); ++s) {
+    result.ring_full_stalls += pipeline->shard_stats(s).ring_full_stalls.load();
+  }
+  result.publishes = pipeline->stats().publishes.load();
+  return result;
+}
+
 void PrintHeader(const std::string& title, const std::vector<std::string>& columns) {
   std::printf("\n== %s ==\n", title.c_str());
   for (const std::string& c : columns) std::printf("%14s", c.c_str());

@@ -19,6 +19,7 @@
 
 #include "exact/error_metrics.h"
 #include "exact/exact_oracle.h"
+#include "ingest/ingest_pipeline.h"
 #include "quantile/factory.h"
 #include "quantile/quantile_sketch.h"
 #include "stream/generators.h"
@@ -57,6 +58,28 @@ RunResult Run(const SketchConfig& config, const std::vector<uint64_t>& data,
 
 /// True for the randomized algorithms (repetitions matter).
 bool IsRandomized(Algorithm algorithm);
+
+/// Result of one parallel-ingest run (src/ingest/): the whole stream pushed
+/// through an IngestPipeline with `threads` shard workers, flushed, and the
+/// merged view evaluated against ground truth.
+struct ParallelIngestResult {
+  int threads = 0;
+  double ns_per_update = 0.0;   // end-to-end: Push of all updates + Flush
+  double updates_per_sec = 0.0;
+  double max_error = 0.0;       // merged-view KS divergence on the phi grid
+  size_t peak_memory_bytes = 0; // sum of shard peaks + view buffers
+  size_t ring_bytes = 0;        // fixed SPSC ring footprint
+  uint64_t ring_full_stalls = 0;
+  uint64_t publishes = 0;
+};
+
+/// Runs the sharded pipeline once over `data`. The config must name a
+/// mergeable, clonable algorithm (the pipeline's Create contract); the
+/// process aborts with a message otherwise -- bench binaries treat that as
+/// a configuration error, not a measurable case.
+ParallelIngestResult RunParallelIngest(const SketchConfig& config,
+                                       const std::vector<uint64_t>& data,
+                                       const ExactOracle& oracle, int threads);
 
 /// Fixed-width table output.
 void PrintHeader(const std::string& title, const std::vector<std::string>& columns);

@@ -6,7 +6,7 @@ Usage:
                         [--threshold 0.20]
 
 Schema checks (always):
-  * top-level keys: schema_version (== 1), eps, n, rss_n, entries
+  * top-level keys: schema_version (1 or 2), eps, n, rss_n, entries
   * every entry has dataset/algorithm/ns_per_update/max_memory_bytes/
     max_rank_error/avg_rank_error with sane types and ranges
   * all expected (dataset, algorithm) cells are present, none duplicated
@@ -14,10 +14,16 @@ Schema checks (always):
     slack the repo's integration tests allow (3x for the randomized
     algorithms whose guarantee is probabilistic, and RSS's width cap
     makes it advisory-only)
+  * schema_version 2 additionally requires a parallel_ingest section: a
+    mergeable algorithm, a known dataset, and a thread sweep starting at
+    1 thread with positive throughput and merged accuracy within the
+    algorithm's slack
 
 Regression check (with --baseline): every cell's ns_per_update must stay
 within (1 + threshold) of the baseline's. Comparing a file against itself
-(as the `verify` target does) degenerates to the schema check.
+(as the `verify` target does) degenerates to the schema check. The
+parallel_ingest sweep is schema-checked only -- thread-scheduling noise
+makes its ns/update numbers unsuitable for a tight regression gate.
 
 Exit code 0 = clean, 1 = any failure (messages on stderr).
 """
@@ -80,7 +86,7 @@ def check_schema(doc, path):
             errors += fail(f"{path}: missing top-level key '{key}'")
     if errors:
         return errors, {}
-    if doc["schema_version"] != 1:
+    if doc["schema_version"] not in (1, 2):
         errors += fail(f"{path}: unsupported schema_version {doc['schema_version']}")
     eps = doc["eps"]
     if not (isinstance(eps, float) and 0.0 < eps < 1.0):
@@ -142,7 +148,91 @@ def check_schema(doc, path):
         for algorithm in EXPECTED_ALGORITHMS:
             if (dataset, algorithm) not in cells:
                 errors += fail(f"{path}: missing cell ({dataset}, {algorithm})")
+
+    if doc["schema_version"] >= 2:
+        if "parallel_ingest" not in doc:
+            errors += fail(f"{path}: schema_version 2 requires 'parallel_ingest'")
+        else:
+            errors += check_parallel_ingest(doc["parallel_ingest"], eps, path)
     return errors, cells
+
+
+# Algorithms the ingest pipeline accepts: mergeable with a clone path.
+PIPELINE_ALGORITHMS = ["Random", "MRL99", "FastQDigest", "DCM", "DCS"]
+
+
+def check_parallel_ingest(section, eps, path):
+    """Schema check of the parallel-ingest sweep (no regression gate)."""
+    where = f"{path}: parallel_ingest"
+    errors = 0
+    if not isinstance(section, dict):
+        return fail(f"{where}: not an object")
+    for key in ("algorithm", "dataset", "n", "sweep"):
+        if key not in section:
+            errors += fail(f"{where}: missing key '{key}'")
+    if errors:
+        return errors
+    algorithm = section["algorithm"]
+    if algorithm not in PIPELINE_ALGORITHMS:
+        errors += fail(
+            f"{where}: algorithm {algorithm!r} is not pipeline-capable "
+            f"(expected one of {PIPELINE_ALGORITHMS})"
+        )
+    if section["dataset"] not in EXPECTED_DATASETS:
+        errors += fail(f"{where}: unknown dataset {section['dataset']!r}")
+    if not (isinstance(section["n"], int) and section["n"] > 0):
+        errors += fail(f"{where}: n must be a positive integer")
+    sweep = section["sweep"]
+    if not (isinstance(sweep, list) and sweep):
+        return errors + fail(f"{where}: sweep must be a non-empty list")
+    seen_threads = set()
+    for i, point in enumerate(sweep):
+        p_where = f"{where}.sweep[{i}]"
+        if not isinstance(point, dict):
+            errors += fail(f"{p_where}: not an object")
+            continue
+        missing = [
+            k
+            for k in (
+                "threads",
+                "ns_per_update",
+                "updates_per_sec",
+                "merged_max_rank_error",
+                "peak_memory_bytes",
+            )
+            if k not in point
+        ]
+        if missing:
+            errors += fail(f"{p_where}: missing keys {missing}")
+            continue
+        threads = point["threads"]
+        if not (isinstance(threads, int) and threads > 0):
+            errors += fail(f"{p_where}: threads must be a positive integer")
+        elif threads in seen_threads:
+            errors += fail(f"{p_where}: duplicate thread count {threads}")
+        else:
+            seen_threads.add(threads)
+        for k in ("ns_per_update", "updates_per_sec"):
+            if not (isinstance(point[k], (int, float)) and point[k] > 0):
+                errors += fail(f"{p_where}: {k} must be > 0")
+        err = point["merged_max_rank_error"]
+        if not (isinstance(err, (int, float)) and 0.0 <= err <= 1.0):
+            errors += fail(f"{p_where}: merged_max_rank_error must be in [0, 1]")
+        else:
+            slack = ERROR_SLACK.get(algorithm)
+            if slack is not None and err > eps * slack:
+                errors += fail(
+                    f"{p_where}: merged_max_rank_error {err:.6f} exceeds "
+                    f"eps*{slack} = {eps * slack:.6f}"
+                )
+        if not (
+            isinstance(point["peak_memory_bytes"], int)
+            and point["peak_memory_bytes"] > 0
+        ):
+            errors += fail(f"{p_where}: peak_memory_bytes must be positive")
+    if 1 not in seen_threads:
+        errors += fail(f"{where}: sweep must include the 1-thread baseline")
+    return errors
 
 
 def check_regression(candidate, baseline, threshold):

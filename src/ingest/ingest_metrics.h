@@ -1,0 +1,70 @@
+// Thread-safe counters for the parallel ingest pipeline.
+//
+// The obs metrics primitives (obs/metrics.h) deliberately do not
+// synchronise -- they are built for the single-threaded sketch hot path.
+// The pipeline therefore keeps its own std::atomic counters, updated
+// lock-free from whichever thread owns the event, and *copies* them into a
+// MetricsRegistry on demand (IngestPipeline::PublishMetrics). The registry
+// itself is only ever touched by the publishing caller's thread.
+//
+// Relaxed ordering throughout: these are statistics, not synchronisation.
+// The pipeline's correctness-bearing ordering lives in the SPSC rings, the
+// snapshot shared_ptrs, and the publish mutex.
+
+#ifndef STREAMQ_INGEST_INGEST_METRICS_H_
+#define STREAMQ_INGEST_INGEST_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace streamq::ingest {
+
+/// Per-shard statistics. Owned by the shard struct, one cache line each
+/// (the enclosing Shard is alignas(64)) so workers never false-share.
+struct ShardStats {
+  /// Updates routed into this shard's ring (producer side).
+  std::atomic<uint64_t> pushed{0};
+  /// Updates applied to this shard's sketch (worker side).
+  std::atomic<uint64_t> processed{0};
+  /// Updates the shard sketch refused (out-of-universe, unsupported erase).
+  std::atomic<uint64_t> rejected{0};
+  /// TryPush attempts that found the ring full (each spin counts once).
+  std::atomic<uint64_t> ring_full_stalls{0};
+  /// Shard snapshots cloned and installed by the worker.
+  std::atomic<uint64_t> snapshots{0};
+  /// Processed count captured by the newest installed shard snapshot.
+  std::atomic<uint64_t> snapshot_epoch{0};
+  /// Maximum MemoryBytes() the shard sketch reached (paper accounting).
+  std::atomic<uint64_t> peak_memory_bytes{0};
+};
+
+/// Pipeline-wide statistics (single struct, shared by all threads).
+struct PipelineStats {
+  /// Updates accepted by Push/TryPush across all shards.
+  std::atomic<uint64_t> pushed{0};
+  /// Merged query-view publications (successful ones).
+  std::atomic<uint64_t> publishes{0};
+  /// Publication attempts skipped because another publisher held the lock.
+  std::atomic<uint64_t> publish_contended{0};
+  /// Query() / QueryMany() calls answered from the view.
+  std::atomic<uint64_t> queries{0};
+  /// Queries answered from a snapshot older than the processed count at
+  /// query time (the publish-staleness counter of DESIGN.md section 10).
+  std::atomic<uint64_t> stale_queries{0};
+  /// Largest combined MemoryBytes() of the two query-view buffers.
+  std::atomic<uint64_t> peak_view_bytes{0};
+};
+
+/// max-update for the peak gauges (relaxed CAS loop; uncontended in
+/// practice since each peak has one writer).
+inline void UpdatePeak(std::atomic<uint64_t>& peak, uint64_t candidate) {
+  uint64_t cur = peak.load(std::memory_order_relaxed);
+  while (candidate > cur &&
+         !peak.compare_exchange_weak(cur, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace streamq::ingest
+
+#endif  // STREAMQ_INGEST_INGEST_METRICS_H_

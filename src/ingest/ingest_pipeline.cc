@@ -1,0 +1,292 @@
+#include "ingest/ingest_pipeline.h"
+
+#include <cassert>
+
+namespace streamq::ingest {
+
+std::unique_ptr<IngestPipeline> IngestPipeline::Create(
+    const IngestOptions& options) {
+  if (options.shards < 1 || options.batch_size == 0) return nullptr;
+  // Probe the config: the pipeline needs Merge (to combine shards) and
+  // Clone (to snapshot them). GK-family summaries fail the first, RSS and
+  // DCS+Post the second.
+  const std::unique_ptr<QuantileSketch> probe = MakeSketch(options.sketch);
+  if (!probe->Mergeable() || probe->Clone() == nullptr) return nullptr;
+  return std::unique_ptr<IngestPipeline>(new IngestPipeline(options));
+}
+
+IngestPipeline::IngestPipeline(const IngestOptions& options)
+    : options_(options), router_(options.sharding, options.shards) {
+  shards_.reserve(static_cast<size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>(options_.ring_capacity);
+    shard->sketch = MakeSketch(options_.sketch);
+    shards_.push_back(std::move(shard));
+  }
+  // Workers start only after every shard exists: a worker publishing a
+  // merged view iterates over all of shards_.
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->worker = std::thread([this, s] { WorkerLoop(*s); });
+  }
+  started_ = true;
+}
+
+IngestPipeline::~IngestPipeline() { Stop(); }
+
+bool IngestPipeline::TryPush(const Update& update) {
+  Shard& shard = *shards_[static_cast<size_t>(router_.Route(update.value))];
+  if (!shard.ring.TryPush(update)) {
+    shard.stats.ring_full_stalls.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.stats.pushed.fetch_add(1, std::memory_order_relaxed);
+  stats_.pushed.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void IngestPipeline::Push(const Update& update) {
+  Shard& shard = *shards_[static_cast<size_t>(router_.Route(update.value))];
+  while (!shard.ring.TryPush(update)) {
+    // Backpressure: the ring bounds memory, so a producer outrunning a
+    // worker waits here instead of growing a queue.
+    shard.stats.ring_full_stalls.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+  }
+  shard.stats.pushed.fetch_add(1, std::memory_order_relaxed);
+  stats_.pushed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void IngestPipeline::WorkerLoop(Shard& shard) {
+  std::vector<Update> batch(options_.batch_size);
+  uint64_t since_publish = 0;
+  for (;;) {
+    const size_t n = shard.ring.PopBatch(batch.data(), batch.size());
+    if (n == 0) {
+      // Idle: bring the shard snapshot up to date so Flush (and queries)
+      // see everything processed, then help refresh the merged view.
+      if (shard.stats.snapshot_epoch.load(std::memory_order_relaxed) !=
+          shard.stats.processed.load(std::memory_order_relaxed)) {
+        PublishShardSnapshot(shard);
+        PublishMergedView(/*block=*/false);
+      }
+      // The producer stops pushing before setting stop_, so an empty ring
+      // observed after the flag is a drained ring.
+      if (stop_.load(std::memory_order_acquire)) break;
+      std::this_thread::yield();
+      continue;
+    }
+    uint64_t rejected = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const Update& u = batch[i];
+      const int32_t reps = u.delta >= 0 ? u.delta : -u.delta;
+      for (int32_t k = 0; k < reps; ++k) {
+        const StreamqStatus status = u.delta >= 0
+                                         ? shard.sketch->Insert(u.value)
+                                         : shard.sketch->Erase(u.value);
+        if (status != StreamqStatus::kOk) ++rejected;
+      }
+    }
+    shard.stats.processed.fetch_add(n, std::memory_order_release);
+    if (rejected != 0) {
+      shard.stats.rejected.fetch_add(rejected, std::memory_order_relaxed);
+    }
+    UpdatePeak(shard.stats.peak_memory_bytes,
+               static_cast<uint64_t>(shard.sketch->MemoryBytes()));
+    since_publish += n;
+    if (since_publish >= options_.publish_interval) {
+      since_publish = 0;
+      PublishShardSnapshot(shard);
+      PublishMergedView(/*block=*/false);
+    }
+  }
+}
+
+void IngestPipeline::PublishShardSnapshot(Shard& shard) {
+  const uint64_t processed =
+      shard.stats.processed.load(std::memory_order_relaxed);
+  std::shared_ptr<QuantileSketch> clone = shard.sketch->Clone();
+  assert(clone != nullptr);  // Create() verified the config is clonable
+  shard.snapshot.Store(std::move(clone));
+  // Epoch strictly after the snapshot: a reader that sees the new epoch is
+  // guaranteed a snapshot at least that fresh (it may see an even newer
+  // snapshot with an older epoch, which only overstates staleness).
+  shard.stats.snapshot_epoch.store(processed, std::memory_order_release);
+  shard.stats.snapshots.fetch_add(1, std::memory_order_relaxed);
+}
+
+void IngestPipeline::PublishMergedView(bool block) {
+  std::unique_lock<std::mutex> lock(publish_mutex_, std::defer_lock);
+  if (block) {
+    lock.lock();
+  } else if (!lock.try_lock()) {
+    // Another worker is already building a view; skipping keeps the hot
+    // path free of lock waits (the other publisher's view is nearly as
+    // fresh anyway).
+    stats_.publish_contended.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const obs::ScopedTimer publish_timer(&publish_ticks_);
+  std::unique_ptr<QuantileSketch> merged = MakeSketch(options_.sketch);
+  uint64_t epoch = 0;
+  for (const auto& shard : shards_) {
+    // Epoch before snapshot (each with acquire), mirroring the publisher's
+    // snapshot-then-epoch stores: the loaded snapshot is at least as fresh
+    // as the loaded epoch, so the view's epoch never overclaims.
+    const uint64_t shard_epoch =
+        shard->stats.snapshot_epoch.load(std::memory_order_acquire);
+    const std::shared_ptr<QuantileSketch> snap = shard->snapshot.Load();
+    if (snap == nullptr) continue;
+    const uint64_t t0 = obs::TickClock::Now();
+    const StreamqStatus status = merged->Merge(*snap);
+    merge_ticks_.Record(obs::TickClock::Now() - t0);
+    assert(status == StreamqStatus::kOk);  // identical configs by design
+    (void)status;
+    epoch += shard_epoch;
+  }
+  // Account the new resident before it goes live: with double buffering
+  // the previous snapshot stays resident in the other slot, so the view's
+  // footprint is the sum of both.
+  const int slot = 1 - last_slot_;
+  slot_bytes_[slot] = static_cast<uint64_t>(merged->MemoryBytes());
+  last_slot_ = slot;
+  UpdatePeak(stats_.peak_view_bytes, slot_bytes_[0] + slot_bytes_[1]);
+  view_.Publish(std::move(merged), epoch);
+  stats_.publishes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void IngestPipeline::Flush() {
+  for (const auto& shard : shards_) {
+    // First wait for the worker to drain its ring, then for its snapshot
+    // to cover everything drained (idle workers re-snapshot on their own).
+    while (shard->stats.processed.load(std::memory_order_acquire) <
+               shard->stats.pushed.load(std::memory_order_acquire) ||
+           shard->stats.snapshot_epoch.load(std::memory_order_acquire) <
+               shard->stats.processed.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  PublishMergedView(/*block=*/true);
+}
+
+void IngestPipeline::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  started_ = false;
+  // Workers published their final shard snapshots before exiting; fold
+  // them into one last complete view so post-Stop queries see the whole
+  // stream.
+  PublishMergedView(/*block=*/true);
+}
+
+uint64_t IngestPipeline::Query(double phi) {
+  stats_.queries.fetch_add(1, std::memory_order_relaxed);
+  const QueryView::Snapshot snap = view_.Load();
+  if (snap.epoch < ProcessedCount()) {
+    stats_.stale_queries.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (snap.sketch == nullptr) return 0;
+  // QuantileSketch::Query mutates lazy caches and metrics, so concurrent
+  // queries serialise here. Ingestion never takes this mutex.
+  std::lock_guard<std::mutex> lock(query_mutex_);
+  return snap.sketch->Query(phi);
+}
+
+std::vector<uint64_t> IngestPipeline::QueryMany(
+    const std::vector<double>& phis) {
+  stats_.queries.fetch_add(1, std::memory_order_relaxed);
+  const QueryView::Snapshot snap = view_.Load();
+  if (snap.epoch < ProcessedCount()) {
+    stats_.stale_queries.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (snap.sketch == nullptr) return std::vector<uint64_t>(phis.size(), 0);
+  std::lock_guard<std::mutex> lock(query_mutex_);
+  return snap.sketch->QueryMany(phis);
+}
+
+uint64_t IngestPipeline::PushedCount() const {
+  return stats_.pushed.load(std::memory_order_acquire);
+}
+
+uint64_t IngestPipeline::ProcessedCount() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->stats.processed.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+size_t IngestPipeline::PeakMemoryBytes() const {
+  uint64_t total = stats_.peak_view_bytes.load(std::memory_order_acquire);
+  for (const auto& shard : shards_) {
+    total += shard->stats.peak_memory_bytes.load(std::memory_order_acquire);
+  }
+  return static_cast<size_t>(total);
+}
+
+size_t IngestPipeline::RingBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->ring.capacity() * sizeof(Update);
+  }
+  return total;
+}
+
+void IngestPipeline::PublishMetrics(obs::MetricsRegistry& registry,
+                                    const std::string& prefix) {
+  const auto set_counter = [&registry](const std::string& name, uint64_t v) {
+    obs::Counter& c = registry.GetCounter(name);
+    c.Reset();
+    c.Add(v);
+  };
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    const std::string p = prefix + ".shard" + std::to_string(i);
+    registry.GetGauge(p + ".queue_depth")
+        .Set(static_cast<int64_t>(shard.ring.SizeApprox()));
+    registry.GetGauge(p + ".peak_memory_bytes")
+        .Set(static_cast<int64_t>(
+            shard.stats.peak_memory_bytes.load(std::memory_order_acquire)));
+    set_counter(p + ".pushed",
+                shard.stats.pushed.load(std::memory_order_acquire));
+    set_counter(p + ".processed",
+                shard.stats.processed.load(std::memory_order_acquire));
+    set_counter(p + ".rejected",
+                shard.stats.rejected.load(std::memory_order_acquire));
+    set_counter(p + ".ring_full_stalls",
+                shard.stats.ring_full_stalls.load(std::memory_order_acquire));
+    set_counter(p + ".snapshots",
+                shard.stats.snapshots.load(std::memory_order_acquire));
+  }
+  set_counter(prefix + ".pushed",
+              stats_.pushed.load(std::memory_order_acquire));
+  set_counter(prefix + ".publishes",
+              stats_.publishes.load(std::memory_order_acquire));
+  set_counter(prefix + ".publish_contended",
+              stats_.publish_contended.load(std::memory_order_acquire));
+  set_counter(prefix + ".queries",
+              stats_.queries.load(std::memory_order_acquire));
+  set_counter(prefix + ".stale_queries",
+              stats_.stale_queries.load(std::memory_order_acquire));
+  registry.GetGauge(prefix + ".view_epoch")
+      .Set(static_cast<int64_t>(view_.Epoch()));
+  registry.GetGauge(prefix + ".peak_view_bytes")
+      .Set(static_cast<int64_t>(
+          stats_.peak_view_bytes.load(std::memory_order_acquire)));
+  registry.GetGauge(prefix + ".peak_memory_bytes")
+      .Set(static_cast<int64_t>(PeakMemoryBytes()));
+  registry.GetGauge(prefix + ".ring_bytes")
+      .Set(static_cast<int64_t>(RingBytes()));
+  {
+    // The latency histograms are guarded by the publish mutex; copy them
+    // out under it.
+    std::lock_guard<std::mutex> lock(publish_mutex_);
+    registry.GetHistogram(prefix + ".merge_ticks") = merge_ticks_;
+    registry.GetHistogram(prefix + ".publish_ticks") = publish_ticks_;
+  }
+}
+
+}  // namespace streamq::ingest

@@ -1,0 +1,183 @@
+// Sharded multi-threaded ingestion for the mergeable quantile summaries.
+//
+// Topology (DESIGN.md section 10):
+//
+//   producer --ShardRouter--> [SPSC ring]xN --> N shard workers,
+//   each owning a private sketch (no shared mutable state on the hot path)
+//
+//   workers periodically Clone() their shard sketch into a per-shard
+//   snapshot slot (shared_slot.h), then one of them (publish mutex, try_lock)
+//   merges all shard snapshots into a fresh sketch and installs it into
+//   the double-buffered QueryView. Query(phi) reads the view RCU-style
+//   and never blocks -- or is blocked by -- ingestion.
+//
+// The pipeline accepts any factory-buildable summary that is Mergeable()
+// and Clone()-able: Random, MRL99, FastQDigest, DCM, DCS. Create() refuses
+// the others (GK family: not mergeable; RSS/DCS+Post: no clone path).
+//
+// All shards are built from the *same* SketchConfig, identical seed
+// included: the dyadic summaries are only merge-compatible when their
+// per-level hash functions are identical, and identical construction is
+// what guarantees that. The merged result then carries the usual eps * n
+// bound at the combined stream length (mergeable-summary property;
+// tests/property_test.cc checks it end to end).
+//
+// Threading contract:
+//  * Push/TryPush/Flush: one producer thread at a time.
+//  * Query/QueryMany: any threads, any time (serialised internally on a
+//    query mutex because QuantileSketch::Query mutates lazy caches; the
+//    mutex is never taken by ingestion).
+//  * Stop(): once, from the producer thread; joins the workers. The
+//    destructor calls it.
+//  * PublishMetrics: any single thread; the registry is touched only by
+//    that caller.
+
+#ifndef STREAMQ_INGEST_INGEST_PIPELINE_H_
+#define STREAMQ_INGEST_INGEST_PIPELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ingest/ingest_metrics.h"
+#include "ingest/query_view.h"
+#include "ingest/shared_slot.h"
+#include "ingest/shard_router.h"
+#include "ingest/spsc_ring.h"
+#include "obs/metrics.h"
+#include "quantile/factory.h"
+#include "stream/update.h"
+
+namespace streamq::ingest {
+
+struct IngestOptions {
+  /// Per-shard summary. Every shard gets an identical sketch (same seed --
+  /// required for dyadic merge compatibility, see header comment).
+  SketchConfig sketch;
+  /// Number of shard workers (>= 1). 1 degenerates to a single-threaded
+  /// pipeline with the same queue/publish machinery, which is the bench's
+  /// scaling baseline.
+  int shards = 4;
+  /// Per-shard ring capacity (rounded up to a power of two).
+  size_t ring_capacity = size_t{1} << 14;
+  /// Max updates a worker dequeues per PopBatch call.
+  size_t batch_size = 256;
+  /// Worker publishes a fresh shard snapshot (and attempts a merged-view
+  /// publish) every `publish_interval` updates it processes. Idle workers
+  /// additionally publish whatever they have, so the view goes fresh
+  /// whenever ingestion pauses.
+  uint64_t publish_interval = uint64_t{1} << 16;
+  ShardingPolicy sharding = ShardingPolicy::kRoundRobin;
+};
+
+class IngestPipeline {
+ public:
+  /// Builds and starts the pipeline (workers are running on return).
+  /// Returns nullptr -- building nothing -- when the configured algorithm
+  /// cannot back a pipeline (not Mergeable(), no Clone(), or shards < 1).
+  static std::unique_ptr<IngestPipeline> Create(const IngestOptions& options);
+
+  ~IngestPipeline();
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// Non-blocking enqueue; false when the target shard's ring is full (the
+  /// update was not accepted). Single producer.
+  bool TryPush(const Update& update);
+
+  /// Blocking enqueue: spins (with yields) until the target shard's ring
+  /// accepts the update. Single producer.
+  void Push(const Update& update);
+
+  /// Waits until every pushed update has been applied to its shard sketch,
+  /// then publishes a merged view covering all of them. On return,
+  /// Query(phi) reflects the complete stream pushed so far. Producer
+  /// thread only.
+  void Flush();
+
+  /// Drains the rings, stops and joins the workers, and publishes a final
+  /// complete view. Idempotent; called by the destructor. After Stop, Push
+  /// is no longer allowed but Query keeps answering from the final view.
+  void Stop();
+
+  /// eps-approximate phi-quantile from the current published view. Never
+  /// blocks ingestion; concurrent callers are serialised on an internal
+  /// query mutex. Returns 0 before the first publish (empty summary
+  /// semantics, matching QuantileSketch::Query on an empty sketch).
+  uint64_t Query(double phi);
+
+  /// Batch quantile query against one consistent snapshot.
+  std::vector<uint64_t> QueryMany(const std::vector<double>& phis);
+
+  // --- introspection ----------------------------------------------------
+
+  uint64_t PushedCount() const;
+  uint64_t ProcessedCount() const;
+  /// Epoch (update count) of the currently published view.
+  uint64_t ViewEpoch() const { return view_.Epoch(); }
+
+  /// Worst-case footprint of the whole pipeline under the paper's memory
+  /// accounting: the sum of the per-shard sketch peaks plus the peak
+  /// combined size of the two query-view buffers. Ring slots are transient
+  /// I/O buffers, reported separately by RingBytes().
+  size_t PeakMemoryBytes() const;
+  /// Fixed footprint of the shard rings (capacity * sizeof(Update) each).
+  size_t RingBytes() const;
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  const ShardStats& shard_stats(int shard) const {
+    return shards_[static_cast<size_t>(shard)]->stats;
+  }
+  const PipelineStats& stats() const { return stats_; }
+
+  /// Copies pipeline and per-shard statistics into `registry` under
+  /// "<prefix>.": per-shard queue-depth gauges and throughput counters,
+  /// the merge-latency histogram, and the publish-staleness counter.
+  void PublishMetrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix);
+
+ private:
+  struct alignas(64) Shard {
+    explicit Shard(size_t ring_capacity) : ring(ring_capacity) {}
+    SpscRing<Update> ring;
+    std::unique_ptr<QuantileSketch> sketch;  // worker-private after Start
+    SharedSlot<QuantileSketch> snapshot;     // worker writes, publisher reads
+    ShardStats stats;
+    std::thread worker;
+  };
+
+  explicit IngestPipeline(const IngestOptions& options);
+
+  void WorkerLoop(Shard& shard);
+  /// Clones the shard sketch into its snapshot slot (worker thread only).
+  void PublishShardSnapshot(Shard& shard);
+  /// Merges all shard snapshots into a fresh sketch and installs it into
+  /// the view. `block` selects mutex lock vs try_lock (workers use
+  /// try_lock so a contended publish never stalls ingestion).
+  void PublishMergedView(bool block);
+
+  IngestOptions options_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  QueryView view_;
+  std::mutex publish_mutex_;
+  // Guarded by publish_mutex_: merge/publish latency distributions (ticks,
+  // obs::TickClock) and the sizes of the two resident view buffers.
+  obs::Histogram merge_ticks_;
+  obs::Histogram publish_ticks_;
+  uint64_t slot_bytes_[2] = {0, 0};
+  int last_slot_ = 0;
+
+  std::mutex query_mutex_;
+  PipelineStats stats_;
+};
+
+}  // namespace streamq::ingest
+
+#endif  // STREAMQ_INGEST_INGEST_PIPELINE_H_

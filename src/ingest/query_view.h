@@ -1,0 +1,86 @@
+// RCU-style double-buffered snapshot slot for the merged query sketch.
+//
+// The publisher (one shard worker holding the pipeline's publish mutex, or
+// the flush path) builds a fresh merged sketch, installs it into the
+// *inactive* buffer, and then flips the active index with an atomic store.
+// Readers load the active index and then that slot's shared_ptr; whichever
+// snapshot they end up with is complete and immutable-by-publisher, and the
+// shared_ptr keeps it alive for as long as the reader holds it --
+// reclamation is reference counting, the RCU grace period made explicit.
+// The swap between buffers is the lone atomic index flip; the shared_ptr
+// inside each slot is guarded by a SharedSlot mutex held only for the
+// pointer copy (see shared_slot.h for why std::atomic<shared_ptr> is not an
+// option under TSan), so neither side ever blocks the other for longer than
+// that copy -- and ingestion's hot path touches none of this.
+//
+// Why two buffers rather than a single atomic slot: the previous snapshot
+// stays installed (and its memory accounted) while the next one is being
+// swapped in, so a reader racing the flip always finds a fully published
+// sketch in whichever slot its index load selects, and the pipeline can
+// report the view's worst-case footprint as the sum of both residents.
+//
+// Concurrency contract: any number of concurrent Load() calls; one
+// Publish() at a time (the pipeline serialises publishers through its
+// publish mutex). The sketch inside a snapshot is shared -- QuantileSketch
+// is not itself thread-safe, so callers serialise Query() on it (the
+// pipeline's query mutex); the publisher never touches a sketch again after
+// publishing it.
+
+#ifndef STREAMQ_INGEST_QUERY_VIEW_H_
+#define STREAMQ_INGEST_QUERY_VIEW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "ingest/shared_slot.h"
+#include "quantile/quantile_sketch.h"
+
+namespace streamq::ingest {
+
+class QueryView {
+ public:
+  /// One published merged snapshot. `epoch` is the number of stream updates
+  /// the merged sketch summarises (the sum of the shard snapshot epochs it
+  /// was built from); readers compare it against the pipeline's processed
+  /// count to measure staleness.
+  struct Snapshot {
+    std::shared_ptr<QuantileSketch> sketch;
+    uint64_t epoch = 0;
+  };
+
+  /// Installs a new snapshot. Single publisher at a time (caller holds the
+  /// pipeline publish mutex).
+  void Publish(std::shared_ptr<QuantileSketch> sketch, uint64_t epoch) {
+    const int inactive = 1 - active_.load(std::memory_order_relaxed);
+    auto snap = std::make_shared<Snapshot>();
+    snap->sketch = std::move(sketch);
+    snap->epoch = epoch;
+    slots_[inactive].Store(std::move(snap));
+    active_.store(inactive, std::memory_order_release);
+  }
+
+  /// Current snapshot; `sketch` is nullptr before the first Publish. Never
+  /// blocks beyond the slot's pointer-copy critical section.
+  Snapshot Load() const {
+    const int active = active_.load(std::memory_order_acquire);
+    auto snap = slots_[active].Load();
+    return snap == nullptr ? Snapshot{} : *snap;
+  }
+
+  /// Epoch of the current snapshot (0 before the first Publish).
+  uint64_t Epoch() const {
+    const int active = active_.load(std::memory_order_acquire);
+    auto snap = slots_[active].Load();
+    return snap == nullptr ? 0 : snap->epoch;
+  }
+
+ private:
+  SharedSlot<Snapshot> slots_[2];
+  std::atomic<int> active_{0};
+};
+
+}  // namespace streamq::ingest
+
+#endif  // STREAMQ_INGEST_QUERY_VIEW_H_

@@ -1,0 +1,62 @@
+// Routing policy mapping each stream update to one ingest shard.
+
+#ifndef STREAMQ_INGEST_SHARD_ROUTER_H_
+#define STREAMQ_INGEST_SHARD_ROUTER_H_
+
+#include <cstdint>
+
+namespace streamq::ingest {
+
+/// How the pipeline distributes updates across shard workers.
+///
+///  * kRoundRobin: update i goes to shard i mod N. Perfectly balanced
+///    regardless of the value distribution; an insert and a later delete of
+///    the same value may land on different shards, which is still correct
+///    for the linear (dyadic) summaries -- merging sums all shard counters,
+///    so only the union stream matters.
+///  * kHash: shard chosen by a mixed hash of the value, so all updates of
+///    one value land on one shard. Balanced for high-cardinality streams;
+///    a single very hot value concentrates on its shard.
+enum class ShardingPolicy {
+  kRoundRobin,
+  kHash,
+};
+
+/// Stateful router (the round-robin policy carries a cursor). Not
+/// thread-safe: one router per producer thread, which is the pipeline's
+/// single-producer contract anyway.
+class ShardRouter {
+ public:
+  ShardRouter(ShardingPolicy policy, int shards)
+      : policy_(policy), shards_(static_cast<uint64_t>(shards)) {}
+
+  int Route(uint64_t value) {
+    if (policy_ == ShardingPolicy::kRoundRobin) {
+      const uint64_t s = next_;
+      next_ = next_ + 1 == shards_ ? 0 : next_ + 1;
+      return static_cast<int>(s);
+    }
+    return static_cast<int>(Mix(value) % shards_);
+  }
+
+ private:
+  // SplitMix64 finaliser: full-avalanche mix so consecutive values spread
+  // across shards instead of striding (the stream generators emit dense
+  // integer ranges).
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  ShardingPolicy policy_;
+  uint64_t shards_;
+  uint64_t next_ = 0;
+};
+
+}  // namespace streamq::ingest
+
+#endif  // STREAMQ_INGEST_SHARD_ROUTER_H_

@@ -1,0 +1,58 @@
+// A shared_ptr slot written by one thread and read by others.
+//
+// Why not std::atomic<std::shared_ptr<T>>: libstdc++ 12 implements it with
+// an embedded spinlock whose load() path releases the lock with
+// memory_order_relaxed, so the plain read of the stored pointer inside the
+// critical section has no happens-before edge to the next store's plain
+// write. ThreadSanitizer flags that as a data race -- correctly, under the
+// letter of the memory model -- which would poison every TSan run of the
+// ingest tests. A plain mutex held only for the duration of a pointer copy
+// has the same cost profile at this call frequency (snapshots change every
+// tens of thousands of updates; queries copy one pointer) and is fully
+// understood by the sanitizer.
+//
+// The reference count does the reclamation: a reader's copy keeps the old
+// object alive after the slot moves on (the RCU grace period, made
+// explicit). Store drops the previous value outside the lock so a final
+// release that frees a large sketch never runs inside the critical
+// section.
+
+#ifndef STREAMQ_INGEST_SHARED_SLOT_H_
+#define STREAMQ_INGEST_SHARED_SLOT_H_
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace streamq::ingest {
+
+template <typename T>
+class SharedSlot {
+ public:
+  SharedSlot() = default;
+  SharedSlot(const SharedSlot&) = delete;
+  SharedSlot& operator=(const SharedSlot&) = delete;
+
+  void Store(std::shared_ptr<T> next) {
+    std::shared_ptr<T> prev;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      prev = std::move(ptr_);
+      ptr_ = std::move(next);
+    }
+    // prev (possibly the last reference) destroys here, outside the lock.
+  }
+
+  std::shared_ptr<T> Load() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return ptr_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<T> ptr_;
+};
+
+}  // namespace streamq::ingest
+
+#endif  // STREAMQ_INGEST_SHARED_SLOT_H_

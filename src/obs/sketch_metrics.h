@@ -39,7 +39,8 @@ namespace streamq::obs {
 struct SketchMetrics {
   Counter inserts;        ///< accepted Insert() calls
   Counter erases;         ///< accepted Erase() calls
-  Counter rejected;       ///< updates refused with a non-kOk status
+  Counter merges;         ///< accepted Merge() calls
+  Counter rejected;       ///< updates/merges refused with a non-kOk status
   Counter queries;        ///< Query()/QueryMany() calls (batch counts once)
   Counter compressions;   ///< compaction events (COMPRESS/flush/collapse/...)
   Histogram compress_trigger;  ///< summary size (tuples/nodes/elements) when
@@ -53,6 +54,8 @@ struct SketchMetrics {
     registry.GetCounter(prefix + ".inserts").Add(inserts.value());
     registry.GetCounter(prefix + ".erases").Reset();
     registry.GetCounter(prefix + ".erases").Add(erases.value());
+    registry.GetCounter(prefix + ".merges").Reset();
+    registry.GetCounter(prefix + ".merges").Add(merges.value());
     registry.GetCounter(prefix + ".rejected").Reset();
     registry.GetCounter(prefix + ".rejected").Add(rejected.value());
     registry.GetCounter(prefix + ".queries").Reset();
@@ -114,7 +117,7 @@ struct NoopHistogram {
 };
 
 struct SketchMetrics {
-  NoopCounter inserts, erases, rejected, queries, compressions;
+  NoopCounter inserts, erases, merges, rejected, queries, compressions;
   NoopHistogram compress_trigger, compress_ticks;
   NoopGauge memory_bytes;
   void PublishTo(MetricsRegistry&, const std::string&) const {}

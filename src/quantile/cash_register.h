@@ -163,12 +163,19 @@ class GkArray : public QuantileSketch {
   GkArrayImpl<uint64_t> impl_;
 };
 
-/// Random over uint64_t (section 2.2).
+/// Random over uint64_t (section 2.2). Mergeable: two Random summaries
+/// built with the same eps combine into a summary of the union stream (the
+/// mergeable-summary property of Agarwal et al. that Random inherits).
 class RandomSketch : public QuantileSketch {
  public:
   RandomSketch(double eps, uint64_t seed = 1) : impl_(eps, seed) {
     impl_.set_metrics(mutable_metrics());
   }
+  RandomSketch(const RandomSketch& other)
+      : QuantileSketch(), impl_(other.impl_) {
+    impl_.set_metrics(mutable_metrics());
+  }
+  RandomSketch& operator=(const RandomSketch&) = delete;
   int64_t EstimateRank(uint64_t value) override {
     return impl_.EstimateRank(value);
   }
@@ -177,9 +184,10 @@ class RandomSketch : public QuantileSketch {
   std::string Name() const override { return "Random"; }
   RandomSketchImpl<uint64_t>& impl() { return impl_; }
 
-  /// Merges another Random summary built with the same eps (the mergeable-
-  /// summary property of Agarwal et al. that Random inherits).
-  void Merge(const RandomSketch& other) { impl_.Merge(other.impl_); }
+  bool Mergeable() const override { return true; }
+  std::unique_ptr<QuantileSketch> Clone() const override {
+    return std::unique_ptr<QuantileSketch>(new RandomSketch(*this));
+  }
 
   /// Framed snapshot of the summary (including PRNG state).
   std::string Serialize() const {
@@ -209,17 +217,36 @@ class RandomSketch : public QuantileSketch {
       const std::vector<double>& phis) override {
     return impl_.QueryMany(phis);
   }
+  StreamqStatus MergeCompatibility(
+      const QuantileSketch& other) const override {
+    const auto* peer = dynamic_cast<const RandomSketch*>(&other);
+    if (peer == nullptr || peer->impl_.height() != impl_.height() ||
+        peer->impl_.buffer_size() != impl_.buffer_size()) {
+      return StreamqStatus::kMergeIncompatible;
+    }
+    return StreamqStatus::kOk;
+  }
+  StreamqStatus MergeImpl(const QuantileSketch& other) override {
+    impl_.Merge(static_cast<const RandomSketch&>(other).impl_);
+    return StreamqStatus::kOk;
+  }
 
  private:
   RandomSketchImpl<uint64_t> impl_;
 };
 
-/// MRL99 over uint64_t (section 1.2.1).
+/// MRL99 over uint64_t (section 1.2.1). Mergeable: two MRL99 summaries
+/// built with the same eps combine level-wise, with COLLAPSE passes
+/// restoring the buffer budget (see Mrl99Impl::Merge).
 class Mrl99 : public QuantileSketch {
  public:
   Mrl99(double eps, uint64_t seed = 1) : impl_(eps, seed) {
     impl_.set_metrics(mutable_metrics());
   }
+  Mrl99(const Mrl99& other) : QuantileSketch(), impl_(other.impl_) {
+    impl_.set_metrics(mutable_metrics());
+  }
+  Mrl99& operator=(const Mrl99&) = delete;
   int64_t EstimateRank(uint64_t value) override {
     return impl_.EstimateRank(value);
   }
@@ -227,6 +254,11 @@ class Mrl99 : public QuantileSketch {
   size_t MemoryBytes() const override { return impl_.MemoryBytes(); }
   std::string Name() const override { return "MRL99"; }
   Mrl99Impl<uint64_t>& impl() { return impl_; }
+
+  bool Mergeable() const override { return true; }
+  std::unique_ptr<QuantileSketch> Clone() const override {
+    return std::unique_ptr<QuantileSketch>(new Mrl99(*this));
+  }
 
   /// Framed snapshot of the summary (including PRNG state).
   std::string Serialize() const {
@@ -255,6 +287,19 @@ class Mrl99 : public QuantileSketch {
   std::vector<uint64_t> QueryManyImpl(
       const std::vector<double>& phis) override {
     return impl_.QueryMany(phis);
+  }
+  StreamqStatus MergeCompatibility(
+      const QuantileSketch& other) const override {
+    const auto* peer = dynamic_cast<const Mrl99*>(&other);
+    if (peer == nullptr || peer->impl_.height() != impl_.height() ||
+        peer->impl_.buffer_size() != impl_.buffer_size()) {
+      return StreamqStatus::kMergeIncompatible;
+    }
+    return StreamqStatus::kOk;
+  }
+  StreamqStatus MergeImpl(const QuantileSketch& other) override {
+    impl_.Merge(static_cast<const Mrl99&>(other).impl_);
+    return StreamqStatus::kOk;
   }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <typeinfo>
 
 #include "sketch/count_min.h"
 #include "sketch/count_sketch.h"
@@ -25,6 +26,37 @@ StreamqStatus DyadicQuantileBase::ApplyUpdate(uint64_t value, int64_t delta) {
   n_ += delta;
   for (int i = 0; i < log_u_; ++i) {
     levels_[i]->Update(value >> i, delta);
+  }
+  return StreamqStatus::kOk;
+}
+
+StreamqStatus DyadicQuantileBase::MergeCompatibility(
+    const QuantileSketch& other) const {
+  // typeid (not dynamic_cast) so a DCM never absorbs a DCS or RSS sibling
+  // through the shared base: their per-level estimators are different
+  // sketches even at equal dimensions.
+  if (typeid(*this) != typeid(other)) return StreamqStatus::kMergeIncompatible;
+  const auto& peer = static_cast<const DyadicQuantileBase&>(other);
+  if (peer.log_u_ != log_u_ || peer.width_ != width_ ||
+      peer.depth_ != depth_ || peer.seed_ != seed_) {
+    return StreamqStatus::kMergeIncompatible;
+  }
+  // Defense in depth: equal construction parameters imply structurally
+  // identical levels, but verify before MergeImpl commits to mutating (an
+  // accepted merge must not fail halfway).
+  for (int i = 0; i < log_u_; ++i) {
+    if (!levels_[i]->CompatibleForMerge(*peer.levels_[i])) {
+      return StreamqStatus::kMergeIncompatible;
+    }
+  }
+  return StreamqStatus::kOk;
+}
+
+StreamqStatus DyadicQuantileBase::MergeImpl(const QuantileSketch& other) {
+  const auto& peer = static_cast<const DyadicQuantileBase&>(other);
+  n_ += peer.n_;
+  for (int i = 0; i < log_u_; ++i) {
+    levels_[i]->MergeFrom(*peer.levels_[i]);
   }
   return StreamqStatus::kOk;
 }

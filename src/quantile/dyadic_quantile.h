@@ -22,6 +22,14 @@ class DyadicQuantileBase : public QuantileSketch {
  public:
   bool SupportsDeletion() const override { return true; }
 
+  /// The dyadic sketches are linear: merging is exact counter addition, so
+  /// a merged sketch summarises the sum of both update streams with the
+  /// per-level width/depth guarantee at the combined stream length.
+  /// Compatibility requires the same concrete type built with the same
+  /// (log_u, width, depth, seed) -- identical seeds make the per-level hash
+  /// functions identical, which counter addition relies on.
+  bool Mergeable() const override { return true; }
+
   /// Alternative query (not in the paper): descend the dyadic tree keeping
   /// a running mass bound and clamping each child estimate into
   /// [0, remaining]. The clamp suppresses much of Count-Min's inflation, so
@@ -77,6 +85,10 @@ class DyadicQuantileBase : public QuantileSketch {
   /// Frame type tag for Serialize (one per concrete sketch).
   virtual SnapshotType snapshot_type() const = 0;
 
+  StreamqStatus MergeCompatibility(
+      const QuantileSketch& other) const override;
+  StreamqStatus MergeImpl(const QuantileSketch& other) override;
+
   StreamqStatus ApplyUpdate(uint64_t value, int64_t delta);
   bool LoadFrom(class SerdeReader& r);
 
@@ -99,6 +111,10 @@ class Dcm : public DyadicQuantileBase {
   /// Restores a Serialize() snapshot; nullptr on corrupt input.
   static std::unique_ptr<Dcm> Deserialize(const std::string& bytes);
   std::string Name() const override { return "DCM"; }
+  /// Deep copy via the snapshot path (cold; used by the ingest publishers).
+  std::unique_ptr<QuantileSketch> Clone() const override {
+    return Deserialize(Serialize());
+  }
 
  protected:
   SnapshotType snapshot_type() const override { return SnapshotType::kDcm; }
@@ -118,6 +134,10 @@ class Dcs : public DyadicQuantileBase {
   /// Restores a Serialize() snapshot; nullptr on corrupt input.
   static std::unique_ptr<Dcs> Deserialize(const std::string& bytes);
   std::string Name() const override { return "DCS"; }
+  /// Deep copy via the snapshot path (cold; used by the ingest publishers).
+  std::unique_ptr<QuantileSketch> Clone() const override {
+    return Deserialize(Serialize());
+  }
 
  protected:
   SnapshotType snapshot_type() const override { return SnapshotType::kDcs; }

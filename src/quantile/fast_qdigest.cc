@@ -214,12 +214,22 @@ std::unique_ptr<FastQDigest> FastQDigest::Deserialize(const std::string& bytes) 
   return digest;
 }
 
-void FastQDigest::Merge(const FastQDigest& other) {
-  assert(other.log_u_ == log_u_);
-  for (const auto& [id, cnt] : other.counts_) counts_[id] += cnt;
-  n_ += other.n_;
+StreamqStatus FastQDigest::MergeCompatibility(
+    const QuantileSketch& other) const {
+  const auto* peer = dynamic_cast<const FastQDigest*>(&other);
+  if (peer == nullptr || peer->log_u_ != log_u_ || peer->eps_ != eps_) {
+    return StreamqStatus::kMergeIncompatible;
+  }
+  return StreamqStatus::kOk;
+}
+
+StreamqStatus FastQDigest::MergeImpl(const QuantileSketch& other) {
+  const auto& peer = static_cast<const FastQDigest&>(other);
+  for (const auto& [id, cnt] : peer.counts_) counts_[id] += cnt;
+  n_ += peer.n_;
   snapshot_dirty_ = true;
   Compress();
+  return StreamqStatus::kOk;
 }
 
 }  // namespace streamq

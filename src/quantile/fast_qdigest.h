@@ -35,9 +35,14 @@ class FastQDigest : public QuantileSketch {
   size_t MemoryBytes() const override;
   std::string Name() const override { return "FastQDigest"; }
 
-  /// Folds `other` (same universe, same eps) into this digest. The q-digest
-  /// is the only deterministic mergeable quantile summary (Agarwal et al.).
-  void Merge(const FastQDigest& other);
+  /// The q-digest is the only deterministic mergeable quantile summary in
+  /// the library (Agarwal et al.): Merge() -- inherited from QuantileSketch
+  /// -- folds a sibling over the same universe and eps into this digest by
+  /// node-count addition followed by a COMPRESS.
+  bool Mergeable() const override { return true; }
+  std::unique_ptr<QuantileSketch> Clone() const override {
+    return Deserialize(Serialize());
+  }
 
   /// Forces a COMPRESS (exposed for tests).
   void Compress();
@@ -55,6 +60,9 @@ class FastQDigest : public QuantileSketch {
   StreamqStatus InsertImpl(uint64_t value) override;
   uint64_t QueryImpl(double phi) override;
   std::vector<uint64_t> QueryManyImpl(const std::vector<double>& phis) override;
+  StreamqStatus MergeCompatibility(
+      const QuantileSketch& other) const override;
+  StreamqStatus MergeImpl(const QuantileSketch& other) override;
 
  private:
   int64_t Threshold() const;

@@ -159,6 +159,58 @@ class Mrl99Impl {
     return fill_ < static_cast<int>(buffers_.size());
   }
 
+  /// Folds `other` (built with the same eps, hence the same h and k) into
+  /// this summary: the buffer sets of both summaries are pooled level-wise
+  /// and COLLAPSE passes (the same evenly-spaced weighted selection as the
+  /// streaming path) run until the pooled set respects the buffer budget,
+  /// which preserves MRL99's coverage guarantee on the union stream (the
+  /// mergeable-summary argument of Agarwal et al.). The other summary's
+  /// in-progress sampling block (one element standing for up to 2^l inputs)
+  /// is re-inserted by repetition, keeping counts exact at a rank error of
+  /// at most its weight = O(eps n), as in RandomSketchImpl::Merge.
+  void Merge(const Mrl99Impl& other) {
+    assert(other.k_ == k_ && other.h_ == h_);
+    // Pool every non-empty buffer from both summaries. Partially filled
+    // buffers are declared full at their current size; their weight stays
+    // the per-element block weight of their level.
+    std::vector<Buffer> pool;
+    for (Buffer& b : buffers_) {
+      if (!b.data.empty()) pool.push_back(std::move(b));
+      b = Buffer{};
+    }
+    for (const Buffer& b : other.buffers_) {
+      if (!b.data.empty()) pool.push_back(b);
+    }
+    n_ += other.n_;
+    fill_ = -1;
+    block_seen_ = 0;
+    for (Buffer& b : pool) {
+      std::sort(b.data.begin(), b.data.end(), Less());
+      b.full = true;
+    }
+    // Collapse lowest-level groups until an empty slot remains for filling.
+    while (pool.size() + 1 > buffers_.size()) {
+      STREAMQ_COMPACTION_EVENT(metrics_, k_);
+      std::vector<int> chosen;
+      const int out_level = SelectCollapseGroup(pool, &chosen);
+      CollapseGroup(pool, chosen, out_level);
+      // CollapseGroup empties every chosen buffer but the first; drop them.
+      pool.erase(std::remove_if(pool.begin(), pool.end(),
+                                [](const Buffer& b) { return b.Empty(); }),
+                 pool.end());
+    }
+    for (size_t i = 0; i < pool.size(); ++i) buffers_[i] = std::move(pool[i]);
+
+    // Re-insert the other summary's in-progress block by repetition (only
+    // meaningful once that block has committed to its sample).
+    if (other.fill_ >= 0 && other.block_seen_ > other.block_pick_) {
+      n_ -= other.block_seen_;  // Insert() re-counts them
+      for (uint64_t i = 0; i < other.block_seen_; ++i) {
+        Insert(other.block_choice_);
+      }
+    }
+  }
+
  private:
   struct Buffer {
     std::vector<T> data;
@@ -196,41 +248,46 @@ class Mrl99Impl {
     assert(false && "no empty buffer available");
   }
 
-  void Collapse() {
-    STREAMQ_COMPACTION_EVENT(metrics_, k_);
-    STREAMQ_COMPACTION_TIMER(metrics_);
-    // Gather all full buffers at the minimum level; if only one exists,
-    // widen to the two lowest levels so a collapse is always possible.
+  // Gathers the indices of all full buffers of `bufs` at the minimum level;
+  // if only one exists, widens to the two lowest levels so a collapse is
+  // always possible. Returns the output level of the collapsed buffer.
+  static int SelectCollapseGroup(const std::vector<Buffer>& bufs,
+                                 std::vector<int>* chosen) {
     int min_level = INT32_MAX;
-    for (const Buffer& b : buffers_) {
+    for (const Buffer& b : bufs) {
       if (b.full) min_level = std::min(min_level, b.level);
     }
-    std::vector<int> chosen;
-    for (size_t i = 0; i < buffers_.size(); ++i) {
-      if (buffers_[i].full && buffers_[i].level == min_level) {
-        chosen.push_back(static_cast<int>(i));
+    for (size_t i = 0; i < bufs.size(); ++i) {
+      if (bufs[i].full && bufs[i].level == min_level) {
+        chosen->push_back(static_cast<int>(i));
       }
     }
     int out_level = min_level + 1;
-    if (chosen.size() < 2) {
+    if (chosen->size() < 2) {
       int second = INT32_MAX;
-      for (const Buffer& b : buffers_) {
+      for (const Buffer& b : bufs) {
         if (b.full && b.level > min_level) second = std::min(second, b.level);
       }
-      for (size_t i = 0; i < buffers_.size(); ++i) {
-        if (buffers_[i].full && buffers_[i].level == second) {
-          chosen.push_back(static_cast<int>(i));
+      for (size_t i = 0; i < bufs.size(); ++i) {
+        if (bufs[i].full && bufs[i].level == second) {
+          chosen->push_back(static_cast<int>(i));
         }
       }
       out_level = second + 1;
     }
-    assert(chosen.size() >= 2);
+    assert(chosen->size() >= 2);
+    return out_level;
+  }
 
-    // Weighted k-way merge with evenly spaced selection.
+  // COLLAPSE of the chosen buffers: weighted k-way merge with evenly spaced
+  // selection and a uniform random start. The collapsed buffer replaces
+  // bufs[chosen[0]] at `out_level`; the other chosen buffers become empty.
+  void CollapseGroup(std::vector<Buffer>& bufs, const std::vector<int>& chosen,
+                     int out_level) {
     std::vector<WeightedElement<T>> pool;
     int64_t total_weight = 0;
     for (int idx : chosen) {
-      const Buffer& b = buffers_[idx];
+      const Buffer& b = bufs[idx];
       total_weight += b.weight;
       for (const T& v : b.data) pool.push_back({v, b.weight});
     }
@@ -254,19 +311,27 @@ class Mrl99Impl {
       pos += e.weight;
     }
 
-    Buffer& out = buffers_[chosen[0]];
+    Buffer& out = bufs[chosen[0]];
     out.data = std::move(kept);
     out.weight = w;
     out.level = out_level;
     out.full = true;
     for (size_t c = 1; c < chosen.size(); ++c) {
-      Buffer& b = buffers_[chosen[c]];
+      Buffer& b = bufs[chosen[c]];
       b.data.clear();
       b.data.reserve(k_);
       b.full = false;
       b.weight = 1;
       b.level = 0;
     }
+  }
+
+  void Collapse() {
+    STREAMQ_COMPACTION_EVENT(metrics_, k_);
+    STREAMQ_COMPACTION_TIMER(metrics_);
+    std::vector<int> chosen;
+    const int out_level = SelectCollapseGroup(buffers_, &chosen);
+    CollapseGroup(buffers_, chosen, out_level);
   }
 
   std::vector<WeightedElement<T>> Snapshot() const {

@@ -12,6 +12,8 @@ const char* StreamqStatusName(StreamqStatus status) {
       return "kOutOfUniverse";
     case StreamqStatus::kInvalidArgument:
       return "kInvalidArgument";
+    case StreamqStatus::kMergeIncompatible:
+      return "kMergeIncompatible";
   }
   return "unknown";
 }
@@ -19,6 +21,17 @@ const char* StreamqStatusName(StreamqStatus status) {
 StreamqStatus QuantileSketch::EraseImpl(uint64_t /*value*/) {
   // Cash-register summaries do not support deletions; refusing is part of
   // the contract, not a programming error, so no abort.
+  return StreamqStatus::kUnsupported;
+}
+
+StreamqStatus QuantileSketch::MergeCompatibility(
+    const QuantileSketch& /*other*/) const {
+  // Non-mergeable summary types (the GK family and Post) refuse any merge;
+  // like Erase on a cash-register summary this is contract, not error.
+  return StreamqStatus::kUnsupported;
+}
+
+StreamqStatus QuantileSketch::MergeImpl(const QuantileSketch& /*other*/) {
   return StreamqStatus::kUnsupported;
 }
 

@@ -35,6 +35,10 @@ enum class StreamqStatus {
   kOutOfUniverse,
   /// A parameter was malformed (e.g. phi outside [0, 1] or NaN).
   kInvalidArgument,
+  /// The two summaries cannot be merged: different concrete types, or the
+  /// same type built with incompatible parameters (eps, universe, depth,
+  /// seed). Neither summary was modified.
+  kMergeIncompatible,
 };
 
 /// Human-readable status name (for logs and test failure messages).
@@ -97,6 +101,53 @@ class QuantileSketch {
 
   /// Whether Erase is supported (turnstile model).
   virtual bool SupportsDeletion() const { return false; }
+
+  // --- mergeability ----------------------------------------------------
+
+  /// Whether this summary type supports Merge at all. Mergeable summaries
+  /// (Random, MRL99, FastQDigest, and the dyadic turnstile family) combine
+  /// with a compatible sibling into a summary of the union stream with the
+  /// same eps*n_total error bound -- the property the parallel ingest
+  /// subsystem (src/ingest/) is built on. The GK family is not mergeable:
+  /// its (g, Delta) tuple invariants are tied to one linear scan of a
+  /// single stream and repeated pairwise merging grows its error.
+  virtual bool Mergeable() const { return false; }
+
+  /// Whether Merge(other) would be accepted: both summaries mergeable, same
+  /// concrete type, compatible construction parameters. Never mutates.
+  bool CanMerge(const QuantileSketch& other) const {
+    return &other != this &&
+           MergeCompatibility(other) == StreamqStatus::kOk;
+  }
+
+  /// Folds `other` into this summary so that it summarises the union of
+  /// both input streams. `other` is not modified; the metrics of `other`
+  /// are not transferred (this summary's counters keep counting its own
+  /// Insert/Merge calls).
+  ///
+  /// Returns kOk on success. A non-mergeable summary type returns
+  /// kUnsupported; a mergeable one refuses a sibling of different concrete
+  /// type or incompatible parameters (and self-merge) with
+  /// kMergeIncompatible. Per the library error-path contract, a non-kOk
+  /// return leaves this summary bit-identical to its prior state; rejected
+  /// merges count into the `rejected` metric like any refused mutation.
+  StreamqStatus Merge(const QuantileSketch& other) {
+    StreamqStatus status = &other == this ? StreamqStatus::kMergeIncompatible
+                                          : MergeCompatibility(other);
+    if (status == StreamqStatus::kOk) status = MergeImpl(other);
+    if (status == StreamqStatus::kOk) {
+      metrics_.merges.Inc();
+    } else {
+      metrics_.rejected.Inc();
+    }
+    return status;
+  }
+
+  /// Deep copy of this summary (same parameters, same summarised state,
+  /// fresh metrics). Supported by the mergeable summaries -- the parallel
+  /// ingest workers clone their shard summaries to publish consistent
+  /// snapshots -- and returns nullptr for every other type.
+  virtual std::unique_ptr<QuantileSketch> Clone() const { return nullptr; }
 
   /// Returns an eps-approximate phi-quantile of the elements currently
   /// summarised.
@@ -165,6 +216,18 @@ class QuantileSketch {
 
   /// Deletion; the default refuses (cash-register model).
   virtual StreamqStatus EraseImpl(uint64_t value);
+
+  /// Full merge-compatibility check, called by Merge() before MergeImpl and
+  /// by CanMerge(). The default refuses (non-mergeable summary). Overrides
+  /// must check everything MergeImpl relies on, so that an accepted merge
+  /// cannot fail halfway (which would violate the no-mutation-on-error
+  /// contract). Self-merge is rejected by the non-virtual callers before
+  /// this hook runs, so overrides may assume `&other != this`.
+  virtual StreamqStatus MergeCompatibility(const QuantileSketch& other) const;
+
+  /// The merge itself, with compatibility already verified by
+  /// MergeCompatibility. The default refuses with kUnsupported.
+  virtual StreamqStatus MergeImpl(const QuantileSketch& other);
 
   /// Quantile query with phi already validated.
   virtual uint64_t QueryImpl(double phi) = 0;

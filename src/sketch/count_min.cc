@@ -32,6 +32,18 @@ double CountMin::Estimate(uint64_t item) const {
   return static_cast<double>(best);
 }
 
+bool CountMin::CompatibleForMerge(const FrequencyEstimator& other) const {
+  const auto* peer = dynamic_cast<const CountMin*>(&other);
+  return peer != nullptr && peer->width_ == width_ && peer->depth_ == depth_;
+}
+
+void CountMin::MergeFrom(const FrequencyEstimator& other) {
+  const auto& peer = static_cast<const CountMin&>(other);
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += peer.counters_[i];
+  }
+}
+
 void CountMin::SaveCounters(SerdeWriter& w) const { w.PodVector(counters_); }
 
 bool CountMin::LoadCounters(SerdeReader& r) {

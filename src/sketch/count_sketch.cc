@@ -57,6 +57,18 @@ double CountSketch::VarianceEstimate() const {
   return f2 / static_cast<double>(width_);
 }
 
+bool CountSketch::CompatibleForMerge(const FrequencyEstimator& other) const {
+  const auto* peer = dynamic_cast<const CountSketch*>(&other);
+  return peer != nullptr && peer->width_ == width_ && peer->depth_ == depth_;
+}
+
+void CountSketch::MergeFrom(const FrequencyEstimator& other) {
+  const auto& peer = static_cast<const CountSketch&>(other);
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += peer.counters_[i];
+  }
+}
+
 void CountSketch::SaveCounters(SerdeWriter& w) const {
   w.PodVector(counters_);
 }

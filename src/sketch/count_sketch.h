@@ -35,6 +35,8 @@ class CountSketch : public FrequencyEstimator {
   void Update(uint64_t item, int64_t delta) override;
   double Estimate(uint64_t item) const override;
   double VarianceEstimate() const override;
+  bool CompatibleForMerge(const FrequencyEstimator& other) const override;
+  void MergeFrom(const FrequencyEstimator& other) override;
   size_t MemoryBytes() const override;
   void SaveCounters(SerdeWriter& w) const override;
   bool LoadCounters(SerdeReader& r) override;

@@ -32,6 +32,17 @@ class ExactCounts : public FrequencyEstimator {
 
   bool IsExact() const override { return true; }
 
+  bool CompatibleForMerge(const FrequencyEstimator& other) const override {
+    const auto* peer = dynamic_cast<const ExactCounts*>(&other);
+    return peer != nullptr && peer->counts_.size() == counts_.size();
+  }
+
+  void MergeFrom(const FrequencyEstimator& other) override {
+    const auto& peer = static_cast<const ExactCounts&>(other);
+    assert(peer.counts_.size() == counts_.size());
+    for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += peer.counts_[i];
+  }
+
   size_t MemoryBytes() const override {
     return counts_.size() * kBytesPerCounter;
   }

@@ -29,6 +29,20 @@ class FrequencyEstimator {
   /// unavailable. Used by the OLS post-processing step.
   virtual double VarianceEstimate() const { return 0.0; }
 
+  /// Whether MergeFrom(other) is valid: same concrete estimator type and
+  /// identical counter dimensions. Hash functions are not comparable
+  /// through this interface, so callers must additionally guarantee both
+  /// estimators were built from the same construction seed (the dyadic
+  /// quantile layer compares its recorded seed before descending here).
+  virtual bool CompatibleForMerge(const FrequencyEstimator& other) const = 0;
+
+  /// Adds `other`'s counters into this estimator. All estimators in the
+  /// library are linear sketches, so counter addition makes this estimator
+  /// summarise the sum of both input streams exactly (no extra error beyond
+  /// the width/depth guarantee at the combined stream length).
+  /// Precondition: CompatibleForMerge(other).
+  virtual void MergeFrom(const FrequencyEstimator& other) = 0;
+
   /// Memory footprint under the paper's accounting conventions.
   virtual size_t MemoryBytes() const = 0;
 

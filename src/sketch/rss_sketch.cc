@@ -41,6 +41,19 @@ double RssSketch::Estimate(uint64_t item) const {
   return medians[d / 2];
 }
 
+bool RssSketch::CompatibleForMerge(const FrequencyEstimator& other) const {
+  const auto* peer = dynamic_cast<const RssSketch*>(&other);
+  return peer != nullptr && peer->width_ == width_ && peer->depth_ == depth_;
+}
+
+void RssSketch::MergeFrom(const FrequencyEstimator& other) {
+  const auto& peer = static_cast<const RssSketch&>(other);
+  total_ += peer.total_;
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += peer.counters_[i];
+  }
+}
+
 void RssSketch::SaveCounters(SerdeWriter& w) const {
   w.I64(total_);
   w.PodVector(counters_);

@@ -1,0 +1,375 @@
+// Tests for the parallel ingest subsystem (src/ingest/): the SPSC ring,
+// the shard router, the RCU query view, and the sharded pipeline end to
+// end. The cross-thread tests double as the ThreadSanitizer workload for
+// the -DSTREAMQ_SANITIZE=thread configuration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "exact/exact_oracle.h"
+#include "ingest/ingest_pipeline.h"
+#include "ingest/query_view.h"
+#include "ingest/shard_router.h"
+#include "ingest/spsc_ring.h"
+#include "obs/metrics.h"
+#include "quantile/factory.h"
+#include "stream/generators.h"
+#include "stream/update.h"
+
+namespace streamq::ingest {
+namespace {
+
+// ---------- SPSC ring ----------
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscRing<int>(1024).capacity(), 1024u);
+}
+
+TEST(SpscRingTest, FifoOrderSingleThread) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(99)) << "full ring must refuse";
+  int out[16];
+  EXPECT_EQ(ring.PopBatch(out, 3), 3u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[2], 2);
+  // Space freed: pushes succeed again, order preserved across wraparound.
+  // The first pop drains up to the consumer's cached tail (elements 3..7);
+  // the next one re-reads the producer index and finds the late push.
+  EXPECT_TRUE(ring.TryPush(8));
+  EXPECT_EQ(ring.PopBatch(out, 16), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], 3 + i);
+  EXPECT_EQ(ring.PopBatch(out, 16), 1u);
+  EXPECT_EQ(out[0], 8);
+  EXPECT_EQ(ring.PopBatch(out, 16), 0u) << "empty ring pops nothing";
+}
+
+TEST(SpscRingTest, SizeApproxTracksDepth) {
+  SpscRing<int> ring(16);
+  EXPECT_EQ(ring.SizeApprox(), 0u);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ring.TryPush(i));
+  EXPECT_EQ(ring.SizeApprox(), 5u);
+  int out[4];
+  ASSERT_EQ(ring.PopBatch(out, 4), 4u);
+  EXPECT_EQ(ring.SizeApprox(), 1u);
+}
+
+TEST(SpscRingTest, CrossThreadTransferPreservesEveryElement) {
+  // One producer, one consumer, a ring small enough to wrap thousands of
+  // times: order and completeness must survive, and TSan must see no race.
+  constexpr uint64_t kCount = 200'000;
+  SpscRing<uint64_t> ring(64);
+  std::thread consumer([&ring] {
+    uint64_t expected = 0;
+    uint64_t out[32];
+    while (expected < kCount) {
+      const size_t n = ring.PopBatch(out, 32);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], expected) << "out of order";
+        ++expected;
+      }
+      if (n == 0) std::this_thread::yield();
+    }
+  });
+  for (uint64_t i = 0; i < kCount; ++i) {
+    while (!ring.TryPush(i)) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_EQ(ring.SizeApprox(), 0u);
+}
+
+// ---------- shard router ----------
+
+TEST(ShardRouterTest, RoundRobinCycles) {
+  ShardRouter router(ShardingPolicy::kRoundRobin, 3);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(router.Route(uint64_t{12345}), i % 3);
+  }
+}
+
+TEST(ShardRouterTest, HashIsStableInRangeAndSpreads) {
+  ShardRouter router(ShardingPolicy::kHash, 4);
+  std::vector<int> counts(4, 0);
+  for (uint64_t v = 0; v < 4000; ++v) {
+    const int s = router.Route(v);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 4);
+    EXPECT_EQ(router.Route(v), s) << "hash routing must be per-value stable";
+    ++counts[s];
+  }
+  for (int c : counts) EXPECT_GT(c, 500) << "grossly unbalanced hash";
+}
+
+// ---------- query view ----------
+
+TEST(QueryViewTest, EmptyViewThenPublishes) {
+  QueryView view;
+  EXPECT_EQ(view.Load().sketch, nullptr);
+  EXPECT_EQ(view.Epoch(), 0u);
+
+  SketchConfig config;
+  config.algorithm = Algorithm::kRandom;
+  config.eps = 0.05;
+  auto sketch = MakeSketch(config);
+  for (uint64_t v = 0; v < 100; ++v) ASSERT_EQ(sketch->Insert(v), StreamqStatus::kOk);
+  view.Publish(std::move(sketch), 100);
+  QueryView::Snapshot snap = view.Load();
+  ASSERT_NE(snap.sketch, nullptr);
+  EXPECT_EQ(snap.epoch, 100u);
+  EXPECT_EQ(snap.sketch->Count(), 100u);
+
+  // Second publish flips to the other buffer; a snapshot taken before the
+  // flip stays valid and unchanged.
+  auto sketch2 = MakeSketch(config);
+  view.Publish(std::move(sketch2), 150);
+  EXPECT_EQ(view.Epoch(), 150u);
+  EXPECT_EQ(snap.sketch->Count(), 100u) << "old snapshot must stay alive";
+}
+
+// ---------- pipeline ----------
+
+SketchConfig PipelineConfig(Algorithm algorithm, double eps = 0.02) {
+  SketchConfig config;
+  config.algorithm = algorithm;
+  config.eps = eps;
+  config.log_universe = 20;
+  config.seed = 11;
+  return config;
+}
+
+std::vector<uint64_t> PipelineData(uint64_t n, uint64_t seed = 31) {
+  DatasetSpec spec;
+  spec.distribution = Distribution::kUniform;
+  spec.n = n;
+  spec.log_universe = 20;
+  spec.seed = seed;
+  return GenerateDataset(spec);
+}
+
+TEST(IngestPipelineTest, CreateRefusesUnsupportedConfigs) {
+  IngestOptions options;
+  options.sketch = PipelineConfig(Algorithm::kGkArray);
+  EXPECT_EQ(IngestPipeline::Create(options), nullptr) << "GK is not mergeable";
+  options.sketch = PipelineConfig(Algorithm::kRss);
+  EXPECT_EQ(IngestPipeline::Create(options), nullptr) << "RSS has no clone";
+  options.sketch = PipelineConfig(Algorithm::kRandom);
+  options.shards = 0;
+  EXPECT_EQ(IngestPipeline::Create(options), nullptr);
+}
+
+class IngestPipelineAccuracyTest : public ::testing::TestWithParam<Algorithm> {
+};
+
+TEST_P(IngestPipelineAccuracyTest, ShardedIngestMeetsMergedErrorBound) {
+  const double eps = 0.02;
+  IngestOptions options;
+  options.sketch = PipelineConfig(GetParam(), eps);
+  options.shards = 3;
+  options.ring_capacity = 1 << 10;
+  options.publish_interval = 8192;
+  auto pipeline = IngestPipeline::Create(options);
+  ASSERT_NE(pipeline, nullptr);
+
+  const std::vector<uint64_t> data = PipelineData(50'000);
+  for (uint64_t v : data) pipeline->Push(Update{v, +1});
+  pipeline->Flush();
+
+  EXPECT_EQ(pipeline->PushedCount(), data.size());
+  EXPECT_EQ(pipeline->ProcessedCount(), data.size());
+  EXPECT_EQ(pipeline->ViewEpoch(), data.size());
+
+  const ExactOracle oracle(data);
+  const double slack =
+      GetParam() == Algorithm::kFastQDigest ? 1.0 : 3.0;
+  double max_error = 0.0;
+  for (double phi = eps; phi < 1.0; phi += 5 * eps) {
+    const uint64_t q = pipeline->Query(phi);
+    max_error = std::max(max_error, oracle.QuantileError(q, phi));
+  }
+  EXPECT_LE(max_error, slack * eps) << AlgorithmName(GetParam());
+
+  pipeline->Stop();
+  // Post-Stop queries keep answering from the final view.
+  EXPECT_EQ(pipeline->ViewEpoch(), data.size());
+  EXPECT_LE(oracle.QuantileError(pipeline->Query(0.5), 0.5), slack * eps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mergeable, IngestPipelineAccuracyTest,
+    ::testing::Values(Algorithm::kRandom, Algorithm::kMrl99,
+                      Algorithm::kFastQDigest, Algorithm::kDcs),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      return AlgorithmName(info.param);
+    });
+
+TEST(IngestPipelineTest, TurnstileWorkloadWithRoundRobinSharding) {
+  // Deletions may land on a different shard than their insert under
+  // round-robin routing; the linear dyadic summaries must still converge
+  // to the surviving multiset once everything is merged.
+  const double eps = 0.05;
+  IngestOptions options;
+  options.sketch = PipelineConfig(Algorithm::kDcs, eps);
+  options.shards = 2;
+  options.sharding = ShardingPolicy::kRoundRobin;
+  auto pipeline = IngestPipeline::Create(options);
+  ASSERT_NE(pipeline, nullptr);
+
+  const std::vector<uint64_t> data = PipelineData(20'000, 77);
+  const std::vector<Update> workload =
+      MakeTurnstileWorkload(data, 0.25, uint64_t{1} << 20, 5);
+  for (const Update& u : workload) pipeline->Push(u);
+  pipeline->Flush();
+
+  const ExactOracle oracle(data);
+  double max_error = 0.0;
+  for (double phi = eps; phi < 1.0; phi += 5 * eps) {
+    max_error =
+        std::max(max_error, oracle.QuantileError(pipeline->Query(phi), phi));
+  }
+  EXPECT_LE(max_error, 3.0 * eps);
+}
+
+TEST(IngestPipelineTest, HashShardingKeepsValueOnOneShard) {
+  IngestOptions options;
+  options.sketch = PipelineConfig(Algorithm::kRandom, 0.05);
+  options.shards = 4;
+  options.sharding = ShardingPolicy::kHash;
+  auto pipeline = IngestPipeline::Create(options);
+  ASSERT_NE(pipeline, nullptr);
+  // One hot value: all its updates must land on a single shard.
+  for (int i = 0; i < 10'000; ++i) pipeline->Push(Update{42, +1});
+  pipeline->Flush();
+  int shards_with_data = 0;
+  for (int s = 0; s < pipeline->shard_count(); ++s) {
+    if (pipeline->shard_stats(s).pushed.load() > 0) ++shards_with_data;
+  }
+  EXPECT_EQ(shards_with_data, 1);
+  EXPECT_EQ(pipeline->ProcessedCount(), 10'000u);
+}
+
+TEST(IngestPipelineTest, QueriesNeverBlockIngestion) {
+  // Queries run concurrently with pushes; every answer must come from a
+  // published snapshot (values inside the data range), and ingestion must
+  // complete. Primarily a TSan workload.
+  IngestOptions options;
+  options.sketch = PipelineConfig(Algorithm::kRandom, 0.05);
+  options.shards = 2;
+  options.publish_interval = 2048;
+  auto pipeline = IngestPipeline::Create(options);
+  ASSERT_NE(pipeline, nullptr);
+
+  const std::vector<uint64_t> data = PipelineData(60'000, 13);
+  std::atomic<bool> done{false};
+  std::thread querier([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const uint64_t q = pipeline->Query(0.5);
+      EXPECT_LT(q, uint64_t{1} << 20);
+      std::vector<uint64_t> many = pipeline->QueryMany({0.25, 0.5, 0.75});
+      EXPECT_EQ(many.size(), 3u);
+      std::this_thread::yield();
+    }
+  });
+  for (uint64_t v : data) pipeline->Push(Update{v, +1});
+  pipeline->Flush();
+  done.store(true, std::memory_order_release);
+  querier.join();
+  EXPECT_EQ(pipeline->ProcessedCount(), data.size());
+  EXPECT_GT(pipeline->stats().queries.load(), 0u);
+}
+
+TEST(IngestPipelineTest, StopIsIdempotentAndFinal) {
+  IngestOptions options;
+  options.sketch = PipelineConfig(Algorithm::kRandom, 0.05);
+  options.shards = 2;
+  auto pipeline = IngestPipeline::Create(options);
+  ASSERT_NE(pipeline, nullptr);
+  for (uint64_t v = 0; v < 5000; ++v) pipeline->Push(Update{v % 1024, +1});
+  pipeline->Stop();
+  pipeline->Stop();  // second stop is a no-op
+  EXPECT_EQ(pipeline->ProcessedCount(), 5000u);
+  EXPECT_EQ(pipeline->ViewEpoch(), 5000u);
+}
+
+TEST(IngestPipelineTest, MemoryAccountingAndMetrics) {
+  IngestOptions options;
+  options.sketch = PipelineConfig(Algorithm::kFastQDigest, 0.02);
+  options.shards = 3;
+  options.publish_interval = 4096;
+  auto pipeline = IngestPipeline::Create(options);
+  ASSERT_NE(pipeline, nullptr);
+
+  const std::vector<uint64_t> data = PipelineData(30'000, 3);
+  for (uint64_t v : data) pipeline->Push(Update{v, +1});
+  pipeline->Flush();
+  pipeline->Stop();
+
+  // Peak = sum of shard peaks + peak view-buffer residency; both parts are
+  // nonzero after a flush-published stream.
+  uint64_t shard_peaks = 0;
+  for (int s = 0; s < pipeline->shard_count(); ++s) {
+    const uint64_t peak = pipeline->shard_stats(s).peak_memory_bytes.load();
+    EXPECT_GT(peak, 0u) << "shard " << s;
+    shard_peaks += peak;
+  }
+  EXPECT_GT(pipeline->stats().peak_view_bytes.load(), 0u);
+  EXPECT_EQ(pipeline->PeakMemoryBytes(),
+            shard_peaks + pipeline->stats().peak_view_bytes.load());
+  EXPECT_GT(pipeline->RingBytes(), 0u);
+
+  obs::MetricsRegistry registry;
+  pipeline->PublishMetrics(registry, "ingest");
+  const obs::Counter* pushed = registry.FindCounter("ingest.pushed");
+  ASSERT_NE(pushed, nullptr);
+  EXPECT_EQ(pushed->value(), data.size());
+  uint64_t processed_sum = 0;
+  for (int s = 0; s < pipeline->shard_count(); ++s) {
+    const std::string p = "ingest.shard" + std::to_string(s);
+    ASSERT_NE(registry.FindGauge(p + ".queue_depth"), nullptr);
+    const obs::Counter* proc = registry.FindCounter(p + ".processed");
+    ASSERT_NE(proc, nullptr);
+    processed_sum += proc->value();
+  }
+  EXPECT_EQ(processed_sum, data.size());
+  const obs::Histogram* merge_ticks =
+      registry.FindHistogram("ingest.merge_ticks");
+  ASSERT_NE(merge_ticks, nullptr);
+  EXPECT_GT(merge_ticks->count(), 0u);
+  ASSERT_NE(registry.FindCounter("ingest.stale_queries"), nullptr);
+  const obs::Gauge* view_epoch = registry.FindGauge("ingest.view_epoch");
+  ASSERT_NE(view_epoch, nullptr);
+  EXPECT_EQ(view_epoch->value(), static_cast<int64_t>(data.size()));
+}
+
+TEST(IngestPipelineTest, RejectedUpdatesAreCounted) {
+  IngestOptions options;
+  options.sketch = PipelineConfig(Algorithm::kDcs, 0.05);  // universe 2^20
+  options.shards = 2;
+  auto pipeline = IngestPipeline::Create(options);
+  ASSERT_NE(pipeline, nullptr);
+  for (uint64_t v = 0; v < 1000; ++v) pipeline->Push(Update{v, +1});
+  // Out-of-universe values are refused by the shard sketch, not applied.
+  for (int i = 0; i < 100; ++i) {
+    pipeline->Push(Update{uint64_t{1} << 40, +1});
+  }
+  pipeline->Flush();
+  uint64_t rejected = 0;
+  for (int s = 0; s < pipeline->shard_count(); ++s) {
+    rejected += pipeline->shard_stats(s).rejected.load();
+  }
+  EXPECT_EQ(rejected, 100u);
+  EXPECT_EQ(pipeline->ProcessedCount(), 1100u);  // processed includes refused
+}
+
+}  // namespace
+}  // namespace streamq::ingest

@@ -5,11 +5,16 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "exact/error_metrics.h"
+#include "exact/exact_oracle.h"
+#include "quantile/factory.h"
 #include "quantile/fast_qdigest.h"
 #include "quantile/gk_tuple_store.h"
 #include "quantile/weighted_sample.h"
+#include "stream/generators.h"
 #include "util/random.h"
 
 namespace streamq {
@@ -156,6 +161,60 @@ TEST(QDigestPropertyTest, NodeCountsSumToN) {
                 static_cast<double>(lo), 0.02 * n + 1);
   }
 }
+
+// ---------- mergeable-summary property ----------
+
+// The property the parallel ingest subsystem rests on: split a stream into
+// k shards uniformly at random, summarise each shard independently, merge
+// the shard summaries, and the merged summary answers every phi within the
+// same eps*n bound as a single-stream summary would.
+class ShardedMergePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardedMergePropertyTest, RandomShardingPreservesErrorBound) {
+  const uint64_t seed = GetParam();
+  Xoshiro256 rng(seed);
+  const double eps = 0.02;
+  const int k = 2 + static_cast<int>(rng.Below(4));  // 2..5 shards
+
+  DatasetSpec spec;
+  spec.distribution =
+      (seed % 2 == 0) ? Distribution::kUniform : Distribution::kLogUniform;
+  spec.n = 40'000;
+  spec.log_universe = 20;
+  spec.seed = seed * 31 + 7;
+  const std::vector<uint64_t> data = GenerateDataset(spec);
+  const ExactOracle oracle(data);
+
+  for (Algorithm algorithm :
+       {Algorithm::kRandom, Algorithm::kFastQDigest, Algorithm::kDcs}) {
+    SketchConfig config;
+    config.algorithm = algorithm;
+    config.eps = eps;
+    config.log_universe = 20;
+    config.seed = seed + 1;
+
+    std::vector<std::unique_ptr<QuantileSketch>> shards;
+    for (int i = 0; i < k; ++i) shards.push_back(MakeSketch(config));
+    for (uint64_t v : data) {
+      ASSERT_EQ(shards[rng.Below(static_cast<uint64_t>(k))]->Insert(v),
+                StreamqStatus::kOk);
+    }
+
+    auto merged = MakeSketch(config);
+    for (const auto& shard : shards) {
+      ASSERT_EQ(merged->Merge(*shard), StreamqStatus::kOk);
+    }
+    ASSERT_EQ(merged->Count(), data.size());
+
+    const ErrorStats stats = EvaluateQuantiles(*merged, oracle, eps);
+    const double slack = algorithm == Algorithm::kFastQDigest ? 1.0 : 3.0;
+    EXPECT_LE(stats.max_error, slack * eps)
+        << merged->Name() << " with k=" << k << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedMergePropertyTest,
+                         ::testing::Range<uint64_t>(1, 7));
 
 }  // namespace
 }  // namespace streamq
