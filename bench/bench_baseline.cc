@@ -23,6 +23,13 @@
 
 #include "harness.h"
 
+#if STREAMQ_DURABILITY_ENABLED
+#include <chrono>
+
+#include "durability/storage.h"
+#include "obs/metrics.h"
+#endif
+
 namespace streamq::bench {
 namespace {
 
@@ -84,7 +91,7 @@ int Main(int argc, char** argv) {
 
   std::string json;
   json += "{\n";
-  json += "  \"schema_version\": 2,\n";
+  json += "  \"schema_version\": 3,\n";
   json += "  \"eps\": 0.01,\n";
   json += "  \"n\": " + std::to_string(n) + ",\n";
   json += "  \"rss_n\": " + std::to_string(rss_n) + ",\n";
@@ -175,8 +182,110 @@ int Main(int argc, char** argv) {
                     r.max_error, r.peak_memory_bytes);
       json += buf;
     }
+    json += "\n    ]\n  },\n";
+  }
+
+  // Durability section (schema_version 3): the WAL's hot-path cost and
+  // recovery latency, both on in-memory storage so the numbers measure
+  // the pipeline's framing/CRC/buffering work, not the host's disk. The
+  // checker validates structure and sanity only -- like the ingest sweep,
+  // wall-clock here is thread-timing dependent. `null` in a
+  // -DSTREAMQ_DURABILITY=OFF build.
+#if STREAMQ_DURABILITY_ENABLED
+  {
+    DatasetSpec spec = BaselineDatasets(n)[0].spec;  // uniform-random
+    const std::vector<uint64_t> data = GenerateDataset(spec);
+    SketchConfig config;
+    config.algorithm = Algorithm::kRandom;
+    config.eps = eps;
+    config.log_universe = spec.LogUniverse();
+
+    json += "  \"durability\": {\n";
+    json += "    \"algorithm\": " + JsonString("Random") + ",\n";
+    json += "    \"dataset\": " + JsonString("uniform-random") + ",\n";
+    json += "    \"n\": " + std::to_string(n) + ",\n";
+    json += "    \"modes\": [\n";
+    durability::MemStorage storage;
+    bool first_mode = true;
+    for (const bool wal_on : {false, true}) {
+      ingest::IngestOptions options;
+      options.sketch = config;
+      options.shards = 4;
+      if (wal_on) {
+        options.durability.enabled = true;
+        options.durability.storage = &storage;
+        options.durability.dir = "baseline";
+      }
+      uint64_t wal_bytes = 0;
+      uint64_t wal_syncs = 0;
+      uint64_t checkpoints = 0;
+      double ns_per_update = 0.0;
+      {
+        auto pipeline = ingest::IngestPipeline::Create(options);
+        if (pipeline == nullptr) {
+          std::fprintf(stderr, "durability baseline: Create failed\n");
+          return 1;
+        }
+        const auto start = std::chrono::steady_clock::now();
+        for (uint64_t v : data) pipeline->Push(Update{v, +1});
+        pipeline->Flush();
+        const auto stop = std::chrono::steady_clock::now();
+        ns_per_update =
+            std::chrono::duration<double, std::nano>(stop - start).count() /
+            static_cast<double>(data.size());
+        pipeline->Stop();
+        if (wal_on) {
+          obs::MetricsRegistry registry;
+          pipeline->PublishMetrics(registry, "ingest");
+          for (int s = 0; s < pipeline->shard_count(); ++s) {
+            const std::string p = "ingest.shard" + std::to_string(s);
+            if (const obs::Counter* c = registry.FindCounter(p + ".wal_bytes"))
+              wal_bytes += c->value();
+            if (const obs::Counter* c = registry.FindCounter(p + ".wal_syncs"))
+              wal_syncs += c->value();
+          }
+          checkpoints = pipeline->stats().checkpoints.load();
+        }
+      }
+      double recovery_ms = 0.0;
+      uint64_t replayed = 0;
+      if (wal_on) {
+        const auto start = std::chrono::steady_clock::now();
+        auto recovered = ingest::IngestPipeline::Create(options);
+        const auto stop = std::chrono::steady_clock::now();
+        if (recovered == nullptr) {
+          std::fprintf(stderr, "durability baseline: recovery failed\n");
+          return 1;
+        }
+        recovery_ms =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        replayed = recovered->recovery().replayed_updates;
+        recovered->Stop();
+      }
+      std::fprintf(stderr,
+                   "  durability %-7s %10.1f ns/update  wal %" PRIu64
+                   " B  recovery %.1f ms\n",
+                   wal_on ? "wal_on" : "wal_off", ns_per_update, wal_bytes,
+                   recovery_ms);
+      if (!first_mode) json += ",\n";
+      first_mode = false;
+      char buf[320];
+      std::snprintf(buf, sizeof(buf),
+                    "      {\"mode\": %s, \"ns_per_update\": %.3f, "
+                    "\"wal_bytes\": %" PRIu64 ", \"wal_syncs\": %" PRIu64
+                    ", \"checkpoints\": %" PRIu64
+                    ", \"recovery_ms\": %.3f, \"replayed_updates\": %" PRIu64
+                    "}",
+                    JsonString(wal_on ? "wal_mem" : "wal_off").c_str(),
+                    ns_per_update, wal_bytes, wal_syncs, checkpoints,
+                    recovery_ms, replayed);
+      json += buf;
+    }
     json += "\n    ]\n  }\n";
   }
+#else
+  json += "  \"durability\": null\n";
+#endif
   json += "}\n";
 
   std::FILE* f = std::fopen(out_path, "w");

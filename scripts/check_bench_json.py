@@ -6,7 +6,7 @@ Usage:
                         [--threshold 0.20]
 
 Schema checks (always):
-  * top-level keys: schema_version (1 or 2), eps, n, rss_n, entries
+  * top-level keys: schema_version (1, 2, or 3), eps, n, rss_n, entries
   * every entry has dataset/algorithm/ns_per_update/max_memory_bytes/
     max_rank_error/avg_rank_error with sane types and ranges
   * all expected (dataset, algorithm) cells are present, none duplicated
@@ -18,6 +18,10 @@ Schema checks (always):
     mergeable algorithm, a known dataset, and a thread sweep starting at
     1 thread with positive throughput and merged accuracy within the
     algorithm's slack
+  * schema_version 3 additionally requires a durability section (null in
+    a -DSTREAMQ_DURABILITY=OFF build): a mode list containing the
+    wal_off baseline plus at least one WAL-on mode whose wal_bytes and
+    wal_syncs are positive; timings are sanity-checked, never gated
 
 Regression check (with --baseline): every cell's ns_per_update must stay
 within (1 + threshold) of the baseline's. Comparing a file against itself
@@ -86,7 +90,7 @@ def check_schema(doc, path):
             errors += fail(f"{path}: missing top-level key '{key}'")
     if errors:
         return errors, {}
-    if doc["schema_version"] not in (1, 2):
+    if doc["schema_version"] not in (1, 2, 3):
         errors += fail(f"{path}: unsupported schema_version {doc['schema_version']}")
     eps = doc["eps"]
     if not (isinstance(eps, float) and 0.0 < eps < 1.0):
@@ -154,6 +158,11 @@ def check_schema(doc, path):
             errors += fail(f"{path}: schema_version 2 requires 'parallel_ingest'")
         else:
             errors += check_parallel_ingest(doc["parallel_ingest"], eps, path)
+    if doc["schema_version"] >= 3:
+        if "durability" not in doc:
+            errors += fail(f"{path}: schema_version 3 requires 'durability'")
+        else:
+            errors += check_durability(doc["durability"], path)
     return errors, cells
 
 
@@ -232,6 +241,91 @@ def check_parallel_ingest(section, eps, path):
             errors += fail(f"{p_where}: peak_memory_bytes must be positive")
     if 1 not in seen_threads:
         errors += fail(f"{where}: sweep must include the 1-thread baseline")
+    return errors
+
+
+def check_durability(section, path):
+    """Schema check of the durability cost section (no regression gate).
+
+    `null` is legal -- it is what a -DSTREAMQ_DURABILITY=OFF build emits --
+    but the committed baseline is produced by the default ON build, so a
+    null there would be regenerated-from-the-wrong-config and still obvious
+    in review.
+    """
+    where = f"{path}: durability"
+    errors = 0
+    if section is None:
+        return 0
+    if not isinstance(section, dict):
+        return fail(f"{where}: not an object (or null)")
+    for key in ("algorithm", "dataset", "n", "modes"):
+        if key not in section:
+            errors += fail(f"{where}: missing key '{key}'")
+    if errors:
+        return errors
+    if section["algorithm"] not in PIPELINE_ALGORITHMS:
+        errors += fail(
+            f"{where}: algorithm {section['algorithm']!r} is not "
+            f"pipeline-capable (expected one of {PIPELINE_ALGORITHMS})"
+        )
+    if section["dataset"] not in EXPECTED_DATASETS:
+        errors += fail(f"{where}: unknown dataset {section['dataset']!r}")
+    if not (isinstance(section["n"], int) and section["n"] > 0):
+        errors += fail(f"{where}: n must be a positive integer")
+    modes = section["modes"]
+    if not (isinstance(modes, list) and modes):
+        return errors + fail(f"{where}: modes must be a non-empty list")
+    seen_modes = set()
+    wal_on_modes = 0
+    for i, point in enumerate(modes):
+        p_where = f"{where}.modes[{i}]"
+        if not isinstance(point, dict):
+            errors += fail(f"{p_where}: not an object")
+            continue
+        missing = [
+            k
+            for k in (
+                "mode",
+                "ns_per_update",
+                "wal_bytes",
+                "wal_syncs",
+                "checkpoints",
+                "recovery_ms",
+                "replayed_updates",
+            )
+            if k not in point
+        ]
+        if missing:
+            errors += fail(f"{p_where}: missing keys {missing}")
+            continue
+        mode = point["mode"]
+        if not isinstance(mode, str) or not mode:
+            errors += fail(f"{p_where}: mode must be a non-empty string")
+            continue
+        if mode in seen_modes:
+            errors += fail(f"{p_where}: duplicate mode {mode!r}")
+        seen_modes.add(mode)
+        if not (isinstance(point["ns_per_update"], (int, float)) and point["ns_per_update"] > 0):
+            errors += fail(f"{p_where}: ns_per_update must be > 0")
+        for k in ("wal_bytes", "wal_syncs", "checkpoints", "replayed_updates"):
+            if not (isinstance(point[k], int) and point[k] >= 0):
+                errors += fail(f"{p_where}: {k} must be a non-negative integer")
+        if not (isinstance(point["recovery_ms"], (int, float)) and point["recovery_ms"] >= 0):
+            errors += fail(f"{p_where}: recovery_ms must be >= 0")
+        if mode == "wal_off":
+            for k in ("wal_bytes", "wal_syncs", "checkpoints"):
+                if point.get(k):
+                    errors += fail(f"{p_where}: wal_off must have {k} == 0")
+        else:
+            wal_on_modes += 1
+            if not point.get("wal_bytes"):
+                errors += fail(f"{p_where}: WAL-on mode must log bytes")
+            if not point.get("wal_syncs"):
+                errors += fail(f"{p_where}: WAL-on mode must sync at least once")
+    if "wal_off" not in seen_modes:
+        errors += fail(f"{where}: modes must include the wal_off baseline")
+    if wal_on_modes == 0:
+        errors += fail(f"{where}: modes must include at least one WAL-on mode")
     return errors
 
 

@@ -1,0 +1,121 @@
+#include "durability/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/serde.h"
+
+namespace streamq::durability {
+
+std::string EncodeCheckpoint(const CheckpointData& data) {
+  SerdeWriter w;
+  w.U64(data.id);
+  w.U32(static_cast<uint32_t>(data.shards.size()));
+  for (const CheckpointShard& shard : data.shards) {
+    w.U64(shard.applied_seq);
+    w.Bytes(shard.sketch_frame);
+  }
+  return FrameSnapshot(SnapshotType::kDurableCheckpoint, w.Take());
+}
+
+bool DecodeCheckpoint(const std::string& frame, CheckpointData* out) {
+  std::string payload;
+  if (!UnframeSnapshot(frame, SnapshotType::kDurableCheckpoint, &payload)) {
+    return false;
+  }
+  SerdeReader r(payload);
+  CheckpointData data;
+  uint32_t shard_count = 0;
+  if (!r.U64(&data.id) || !r.U32(&shard_count)) return false;
+  data.shards.reserve(std::min<uint32_t>(shard_count, 4096));
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    CheckpointShard shard;
+    if (!r.U64(&shard.applied_seq) || !r.Bytes(&shard.sketch_frame)) {
+      return false;
+    }
+    data.shards.push_back(std::move(shard));
+  }
+  if (!r.Done()) return false;
+  *out = std::move(data);
+  return true;
+}
+
+CheckpointStore::CheckpointStore(Storage* storage, std::string dir)
+    : storage_(storage), dir_(std::move(dir)) {}
+
+std::string CheckpointStore::PathFor(uint64_t id) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt-%08llu.sq",
+                static_cast<unsigned long long>(id));
+  return dir_ + "/" + buf;
+}
+
+std::vector<uint64_t> CheckpointStore::ListIds() {
+  std::vector<uint64_t> ids;
+  for (const std::string& name : storage_->List(dir_)) {
+    // "ckpt-NNNNNNNN.sq" = 5 + 8 + 3 = 16 chars.
+    if (name.size() != 16 || name.compare(0, 5, "ckpt-") != 0 ||
+        name.compare(13, 3, ".sq") != 0) {
+      continue;
+    }
+    uint64_t id = 0;
+    bool numeric = true;
+    for (size_t i = 5; i < 13; ++i) {
+      const char c = name[i];
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      id = id * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (numeric) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+bool CheckpointStore::Write(const CheckpointData& data, int keep) {
+  const std::string path = PathFor(data.id);
+  const std::string tmp = path + ".tmp";
+  {
+    std::unique_ptr<WritableFile> file = storage_->Create(tmp);
+    if (file == nullptr) return false;
+    if (!file->Append(EncodeCheckpoint(data)) || !file->Sync()) {
+      storage_->Delete(tmp);
+      return false;
+    }
+  }
+  if (!storage_->Rename(tmp, path)) {
+    storage_->Delete(tmp);
+    return false;
+  }
+  // Prune old generations (best effort: a leftover older checkpoint is
+  // only wasted space, never a correctness problem).
+  std::vector<uint64_t> ids = ListIds();
+  if (keep < 1) keep = 1;
+  while (ids.size() > static_cast<size_t>(keep)) {
+    storage_->Delete(PathFor(ids.front()));
+    storage_->Delete(PathFor(ids.front()) + ".tmp");
+    ids.erase(ids.begin());
+  }
+  return true;
+}
+
+bool CheckpointStore::LoadNewest(
+    const std::function<bool(const CheckpointData&)>& validate,
+    CheckpointData* out) {
+  std::vector<uint64_t> ids = ListIds();
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    std::string frame;
+    if (!storage_->ReadFile(PathFor(*it), &frame)) continue;
+    CheckpointData data;
+    if (!DecodeCheckpoint(frame, &data)) continue;
+    if (data.id != *it) continue;  // file name / contents cross-wired
+    if (validate && !validate(data)) continue;
+    *out = std::move(data);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace streamq::durability

@@ -1,0 +1,89 @@
+// Atomic, generational pipeline checkpoints (DESIGN.md section 11).
+//
+// A checkpoint is one file "<dir>/ckpt/ckpt-NNNNNNNN.sq" holding a
+// CRC32C-framed (SnapshotType::kDurableCheckpoint) payload:
+//
+//   id u64 | shard_count u32 | shard_count x (applied_seq u64 |
+//                                             sketch_frame bytes)
+//
+// where sketch_frame is the shard sketch's own framed snapshot
+// (SerializeSketch) and applied_seq is the highest ingest seq folded into
+// it. Publication is write-tmp, sync, rename: the final name either holds
+// a complete checkpoint or does not exist, so a crash mid-checkpoint can
+// never corrupt the newest *published* generation. Validation is
+// all-or-nothing -- outer frame CRC, exact payload parse, and every
+// nested sketch frame must deserialize -- and LoadNewest falls back to
+// the previous generation when the newest fails (keep >= 2 generations
+// for exactly this reason).
+//
+// Single-threaded: callers serialise on the pipeline's checkpoint lock.
+
+#ifndef STREAMQ_DURABILITY_CHECKPOINT_H_
+#define STREAMQ_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "durability/storage.h"
+
+namespace streamq::durability {
+
+struct CheckpointShard {
+  /// Highest ingest seq applied to the shard sketch below.
+  uint64_t applied_seq = 0;
+  /// The shard sketch's framed snapshot (SerializeSketch output).
+  std::string sketch_frame;
+};
+
+struct CheckpointData {
+  /// Monotonically increasing generation id (also the file name).
+  uint64_t id = 0;
+  std::vector<CheckpointShard> shards;
+};
+
+/// Encodes `data` into its framed on-disk representation.
+std::string EncodeCheckpoint(const CheckpointData& data);
+
+/// Strict inverse of EncodeCheckpoint: false -- leaving *out untouched --
+/// on any frame, CRC, length, or structure mismatch. Does NOT deserialize
+/// the nested sketch frames (the caller validates those; see LoadNewest's
+/// `validate`).
+bool DecodeCheckpoint(const std::string& frame, CheckpointData* out);
+
+class CheckpointStore {
+ public:
+  /// `storage` unowned; `dir` is the checkpoint directory (created by
+  /// Init).
+  CheckpointStore(Storage* storage, std::string dir);
+
+  bool Init() { return storage_->CreateDir(dir_); }
+
+  /// Existing published checkpoint ids, ascending (tmp leftovers are not
+  /// listed: an unrenamed tmp is by definition unpublished).
+  std::vector<uint64_t> ListIds();
+
+  /// Publishes `data` atomically (tmp, sync, rename), then prunes all but
+  /// the newest `keep` generations. False when any step up to and
+  /// including the rename fails -- the previous generations are untouched
+  /// in that case.
+  bool Write(const CheckpointData& data, int keep);
+
+  /// Loads the newest checkpoint that decodes AND satisfies `validate`
+  /// (deep validation: shard count, nested sketch frames -- supplied by
+  /// the pipeline). Older generations are tried in turn; false when none
+  /// survives.
+  bool LoadNewest(const std::function<bool(const CheckpointData&)>& validate,
+                  CheckpointData* out);
+
+ private:
+  std::string PathFor(uint64_t id) const;
+
+  Storage* const storage_;
+  const std::string dir_;
+};
+
+}  // namespace streamq::durability
+
+#endif  // STREAMQ_DURABILITY_CHECKPOINT_H_

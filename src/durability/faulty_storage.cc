@@ -1,0 +1,220 @@
+#include "durability/faulty_storage.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace streamq::durability {
+
+// Not in an anonymous namespace: FaultyStorage's friend declaration names
+// streamq::durability::FaultyWritableFile.
+class FaultyWritableFile : public WritableFile {
+ public:
+  FaultyWritableFile(FaultyStorage* owner, std::string path,
+                     std::unique_ptr<WritableFile> base)
+      : owner_(owner), path_(std::move(path)), base_(std::move(base)) {}
+
+  bool Append(const std::string& data) override;
+  bool Sync() override;
+
+ private:
+  FaultyStorage* owner_;
+  std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultyStorage::FaultyStorage(Storage* base, const StorageFaultSpec& spec,
+                             uint64_t seed)
+    : base_(base), spec_(spec), rng_(seed) {}
+
+double FaultyStorage::NextUnit() {
+  return static_cast<double>(rng_.Next() >> 11) * 0x1.0p-53;
+}
+
+bool FaultyStorage::MaybeCrash(StorageOp op) {
+  ++op_index_;
+  ++op_by_kind_[static_cast<int>(op)];
+  ++stats_.ops;
+  const bool by_index = crash_at_index_ != 0 && op_index_ == crash_at_index_;
+  const bool by_kind = crash_kind_nth_ != 0 && op == crash_kind_ &&
+                       op_by_kind_[static_cast<int>(op)] == crash_kind_nth_;
+  if (by_index || by_kind) CrashLocked();
+  return crashed_;
+}
+
+void FaultyStorage::CrashLocked() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++stats_.crashes;
+  for (auto& [path, tail] : tails_) {
+    if (tail.synced >= tail.size) continue;
+    // Power loss: the unsynced tail survives only up to a seed-chosen
+    // prefix, and the surviving part may carry a torn-sector bit flip.
+    const uint64_t unsynced = tail.size - tail.synced;
+    const uint64_t keep_extra = rng_.Next() % (unsynced + 1);
+    const uint64_t keep = tail.synced + keep_extra;
+    base_->Truncate(path, keep);
+    if (keep_extra > 0 && (rng_.Next() & 1) != 0) {
+      std::string contents;
+      if (base_->ReadFile(path, &contents) && contents.size() >= keep) {
+        const uint64_t byte = tail.synced + rng_.Next() % keep_extra;
+        contents[static_cast<size_t>(byte)] ^=
+            static_cast<char>(1u << (rng_.Next() % 8));
+        base_->WriteFile(path, contents);
+      }
+    }
+    tail.size = keep;
+  }
+}
+
+std::unique_ptr<WritableFile> FaultyStorage::Create(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_ || MaybeCrash(StorageOp::kCreate)) return nullptr;
+  std::unique_ptr<WritableFile> base_file = base_->Create(path);
+  if (base_file == nullptr) return nullptr;
+  tails_[path] = Tail{};
+  return std::make_unique<FaultyWritableFile>(this, path,
+                                              std::move(base_file));
+}
+
+bool FaultyWritableFile::Append(const std::string& data) {
+  FaultyStorage& s = *owner_;
+  std::lock_guard<std::mutex> lock(s.mutex_);
+  if (s.crashed_ || s.MaybeCrash(StorageOp::kAppend)) return false;
+  FaultyStorage::Tail& tail = s.tails_[path_];
+  if (s.NextUnit() < s.spec_.fail_append) {
+    ++s.stats_.failed_appends;
+    return false;
+  }
+  if (s.NextUnit() < s.spec_.torn_write) {
+    ++s.stats_.torn_writes;
+    const uint64_t prefix = data.empty() ? 0 : s.rng_.Next() % data.size();
+    if (prefix > 0 &&
+        base_->Append(data.substr(0, static_cast<size_t>(prefix)))) {
+      tail.size += prefix;
+    }
+    return false;
+  }
+  if (!base_->Append(data)) return false;
+  tail.size += data.size();
+  return true;
+}
+
+bool FaultyWritableFile::Sync() {
+  FaultyStorage& s = *owner_;
+  std::lock_guard<std::mutex> lock(s.mutex_);
+  if (s.crashed_ || s.MaybeCrash(StorageOp::kSync)) return false;
+  if (s.NextUnit() < s.spec_.fail_sync) {
+    ++s.stats_.failed_syncs;
+    return false;
+  }
+  if (!base_->Sync()) return false;
+  FaultyStorage::Tail& tail = s.tails_[path_];
+  tail.synced = tail.size;
+  return true;
+}
+
+bool FaultyStorage::ReadFile(const std::string& path, std::string* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_ || MaybeCrash(StorageOp::kRead)) return false;
+  std::string contents;
+  if (!base_->ReadFile(path, &contents)) return false;
+  if (!contents.empty() && NextUnit() < spec_.short_read) {
+    ++stats_.short_reads;
+    contents.resize(static_cast<size_t>(rng_.Next() % contents.size()));
+  }
+  if (!contents.empty() && NextUnit() < spec_.bit_flip_read) {
+    ++stats_.bit_flip_reads;
+    contents[static_cast<size_t>(rng_.Next() % contents.size())] ^=
+        static_cast<char>(1u << (rng_.Next() % 8));
+  }
+  *out = std::move(contents);
+  return true;
+}
+
+bool FaultyStorage::WriteFile(const std::string& path,
+                              const std::string& data) {
+  // Not on the durability layer's write path (it only appends + renames);
+  // provided for test setup, so no fault injection and no op accounting.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) return false;
+  if (!base_->WriteFile(path, data)) return false;
+  tails_[path] = Tail{data.size(), data.size()};
+  return true;
+}
+
+bool FaultyStorage::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_ || MaybeCrash(StorageOp::kRename)) return false;
+  if (!base_->Rename(from, to)) return false;
+  auto it = tails_.find(from);
+  if (it != tails_.end()) {
+    tails_[to] = it->second;
+    tails_.erase(it);
+  }
+  return true;
+}
+
+bool FaultyStorage::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_ || MaybeCrash(StorageOp::kDelete)) return false;
+  if (!base_->Delete(path)) return false;
+  tails_.erase(path);
+  return true;
+}
+
+bool FaultyStorage::Truncate(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_ || MaybeCrash(StorageOp::kTruncate)) return false;
+  if (!base_->Truncate(path, size)) return false;
+  auto it = tails_.find(path);
+  if (it != tails_.end()) {
+    it->second.size = std::min(it->second.size, size);
+    it->second.synced = std::min(it->second.synced, size);
+  }
+  return true;
+}
+
+std::vector<std::string> FaultyStorage::List(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) return {};
+  return base_->List(dir);
+}
+
+bool FaultyStorage::CreateDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) return false;
+  return base_->CreateDir(dir);
+}
+
+void FaultyStorage::ArmCrashAtOpIndex(uint64_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crash_at_index_ = index;
+}
+
+void FaultyStorage::ArmCrashAtOp(StorageOp kind, uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crash_kind_ = kind;
+  crash_kind_nth_ = nth;
+}
+
+void FaultyStorage::CrashNow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CrashLocked();
+}
+
+bool FaultyStorage::crashed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+StorageFaultStats FaultyStorage::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+uint64_t FaultyStorage::op_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return op_index_;
+}
+
+}  // namespace streamq::durability

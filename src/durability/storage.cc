@@ -1,0 +1,223 @@
+#include "durability/storage.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace streamq::durability {
+
+// --- MemStorage ------------------------------------------------------------
+
+namespace {
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(std::mutex* mutex, std::string* contents)
+      : mutex_(mutex), contents_(contents) {}
+
+  bool Append(const std::string& data) override {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    contents_->append(data);
+    return true;
+  }
+
+  bool Sync() override { return true; }
+
+ private:
+  std::mutex* mutex_;
+  std::string* contents_;
+};
+
+}  // namespace
+
+std::unique_ptr<WritableFile> MemStorage::Create(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string& contents = files_[path];
+  contents.clear();
+  // std::map nodes are address-stable, so handing out a pointer to the
+  // mapped string is safe as long as the entry is not erased while a
+  // writer holds it -- the WAL never deletes a file it is appending to.
+  return std::make_unique<MemWritableFile>(&mutex_, &contents);
+}
+
+bool MemStorage::ReadFile(const std::string& path, std::string* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+bool MemStorage::WriteFile(const std::string& path, const std::string& data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_[path] = data;
+  return true;
+}
+
+bool MemStorage::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return false;
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return true;
+}
+
+bool MemStorage::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.erase(path) != 0;
+}
+
+bool MemStorage::Truncate(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  if (size < it->second.size()) it->second.resize(size);
+  return true;
+}
+
+std::vector<std::string> MemStorage::List(const std::string& dir) {
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [path, contents] : files_) {
+    (void)contents;
+    if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0) {
+      names.push_back(path.substr(prefix.size()));
+    }
+  }
+  return names;  // map iteration order is already sorted
+}
+
+bool MemStorage::CreateDir(const std::string& dir) {
+  (void)dir;
+  return true;
+}
+
+int64_t MemStorage::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  return it == files_.end() ? -1 : static_cast<int64_t>(it->second.size());
+}
+
+// --- PosixStorage ----------------------------------------------------------
+
+namespace {
+
+class PosixWritableFile : public WritableFile {
+ public:
+  explicit PosixWritableFile(int fd) : fd_(fd) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Append(const std::string& data) override {
+    size_t done = 0;
+    while (done < data.size()) {
+      const ssize_t n = ::write(fd_, data.data() + done, data.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      done += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool Sync() override { return ::fsync(fd_) == 0; }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+bool PosixStorage::SyncDirOf(const std::string& path) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+std::unique_ptr<WritableFile> PosixStorage::Create(const std::string& path) {
+  const int fd =
+      ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) return nullptr;
+  return std::make_unique<PosixWritableFile>(fd);
+}
+
+bool PosixStorage::ReadFile(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  *out = std::move(data);
+  return true;
+}
+
+bool PosixStorage::WriteFile(const std::string& path, const std::string& data) {
+  std::unique_ptr<WritableFile> f = Create(path);
+  return f != nullptr && f->Append(data) && f->Sync();
+}
+
+bool PosixStorage::Rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) return false;
+  return SyncDirOf(to);
+}
+
+bool PosixStorage::Delete(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) return false;
+  return SyncDirOf(path);
+}
+
+bool PosixStorage::Truncate(const std::string& path, uint64_t size) {
+  // ::truncate zero-extends past EOF; the Storage contract says shrink
+  // only (no-op beyond current size), so clamp to the file's actual size.
+  struct ::stat st;
+  if (::stat(path.c_str(), &st) != 0) return false;
+  const uint64_t current = static_cast<uint64_t>(st.st_size);
+  if (size >= current) return true;
+  return ::truncate(path.c_str(), static_cast<off_t>(size)) == 0;
+}
+
+std::vector<std::string> PosixStorage::List(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool PosixStorage::CreateDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return !ec && std::filesystem::is_directory(dir, ec);
+}
+
+}  // namespace streamq::durability

@@ -1,0 +1,127 @@
+// Byte-level storage abstraction behind the durable-ingest subsystem
+// (DESIGN.md section 11). The WAL and checkpoint code talk only to this
+// interface, so the same recovery logic runs against a real filesystem
+// (PosixStorage), an in-memory filesystem (MemStorage -- fast, hermetic
+// tests), or a fault injector wrapping either (faulty_storage.h).
+//
+// The interface is deliberately small and append-oriented: the durability
+// layer only ever appends to open files, reads files whole, renames
+// complete files into place, and deletes obsolete ones. "Paths" are flat
+// strings; PosixStorage maps them onto the real filesystem (creating
+// parent directories on demand), MemStorage treats them as opaque keys.
+//
+// Durability contract every implementation must honour:
+//  * Append data is not durable until Sync() returns true. A crash may
+//    lose or tear (truncate mid-byte-range) anything appended after the
+//    last successful Sync.
+//  * Rename is atomic and, after it returns true, durable: a crash never
+//    leaves both names or neither. This is what makes checkpoint
+//    publication all-or-nothing (write tmp, sync, rename).
+//
+// Thread-safety: distinct WritableFiles may be used from distinct threads
+// concurrently (one thread per file, the per-shard WAL topology);
+// Storage's path-level operations may race appends to *other* paths.
+
+#ifndef STREAMQ_DURABILITY_STORAGE_H_
+#define STREAMQ_DURABILITY_STORAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace streamq::durability {
+
+/// An open, append-only file handle. Close() without a prior successful
+/// Sync() leaves the appended data non-durable (it survives a clean exit,
+/// not a crash).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  /// Appends `data`; false on any storage error (the file's tail is then
+  /// unspecified -- callers roll to a fresh file rather than repair).
+  virtual bool Append(const std::string& data) = 0;
+  /// Forces everything appended so far to durable storage.
+  virtual bool Sync() = 0;
+};
+
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  /// Creates (or truncates) `path` for appending. nullptr on failure.
+  virtual std::unique_ptr<WritableFile> Create(const std::string& path) = 0;
+
+  /// Reads the whole file into *out. False (out untouched) when the file
+  /// does not exist or cannot be read.
+  virtual bool ReadFile(const std::string& path, std::string* out) = 0;
+
+  /// Replaces the full contents of `path` (used by tests and the fault
+  /// injector; not a durable write unless followed by nothing -- the
+  /// durability layer itself never uses it for live data).
+  virtual bool WriteFile(const std::string& path, const std::string& data) = 0;
+
+  /// Atomically and durably renames `from` over `to` (replacing it).
+  virtual bool Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual bool Delete(const std::string& path) = 0;
+
+  /// Truncates `path` to `size` bytes (no-op beyond current size).
+  virtual bool Truncate(const std::string& path, uint64_t size) = 0;
+
+  /// Names (relative to `dir`) of every file under `dir`, sorted.
+  virtual std::vector<std::string> List(const std::string& dir) = 0;
+
+  /// Ensures `dir` (and its parents) exists so Create(dir + "/x") works.
+  virtual bool CreateDir(const std::string& dir) = 0;
+};
+
+/// In-memory storage: a map from path to contents. Implements the
+/// durability contract trivially (everything "synced" immediately); the
+/// fault injector layers crash/torn-write semantics on top of it. All
+/// operations are mutex-serialised, so concurrent per-shard writers are
+/// safe.
+class MemStorage : public Storage {
+ public:
+  std::unique_ptr<WritableFile> Create(const std::string& path) override;
+  bool ReadFile(const std::string& path, std::string* out) override;
+  bool WriteFile(const std::string& path, const std::string& data) override;
+  bool Rename(const std::string& from, const std::string& to) override;
+  bool Delete(const std::string& path) override;
+  bool Truncate(const std::string& path, uint64_t size) override;
+  std::vector<std::string> List(const std::string& dir) override;
+  bool CreateDir(const std::string& dir) override;
+
+  /// Current size of `path`, or -1 when absent (tests).
+  int64_t FileSize(const std::string& path);
+
+ private:
+  friend class MemWritableFile;
+  std::mutex mutex_;
+  std::map<std::string, std::string> files_;
+};
+
+/// Real-filesystem storage: open/write/fsync/rename/unlink, with the
+/// parent directory fsynced after Rename and Delete so the metadata
+/// operation itself is durable (the classic create-rename-dirsync
+/// protocol).
+class PosixStorage : public Storage {
+ public:
+  std::unique_ptr<WritableFile> Create(const std::string& path) override;
+  bool ReadFile(const std::string& path, std::string* out) override;
+  bool WriteFile(const std::string& path, const std::string& data) override;
+  bool Rename(const std::string& from, const std::string& to) override;
+  bool Delete(const std::string& path) override;
+  bool Truncate(const std::string& path, uint64_t size) override;
+  std::vector<std::string> List(const std::string& dir) override;
+  bool CreateDir(const std::string& dir) override;
+
+ private:
+  static bool SyncDirOf(const std::string& path);
+};
+
+}  // namespace streamq::durability
+
+#endif  // STREAMQ_DURABILITY_STORAGE_H_

@@ -1,0 +1,238 @@
+#include "durability/wal.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/crc32c.h"
+#include "util/serde.h"
+
+namespace streamq::durability {
+
+namespace {
+
+/// Upper bound on a record payload accepted by the scanner; a corrupt
+/// length field beyond this is rejected before any allocation. Generous:
+/// real records are batch_size entries (a few KiB).
+constexpr uint32_t kMaxWalPayload = 64u << 20;
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeWalRecord(int shard, const WalEntry* entries, size_t n) {
+  SerdeWriter payload;
+  payload.U32(static_cast<uint32_t>(shard));
+  payload.U32(static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    payload.U64(entries[i].seq);
+    payload.U64(entries[i].value);
+    payload.I64(entries[i].delta);
+  }
+  const std::string& body = payload.buffer();
+  SerdeWriter record;
+  record.U32(kWalRecordMagic);
+  record.U32(static_cast<uint32_t>(body.size()));
+  record.U32(Crc32c(body.data(), body.size()));
+  std::string out = record.Take();
+  out.append(body);
+  return out;
+}
+
+WalSegmentScan ScanWalSegment(const std::string& contents, int expect_shard) {
+  WalSegmentScan scan;
+  size_t pos = 0;
+  while (contents.size() - pos >= kWalRecordHeaderBytes) {
+    const char* header = contents.data() + pos;
+    if (LoadU32(header) != kWalRecordMagic) return scan;
+    const uint32_t len = LoadU32(header + 4);
+    const uint32_t crc = LoadU32(header + 8);
+    if (len > kMaxWalPayload ||
+        len > contents.size() - pos - kWalRecordHeaderBytes) {
+      return scan;  // truncated tail or corrupt length
+    }
+    const char* body = header + kWalRecordHeaderBytes;
+    if (Crc32c(body, len) != crc) return scan;
+    const std::string payload(body, len);
+    SerdeReader r(payload);
+    uint32_t shard = 0;
+    uint32_t count = 0;
+    if (!r.U32(&shard) || shard != static_cast<uint32_t>(expect_shard) ||
+        !r.U32(&count)) {
+      return scan;
+    }
+    std::vector<WalEntry> batch;
+    batch.reserve(count);
+    bool ok = true;
+    for (uint32_t i = 0; i < count && ok; ++i) {
+      WalEntry e;
+      ok = r.U64(&e.seq) && r.U64(&e.value) && r.I64(&e.delta);
+      if (ok) batch.push_back(e);
+    }
+    if (!ok || !r.Done()) return scan;
+    scan.entries.insert(scan.entries.end(), batch.begin(), batch.end());
+    ++scan.records;
+    pos += kWalRecordHeaderBytes + len;
+  }
+  scan.clean = pos == contents.size();
+  return scan;
+}
+
+std::string WalSegmentName(int shard, uint64_t segment) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "wal-%04d-%08llu.log", shard,
+                static_cast<unsigned long long>(segment));
+  return buf;
+}
+
+std::vector<uint64_t> ListWalSegments(Storage& storage,
+                                      const std::string& wal_dir, int shard) {
+  char prefix[32];
+  std::snprintf(prefix, sizeof(prefix), "wal-%04d-", shard);
+  std::vector<uint64_t> segments;
+  for (const std::string& name : storage.List(wal_dir)) {
+    // "wal-SSSS-NNNNNNNN.log" = 4 + 4 + 1 + 8 + 4 = 21 chars.
+    if (name.size() != 21 || name.compare(0, 9, prefix) != 0 ||
+        name.compare(17, 4, ".log") != 0) {
+      continue;
+    }
+    uint64_t id = 0;
+    bool numeric = true;
+    for (size_t i = 9; i < 17; ++i) {
+      const char c = name[i];
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      id = id * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (numeric) segments.push_back(id);
+  }
+  return segments;  // List() is sorted and the ids are zero-padded
+}
+
+WalWriter::WalWriter(Storage* storage, std::string wal_dir, int shard,
+                     uint64_t first_segment, uint64_t segment_bytes)
+    : storage_(storage),
+      wal_dir_(std::move(wal_dir)),
+      shard_(shard),
+      segment_bytes_(segment_bytes < 1024 ? 1024 : segment_bytes),
+      next_segment_(first_segment) {}
+
+std::string WalWriter::SegmentPath(uint64_t segment) const {
+  return wal_dir_ + "/" + WalSegmentName(shard_, segment);
+}
+
+void WalWriter::MarkDead() { dead_.store(true, std::memory_order_release); }
+
+bool WalWriter::RawAppend(const std::string& record, uint64_t max_seq) {
+  if (!file_->Append(record)) return false;
+  segment_size_ += record.size();
+  if (max_seq > segment_max_seq_) segment_max_seq_ = max_seq;
+  stats_.bytes.fetch_add(record.size(), std::memory_order_relaxed);
+  return true;
+}
+
+bool WalWriter::Roll() {
+  if (file_ != nullptr) {
+    // Best-effort sync so the closed segment is durable; on failure its
+    // unsynced records stay buffered and get re-appended below.
+    if (file_->Sync()) {
+      durable_seq_.store(last_appended_seq_, std::memory_order_release);
+      stats_.syncs.fetch_add(1, std::memory_order_relaxed);
+      unsynced_.clear();
+    } else {
+      stats_.failed_syncs.fetch_add(1, std::memory_order_relaxed);
+    }
+    file_.reset();
+    std::lock_guard<std::mutex> lock(closed_mutex_);
+    closed_.push_back(ClosedSegment{segment_, segment_max_seq_});
+  }
+  segment_ = next_segment_++;
+  file_ = storage_->Create(SegmentPath(segment_));
+  if (file_ == nullptr) {
+    MarkDead();
+    return false;
+  }
+  segment_size_ = 0;
+  segment_max_seq_ = 0;
+  stats_.rolls.fetch_add(1, std::memory_order_relaxed);
+  for (const auto& [record, max_seq] : unsynced_) {
+    if (!RawAppend(record, max_seq)) {
+      MarkDead();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WalWriter::AppendBatch(const WalEntry* entries, size_t n) {
+  if (n == 0) return !dead();
+  if (dead()) return false;
+  std::string record = EncodeWalRecord(shard_, entries, n);
+  const uint64_t max_seq = entries[n - 1].seq;
+  if (file_ == nullptr ||
+      (segment_size_ > 0 && segment_size_ + record.size() > segment_bytes_)) {
+    if (!Roll()) return false;
+  }
+  if (!RawAppend(record, max_seq)) {
+    // Suspect tail (torn write / IO error): roll once and retry there.
+    if (!Roll()) return false;
+    if (!RawAppend(record, max_seq)) {
+      MarkDead();
+      return false;
+    }
+  }
+  last_appended_seq_ = max_seq;
+  unsynced_.emplace_back(std::move(record), max_seq);
+  stats_.records.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool WalWriter::Sync() {
+  if (dead()) return false;
+  if (file_ == nullptr || unsynced_.empty()) return true;
+  if (file_->Sync()) {
+    durable_seq_.store(last_appended_seq_, std::memory_order_release);
+    stats_.syncs.fetch_add(1, std::memory_order_relaxed);
+    unsynced_.clear();
+    return true;
+  }
+  stats_.failed_syncs.fetch_add(1, std::memory_order_relaxed);
+  // Retry once on a fresh segment (Roll re-appends the unsynced buffer).
+  if (!Roll()) return false;
+  if (file_->Sync()) {
+    durable_seq_.store(last_appended_seq_, std::memory_order_release);
+    stats_.syncs.fetch_add(1, std::memory_order_relaxed);
+    unsynced_.clear();
+    return true;
+  }
+  stats_.failed_syncs.fetch_add(1, std::memory_order_relaxed);
+  MarkDead();
+  return false;
+}
+
+void WalWriter::TruncateThrough(uint64_t seq) {
+  std::vector<ClosedSegment> doomed;
+  {
+    std::lock_guard<std::mutex> lock(closed_mutex_);
+    auto keep = closed_.begin();
+    for (auto it = closed_.begin(); it != closed_.end(); ++it) {
+      if (it->max_seq <= seq) {
+        doomed.push_back(*it);
+      } else {
+        *keep++ = *it;
+      }
+    }
+    closed_.erase(keep, closed_.end());
+  }
+  for (const ClosedSegment& s : doomed) {
+    storage_->Delete(SegmentPath(s.segment));
+    stats_.truncated_segments.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace streamq::durability

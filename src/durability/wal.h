@@ -1,0 +1,172 @@
+// Segmented per-shard write-ahead log (DESIGN.md section 11).
+//
+// Layout: each ingest shard owns one WAL, a sequence of append-only
+// segment files "<dir>/wal/wal-SSSS-NNNNNNNN.log" (shard, segment id,
+// zero-padded so lexicographic listing is numeric order). A segment is a
+// concatenation of records:
+//
+//   magic u32 ("WALR") | payload_len u32 | crc32c(payload) u32 | payload
+//
+// where payload is serde-encoded: shard u32 | count u32 | count x
+// (seq u64 | value u64 | delta i64). Records hold whole update batches,
+// so WAL framing cost is amortised across the batch like the sketch work.
+//
+// Durability discipline (the crash-consistency argument relies on each
+// point):
+//  * Records are appended in strictly increasing seq order; Sync() makes
+//    every appended record durable and advances durable_seq() -- the
+//    shard's acknowledgement high-water mark -- to the last appended seq.
+//  * Records appended since the last successful Sync are also buffered in
+//    memory. On an append or sync failure the writer ROLLS: closes the
+//    suspect segment, opens a fresh one, re-appends the unsynced buffer,
+//    and retries once. Replaying both copies is harmless because replay
+//    dedups on seq (a shard's seqs are strictly increasing, so a re-read
+//    record is simply skipped).
+//  * If the retry fails too the writer goes dead(): appends are dropped,
+//    durable_seq() freezes, and the pipeline keeps running in-memory --
+//    availability over durability, with the frozen ack mark telling the
+//    truth about what is guaranteed.
+//  * A closed segment is never appended to again (recovery starts a fresh
+//    segment after the highest existing id), and is deleted only by
+//    TruncateThrough(seq) once a checkpoint covers every record in it.
+//
+// Threading: AppendBatch/Sync belong to the owning shard worker thread.
+// durable_seq()/dead() are readable from any thread. TruncateThrough is
+// called by whichever worker holds the checkpoint lock (segment metadata
+// is mutex-guarded).
+
+#ifndef STREAMQ_DURABILITY_WAL_H_
+#define STREAMQ_DURABILITY_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "durability/storage.h"
+
+namespace streamq::durability {
+
+/// One logged update: the global ingest sequence number plus the update
+/// itself (value, signed multiplicity).
+struct WalEntry {
+  uint64_t seq = 0;
+  uint64_t value = 0;
+  int64_t delta = 0;
+};
+
+inline constexpr uint32_t kWalRecordMagic = 0x57414C52u;  // "WALR"
+/// magic u32 | payload_len u32 | crc32c u32
+inline constexpr size_t kWalRecordHeaderBytes = 12;
+
+/// Encodes one record (header + payload) for `shard` covering `entries`.
+std::string EncodeWalRecord(int shard, const WalEntry* entries, size_t n);
+
+/// Result of scanning one segment: the longest valid record prefix.
+struct WalSegmentScan {
+  std::vector<WalEntry> entries;
+  uint64_t records = 0;
+  /// True when the segment parsed exactly to its end; false when the scan
+  /// stopped at a torn/corrupt tail (expected after a crash).
+  bool clean = false;
+};
+
+/// Scans `contents` of one segment belonging to `expect_shard`. Stops at
+/// the first record that is truncated, fails its CRC, misparses, or names
+/// a different shard; never over-reads and never throws.
+WalSegmentScan ScanWalSegment(const std::string& contents, int expect_shard);
+
+/// Segment file name for (shard, segment), relative to the WAL directory.
+std::string WalSegmentName(int shard, uint64_t segment);
+/// Existing segment ids of `shard` under `wal_dir`, ascending.
+std::vector<uint64_t> ListWalSegments(Storage& storage,
+                                      const std::string& wal_dir, int shard);
+
+/// Writer-side counters (atomics: the pipeline's metrics publisher reads
+/// them while the shard worker appends).
+struct WalStats {
+  std::atomic<uint64_t> records{0};
+  std::atomic<uint64_t> bytes{0};
+  std::atomic<uint64_t> syncs{0};
+  std::atomic<uint64_t> failed_syncs{0};
+  std::atomic<uint64_t> rolls{0};
+  std::atomic<uint64_t> truncated_segments{0};
+};
+
+class WalWriter {
+ public:
+  /// Starts writing at segment id `first_segment` (recovery passes max
+  /// existing id + 1: closed segments are immutable). `storage` unowned.
+  WalWriter(Storage* storage, std::string wal_dir, int shard,
+            uint64_t first_segment, uint64_t segment_bytes);
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record for `entries` (strictly increasing seqs, all >
+  /// every previously appended seq). False once dead(). Worker thread.
+  bool AppendBatch(const WalEntry* entries, size_t n);
+
+  /// Makes everything appended durable; on success durable_seq() covers
+  /// the last appended record. Worker thread.
+  bool Sync();
+
+  /// Highest seq s such that every record of this shard with seq' <= s is
+  /// durable. Any thread.
+  uint64_t durable_seq() const {
+    return durable_seq_.load(std::memory_order_acquire);
+  }
+  /// True after an unrecoverable storage failure; the log stops growing
+  /// and durable_seq() freezes. Any thread.
+  bool dead() const { return dead_.load(std::memory_order_acquire); }
+
+  /// Deletes every closed segment whose records are all <= `seq` (i.e.
+  /// fully covered by a durable checkpoint). Checkpoint holder's thread.
+  void TruncateThrough(uint64_t seq);
+
+  const WalStats& stats() const { return stats_; }
+
+ private:
+  struct ClosedSegment {
+    uint64_t segment = 0;
+    uint64_t max_seq = 0;  // highest seq ever appended to it
+  };
+
+  std::string SegmentPath(uint64_t segment) const;
+  void MarkDead();
+  /// Closes the current segment (best-effort sync), opens the next one,
+  /// and re-appends the unsynced buffer into it. False => dead.
+  bool Roll();
+  /// Appends to the open segment with size/seq bookkeeping, no buffering.
+  bool RawAppend(const std::string& record, uint64_t max_seq);
+
+  Storage* const storage_;
+  const std::string wal_dir_;
+  const int shard_;
+  const uint64_t segment_bytes_;
+
+  // Worker-thread state.
+  std::unique_ptr<WritableFile> file_;
+  uint64_t next_segment_;
+  uint64_t segment_ = 0;
+  uint64_t segment_size_ = 0;
+  uint64_t segment_max_seq_ = 0;
+  uint64_t last_appended_seq_ = 0;
+  /// Records appended but not yet covered by a successful Sync, kept for
+  /// re-append after a roll. (encoded record, its max seq).
+  std::vector<std::pair<std::string, uint64_t>> unsynced_;
+
+  std::atomic<uint64_t> durable_seq_{0};
+  std::atomic<bool> dead_{false};
+
+  std::mutex closed_mutex_;
+  std::vector<ClosedSegment> closed_;  // guarded by closed_mutex_
+
+  WalStats stats_;
+};
+
+}  // namespace streamq::durability
+
+#endif  // STREAMQ_DURABILITY_WAL_H_

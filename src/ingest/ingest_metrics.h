@@ -28,14 +28,28 @@ struct ShardStats {
   std::atomic<uint64_t> processed{0};
   /// Updates the shard sketch refused (out-of-universe, unsupported erase).
   std::atomic<uint64_t> rejected{0};
-  /// TryPush attempts that found the ring full (each spin counts once).
+  /// Ring-full events: every failed TryPush, and each blocking-Push stall
+  /// episode (one count per episode, however long the backoff runs).
   std::atomic<uint64_t> ring_full_stalls{0};
+  /// 100 ms watchdog periods elapsed inside a single continuous Push
+  /// stall; a nonzero rate means this shard's consumer is stuck, not just
+  /// momentarily behind.
+  std::atomic<uint64_t> stall_watchdog_trips{0};
   /// Shard snapshots cloned and installed by the worker.
   std::atomic<uint64_t> snapshots{0};
   /// Processed count captured by the newest installed shard snapshot.
   std::atomic<uint64_t> snapshot_epoch{0};
   /// Maximum MemoryBytes() the shard sketch reached (paper accounting).
   std::atomic<uint64_t> peak_memory_bytes{0};
+  // --- durable mode only (stay 0 otherwise) ---------------------------
+  /// Re-pushed updates skipped because the recovered state already covers
+  /// their seq (the replay/restart dedup of DESIGN.md section 11).
+  std::atomic<uint64_t> deduped{0};
+  /// Highest seq the producer routed to this shard (ack accounting).
+  std::atomic<uint64_t> last_seq{0};
+  /// Highest applied seq covered by a published checkpoint; together with
+  /// the WAL's durable seq this forms the shard's durability floor.
+  std::atomic<uint64_t> checkpoint_seq{0};
 };
 
 /// Pipeline-wide statistics (single struct, shared by all threads).
@@ -53,6 +67,10 @@ struct PipelineStats {
   std::atomic<uint64_t> stale_queries{0};
   /// Largest combined MemoryBytes() of the two query-view buffers.
   std::atomic<uint64_t> peak_view_bytes{0};
+  /// Checkpoint generations published (durable mode).
+  std::atomic<uint64_t> checkpoints{0};
+  /// Checkpoint attempts that failed at any step (durable mode).
+  std::atomic<uint64_t> checkpoint_failures{0};
 };
 
 /// max-update for the peak gauges (relaxed CAS loop; uncontended in

@@ -1,18 +1,87 @@
 #include "ingest/ingest_pipeline.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
+
+#if STREAMQ_DURABILITY_ENABLED
+#include "durability/checkpoint.h"
+#include "durability/storage.h"
+#include "durability/wal.h"
+#endif
 
 namespace streamq::ingest {
+
+namespace {
+
+/// Applies one (value, delta) update to a sketch, expanding multiplicity
+/// into |delta| Insert/Erase calls. Returns how many were refused.
+uint64_t ApplyUpdate(QuantileSketch& sketch, uint64_t value, int64_t delta) {
+  const int64_t reps = delta >= 0 ? delta : -delta;
+  uint64_t rejected = 0;
+  for (int64_t k = 0; k < reps; ++k) {
+    const StreamqStatus status =
+        delta >= 0 ? sketch.Insert(value) : sketch.Erase(value);
+    if (status != StreamqStatus::kOk) ++rejected;
+  }
+  return rejected;
+}
+
+}  // namespace
+
+/// Per-shard durable state. `wal` is used by the shard worker only;
+/// TruncateThrough (via the checkpointer) is the one cross-thread entry
+/// and synchronises internally. The plain fields are worker-private after
+/// Start (recovery writes them before the worker thread exists).
+struct IngestPipeline::ShardDurable {
+#if STREAMQ_DURABILITY_ENABLED
+  std::unique_ptr<durability::WalWriter> wal;
+  /// Highest seq folded into the shard sketch (recovery seed + live).
+  uint64_t applied_seq = 0;
+  /// Updates logged since the last WAL fsync.
+  uint64_t since_sync = 0;
+#endif
+};
+
+IngestPipeline::Shard::Shard(size_t ring_capacity) : ring(ring_capacity) {}
+IngestPipeline::Shard::~Shard() = default;
+
+/// Pipeline-level durable state: the checkpoint store plus the checkpoint
+/// lock and everything it guards.
+struct IngestPipeline::PipelineDurable {
+#if STREAMQ_DURABILITY_ENABLED
+  std::string wal_dir;
+  std::unique_ptr<durability::CheckpointStore> store;
+  std::mutex checkpoint_mutex;
+  // Guarded by checkpoint_mutex.
+  uint64_t next_checkpoint_id = 1;
+  obs::Histogram checkpoint_ticks;
+  /// Processed total covered by the newest checkpoint (interval trigger).
+  std::atomic<uint64_t> last_checkpoint_processed{0};
+#endif
+};
 
 std::unique_ptr<IngestPipeline> IngestPipeline::Create(
     const IngestOptions& options) {
   if (options.shards < 1 || options.batch_size == 0) return nullptr;
+  if (options.durability.enabled) {
+#if STREAMQ_DURABILITY_ENABLED
+    if (options.durability.storage == nullptr) return nullptr;
+#else
+    return nullptr;  // compiled out (-DSTREAMQ_DURABILITY=OFF)
+#endif
+  }
   // Probe the config: the pipeline needs Merge (to combine shards) and
   // Clone (to snapshot them). GK-family summaries fail the first, RSS and
   // DCS+Post the second.
   const std::unique_ptr<QuantileSketch> probe = MakeSketch(options.sketch);
   if (!probe->Mergeable() || probe->Clone() == nullptr) return nullptr;
-  return std::unique_ptr<IngestPipeline>(new IngestPipeline(options));
+  std::unique_ptr<IngestPipeline> pipeline(new IngestPipeline(options));
+  if (options.durability.enabled && !pipeline->InitDurability()) {
+    return nullptr;
+  }
+  pipeline->Start();
+  return pipeline;
 }
 
 IngestPipeline::IngestPipeline(const IngestOptions& options)
@@ -21,10 +90,175 @@ IngestPipeline::IngestPipeline(const IngestOptions& options)
   for (int i = 0; i < options_.shards; ++i) {
     auto shard = std::make_unique<Shard>(options_.ring_capacity);
     shard->sketch = MakeSketch(options_.sketch);
+    if (options_.durability.enabled) {
+      shard->durable = std::make_unique<ShardDurable>();
+    }
     shards_.push_back(std::move(shard));
   }
-  // Workers start only after every shard exists: a worker publishing a
-  // merged view iterates over all of shards_.
+  if (options_.durability.enabled) {
+    durable_ = std::make_unique<PipelineDurable>();
+  }
+}
+
+bool IngestPipeline::InitDurability() {
+#if STREAMQ_DURABILITY_ENABLED
+  PipelineDurable& d = *durable_;
+  durability::Storage& storage = *options_.durability.storage;
+  d.wal_dir = options_.durability.dir + "/wal";
+  if (!storage.CreateDir(options_.durability.dir) ||
+      !storage.CreateDir(d.wal_dir)) {
+    return false;
+  }
+  d.store = std::make_unique<durability::CheckpointStore>(
+      &storage, options_.durability.dir + "/ckpt");
+  if (!d.store->Init()) return false;
+
+  // 1. Newest valid checkpoint, all-or-nothing: shard count must match
+  // and every nested sketch frame must deserialize into something
+  // merge-compatible with this pipeline's config, else the whole
+  // generation is rejected and the previous one is tried.
+  const std::unique_ptr<QuantileSketch> probe = MakeSketch(options_.sketch);
+  std::vector<std::unique_ptr<QuantileSketch>> restored;
+  const auto validate = [&](const durability::CheckpointData& c) {
+    if (c.shards.size() != shards_.size()) return false;
+    std::vector<std::unique_ptr<QuantileSketch>> sketches;
+    for (const durability::CheckpointShard& s : c.shards) {
+      std::unique_ptr<QuantileSketch> sketch =
+          DeserializeSketch(s.sketch_frame);
+      if (sketch == nullptr || !probe->CanMerge(*sketch)) return false;
+      sketches.push_back(std::move(sketch));
+    }
+    restored = std::move(sketches);
+    return true;
+  };
+  durability::CheckpointData checkpoint;
+  const bool have_checkpoint = d.store->LoadNewest(validate, &checkpoint);
+  if (have_checkpoint) {
+    recovery_.checkpoint_id = checkpoint.id;
+    d.next_checkpoint_id = checkpoint.id + 1;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      shards_[i]->sketch = std::move(restored[i]);
+      shards_[i]->durable->applied_seq = checkpoint.shards[i].applied_seq;
+    }
+  }
+
+  // 2. Replay the WAL tails: per shard, every valid record with a seq
+  // beyond the recovered high-water mark, in segment order, stopping at
+  // the first torn/corrupt record of each segment. Monotone seq skipping
+  // makes rolled-segment duplicates harmless (wal.h).
+  uint64_t max_segment = 0;
+  std::vector<std::pair<int, uint64_t>> old_segments;  // (shard, segment)
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    uint64_t hw = shard.durable->applied_seq;
+    for (const uint64_t seg : durability::ListWalSegments(
+             storage, d.wal_dir, static_cast<int>(i))) {
+      old_segments.emplace_back(static_cast<int>(i), seg);
+      max_segment = std::max(max_segment, seg);
+      std::string contents;
+      if (!storage.ReadFile(
+              d.wal_dir + "/" +
+                  durability::WalSegmentName(static_cast<int>(i), seg),
+              &contents)) {
+        continue;
+      }
+      const durability::WalSegmentScan scan =
+          durability::ScanWalSegment(contents, static_cast<int>(i));
+      recovery_.replayed_records += scan.records;
+      if (!scan.clean) ++recovery_.torn_segments;
+      for (const durability::WalEntry& e : scan.entries) {
+        if (e.seq <= hw) continue;
+        ApplyUpdate(*shard.sketch, e.value, e.delta);
+        hw = e.seq;
+        ++recovery_.replayed_updates;
+      }
+    }
+    shard.durable->applied_seq = hw;
+    UpdatePeak(shard.stats.peak_memory_bytes,
+               static_cast<uint64_t>(shard.sketch->MemoryBytes()));
+  }
+  recovery_.recovered = have_checkpoint || !old_segments.empty();
+
+  // 3. Resume point: everything below the minimum shard high-water mark
+  // is recovered on every shard, so the producer restarts there. Shards
+  // ahead of it dedup the re-pushed seqs they already hold.
+  uint64_t min_applied = UINT64_MAX;
+  for (const auto& shard : shards_) {
+    min_applied = std::min(min_applied, shard->durable->applied_seq);
+  }
+  recovery_.resume_seq = min_applied + 1;
+  next_seq_.store(recovery_.resume_seq, std::memory_order_relaxed);
+  for (auto& shard : shards_) {
+    // Re-seed the ack accounting: the recovered prefix counts as routed
+    // and durable once the post-recovery checkpoint below publishes.
+    shard->stats.last_seq.store(shard->durable->applied_seq,
+                                std::memory_order_relaxed);
+  }
+
+  // 4. Make the recovered state durable in its own right: replayed WAL
+  // bytes were read back, but nothing guarantees an unsynced tail
+  // survives a *second* crash. A fresh checkpoint generation covering the
+  // recovered state closes that window; only after it publishes are the
+  // old segments deleted. If the write fails (storage still faulty) the
+  // old checkpoint + segments stay authoritative and we carry on.
+  if (recovery_.recovered) {
+    std::lock_guard<std::mutex> lock(d.checkpoint_mutex);
+    durability::CheckpointData data;
+    data.id = d.next_checkpoint_id;
+    bool serializable = true;
+    for (const auto& shard : shards_) {
+      durability::CheckpointShard cs;
+      cs.applied_seq = shard->durable->applied_seq;
+      cs.sketch_frame = SerializeSketch(*shard->sketch);
+      serializable = serializable && !cs.sketch_frame.empty();
+      data.shards.push_back(std::move(cs));
+    }
+    if (serializable &&
+        d.store->Write(data, options_.durability.keep_checkpoints)) {
+      ++d.next_checkpoint_id;
+      stats_.checkpoints.fetch_add(1, std::memory_order_relaxed);
+      d.last_checkpoint_processed.store(0, std::memory_order_relaxed);
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        shards_[i]->stats.checkpoint_seq.store(
+            data.shards[i].applied_seq, std::memory_order_release);
+      }
+      for (const auto& [shard_idx, seg] : old_segments) {
+        storage.Delete(d.wal_dir + "/" +
+                       durability::WalSegmentName(shard_idx, seg));
+      }
+    } else {
+      stats_.checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        shards_[i]->stats.checkpoint_seq.store(
+            have_checkpoint ? checkpoint.shards[i].applied_seq : 0,
+            std::memory_order_release);
+      }
+    }
+  }
+
+  // 5. WAL writers start after every pre-existing segment id: closed
+  // segments are immutable, even the ones recovery failed to delete.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->durable->wal = std::make_unique<durability::WalWriter>(
+        &storage, d.wal_dir, static_cast<int>(i), max_segment + 1,
+        options_.durability.segment_bytes);
+  }
+
+  // 6. Seed the snapshot slots with the recovered sketches (pre-Start, so
+  // single-threaded). Without this, a checkpoint racing the workers'
+  // first publish would serialize empty sketches at applied_seq 0 --
+  // silently regressing the newest generation below the recovered state
+  // -- and a recovered-but-idle pipeline would merge an empty view.
+  for (auto& shard : shards_) PublishShardSnapshot(*shard);
+  return true;
+#else
+  return false;
+#endif
+}
+
+void IngestPipeline::Start() {
+  // Workers start only after every shard exists (and recovery finished):
+  // a worker publishing a merged view iterates over all of shards_.
   for (auto& shard : shards_) {
     Shard* s = shard.get();
     s->worker = std::thread([this, s] { WorkerLoop(*s); });
@@ -35,34 +269,91 @@ IngestPipeline::IngestPipeline(const IngestOptions& options)
 IngestPipeline::~IngestPipeline() { Stop(); }
 
 bool IngestPipeline::TryPush(const Update& update) {
-  Shard& shard = *shards_[static_cast<size_t>(router_.Route(update.value))];
-  if (!shard.ring.TryPush(update)) {
+  const uint64_t seq = next_seq_.load(std::memory_order_relaxed);
+  Shard& shard =
+      *shards_[static_cast<size_t>(router_.Route(seq, update.value))];
+  if (!shard.ring.TryPush(SeqUpdate{seq, update})) {
     shard.stats.ring_full_stalls.fetch_add(1, std::memory_order_relaxed);
-    return false;
+    return false;  // seq not consumed: the next attempt reuses it
   }
+  next_seq_.store(seq + 1, std::memory_order_relaxed);
+  shard.stats.last_seq.store(seq, std::memory_order_release);
   shard.stats.pushed.fetch_add(1, std::memory_order_relaxed);
   stats_.pushed.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 void IngestPipeline::Push(const Update& update) {
-  Shard& shard = *shards_[static_cast<size_t>(router_.Route(update.value))];
-  while (!shard.ring.TryPush(update)) {
-    // Backpressure: the ring bounds memory, so a producer outrunning a
-    // worker waits here instead of growing a queue.
-    shard.stats.ring_full_stalls.fetch_add(1, std::memory_order_relaxed);
-    std::this_thread::yield();
-  }
+  const uint64_t seq = next_seq_.load(std::memory_order_relaxed);
+  Shard& shard =
+      *shards_[static_cast<size_t>(router_.Route(seq, update.value))];
+  const SeqUpdate item{seq, update};
+  if (!shard.ring.TryPush(item)) PushSlow(shard, item);
+  next_seq_.store(seq + 1, std::memory_order_relaxed);
+  shard.stats.last_seq.store(seq, std::memory_order_release);
   shard.stats.pushed.fetch_add(1, std::memory_order_relaxed);
   stats_.pushed.fetch_add(1, std::memory_order_relaxed);
 }
 
+void IngestPipeline::PushSlow(Shard& shard, const SeqUpdate& item) {
+  // Backpressure: the ring bounds memory, so a producer outrunning a
+  // worker waits here instead of growing a queue. Capped exponential
+  // backoff: brief yields catch the common blip without latency cost,
+  // then doubling sleeps stop a long stall from burning a core. One
+  // episode counts one ring_full_stall; the watchdog ticks every 100 ms
+  // of continuous stalling so a wedged consumer shows up in metrics while
+  // the stall is still in progress.
+  using Clock = std::chrono::steady_clock;
+  constexpr auto kMaxDelay = std::chrono::microseconds(1000);
+  constexpr auto kWatchdogPeriod = std::chrono::milliseconds(100);
+  constexpr int kYieldSpins = 16;
+  const Clock::time_point start = Clock::now();
+  Clock::time_point next_watchdog = start + kWatchdogPeriod;
+  auto delay = std::chrono::microseconds(1);
+  int spins = 0;
+  shard.stats.ring_full_stalls.fetch_add(1, std::memory_order_relaxed);
+  while (!shard.ring.TryPush(item)) {
+    if (spins < kYieldSpins) {
+      ++spins;
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(delay);
+      delay = std::min(delay * 2, kMaxDelay);
+      const Clock::time_point now = Clock::now();
+      if (now >= next_watchdog) {
+        shard.stats.stall_watchdog_trips.fetch_add(
+            1, std::memory_order_relaxed);
+        next_watchdog = now + kWatchdogPeriod;
+      }
+    }
+  }
+  const uint64_t stall_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+  std::lock_guard<std::mutex> lock(stall_mutex_);
+  ring_full_stall_ns_.Record(stall_ns);
+}
+
 void IngestPipeline::WorkerLoop(Shard& shard) {
-  std::vector<Update> batch(options_.batch_size);
+  std::vector<SeqUpdate> batch(options_.batch_size);
+#if STREAMQ_DURABILITY_ENABLED
+  const bool durable = shard.durable != nullptr;
+  std::vector<durability::WalEntry> wal_batch;
+  if (durable) wal_batch.reserve(options_.batch_size);
+#endif
   uint64_t since_publish = 0;
   for (;;) {
     const size_t n = shard.ring.PopBatch(batch.data(), batch.size());
     if (n == 0) {
+#if STREAMQ_DURABILITY_ENABLED
+      if (durable && shard.durable->since_sync > 0) {
+        // Idle fsync: the ack mark catches up to everything applied
+        // whenever ingestion pauses (this is also what lets Flush wait
+        // for durability without signalling the worker).
+        if (shard.durable->wal->Sync()) shard.durable->since_sync = 0;
+      }
+#endif
       // Idle: bring the shard snapshot up to date so Flush (and queries)
       // see everything processed, then help refresh the merged view.
       if (shard.stats.snapshot_epoch.load(std::memory_order_relaxed) !=
@@ -77,14 +368,44 @@ void IngestPipeline::WorkerLoop(Shard& shard) {
       continue;
     }
     uint64_t rejected = 0;
-    for (size_t i = 0; i < n; ++i) {
-      const Update& u = batch[i];
-      const int32_t reps = u.delta >= 0 ? u.delta : -u.delta;
-      for (int32_t k = 0; k < reps; ++k) {
-        const StreamqStatus status = u.delta >= 0
-                                         ? shard.sketch->Insert(u.value)
-                                         : shard.sketch->Erase(u.value);
-        if (status != StreamqStatus::kOk) ++rejected;
+#if STREAMQ_DURABILITY_ENABLED
+    if (durable) {
+      // Log-ahead, then apply. Seqs at or below the recovered high-water
+      // mark are re-pushed duplicates: already durable, already in the
+      // sketch -- skipped entirely (and not re-logged, which keeps shard
+      // seqs strictly increasing across WAL segments).
+      wal_batch.clear();
+      for (size_t i = 0; i < n; ++i) {
+        const SeqUpdate& u = batch[i];
+        if (u.seq <= shard.durable->applied_seq) continue;
+        wal_batch.push_back(durability::WalEntry{
+            u.seq, u.update.value, static_cast<int64_t>(u.update.delta)});
+      }
+      if (wal_batch.size() < n) {
+        shard.stats.deduped.fetch_add(n - wal_batch.size(),
+                                      std::memory_order_relaxed);
+      }
+      if (!wal_batch.empty()) {
+        // A dead WAL stops acknowledging (durable_seq freezes) but the
+        // pipeline keeps serving -- availability over durability.
+        shard.durable->wal->AppendBatch(wal_batch.data(), wal_batch.size());
+        for (const durability::WalEntry& e : wal_batch) {
+          rejected += ApplyUpdate(*shard.sketch, e.value, e.delta);
+          shard.durable->applied_seq = e.seq;
+        }
+        shard.durable->since_sync += wal_batch.size();
+        if (shard.durable->since_sync >=
+            options_.durability.sync_interval) {
+          if (shard.durable->wal->Sync()) shard.durable->since_sync = 0;
+        }
+      }
+    } else
+#endif
+    {
+      for (size_t i = 0; i < n; ++i) {
+        const Update& u = batch[i].update;
+        rejected +=
+            ApplyUpdate(*shard.sketch, u.value, static_cast<int64_t>(u.delta));
       }
     }
     shard.stats.processed.fetch_add(n, std::memory_order_release);
@@ -98,6 +419,7 @@ void IngestPipeline::WorkerLoop(Shard& shard) {
       since_publish = 0;
       PublishShardSnapshot(shard);
       PublishMergedView(/*block=*/false);
+      MaybeCheckpoint(/*block=*/false);
     }
   }
 }
@@ -105,9 +427,16 @@ void IngestPipeline::WorkerLoop(Shard& shard) {
 void IngestPipeline::PublishShardSnapshot(Shard& shard) {
   const uint64_t processed =
       shard.stats.processed.load(std::memory_order_relaxed);
-  std::shared_ptr<QuantileSketch> clone = shard.sketch->Clone();
-  assert(clone != nullptr);  // Create() verified the config is clonable
-  shard.snapshot.Store(std::move(clone));
+  auto snapshot = std::make_shared<ShardSnapshot>();
+  snapshot->sketch = shard.sketch->Clone();
+  assert(snapshot->sketch != nullptr);  // Create() verified clonability
+  snapshot->processed = processed;
+#if STREAMQ_DURABILITY_ENABLED
+  if (shard.durable != nullptr) {
+    snapshot->applied_seq = shard.durable->applied_seq;
+  }
+#endif
+  shard.snapshot.Store(std::move(snapshot));
   // Epoch strictly after the snapshot: a reader that sees the new epoch is
   // guaranteed a snapshot at least that fresh (it may see an even newer
   // snapshot with an older epoch, which only overstates staleness).
@@ -135,10 +464,10 @@ void IngestPipeline::PublishMergedView(bool block) {
     // as the loaded epoch, so the view's epoch never overclaims.
     const uint64_t shard_epoch =
         shard->stats.snapshot_epoch.load(std::memory_order_acquire);
-    const std::shared_ptr<QuantileSketch> snap = shard->snapshot.Load();
+    const std::shared_ptr<ShardSnapshot> snap = shard->snapshot.Load();
     if (snap == nullptr) continue;
     const uint64_t t0 = obs::TickClock::Now();
-    const StreamqStatus status = merged->Merge(*snap);
+    const StreamqStatus status = merged->Merge(*snap->sketch);
     merge_ticks_.Record(obs::TickClock::Now() - t0);
     assert(status == StreamqStatus::kOk);  // identical configs by design
     (void)status;
@@ -155,6 +484,118 @@ void IngestPipeline::PublishMergedView(bool block) {
   stats_.publishes.fetch_add(1, std::memory_order_relaxed);
 }
 
+void IngestPipeline::MaybeCheckpoint(bool block) {
+#if STREAMQ_DURABILITY_ENABLED
+  if (durable_ == nullptr) return;
+  PipelineDurable& d = *durable_;
+  if (!block) {
+    // Cheap pre-check off the lock; re-checked under it.
+    const uint64_t covered =
+        d.last_checkpoint_processed.load(std::memory_order_relaxed);
+    if (ProcessedCount() - covered < options_.durability.checkpoint_interval) {
+      return;
+    }
+  }
+  std::unique_lock<std::mutex> lock(d.checkpoint_mutex, std::defer_lock);
+  if (block) {
+    lock.lock();
+  } else {
+    if (!lock.try_lock()) return;  // someone else is checkpointing
+    const uint64_t covered =
+        d.last_checkpoint_processed.load(std::memory_order_relaxed);
+    if (ProcessedCount() - covered < options_.durability.checkpoint_interval) {
+      return;
+    }
+  }
+  WriteCheckpointLocked();
+#else
+  (void)block;
+#endif
+}
+
+bool IngestPipeline::WriteCheckpointLocked() {
+#if STREAMQ_DURABILITY_ENABLED
+  PipelineDurable& d = *durable_;
+  const obs::ScopedTimer timer(&d.checkpoint_ticks);
+  // Checkpoint from the published snapshots: each is a consistent
+  // (sketch, applied_seq) pair, and serializing a snapshot clone is safe
+  // against the worker mutating its live sketch concurrently.
+  durability::CheckpointData data;
+  data.id = d.next_checkpoint_id;
+  uint64_t covered_processed = 0;
+  for (const auto& shard : shards_) {
+    const std::shared_ptr<ShardSnapshot> snap = shard->snapshot.Load();
+    durability::CheckpointShard cs;
+    if (snap != nullptr) {
+      cs.applied_seq = snap->applied_seq;
+      cs.sketch_frame = SerializeSketch(*snap->sketch);
+      covered_processed += snap->processed;
+    } else {
+      // Shard never published (no updates yet): checkpoint it as empty.
+      const std::unique_ptr<QuantileSketch> empty = MakeSketch(options_.sketch);
+      cs.applied_seq = 0;
+      cs.sketch_frame = SerializeSketch(*empty);
+    }
+    if (cs.sketch_frame.empty()) {
+      stats_.checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
+      return false;  // unreachable for pipeline-capable types
+    }
+    data.shards.push_back(std::move(cs));
+  }
+  if (!d.store->Write(data, options_.durability.keep_checkpoints)) {
+    stats_.checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  ++d.next_checkpoint_id;
+  d.last_checkpoint_processed.store(covered_processed,
+                                    std::memory_order_relaxed);
+  stats_.checkpoints.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // Publish the new durability floor, then drop the WAL segments the
+    // checkpoint covers (every record in them has seq <= applied_seq).
+    shards_[i]->stats.checkpoint_seq.store(data.shards[i].applied_seq,
+                                           std::memory_order_release);
+    shards_[i]->durable->wal->TruncateThrough(data.shards[i].applied_seq);
+  }
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool IngestPipeline::Checkpoint() {
+#if STREAMQ_DURABILITY_ENABLED
+  if (durable_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(durable_->checkpoint_mutex);
+  return WriteCheckpointLocked();
+#else
+  return false;
+#endif
+}
+
+uint64_t IngestPipeline::DurableSeq() const {
+#if STREAMQ_DURABILITY_ENABLED
+  if (durable_ == nullptr) return 0;
+  // A shard constrains the global mark only while some seq routed to it
+  // is still above its durability floor (max of WAL-synced and
+  // checkpoint-covered). Shards with nothing pending -- including ones
+  // that never received an update -- do not hold the mark back.
+  uint64_t result = next_seq_.load(std::memory_order_relaxed) - 1;
+  for (const auto& shard : shards_) {
+    const uint64_t floor =
+        std::max(shard->durable->wal != nullptr
+                     ? shard->durable->wal->durable_seq()
+                     : 0,
+                 shard->stats.checkpoint_seq.load(std::memory_order_acquire));
+    const uint64_t last = shard->stats.last_seq.load(std::memory_order_acquire);
+    if (floor < last) result = std::min(result, floor);
+  }
+  return result;
+#else
+  return 0;
+#endif
+}
+
 void IngestPipeline::Flush() {
   for (const auto& shard : shards_) {
     // First wait for the worker to drain its ring, then for its snapshot
@@ -165,6 +606,22 @@ void IngestPipeline::Flush() {
                shard->stats.processed.load(std::memory_order_acquire)) {
       std::this_thread::yield();
     }
+#if STREAMQ_DURABILITY_ENABLED
+    if (shard->durable != nullptr) {
+      // Then for durability: idle workers fsync on their own, so the
+      // shard's floor climbs to its last routed seq -- unless its WAL
+      // died, in which case waiting longer would change nothing.
+      while (!shard->durable->wal->dead()) {
+        const uint64_t floor = std::max(
+            shard->durable->wal->durable_seq(),
+            shard->stats.checkpoint_seq.load(std::memory_order_acquire));
+        if (floor >= shard->stats.last_seq.load(std::memory_order_acquire)) {
+          break;
+        }
+        std::this_thread::yield();
+      }
+    }
+#endif
   }
   PublishMergedView(/*block=*/true);
 }
@@ -176,9 +633,11 @@ void IngestPipeline::Stop() {
     if (shard->worker.joinable()) shard->worker.join();
   }
   started_ = false;
-  // Workers published their final shard snapshots before exiting; fold
-  // them into one last complete view so post-Stop queries see the whole
-  // stream.
+  // Workers fsynced their WALs and published final shard snapshots before
+  // exiting; persist one final checkpoint so a restart recovers the whole
+  // stream without replay, then fold the snapshots into one last complete
+  // view so post-Stop queries see it too.
+  if (durable_ != nullptr) MaybeCheckpoint(/*block=*/true);
   PublishMergedView(/*block=*/true);
 }
 
@@ -230,7 +689,7 @@ size_t IngestPipeline::PeakMemoryBytes() const {
 size_t IngestPipeline::RingBytes() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    total += shard->ring.capacity() * sizeof(Update);
+    total += shard->ring.capacity() * sizeof(SeqUpdate);
   }
   return total;
 }
@@ -258,8 +717,34 @@ void IngestPipeline::PublishMetrics(obs::MetricsRegistry& registry,
                 shard.stats.rejected.load(std::memory_order_acquire));
     set_counter(p + ".ring_full_stalls",
                 shard.stats.ring_full_stalls.load(std::memory_order_acquire));
+    set_counter(
+        p + ".stall_watchdog_trips",
+        shard.stats.stall_watchdog_trips.load(std::memory_order_acquire));
     set_counter(p + ".snapshots",
                 shard.stats.snapshots.load(std::memory_order_acquire));
+#if STREAMQ_DURABILITY_ENABLED
+    if (shard.durable != nullptr && shard.durable->wal != nullptr) {
+      const durability::WalStats& w = shard.durable->wal->stats();
+      set_counter(p + ".deduped",
+                  shard.stats.deduped.load(std::memory_order_acquire));
+      set_counter(p + ".wal_records",
+                  w.records.load(std::memory_order_acquire));
+      set_counter(p + ".wal_bytes", w.bytes.load(std::memory_order_acquire));
+      set_counter(p + ".wal_syncs", w.syncs.load(std::memory_order_acquire));
+      set_counter(p + ".wal_failed_syncs",
+                  w.failed_syncs.load(std::memory_order_acquire));
+      set_counter(p + ".wal_rolls", w.rolls.load(std::memory_order_acquire));
+      set_counter(p + ".wal_truncated_segments",
+                  w.truncated_segments.load(std::memory_order_acquire));
+      registry.GetGauge(p + ".wal_durable_seq")
+          .Set(static_cast<int64_t>(shard.durable->wal->durable_seq()));
+      registry.GetGauge(p + ".wal_dead")
+          .Set(shard.durable->wal->dead() ? 1 : 0);
+      registry.GetGauge(p + ".checkpoint_seq")
+          .Set(static_cast<int64_t>(
+              shard.stats.checkpoint_seq.load(std::memory_order_acquire)));
+    }
+#endif
   }
   set_counter(prefix + ".pushed",
               stats_.pushed.load(std::memory_order_acquire));
@@ -280,12 +765,36 @@ void IngestPipeline::PublishMetrics(obs::MetricsRegistry& registry,
       .Set(static_cast<int64_t>(PeakMemoryBytes()));
   registry.GetGauge(prefix + ".ring_bytes")
       .Set(static_cast<int64_t>(RingBytes()));
+#if STREAMQ_DURABILITY_ENABLED
+  if (durable_ != nullptr) {
+    set_counter(prefix + ".checkpoints",
+                stats_.checkpoints.load(std::memory_order_acquire));
+    set_counter(prefix + ".checkpoint_failures",
+                stats_.checkpoint_failures.load(std::memory_order_acquire));
+    set_counter(prefix + ".replayed_records", recovery_.replayed_records);
+    set_counter(prefix + ".replayed_updates", recovery_.replayed_updates);
+    registry.GetGauge(prefix + ".durable_seq")
+        .Set(static_cast<int64_t>(DurableSeq()));
+    registry.GetGauge(prefix + ".resume_seq")
+        .Set(static_cast<int64_t>(recovery_.resume_seq));
+    {
+      std::lock_guard<std::mutex> lock(durable_->checkpoint_mutex);
+      registry.GetHistogram(prefix + ".checkpoint_ticks") =
+          durable_->checkpoint_ticks;
+    }
+  }
+#endif
   {
     // The latency histograms are guarded by the publish mutex; copy them
     // out under it.
     std::lock_guard<std::mutex> lock(publish_mutex_);
     registry.GetHistogram(prefix + ".merge_ticks") = merge_ticks_;
     registry.GetHistogram(prefix + ".publish_ticks") = publish_ticks_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stall_mutex_);
+    registry.GetHistogram(prefix + ".ring_full_stall_ns") =
+        ring_full_stall_ns_;
   }
 }
 

@@ -22,6 +22,26 @@
 // bound at the combined stream length (mergeable-summary property;
 // tests/property_test.cc checks it end to end).
 //
+// Durable mode (DESIGN.md section 11, options.durability.enabled): every
+// update carries a producer-assigned sequence number; workers append
+// sequence-stamped batches to per-shard write-ahead logs off the hot path
+// and periodically publish atomic checkpoints. Create() then *recovers*
+// whatever a previous incarnation left in options.durability.dir --
+// newest valid checkpoint plus WAL tail replay -- before starting the
+// workers. The contract with the producer:
+//
+//   * DurableSeq() is the acknowledgement mark: every update with
+//     seq <= DurableSeq() survives any crash.
+//   * After a restart, re-push the source stream starting at position
+//     ResumeSeq() - 1 (0-based); always ResumeSeq() - 1 >= DurableSeq()
+//     at the previous crash, and re-pushed duplicates the recovered state
+//     already covers are detected by seq and skipped, so the recovered
+//     pipeline converges to exactly the uninterrupted stream.
+//
+// Sharding is deterministic in (seq, value) -- round-robin is seq mod N,
+// hash depends only on the value -- which is what makes replayed and
+// re-pushed updates land on the shard that already knows their seq.
+//
 // Threading contract:
 //  * Push/TryPush/Flush: one producer thread at a time.
 //  * Query/QueryMany: any threads, any time (serialised internally on a
@@ -35,6 +55,7 @@
 #ifndef STREAMQ_INGEST_INGEST_PIPELINE_H_
 #define STREAMQ_INGEST_INGEST_PIPELINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -42,6 +63,7 @@
 #include <thread>
 #include <vector>
 
+#include "durability/options.h"
 #include "ingest/ingest_metrics.h"
 #include "ingest/query_view.h"
 #include "ingest/shared_slot.h"
@@ -71,13 +93,58 @@ struct IngestOptions {
   /// whenever ingestion pauses.
   uint64_t publish_interval = uint64_t{1} << 16;
   ShardingPolicy sharding = ShardingPolicy::kRoundRobin;
+  /// Crash-safety (WAL + checkpoints). Disabled by default; requires a
+  /// build with -DSTREAMQ_DURABILITY=ON and a non-null storage when
+  /// enabled, otherwise Create() returns nullptr.
+  durability::DurabilityOptions durability;
+};
+
+/// Ring element: the update plus its producer-assigned global sequence
+/// number (1-based; seq 0 never occurs and means "nothing" in marks).
+struct SeqUpdate {
+  uint64_t seq = 0;
+  Update update;
+};
+
+/// A worker-published shard snapshot: the cloned sketch together with the
+/// exact ingest state it covers, so a checkpointer reading the slot gets
+/// one consistent (sketch, applied_seq) pair.
+struct ShardSnapshot {
+  std::shared_ptr<QuantileSketch> sketch;
+  /// Highest ingest seq folded into `sketch` (0 before any).
+  uint64_t applied_seq = 0;
+  /// This-incarnation processed count at snapshot time (epoch bookkeeping).
+  uint64_t processed = 0;
+};
+
+/// What Create() found on storage (all zeros/false for a fresh start or a
+/// non-durable pipeline). Immutable after Create returns.
+struct RecoveryInfo {
+  bool recovered = false;
+  /// Generation id of the checkpoint loaded (0 = none survived).
+  uint64_t checkpoint_id = 0;
+  /// Valid WAL records scanned across all shards.
+  uint64_t replayed_records = 0;
+  /// Updates from those records actually applied (beyond the checkpoint).
+  uint64_t replayed_updates = 0;
+  /// Segments whose scan stopped at a torn/corrupt tail (expected: the
+  /// crash tore at most the unsynced suffix of each shard's last segment).
+  uint64_t torn_segments = 0;
+  /// First seq the producer must (re-)push: 1 + min over shards of the
+  /// recovered applied seq.
+  uint64_t resume_seq = 1;
 };
 
 class IngestPipeline {
  public:
-  /// Builds and starts the pipeline (workers are running on return).
+  /// Builds and starts the pipeline (workers are running on return). In
+  /// durable mode, recovery -- checkpoint load, WAL replay, a fresh
+  /// post-recovery checkpoint -- completes before any worker starts.
   /// Returns nullptr -- building nothing -- when the configured algorithm
-  /// cannot back a pipeline (not Mergeable(), no Clone(), or shards < 1).
+  /// cannot back a pipeline (not Mergeable(), no Clone(), or shards < 1),
+  /// when durability is requested without a storage or in a
+  /// -DSTREAMQ_DURABILITY=OFF build, or when the durable directories
+  /// cannot be initialised.
   static std::unique_ptr<IngestPipeline> Create(const IngestOptions& options);
 
   ~IngestPipeline();
@@ -85,22 +152,29 @@ class IngestPipeline {
   IngestPipeline& operator=(const IngestPipeline&) = delete;
 
   /// Non-blocking enqueue; false when the target shard's ring is full (the
-  /// update was not accepted). Single producer.
+  /// update was not accepted and its seq was not consumed). Single
+  /// producer.
   bool TryPush(const Update& update);
 
-  /// Blocking enqueue: spins (with yields) until the target shard's ring
-  /// accepts the update. Single producer.
+  /// Blocking enqueue: waits until the target shard's ring accepts the
+  /// update, spinning with capped exponential backoff (yields first, then
+  /// sleeps doubling up to 1 ms). Stall time lands in the
+  /// `ring_full_stall_ns` histogram and every 100 ms of one continuous
+  /// stall trips the shard's stall watchdog counter, so a stuck consumer
+  /// is observable instead of silently burning CPU. Single producer.
   void Push(const Update& update);
 
-  /// Waits until every pushed update has been applied to its shard sketch,
-  /// then publishes a merged view covering all of them. On return,
-  /// Query(phi) reflects the complete stream pushed so far. Producer
-  /// thread only.
+  /// Waits until every pushed update has been applied to its shard sketch
+  /// -- and, in durable mode, is covered by the acknowledgement mark or
+  /// its shard's WAL has failed dead -- then publishes a merged view
+  /// covering all of them. On return, Query(phi) reflects the complete
+  /// stream pushed so far. Producer thread only.
   void Flush();
 
-  /// Drains the rings, stops and joins the workers, and publishes a final
-  /// complete view. Idempotent; called by the destructor. After Stop, Push
-  /// is no longer allowed but Query keeps answering from the final view.
+  /// Drains the rings, stops and joins the workers, writes a final
+  /// checkpoint (durable mode), and publishes a final complete view.
+  /// Idempotent; called by the destructor. After Stop, Push is no longer
+  /// allowed but Query keeps answering from the final view.
   void Stop();
 
   /// eps-approximate phi-quantile from the current published view. Never
@@ -112,11 +186,35 @@ class IngestPipeline {
   /// Batch quantile query against one consistent snapshot.
   std::vector<uint64_t> QueryMany(const std::vector<double>& phis);
 
+  // --- durability -------------------------------------------------------
+
+  /// Acknowledgement mark: every update with seq <= DurableSeq() is
+  /// guaranteed to survive a crash (WAL-synced or checkpoint-covered).
+  /// 0 when nothing is guaranteed yet or durability is off. Any thread.
+  uint64_t DurableSeq() const;
+
+  /// First seq this incarnation expects from the producer (see the
+  /// restart contract in the header comment). 1 for a fresh start.
+  uint64_t ResumeSeq() const { return recovery_.resume_seq; }
+
+  /// What recovery found at Create() time.
+  const RecoveryInfo& recovery() const { return recovery_; }
+
+  /// Forces a checkpoint now (blocking; waits for the checkpoint lock).
+  /// Returns true when a new generation was published -- after which the
+  /// WAL segments it covers are truncated. False when durability is off
+  /// or the write failed. Call after Flush() for a checkpoint covering
+  /// everything pushed. Producer thread.
+  bool Checkpoint();
+
   // --- introspection ----------------------------------------------------
 
   uint64_t PushedCount() const;
   uint64_t ProcessedCount() const;
-  /// Epoch (update count) of the currently published view.
+  /// Epoch (update count processed this incarnation) of the currently
+  /// published view. After recovery this intentionally counts from 0
+  /// again; durable correctness is asserted on Count()/queries, not on
+  /// epochs.
   uint64_t ViewEpoch() const { return view_.Epoch(); }
 
   /// Worst-case footprint of the whole pipeline under the paper's memory
@@ -124,7 +222,8 @@ class IngestPipeline {
   /// combined size of the two query-view buffers. Ring slots are transient
   /// I/O buffers, reported separately by RingBytes().
   size_t PeakMemoryBytes() const;
-  /// Fixed footprint of the shard rings (capacity * sizeof(Update) each).
+  /// Fixed footprint of the shard rings (capacity * sizeof(SeqUpdate)
+  /// each).
   size_t RingBytes() const;
 
   int shard_count() const { return static_cast<int>(shards_.size()); }
@@ -135,35 +234,65 @@ class IngestPipeline {
 
   /// Copies pipeline and per-shard statistics into `registry` under
   /// "<prefix>.": per-shard queue-depth gauges and throughput counters,
-  /// the merge-latency histogram, and the publish-staleness counter.
+  /// the merge-latency histogram, the publish-staleness counter, the
+  /// ring-stall histogram, and -- in durable mode -- WAL byte/fsync/roll
+  /// counters, checkpoint counts and latency, replay totals and the
+  /// acknowledgement mark.
   void PublishMetrics(obs::MetricsRegistry& registry,
                       const std::string& prefix);
 
  private:
+  struct ShardDurable;     // per-shard WAL state, defined in the .cc
+  struct PipelineDurable;  // checkpoint machinery, defined in the .cc
+
   struct alignas(64) Shard {
-    explicit Shard(size_t ring_capacity) : ring(ring_capacity) {}
-    SpscRing<Update> ring;
+    // Constructor and destructor live in the .cc: members reference the
+    // forward-declared ShardDurable.
+    explicit Shard(size_t ring_capacity);
+    SpscRing<SeqUpdate> ring;
     std::unique_ptr<QuantileSketch> sketch;  // worker-private after Start
-    SharedSlot<QuantileSketch> snapshot;     // worker writes, publisher reads
+    SharedSlot<ShardSnapshot> snapshot;      // worker writes, readers read
+    std::unique_ptr<ShardDurable> durable;   // null when durability is off
     ShardStats stats;
     std::thread worker;
+    ~Shard();
   };
 
   explicit IngestPipeline(const IngestOptions& options);
 
+  /// Durable-mode setup: directories, checkpoint load, WAL replay, the
+  /// post-recovery checkpoint, WAL writers. False => Create fails.
+  bool InitDurability();
+  /// Launches the shard workers (after recovery, if any).
+  void Start();
+
   void WorkerLoop(Shard& shard);
+  /// Ring-full slow path of Push: backoff + stall accounting.
+  void PushSlow(Shard& shard, const SeqUpdate& item);
   /// Clones the shard sketch into its snapshot slot (worker thread only).
   void PublishShardSnapshot(Shard& shard);
   /// Merges all shard snapshots into a fresh sketch and installs it into
   /// the view. `block` selects mutex lock vs try_lock (workers use
   /// try_lock so a contended publish never stalls ingestion).
   void PublishMergedView(bool block);
+  /// Checkpoint when due (workers: try_lock, cheap interval pre-check) or
+  /// unconditionally (block = true).
+  void MaybeCheckpoint(bool block);
+  /// Serialises all shard snapshots into a new checkpoint generation and
+  /// truncates the WAL segments it covers. Checkpoint lock held.
+  bool WriteCheckpointLocked();
 
   IngestOptions options_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stop_{false};
   bool started_ = false;
+
+  /// Next seq the producer will assign (producer-owned; atomic only so
+  /// DurableSeq() may read it from other threads).
+  std::atomic<uint64_t> next_seq_{1};
+  RecoveryInfo recovery_;  // written by Create, immutable afterwards
+  std::unique_ptr<PipelineDurable> durable_;  // null when durability off
 
   QueryView view_;
   std::mutex publish_mutex_;
@@ -173,6 +302,11 @@ class IngestPipeline {
   obs::Histogram publish_ticks_;
   uint64_t slot_bytes_[2] = {0, 0};
   int last_slot_ = 0;
+
+  // Guarded by stall_mutex_ (touched only on the ring-full slow path and
+  // by PublishMetrics, never on the fast path).
+  std::mutex stall_mutex_;
+  obs::Histogram ring_full_stall_ns_;
 
   std::mutex query_mutex_;
   PipelineStats stats_;

@@ -9,11 +9,12 @@ namespace streamq::ingest {
 
 /// How the pipeline distributes updates across shard workers.
 ///
-///  * kRoundRobin: update i goes to shard i mod N. Perfectly balanced
-///    regardless of the value distribution; an insert and a later delete of
-///    the same value may land on different shards, which is still correct
-///    for the linear (dyadic) summaries -- merging sums all shard counters,
-///    so only the union stream matters.
+///  * kRoundRobin: the update with sequence number s goes to shard
+///    s mod N. Perfectly balanced regardless of the value distribution;
+///    an insert and a later delete of the same value may land on
+///    different shards, which is still correct for the linear (dyadic)
+///    summaries -- merging sums all shard counters, so only the union
+///    stream matters.
 ///  * kHash: shard chosen by a mixed hash of the value, so all updates of
 ///    one value land on one shard. Balanced for high-cardinality streams;
 ///    a single very hot value concentrates on its shard.
@@ -22,19 +23,20 @@ enum class ShardingPolicy {
   kHash,
 };
 
-/// Stateful router (the round-robin policy carries a cursor). Not
-/// thread-safe: one router per producer thread, which is the pipeline's
-/// single-producer contract anyway.
+/// Stateless, deterministic router: the shard is a pure function of the
+/// update's (seq, value). Determinism is what durable recovery relies on
+/// -- a replayed or re-pushed update must land on the shard that already
+/// logged it (DESIGN.md section 11) -- and it also makes the router
+/// trivially thread-safe, though the pipeline keeps its single-producer
+/// contract regardless.
 class ShardRouter {
  public:
   ShardRouter(ShardingPolicy policy, int shards)
       : policy_(policy), shards_(static_cast<uint64_t>(shards)) {}
 
-  int Route(uint64_t value) {
+  int Route(uint64_t seq, uint64_t value) const {
     if (policy_ == ShardingPolicy::kRoundRobin) {
-      const uint64_t s = next_;
-      next_ = next_ + 1 == shards_ ? 0 : next_ + 1;
-      return static_cast<int>(s);
+      return static_cast<int>(seq % shards_);
     }
     return static_cast<int>(Mix(value) % shards_);
   }
@@ -54,7 +56,6 @@ class ShardRouter {
 
   ShardingPolicy policy_;
   uint64_t shards_;
-  uint64_t next_ = 0;
 };
 
 }  // namespace streamq::ingest

@@ -7,6 +7,7 @@
 #include "quantile/dyadic_quantile.h"
 #include "quantile/fast_qdigest.h"
 #include "quantile/post/post_process.h"
+#include "util/serde.h"
 
 namespace streamq {
 
@@ -83,6 +84,43 @@ std::vector<Algorithm> CashRegisterAlgorithms() {
 
 std::vector<Algorithm> TurnstileAlgorithms() {
   return {Algorithm::kDcm, Algorithm::kDcs, Algorithm::kDcsPost};
+}
+
+std::string SerializeSketch(const QuantileSketch& sketch) {
+  // Dispatch on the concrete type: QuantileSketch deliberately has no
+  // virtual Serialize (most callers know their type), so the generic entry
+  // point -- checkpoints, generic tooling -- lives here with the factory.
+  if (auto* p = dynamic_cast<const GkTheory*>(&sketch)) return p->Serialize();
+  if (auto* p = dynamic_cast<const GkAdaptive*>(&sketch)) {
+    return p->Serialize();
+  }
+  if (auto* p = dynamic_cast<const GkArray*>(&sketch)) return p->Serialize();
+  if (auto* p = dynamic_cast<const RandomSketch*>(&sketch)) {
+    return p->Serialize();
+  }
+  if (auto* p = dynamic_cast<const Mrl99*>(&sketch)) return p->Serialize();
+  if (auto* p = dynamic_cast<const FastQDigest*>(&sketch)) {
+    return p->Serialize();
+  }
+  if (auto* p = dynamic_cast<const Dcm*>(&sketch)) return p->Serialize();
+  if (auto* p = dynamic_cast<const Dcs*>(&sketch)) return p->Serialize();
+  return "";  // RSS / DCS+Post: no restore path
+}
+
+std::unique_ptr<QuantileSketch> DeserializeSketch(const std::string& frame) {
+  SnapshotType type;
+  if (!PeekSnapshotType(frame, &type)) return nullptr;
+  switch (type) {
+    case SnapshotType::kGkTheory: return GkTheory::Deserialize(frame);
+    case SnapshotType::kGkAdaptive: return GkAdaptive::Deserialize(frame);
+    case SnapshotType::kGkArray: return GkArray::Deserialize(frame);
+    case SnapshotType::kRandom: return RandomSketch::Deserialize(frame);
+    case SnapshotType::kMrl99: return Mrl99::Deserialize(frame);
+    case SnapshotType::kFastQDigest: return FastQDigest::Deserialize(frame);
+    case SnapshotType::kDcm: return Dcm::Deserialize(frame);
+    case SnapshotType::kDcs: return Dcs::Deserialize(frame);
+    default: return nullptr;
+  }
 }
 
 }  // namespace streamq

@@ -77,6 +77,20 @@ std::vector<Algorithm> CashRegisterAlgorithms();
 /// All turnstile algorithms, in the paper's order.
 std::vector<Algorithm> TurnstileAlgorithms();
 
+/// Serializes `sketch` into its CRC32C-framed snapshot (the same per-type
+/// format the distributed monitor ships), dispatching on the concrete type.
+/// Returns "" for the types with no restore path (RSS, DCS+Post) -- exactly
+/// the types the ingest pipeline already refuses, so every pipeline-capable
+/// sketch serializes.
+std::string SerializeSketch(const QuantileSketch& sketch);
+
+/// Rebuilds a sketch from a frame produced by SerializeSketch, dispatching
+/// on the frame's type tag. Returns nullptr -- never a partially restored
+/// sketch -- on unknown/unsupported type tags or any frame/payload
+/// corruption (the per-type Deserialize validates the CRC and requires an
+/// exact parse).
+std::unique_ptr<QuantileSketch> DeserializeSketch(const std::string& frame);
+
 }  // namespace streamq
 
 #endif  // STREAMQ_QUANTILE_FACTORY_H_

@@ -147,6 +147,9 @@ enum class SnapshotType : uint16_t {
   kSiteCheckpoint = 34,
   // Observability (src/obs/): a full MetricsRegistry snapshot.
   kMetricsRegistry = 48,
+  // Durable ingest (src/durability/): an atomic pipeline checkpoint
+  // (per-shard sketch frames + applied sequence numbers).
+  kDurableCheckpoint = 64,
 };
 
 inline constexpr uint32_t kFrameMagic = 0x53514652u;  // "SQFR"
