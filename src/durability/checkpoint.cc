@@ -51,16 +51,25 @@ std::string CheckpointStore::PathFor(uint64_t id) const {
 }
 
 std::vector<uint64_t> CheckpointStore::ListIds() {
+  // PathFor zero-pads the id to 8 digits as a MINIMUM width: ids past
+  // 10^8 widen the name, so parse variable-width digits rather than
+  // assuming the 16-char layout (a fixed-width check would silently hide
+  // the newest generations from recovery). The ".sq" suffix check also
+  // rejects leftover ".sq.tmp" files.
+  constexpr const char kPrefix[] = "ckpt-";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  constexpr const char kSuffix[] = ".sq";
+  constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
   std::vector<uint64_t> ids;
   for (const std::string& name : storage_->List(dir_)) {
-    // "ckpt-NNNNNNNN.sq" = 5 + 8 + 3 = 16 chars.
-    if (name.size() != 16 || name.compare(0, 5, "ckpt-") != 0 ||
-        name.compare(13, 3, ".sq") != 0) {
+    if (name.size() <= kPrefixLen + kSuffixLen ||
+        name.compare(0, kPrefixLen, kPrefix) != 0 ||
+        name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) != 0) {
       continue;
     }
     uint64_t id = 0;
     bool numeric = true;
-    for (size_t i = 5; i < 13; ++i) {
+    for (size_t i = kPrefixLen; i < name.size() - kSuffixLen; ++i) {
       const char c = name[i];
       if (c < '0' || c > '9') {
         numeric = false;

@@ -154,6 +154,14 @@ std::unique_ptr<WritableFile> PosixStorage::Create(const std::string& path) {
   const int fd =
       ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
   if (fd < 0) return nullptr;
+  // The new directory entry is not durable until the parent directory is
+  // fsynced (same protocol as Rename/Delete). Without this a WAL segment
+  // could vanish wholesale on power loss even after its own Sync()
+  // succeeded, losing records already acknowledged via durable_seq.
+  if (!SyncDirOf(path)) {
+    ::close(fd);
+    return nullptr;
+  }
   return std::make_unique<PosixWritableFile>(fd);
 }
 

@@ -17,6 +17,11 @@
 //  * Rename is atomic and, after it returns true, durable: a crash never
 //    leaves both names or neither. This is what makes checkpoint
 //    publication all-or-nothing (write tmp, sync, rename).
+//  * A file whose Create returned a handle durably exists: its directory
+//    entry survives a crash (PosixStorage fsyncs the parent directory at
+//    create time), though its contents are only durable up to the last
+//    successful Sync. Without this, a synced WAL segment could vanish
+//    wholesale with its dirent.
 //
 // Thread-safety: distinct WritableFiles may be used from distinct threads
 // concurrently (one thread per file, the per-shard WAL topology);
@@ -104,9 +109,9 @@ class MemStorage : public Storage {
 };
 
 /// Real-filesystem storage: open/write/fsync/rename/unlink, with the
-/// parent directory fsynced after Rename and Delete so the metadata
-/// operation itself is durable (the classic create-rename-dirsync
-/// protocol).
+/// parent directory fsynced after Create, Rename and Delete so the
+/// metadata operation itself is durable (the classic
+/// create-rename-dirsync protocol).
 class PosixStorage : public Storage {
  public:
   std::unique_ptr<WritableFile> Create(const std::string& path) override;

@@ -1,5 +1,6 @@
 #include "durability/wal.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -90,18 +91,27 @@ std::string WalSegmentName(int shard, uint64_t segment) {
 
 std::vector<uint64_t> ListWalSegments(Storage& storage,
                                       const std::string& wal_dir, int shard) {
-  char prefix[32];
-  std::snprintf(prefix, sizeof(prefix), "wal-%04d-", shard);
+  // WalSegmentName zero-pads shard to 4 and segment to 8 digits, but both
+  // are MINIMUM widths: larger values widen the name. Parse the id as
+  // variable-width digits rather than assuming the 21-char layout, or a
+  // segment id >= 10^8 would be silently dropped from replay. The padded
+  // prefix plus its trailing '-' is still an unambiguous shard match
+  // (a longer shard number puts a digit where this shard has the '-').
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%04d-", shard);
+  const std::string prefix = buf;
+  constexpr const char kSuffix[] = ".log";
+  constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
   std::vector<uint64_t> segments;
   for (const std::string& name : storage.List(wal_dir)) {
-    // "wal-SSSS-NNNNNNNN.log" = 4 + 4 + 1 + 8 + 4 = 21 chars.
-    if (name.size() != 21 || name.compare(0, 9, prefix) != 0 ||
-        name.compare(17, 4, ".log") != 0) {
-      continue;
+    if (name.size() <= prefix.size() + kSuffixLen ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) != 0) {
+      continue;  // another shard's segment or a foreign file
     }
     uint64_t id = 0;
     bool numeric = true;
-    for (size_t i = 9; i < 17; ++i) {
+    for (size_t i = prefix.size(); i < name.size() - kSuffixLen; ++i) {
       const char c = name[i];
       if (c < '0' || c > '9') {
         numeric = false;
@@ -111,7 +121,10 @@ std::vector<uint64_t> ListWalSegments(Storage& storage,
     }
     if (numeric) segments.push_back(id);
   }
-  return segments;  // List() is sorted and the ids are zero-padded
+  // Same-width names list in numeric order, but an id crossing the 8-digit
+  // pad boundary breaks the lexicographic tie -- sort numerically.
+  std::sort(segments.begin(), segments.end());
+  return segments;
 }
 
 WalWriter::WalWriter(Storage* storage, std::string wal_dir, int shard,

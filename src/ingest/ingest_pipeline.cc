@@ -56,6 +56,13 @@ struct IngestPipeline::PipelineDurable {
   // Guarded by checkpoint_mutex.
   uint64_t next_checkpoint_id = 1;
   obs::Histogram checkpoint_ticks;
+  /// Pre-recovery WAL segments, (shard, segment id), pending deletion.
+  /// Every record in them is covered by the recovered per-shard state, so
+  /// any successful post-recovery checkpoint covers them too; they are
+  /// deleted after the first one that publishes and kept (retried on the
+  /// next restart) while checkpoint writes keep failing. Guarded by
+  /// checkpoint_mutex.
+  std::vector<std::pair<int, uint64_t>> old_segments;
   /// Processed total covered by the newest checkpoint (interval trigger).
   std::atomic<uint64_t> last_checkpoint_processed{0};
 #endif
@@ -147,7 +154,7 @@ bool IngestPipeline::InitDurability() {
   // the first torn/corrupt record of each segment. Monotone seq skipping
   // makes rolled-segment duplicates harmless (wal.h).
   uint64_t max_segment = 0;
-  std::vector<std::pair<int, uint64_t>> old_segments;  // (shard, segment)
+  std::vector<std::pair<int, uint64_t>>& old_segments = d.old_segments;
   for (size_t i = 0; i < shards_.size(); ++i) {
     Shard& shard = *shards_[i];
     uint64_t hw = shard.durable->applied_seq;
@@ -160,7 +167,13 @@ bool IngestPipeline::InitDurability() {
               d.wal_dir + "/" +
                   durability::WalSegmentName(static_cast<int>(i), seg),
               &contents)) {
-        continue;
+        // An existing segment that cannot be read may hold acknowledged
+        // records. Skipping it would replay later segments across the
+        // gap, advance the resume point past the missing seqs, and
+        // eventually delete the unread segment -- turning a transient
+        // read error into permanent silent loss. Fail recovery loudly
+        // instead; a later restart retries the read.
+        return false;
       }
       const durability::WalSegmentScan scan =
           durability::ScanWalSegment(contents, static_cast<int>(i));
@@ -200,7 +213,9 @@ bool IngestPipeline::InitDurability() {
   // survives a *second* crash. A fresh checkpoint generation covering the
   // recovered state closes that window; only after it publishes are the
   // old segments deleted. If the write fails (storage still faulty) the
-  // old checkpoint + segments stay authoritative and we carry on.
+  // old checkpoint + segments stay authoritative and we carry on; the
+  // kept segments are pruned by the first later checkpoint that does
+  // publish (WriteCheckpointLocked), so they cannot accumulate forever.
   if (recovery_.recovered) {
     std::lock_guard<std::mutex> lock(d.checkpoint_mutex);
     durability::CheckpointData data;
@@ -222,10 +237,7 @@ bool IngestPipeline::InitDurability() {
         shards_[i]->stats.checkpoint_seq.store(
             data.shards[i].applied_seq, std::memory_order_release);
       }
-      for (const auto& [shard_idx, seg] : old_segments) {
-        storage.Delete(d.wal_dir + "/" +
-                       durability::WalSegmentName(shard_idx, seg));
-      }
+      PruneOldSegmentsLocked();
     } else {
       stats_.checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
       for (size_t i = 0; i < shards_.size(); ++i) {
@@ -276,8 +288,14 @@ bool IngestPipeline::TryPush(const Update& update) {
     shard.stats.ring_full_stalls.fetch_add(1, std::memory_order_relaxed);
     return false;  // seq not consumed: the next attempt reuses it
   }
-  next_seq_.store(seq + 1, std::memory_order_relaxed);
+  // last_seq strictly before next_seq_ (both release, and DurableSeq
+  // loads next_seq_ first with acquire): DurableSeq starts from
+  // next_seq_ - 1 and only clamps on shards whose floor < last_seq, so
+  // publishing the new seq ceiling while the shard still shows the old
+  // last_seq would report this merely-enqueued, un-logged update as
+  // durable. This order can only underclaim, which is safe.
   shard.stats.last_seq.store(seq, std::memory_order_release);
+  next_seq_.store(seq + 1, std::memory_order_release);
   shard.stats.pushed.fetch_add(1, std::memory_order_relaxed);
   stats_.pushed.fetch_add(1, std::memory_order_relaxed);
   return true;
@@ -289,8 +307,10 @@ void IngestPipeline::Push(const Update& update) {
       *shards_[static_cast<size_t>(router_.Route(seq, update.value))];
   const SeqUpdate item{seq, update};
   if (!shard.ring.TryPush(item)) PushSlow(shard, item);
-  next_seq_.store(seq + 1, std::memory_order_relaxed);
+  // last_seq before next_seq_; see TryPush for the DurableSeq ordering
+  // argument.
   shard.stats.last_seq.store(seq, std::memory_order_release);
+  next_seq_.store(seq + 1, std::memory_order_release);
   shard.stats.pushed.fetch_add(1, std::memory_order_relaxed);
   stats_.pushed.fetch_add(1, std::memory_order_relaxed);
 }
@@ -557,9 +577,25 @@ bool IngestPipeline::WriteCheckpointLocked() {
                                            std::memory_order_release);
     shards_[i]->durable->wal->TruncateThrough(data.shards[i].applied_seq);
   }
+  // Pre-recovery segments the recovery-time checkpoint failed to cover
+  // (its write failed) are covered by this one: recovery seeded every
+  // shard snapshot at its replayed high-water mark, and applied_seq only
+  // grows from there, so this checkpoint dominates every old record.
+  PruneOldSegmentsLocked();
   return true;
 #else
   return false;
+#endif
+}
+
+void IngestPipeline::PruneOldSegmentsLocked() {
+#if STREAMQ_DURABILITY_ENABLED
+  PipelineDurable& d = *durable_;
+  for (const auto& [shard_idx, seg] : d.old_segments) {
+    options_.durability.storage->Delete(
+        d.wal_dir + "/" + durability::WalSegmentName(shard_idx, seg));
+  }
+  d.old_segments.clear();
 #endif
 }
 
@@ -580,7 +616,10 @@ uint64_t IngestPipeline::DurableSeq() const {
   // is still above its durability floor (max of WAL-synced and
   // checkpoint-covered). Shards with nothing pending -- including ones
   // that never received an update -- do not hold the mark back.
-  uint64_t result = next_seq_.load(std::memory_order_relaxed) - 1;
+  // Acquire pairs with the producer's release store: any seq visible in
+  // next_seq_ is already recorded in its shard's last_seq, so an
+  // enqueued-but-unlogged update always clamps the result below itself.
+  uint64_t result = next_seq_.load(std::memory_order_acquire) - 1;
   for (const auto& shard : shards_) {
     const uint64_t floor =
         std::max(shard->durable->wal != nullptr

@@ -33,9 +33,12 @@
 //   * DurableSeq() is the acknowledgement mark: every update with
 //     seq <= DurableSeq() survives any crash.
 //   * After a restart, re-push the source stream starting at position
-//     ResumeSeq() - 1 (0-based); always ResumeSeq() - 1 >= DurableSeq()
-//     at the previous crash, and re-pushed duplicates the recovered state
-//     already covers are detected by seq and skipped, so the recovered
+//     ResumeSeq() - 1 (0-based). ResumeSeq() is 1 + the *minimum* shard
+//     high-water mark, which under round-robin can trail the previous
+//     crash's DurableSeq() by up to shards - 1: those trailing seqs are
+//     already recovered on their shards and the re-pushed duplicates are
+//     detected by seq and skipped, so every update below ResumeSeq() is
+//     recovered, every update at or above it is re-pushed, and the
 //     pipeline converges to exactly the uninterrupted stream.
 //
 // Sharding is deterministic in (seq, value) -- round-robin is seq mod N,
@@ -281,6 +284,9 @@ class IngestPipeline {
   /// Serialises all shard snapshots into a new checkpoint generation and
   /// truncates the WAL segments it covers. Checkpoint lock held.
   bool WriteCheckpointLocked();
+  /// Deletes the pre-recovery WAL segments still pending after a failed
+  /// recovery-time checkpoint. Checkpoint lock held.
+  void PruneOldSegmentsLocked();
 
   IngestOptions options_;
   ShardRouter router_;

@@ -13,9 +13,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "durability/checkpoint.h"
@@ -331,6 +333,28 @@ TEST(WalFramingTest, FlipEveryHeaderByteNeverAcceptsTheRecord) {
   }
 }
 
+TEST(WalFramingTest, ListWalSegmentsParsesVariableWidthNames) {
+  // WalSegmentName's zero-padding is a minimum width: segment ids past
+  // 10^8 (and shards past 10^4) emit longer names, which replay must
+  // still find -- and order numerically, since "100000000" sorts before
+  // "99999999" lexicographically.
+  MemStorage storage;
+  ASSERT_TRUE(storage.CreateDir("wal"));
+  const std::vector<uint64_t> ids = {1, 99'999'999, 100'000'000,
+                                     123'456'789'012ull};
+  for (const uint64_t id : ids) {
+    ASSERT_TRUE(storage.WriteFile("wal/" + WalSegmentName(7, id), "x"));
+  }
+  ASSERT_TRUE(storage.WriteFile("wal/" + WalSegmentName(8, 5), "x"));
+  ASSERT_TRUE(storage.WriteFile("wal/" + WalSegmentName(12345, 6), "x"));
+  ASSERT_TRUE(storage.WriteFile("wal/wal-0007-deadbeef.log", "x"));
+  ASSERT_TRUE(storage.WriteFile("wal/stray.txt", "x"));
+  EXPECT_EQ(ListWalSegments(storage, "wal", 7), ids);
+  EXPECT_EQ(ListWalSegments(storage, "wal", 8), std::vector<uint64_t>{5});
+  EXPECT_EQ(ListWalSegments(storage, "wal", 12345),
+            std::vector<uint64_t>{6});
+}
+
 TEST(WalFramingTest, PayloadCorruptionIsCaughtByCrc) {
   const std::vector<WalEntry> batch = MakeEntries(1, 16);
   const std::string record = EncodeWalRecord(0, batch.data(), batch.size());
@@ -526,6 +550,23 @@ TEST(CheckpointTest, WritePrunesAndLoadNewestFallsBack) {
   EXPECT_EQ(out.id, 2u);
   EXPECT_FALSE(
       store.LoadNewest([](const CheckpointData&) { return false; }, &out));
+}
+
+TEST(CheckpointTest, ListIdsParsesVariableWidthNames) {
+  // Same minimum-width caveat as the WAL segment names: generation ids
+  // past 10^8 widen the file name, and recovery must still see them as
+  // the newest generation.
+  MemStorage storage;
+  CheckpointStore store(&storage, "ckpt");
+  ASSERT_TRUE(store.Init());
+  ASSERT_TRUE(store.Write(MakeCheckpoint(99'999'999, 0), /*keep=*/10));
+  ASSERT_TRUE(store.Write(MakeCheckpoint(100'000'000, 0), /*keep=*/10));
+  EXPECT_EQ(store.ListIds(),
+            (std::vector<uint64_t>{99'999'999, 100'000'000}));
+  CheckpointData out;
+  ASSERT_TRUE(
+      store.LoadNewest([](const CheckpointData&) { return true; }, &out));
+  EXPECT_EQ(out.id, 100'000'000u);
 }
 
 TEST(CheckpointTest, FailedRenameLeavesPreviousGenerationIntact) {
@@ -728,6 +769,143 @@ TEST(DurablePipelineTest, PosixStorageEndToEnd) {
   restarted->Flush();
   EXPECT_EQ(restarted->QueryMany(phis), reference);
   restarted->Stop();
+}
+
+/// Pass-through decorator with two targeted failure knobs FaultyStorage
+/// cannot express without crashing the whole storage: fail the next N
+/// renames (a checkpoint publish that fails transiently) and fail every
+/// read of paths containing a substring (an existing-but-unreadable
+/// segment).
+class FlakyStorage : public Storage {
+ public:
+  explicit FlakyStorage(Storage* base) : base_(base) {}
+
+  int fail_renames = 0;
+  std::string fail_reads_containing;  // empty = reads pass through
+
+  std::unique_ptr<WritableFile> Create(const std::string& path) override {
+    return base_->Create(path);
+  }
+  bool ReadFile(const std::string& path, std::string* out) override {
+    if (!fail_reads_containing.empty() &&
+        path.find(fail_reads_containing) != std::string::npos) {
+      return false;
+    }
+    return base_->ReadFile(path, out);
+  }
+  bool WriteFile(const std::string& path, const std::string& data) override {
+    return base_->WriteFile(path, data);
+  }
+  bool Rename(const std::string& from, const std::string& to) override {
+    if (fail_renames > 0) {
+      --fail_renames;
+      return false;
+    }
+    return base_->Rename(from, to);
+  }
+  bool Delete(const std::string& path) override { return base_->Delete(path); }
+  bool Truncate(const std::string& path, uint64_t size) override {
+    return base_->Truncate(path, size);
+  }
+  std::vector<std::string> List(const std::string& dir) override {
+    return base_->List(dir);
+  }
+  bool CreateDir(const std::string& dir) override {
+    return base_->CreateDir(dir);
+  }
+
+ private:
+  Storage* base_;
+};
+
+TEST(DurablePipelineTest, UnreadableWalSegmentFailsRecoveryLoudly) {
+  // An existing WAL segment that cannot be read may hold acknowledged
+  // records. Recovery must refuse to come up -- replaying later segments
+  // across the gap and then pruning the unread one would turn a transient
+  // read error into permanent silent loss.
+  MemStorage storage;
+  const std::vector<uint64_t> data = DurableData(12'000);
+  {
+    auto pipeline = ingest::IngestPipeline::Create(DurableOptions(&storage));
+    ASSERT_NE(pipeline, nullptr);
+    for (uint64_t v : data) pipeline->Push(Update{v, +1});
+    pipeline->Flush();
+    pipeline->Stop();
+  }
+  ASSERT_FALSE(storage.List("dur/wal").empty())
+      << "Stop() should leave the open segments on disk";
+  FlakyStorage flaky(&storage);
+  flaky.fail_reads_containing = "wal-";
+  EXPECT_EQ(ingest::IngestPipeline::Create(DurableOptions(&flaky)), nullptr);
+  // Once the transient error clears, the same disk recovers fine.
+  EXPECT_NE(ingest::IngestPipeline::Create(DurableOptions(&storage)), nullptr);
+}
+
+TEST(DurablePipelineTest, FailedRecoveryCheckpointKeepsThenPrunesSegments) {
+  MemStorage storage;
+  const std::vector<uint64_t> data = DurableData(12'000);
+  {
+    auto pipeline = ingest::IngestPipeline::Create(DurableOptions(&storage));
+    ASSERT_NE(pipeline, nullptr);
+    for (uint64_t v : data) pipeline->Push(Update{v, +1});
+    pipeline->Flush();
+    pipeline->Stop();
+  }
+  const std::vector<std::string> old_names = storage.List("dur/wal");
+  ASSERT_FALSE(old_names.empty());
+
+  // Fail exactly the post-recovery checkpoint's publish rename: the
+  // pre-recovery segments must survive (they may hold the only durable
+  // copy of acknowledged records)...
+  FlakyStorage flaky(&storage);
+  flaky.fail_renames = 1;
+  auto pipeline = ingest::IngestPipeline::Create(DurableOptions(&flaky));
+  ASSERT_NE(pipeline, nullptr);
+  EXPECT_TRUE(pipeline->recovery().recovered);
+  EXPECT_GT(pipeline->stats().checkpoint_failures.load(), 0u);
+  std::string contents;
+  for (const std::string& name : old_names) {
+    EXPECT_TRUE(storage.ReadFile("dur/wal/" + name, &contents)) << name;
+  }
+  // ...and the next successful checkpoint covers the recovered state, so
+  // it prunes them: a transient checkpoint failure cannot leak segments
+  // until the next restart.
+  ASSERT_TRUE(pipeline->Checkpoint());
+  for (const std::string& name : old_names) {
+    EXPECT_FALSE(storage.ReadFile("dur/wal/" + name, &contents)) << name;
+  }
+  pipeline->Stop();
+}
+
+TEST(DurablePipelineTest, DurableSeqNeverOverclaimsUnderConcurrentReads) {
+  // With every fsync failing, nothing ever becomes durable, so
+  // DurableSeq() must read 0 from any thread at any moment -- including
+  // the window where a push has advanced the seq ceiling but the routed
+  // shard's pending mark is not yet visible (the store-order race:
+  // last_seq must be published before next_seq_).
+  MemStorage base;
+  for (int round = 0; round < 20; ++round) {
+    StorageFaultSpec spec;
+    spec.fail_sync = 1.0;
+    FaultyStorage faulty(&base, spec, /*seed=*/100 + round);
+    ingest::IngestOptions options = DurableOptions(&faulty);
+    options.durability.dir = "dur" + std::to_string(round);
+    auto pipeline = ingest::IngestPipeline::Create(options);
+    ASSERT_NE(pipeline, nullptr);
+    std::atomic<bool> done{false};
+    uint64_t max_seen = 0;
+    std::thread watcher([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        max_seen = std::max(max_seen, pipeline->DurableSeq());
+      }
+    });
+    for (uint64_t v = 0; v < 200; ++v) pipeline->Push(Update{v, +1});
+    done.store(true, std::memory_order_release);
+    watcher.join();
+    EXPECT_EQ(max_seen, 0u) << "round " << round;
+    EXPECT_EQ(pipeline->DurableSeq(), 0u);
+    pipeline->Stop();
+  }
 }
 
 TEST(DurablePipelineTest, CreateRefusesDurabilityWithoutStorage) {
