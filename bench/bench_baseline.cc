@@ -91,7 +91,7 @@ int Main(int argc, char** argv) {
 
   std::string json;
   json += "{\n";
-  json += "  \"schema_version\": 3,\n";
+  json += "  \"schema_version\": 4,\n";
   json += "  \"eps\": 0.01,\n";
   json += "  \"n\": " + std::to_string(n) + ",\n";
   json += "  \"rss_n\": " + std::to_string(rss_n) + ",\n";
@@ -281,11 +281,20 @@ int Main(int argc, char** argv) {
                     recovery_ms, replayed);
       json += buf;
     }
-    json += "\n    ]\n  }\n";
+    json += "\n    ]\n  },\n";
   }
 #else
-  json += "  \"durability\": null\n";
+  json += "  \"durability\": null,\n";
 #endif
+
+  // Trace-overhead section (schema_version 4): always null here. The
+  // comparison needs binaries from TWO build configurations (the "off"
+  // lane is a -DSTREAMQ_TRACE=OFF build), so no single bench_baseline run
+  // can fill it in. Run bench_trace_overhead --json in both builds and
+  // splice the lanes into the committed baseline with
+  // scripts/merge_trace_overhead.py; check_bench_json.py gates the merged
+  // idle lane at 5% over off.
+  json += "  \"trace_overhead\": null\n";
   json += "}\n";
 
   std::FILE* f = std::fopen(out_path, "w");

@@ -6,7 +6,7 @@ Usage:
                         [--threshold 0.20]
 
 Schema checks (always):
-  * top-level keys: schema_version (1, 2, or 3), eps, n, rss_n, entries
+  * top-level keys: schema_version (1..4), eps, n, rss_n, entries
   * every entry has dataset/algorithm/ns_per_update/max_memory_bytes/
     max_rank_error/avg_rank_error with sane types and ranges
   * all expected (dataset, algorithm) cells are present, none duplicated
@@ -22,6 +22,15 @@ Schema checks (always):
     a -DSTREAMQ_DURABILITY=OFF build): a mode list containing the
     wal_off baseline plus at least one WAL-on mode whose wal_bytes and
     wal_syncs are positive; timings are sanity-checked, never gated
+  * schema_version 4 additionally requires a trace_overhead section
+    (null straight out of bench_baseline; the committed baseline carries
+    the merged bench_trace_overhead lanes, see
+    scripts/merge_trace_overhead.py): lanes "off" (a -DSTREAMQ_TRACE=OFF
+    build), "idle" (compiled in, tracer disabled), and "recording"
+    (tracer enabled, events flowing). This is the one timing this
+    checker HARD-GATES: idle ns_per_update must stay within 5% of off --
+    the whole point of the compiled-in flight recorder is that leaving
+    it idle in production is free
 
 Regression check (with --baseline): every cell's ns_per_update must stay
 within (1 + threshold) of the baseline's. Comparing a file against itself
@@ -90,7 +99,7 @@ def check_schema(doc, path):
             errors += fail(f"{path}: missing top-level key '{key}'")
     if errors:
         return errors, {}
-    if doc["schema_version"] not in (1, 2, 3):
+    if doc["schema_version"] not in (1, 2, 3, 4):
         errors += fail(f"{path}: unsupported schema_version {doc['schema_version']}")
     eps = doc["eps"]
     if not (isinstance(eps, float) and 0.0 < eps < 1.0):
@@ -163,6 +172,11 @@ def check_schema(doc, path):
             errors += fail(f"{path}: schema_version 3 requires 'durability'")
         else:
             errors += check_durability(doc["durability"], path)
+    if doc["schema_version"] >= 4:
+        if "trace_overhead" not in doc:
+            errors += fail(f"{path}: schema_version 4 requires 'trace_overhead'")
+        else:
+            errors += check_trace_overhead(doc["trace_overhead"], path)
     return errors, cells
 
 
@@ -326,6 +340,80 @@ def check_durability(section, path):
         errors += fail(f"{where}: modes must include the wal_off baseline")
     if wal_on_modes == 0:
         errors += fail(f"{where}: modes must include at least one WAL-on mode")
+    return errors
+
+
+# Hard gate on compiled-in-but-idle tracing cost over a trace-OFF build.
+# This is the PR's acceptance criterion, deliberately tighter than the
+# generic 20% regression threshold: idle tracing is one relaxed atomic
+# load + branch per macro site and must stay in the noise.
+TRACE_IDLE_OVERHEAD_LIMIT = 0.05
+
+TRACE_LANES = ("off", "idle", "recording")
+
+
+def check_trace_overhead(section, path):
+    """Schema + overhead gate for the trace_overhead section.
+
+    `null` is legal -- bench_baseline emits it because one build cannot
+    measure both sides of the comparison (the "off" lane needs a
+    -DSTREAMQ_TRACE=OFF binary). The committed baseline must carry the
+    real section, produced by running bench_trace_overhead in both builds
+    and merging with scripts/merge_trace_overhead.py.
+    """
+    where = f"{path}: trace_overhead"
+    errors = 0
+    if section is None:
+        return 0
+    if not isinstance(section, dict):
+        return fail(f"{where}: not an object (or null)")
+    for key in ("n", "reps", "lanes"):
+        if key not in section:
+            errors += fail(f"{where}: missing key '{key}'")
+    if errors:
+        return errors
+    for key in ("n", "reps"):
+        if not (isinstance(section[key], int) and section[key] > 0):
+            errors += fail(f"{where}: {key} must be a positive integer")
+    lanes = section["lanes"]
+    if not isinstance(lanes, dict):
+        return errors + fail(f"{where}: lanes must be an object")
+    for mode in lanes:
+        if mode not in TRACE_LANES:
+            errors += fail(f"{where}: unknown lane {mode!r}")
+    for mode, lane in lanes.items():
+        l_where = f"{where}.lanes.{mode}"
+        if not isinstance(lane, dict):
+            errors += fail(f"{l_where}: not an object")
+            continue
+        missing = [k for k in ("ns_per_update", "events_recorded") if k not in lane]
+        if missing:
+            errors += fail(f"{l_where}: missing keys {missing}")
+            continue
+        ns = lane["ns_per_update"]
+        if not (isinstance(ns, (int, float)) and ns > 0):
+            errors += fail(f"{l_where}: ns_per_update must be > 0")
+        events = lane["events_recorded"]
+        if not (isinstance(events, int) and events >= 0):
+            errors += fail(f"{l_where}: events_recorded must be >= 0")
+        elif mode == "recording" and events == 0:
+            errors += fail(f"{l_where}: recording lane recorded no events")
+        elif mode != "recording" and events != 0:
+            errors += fail(f"{l_where}: lane {mode!r} must record 0 events")
+    for mode in TRACE_LANES:
+        if mode not in lanes:
+            errors += fail(f"{where}: missing lane {mode!r}")
+    if errors:
+        return errors
+    off_ns = lanes["off"]["ns_per_update"]
+    idle_ns = lanes["idle"]["ns_per_update"]
+    limit = off_ns * (1.0 + TRACE_IDLE_OVERHEAD_LIMIT)
+    if idle_ns > limit:
+        errors += fail(
+            f"{where}: idle tracing costs {idle_ns:.2f} ns/update vs "
+            f"{off_ns:.2f} with tracing compiled out "
+            f"(> {TRACE_IDLE_OVERHEAD_LIMIT:.0%} overhead)"
+        )
     return errors
 
 

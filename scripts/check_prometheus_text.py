@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Line-format checker for the Prometheus text exposition export.
+
+Usage:
+    check_prometheus_text.py PATH/TO/trace_profile [--workdir DIR]
+    check_prometheus_text.py --file METRICS.txt
+
+Runs the trace_profile example (or reads an existing file with --file)
+and validates the produced metrics dump against Prometheus text format
+0.0.4, line by line:
+
+  * every line is a '# HELP', '# TYPE', or sample line -- nothing else;
+  * metric and family names match [a-zA-Z_:][a-zA-Z0-9_:]* and carry the
+    streamq_ prefix;
+  * every sample's family has a preceding # TYPE, and the declared kind
+    matches the sample shape (counter families end in _total; histogram
+    families emit _bucket/_sum/_count; summaries emit quantile labels);
+  * histogram bucket counts are cumulative in le-order and end in a
+    le="+Inf" bucket equal to _count;
+  * label values are properly quoted, sample values parse as numbers.
+
+Exit code 0 = clean, 1 = any failure (messages on stderr).
+"""
+
+import argparse
+import math
+import os
+import re
+import subprocess
+import sys
+
+FAILURES = 0
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$")
+TYPE_RE = re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary)$"
+)
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})? (-?[0-9.eE+]+|[+-]Inf|NaN)$"
+)
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="([^"\\]*)"$')
+
+
+def fail(msg):
+    global FAILURES
+    FAILURES += 1
+    print(f"check_prometheus_text: {msg}", file=sys.stderr)
+
+
+def parse_labels(raw, where):
+    labels = {}
+    if not raw:
+        return labels
+    for part in raw.split(","):
+        m = LABEL_RE.match(part)
+        if m is None:
+            fail(f"{where}: malformed label {part!r}")
+            continue
+        labels[m.group(1)] = m.group(2)
+    return labels
+
+
+def parse_value(raw):
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)
+
+
+def family_of(name, kind):
+    """Maps a sample name to the family its # TYPE line declares."""
+    if kind == "histogram":
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                return name[: -len(suffix)]
+    if kind == "summary":
+        for suffix in ("_sum", "_count"):
+            if name.endswith(suffix):
+                return name[: -len(suffix)]
+    return name
+
+
+def check_text(text, path):
+    types = {}          # family -> declared kind
+    helps = set()
+    samples = []        # (lineno, name, labels, value)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        where = f"{path}:{lineno}"
+        if not line:
+            continue
+        if line.startswith("#"):
+            if HELP_RE.match(line):
+                helps.add(HELP_RE.match(line).group(1))
+                continue
+            m = TYPE_RE.match(line)
+            if m is None:
+                fail(f"{where}: comment is neither valid HELP nor TYPE: "
+                     f"{line!r}")
+                continue
+            family, kind = m.group(1), m.group(2)
+            if family in types:
+                fail(f"{where}: duplicate # TYPE for {family}")
+            types[family] = kind
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            fail(f"{where}: malformed sample line: {line!r}")
+            continue
+        name, raw_labels, raw_value = m.groups()
+        if not name.startswith("streamq_"):
+            fail(f"{where}: metric {name} lacks the streamq_ prefix")
+        labels = parse_labels(raw_labels, where)
+        try:
+            value = parse_value(raw_value)
+        except ValueError:
+            fail(f"{where}: unparsable value {raw_value!r}")
+            continue
+        samples.append((lineno, name, labels, value))
+
+    if not samples:
+        fail(f"{path}: no samples at all")
+        return
+
+    # Every sample must belong to a typed family of matching shape.
+    by_family = {}
+    for lineno, name, labels, value in samples:
+        where = f"{path}:{lineno}"
+        owner = None
+        for kind in ("histogram", "summary"):
+            family = family_of(name, kind)
+            if types.get(family) == kind:
+                owner = (family, kind)
+                break
+        if owner is None and name in types:
+            owner = (name, types[name])
+        if owner is None:
+            fail(f"{where}: sample {name} has no matching # TYPE line")
+            continue
+        family, kind = owner
+        if kind == "counter":
+            if not name.endswith("_total"):
+                fail(f"{where}: counter sample {name} must end in _total")
+            if value < 0:
+                fail(f"{where}: counter {name} is negative")
+        if kind == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                fail(f"{where}: histogram bucket without an le label")
+        if kind == "summary" and name == family:
+            if "quantile" not in labels:
+                fail(f"{where}: summary sample without a quantile label")
+            elif not 0.0 <= float(labels["quantile"]) <= 1.0:
+                fail(f"{where}: quantile {labels['quantile']} out of range")
+        by_family.setdefault((family, kind), []).append(
+            (lineno, name, labels, value)
+        )
+
+    # Histogram internals: cumulative buckets ending at +Inf == _count.
+    for (family, kind), rows in by_family.items():
+        if kind != "histogram":
+            continue
+        buckets = [
+            (parse_value(labels["le"]), value, lineno)
+            for lineno, name, labels, value in rows
+            if name == family + "_bucket" and "le" in labels
+        ]
+        counts = [v for _, name, _, v in rows if name == family + "_count"]
+        if not buckets:
+            fail(f"{path}: histogram {family} has no buckets")
+            continue
+        if sorted(b[0] for b in buckets) != [b[0] for b in buckets]:
+            fail(f"{path}: histogram {family} buckets not in le-order")
+        previous = -1.0
+        for le, value, lineno in buckets:
+            if value < previous:
+                fail(f"{path}:{lineno}: histogram {family} bucket counts "
+                     f"not cumulative")
+            previous = value
+        if buckets[-1][0] != math.inf:
+            fail(f"{path}: histogram {family} lacks the +Inf bucket")
+        elif counts and buckets[-1][1] != counts[0]:
+            fail(f"{path}: histogram {family} +Inf bucket != _count")
+
+    # The exporter pairs every histogram with a ValueAtQuantile summary.
+    kinds = {kind for _, kind in by_family}
+    for expected in ("counter", "gauge", "histogram", "summary"):
+        if expected not in kinds:
+            fail(f"{path}: export contains no {expected} family")
+    for family in types:
+        if family not in helps:
+            fail(f"{path}: family {family} has # TYPE but no # HELP")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "binary", nargs="?",
+        help="path to the trace_profile example (omit with --file)",
+    )
+    parser.add_argument("--file", help="validate an existing metrics file")
+    parser.add_argument(
+        "--workdir", default=".",
+        help="directory for produced files (default: cwd)",
+    )
+    args = parser.parse_args()
+
+    if args.file:
+        path = args.file
+    else:
+        if not args.binary:
+            print("check_prometheus_text: need a producer binary or --file",
+                  file=sys.stderr)
+            return 1
+        workdir = os.path.abspath(args.workdir)
+        os.makedirs(workdir, exist_ok=True)
+        path = os.path.join(workdir, "metrics.prom.txt")
+        cmd = [
+            os.path.abspath(args.binary),
+            "--n", "60000",
+            "--out-trace", os.path.join(workdir, "metrics.trace.json"),
+            "--out-prom", path,
+        ]
+        proc = subprocess.run(
+            cmd, cwd=workdir, capture_output=True, text=True, timeout=600
+        )
+        if proc.returncode != 0:
+            fail(f"{' '.join(cmd)} exited {proc.returncode}: "
+                 f"{proc.stderr.strip()}")
+            return 1
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        fail(str(e))
+        return 1
+    check_text(text, path)
+
+    if FAILURES:
+        print(f"check_prometheus_text: {FAILURES} problem(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_prometheus_text: {path} OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

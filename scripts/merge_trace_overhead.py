@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Merges bench_trace_overhead lane JSON into BENCH_baseline.json.
+
+The trace-overhead comparison spans two build configurations: the "off"
+lane comes from a -DSTREAMQ_TRACE=OFF binary, while "idle" and
+"recording" come from the default trace-ON binary. No single run of
+bench_baseline can therefore produce the section itself -- it emits
+"trace_overhead": null, and this script splices in the real numbers:
+
+    # default (trace-ON) build
+    build/bench/bench_trace_overhead --json > /tmp/lanes_on.json
+    # trace-OFF build with benchmarks enabled
+    build-trace-off/bench/bench_trace_overhead --json > /tmp/lanes_off.json
+    scripts/merge_trace_overhead.py BENCH_baseline.json \\
+        /tmp/lanes_on.json /tmp/lanes_off.json
+
+Each lane file is bench_trace_overhead's --json output:
+
+    {"n": ..., "reps": ..., "lanes": {"<mode>": {"ns_per_update": ...,
+                                                 "events_recorded": ...}}}
+
+Lane files are merged left to right (later files override same-named
+lanes). The merged document must pass check_bench_json.py's schema-v4
+gate -- including the idle-within-5%-of-off check -- before the baseline
+file is rewritten; a failing merge leaves it untouched.
+
+Exit code 0 = baseline updated, 1 = any failure (messages on stderr).
+"""
+
+import json
+import sys
+
+import check_bench_json
+
+
+def fail(msg):
+    print(f"merge_trace_overhead: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    if len(sys.argv) < 3:
+        return fail(
+            "usage: merge_trace_overhead.py BASELINE.json LANES.json..."
+        )
+    baseline_path, lane_paths = sys.argv[1], sys.argv[2:]
+
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{baseline_path}: {e}")
+
+    merged = {"n": None, "reps": None, "lanes": {}}
+    for path in lane_paths:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                part = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            return fail(f"{path}: {e}")
+        if not isinstance(part, dict) or "lanes" not in part:
+            return fail(f"{path}: not a bench_trace_overhead lane file")
+        for key in ("n", "reps"):
+            value = part.get(key)
+            if merged[key] is None:
+                merged[key] = value
+            elif merged[key] != value:
+                return fail(
+                    f"{path}: {key}={value!r} disagrees with earlier "
+                    f"lane file ({merged[key]!r}); rerun both builds with "
+                    f"the same workload"
+                )
+        for mode, lane in part["lanes"].items():
+            merged["lanes"][mode] = lane
+
+    if doc.get("schema_version", 0) < 4:
+        return fail(
+            f"{baseline_path}: schema_version "
+            f"{doc.get('schema_version')!r} predates trace_overhead; "
+            f"regenerate with the current bench_baseline first"
+        )
+    doc["trace_overhead"] = merged
+
+    errors = check_bench_json.check_trace_overhead(merged, baseline_path)
+    if errors:
+        return fail("merged section failed validation; baseline unchanged")
+
+    with open(baseline_path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    lanes = ", ".join(
+        f"{mode}={merged['lanes'][mode]['ns_per_update']:.2f}ns"
+        for mode in check_bench_json.TRACE_LANES
+        if mode in merged["lanes"]
+    )
+    print(f"merge_trace_overhead: {baseline_path} updated ({lanes})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace streamq {
 
 FaultyChannel::FaultyChannel(const FaultSpec& spec, uint64_t seed)
@@ -18,6 +20,7 @@ bool FaultyChannel::ArrivesLater(const InFlight& a, const InFlight& b) {
 void FaultyChannel::Send(uint64_t now, std::string bytes) {
   ++stats_.sent;
   stats_.bytes_offered += bytes.size();
+  STREAMQ_TRACE_INSTANT(obs::TracePoint::kChannelSend, bytes.size());
   if (spec_.Perfect()) {
     // Fast path: no RNG consumption, instantaneous delivery.
     in_flight_.push_back(InFlight{now, order_counter_++, std::move(bytes)});
@@ -66,6 +69,7 @@ std::vector<std::string> FaultyChannel::Poll(uint64_t now) {
     in_flight_.pop_back();
     ++stats_.delivered;
     stats_.bytes_delivered += msg.bytes.size();
+    STREAMQ_TRACE_INSTANT(obs::TracePoint::kChannelRecv, msg.bytes.size());
     out.push_back(std::move(msg.bytes));
   }
   return out;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/crc32c.h"
 #include "util/serde.h"
 
@@ -139,7 +140,13 @@ std::string WalWriter::SegmentPath(uint64_t segment) const {
   return wal_dir_ + "/" + WalSegmentName(shard_, segment);
 }
 
-void WalWriter::MarkDead() { dead_.store(true, std::memory_order_release); }
+void WalWriter::MarkDead() {
+  dead_.store(true, std::memory_order_release);
+  // A dead writer freezes the shard's durability floor forever — exactly
+  // the moment the flight recorder's last few thousand events matter.
+  STREAMQ_TRACE_INSTANT(obs::TracePoint::kWalDead, shard_);
+  STREAMQ_TRACE_CRASH_DUMP("wal_dead");
+}
 
 bool WalWriter::RawAppend(const std::string& record, uint64_t max_seq) {
   if (!file_->Append(record)) return false;
@@ -150,6 +157,7 @@ bool WalWriter::RawAppend(const std::string& record, uint64_t max_seq) {
 }
 
 bool WalWriter::Roll() {
+  STREAMQ_TRACE_SPAN(obs::TracePoint::kWalRoll, shard_);
   if (file_ != nullptr) {
     // Best-effort sync so the closed segment is durable; on failure its
     // unsynced records stay buffered and get re-appended below.
@@ -185,6 +193,7 @@ bool WalWriter::Roll() {
 bool WalWriter::AppendBatch(const WalEntry* entries, size_t n) {
   if (n == 0) return !dead();
   if (dead()) return false;
+  STREAMQ_TRACE_SPAN(obs::TracePoint::kWalAppend, shard_);
   std::string record = EncodeWalRecord(shard_, entries, n);
   const uint64_t max_seq = entries[n - 1].seq;
   if (file_ == nullptr ||
@@ -208,6 +217,7 @@ bool WalWriter::AppendBatch(const WalEntry* entries, size_t n) {
 bool WalWriter::Sync() {
   if (dead()) return false;
   if (file_ == nullptr || unsynced_.empty()) return true;
+  STREAMQ_TRACE_SPAN(obs::TracePoint::kWalSync, shard_);
   if (file_->Sync()) {
     durable_seq_.store(last_appended_seq_, std::memory_order_release);
     stats_.syncs.fetch_add(1, std::memory_order_relaxed);
@@ -229,6 +239,7 @@ bool WalWriter::Sync() {
 }
 
 void WalWriter::TruncateThrough(uint64_t seq) {
+  STREAMQ_TRACE_SPAN(obs::TracePoint::kWalTruncate, shard_);
   std::vector<ClosedSegment> doomed;
   {
     std::lock_guard<std::mutex> lock(closed_mutex_);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <chrono>
 
+#include "obs/trace.h"
+
 #if STREAMQ_DURABILITY_ENABLED
 #include "durability/checkpoint.h"
 #include "durability/storage.h"
@@ -114,11 +116,15 @@ bool IngestPipeline::InitDurability() {
   d.wal_dir = options_.durability.dir + "/wal";
   if (!storage.CreateDir(options_.durability.dir) ||
       !storage.CreateDir(d.wal_dir)) {
+    STREAMQ_TRACE_CRASH_DUMP("recovery_failure");
     return false;
   }
   d.store = std::make_unique<durability::CheckpointStore>(
       &storage, options_.durability.dir + "/ckpt");
-  if (!d.store->Init()) return false;
+  if (!d.store->Init()) {
+    STREAMQ_TRACE_CRASH_DUMP("recovery_failure");
+    return false;
+  }
 
   // 1. Newest valid checkpoint, all-or-nothing: shard count must match
   // and every nested sketch frame must deserialize into something
@@ -157,6 +163,7 @@ bool IngestPipeline::InitDurability() {
   std::vector<std::pair<int, uint64_t>>& old_segments = d.old_segments;
   for (size_t i = 0; i < shards_.size(); ++i) {
     Shard& shard = *shards_[i];
+    STREAMQ_TRACE_SPAN(obs::TracePoint::kRecoveryReplay, i);
     uint64_t hw = shard.durable->applied_seq;
     for (const uint64_t seg : durability::ListWalSegments(
              storage, d.wal_dir, static_cast<int>(i))) {
@@ -173,6 +180,7 @@ bool IngestPipeline::InitDurability() {
         // eventually delete the unread segment -- turning a transient
         // read error into permanent silent loss. Fail recovery loudly
         // instead; a later restart retries the read.
+        STREAMQ_TRACE_CRASH_DUMP("recovery_failure");
         return false;
       }
       const durability::WalSegmentScan scan =
@@ -282,10 +290,11 @@ IngestPipeline::~IngestPipeline() { Stop(); }
 
 bool IngestPipeline::TryPush(const Update& update) {
   const uint64_t seq = next_seq_.load(std::memory_order_relaxed);
-  Shard& shard =
-      *shards_[static_cast<size_t>(router_.Route(seq, update.value))];
+  const int shard_idx = router_.Route(seq, update.value);
+  Shard& shard = *shards_[static_cast<size_t>(shard_idx)];
   if (!shard.ring.TryPush(SeqUpdate{seq, update})) {
     shard.stats.ring_full_stalls.fetch_add(1, std::memory_order_relaxed);
+    STREAMQ_TRACE_INSTANT(obs::TracePoint::kRingFull, shard_idx);
     return false;  // seq not consumed: the next attempt reuses it
   }
   // last_seq strictly before next_seq_ (both release, and DurableSeq
@@ -302,11 +311,12 @@ bool IngestPipeline::TryPush(const Update& update) {
 }
 
 void IngestPipeline::Push(const Update& update) {
+  STREAMQ_TRACE_SPAN(obs::TracePoint::kPush, update.value);
   const uint64_t seq = next_seq_.load(std::memory_order_relaxed);
-  Shard& shard =
-      *shards_[static_cast<size_t>(router_.Route(seq, update.value))];
+  const int shard_idx = router_.Route(seq, update.value);
+  Shard& shard = *shards_[static_cast<size_t>(shard_idx)];
   const SeqUpdate item{seq, update};
-  if (!shard.ring.TryPush(item)) PushSlow(shard, item);
+  if (!shard.ring.TryPush(item)) PushSlow(shard, shard_idx, item);
   // last_seq before next_seq_; see TryPush for the DurableSeq ordering
   // argument.
   shard.stats.last_seq.store(seq, std::memory_order_release);
@@ -315,14 +325,17 @@ void IngestPipeline::Push(const Update& update) {
   stats_.pushed.fetch_add(1, std::memory_order_relaxed);
 }
 
-void IngestPipeline::PushSlow(Shard& shard, const SeqUpdate& item) {
+void IngestPipeline::PushSlow(Shard& shard, int shard_idx,
+                              const SeqUpdate& item) {
   // Backpressure: the ring bounds memory, so a producer outrunning a
   // worker waits here instead of growing a queue. Capped exponential
   // backoff: brief yields catch the common blip without latency cost,
   // then doubling sleeps stop a long stall from burning a core. One
   // episode counts one ring_full_stall; the watchdog ticks every 100 ms
   // of continuous stalling so a wedged consumer shows up in metrics while
-  // the stall is still in progress.
+  // the stall is still in progress (and, on the first trip, freezes the
+  // flight recorder into a crash dump while the evidence is fresh).
+  STREAMQ_TRACE_SPAN(obs::TracePoint::kPushBackoff, shard_idx);
   using Clock = std::chrono::steady_clock;
   constexpr auto kMaxDelay = std::chrono::microseconds(1000);
   constexpr auto kWatchdogPeriod = std::chrono::milliseconds(100);
@@ -343,6 +356,8 @@ void IngestPipeline::PushSlow(Shard& shard, const SeqUpdate& item) {
       if (now >= next_watchdog) {
         shard.stats.stall_watchdog_trips.fetch_add(
             1, std::memory_order_relaxed);
+        STREAMQ_TRACE_INSTANT(obs::TracePoint::kStallWatchdog, shard_idx);
+        STREAMQ_TRACE_CRASH_DUMP("stall_watchdog");
         next_watchdog = now + kWatchdogPeriod;
       }
     }
@@ -388,6 +403,7 @@ void IngestPipeline::WorkerLoop(Shard& shard) {
       continue;
     }
     uint64_t rejected = 0;
+    STREAMQ_TRACE_SPAN(obs::TracePoint::kWorkerBatch, n);
 #if STREAMQ_DURABILITY_ENABLED
     if (durable) {
       // Log-ahead, then apply. Seqs at or below the recovered high-water
@@ -476,6 +492,7 @@ void IngestPipeline::PublishMergedView(bool block) {
     return;
   }
   const obs::ScopedTimer publish_timer(&publish_ticks_);
+  STREAMQ_TRACE_SPAN(obs::TracePoint::kViewPublish, shards_.size());
   std::unique_ptr<QuantileSketch> merged = MakeSketch(options_.sketch);
   uint64_t epoch = 0;
   for (const auto& shard : shards_) {
@@ -537,6 +554,7 @@ bool IngestPipeline::WriteCheckpointLocked() {
 #if STREAMQ_DURABILITY_ENABLED
   PipelineDurable& d = *durable_;
   const obs::ScopedTimer timer(&d.checkpoint_ticks);
+  STREAMQ_TRACE_SPAN(obs::TracePoint::kCheckpointWrite, d.next_checkpoint_id);
   // Checkpoint from the published snapshots: each is a consistent
   // (sketch, applied_seq) pair, and serializing a snapshot clone is safe
   // against the worker mutating its live sketch concurrently.
@@ -591,6 +609,8 @@ bool IngestPipeline::WriteCheckpointLocked() {
 void IngestPipeline::PruneOldSegmentsLocked() {
 #if STREAMQ_DURABILITY_ENABLED
   PipelineDurable& d = *durable_;
+  if (d.old_segments.empty()) return;
+  STREAMQ_TRACE_SPAN(obs::TracePoint::kCheckpointPrune, d.old_segments.size());
   for (const auto& [shard_idx, seg] : d.old_segments) {
     options_.durability.storage->Delete(
         d.wal_dir + "/" + durability::WalSegmentName(shard_idx, seg));
@@ -681,6 +701,9 @@ void IngestPipeline::Stop() {
 }
 
 uint64_t IngestPipeline::Query(double phi) {
+  // arg: phi in parts-per-million (trace args are integers).
+  STREAMQ_TRACE_SPAN(obs::TracePoint::kQuery,
+                     static_cast<uint64_t>(phi * 1e6));
   stats_.queries.fetch_add(1, std::memory_order_relaxed);
   const QueryView::Snapshot snap = view_.Load();
   if (snap.epoch < ProcessedCount()) {
@@ -695,6 +718,7 @@ uint64_t IngestPipeline::Query(double phi) {
 
 std::vector<uint64_t> IngestPipeline::QueryMany(
     const std::vector<double>& phis) {
+  STREAMQ_TRACE_SPAN(obs::TracePoint::kQuery, phis.size());
   stats_.queries.fetch_add(1, std::memory_order_relaxed);
   const QueryView::Snapshot snap = view_.Load();
   if (snap.epoch < ProcessedCount()) {

@@ -271,7 +271,7 @@ class IngestPipeline {
 
   void WorkerLoop(Shard& shard);
   /// Ring-full slow path of Push: backoff + stall accounting.
-  void PushSlow(Shard& shard, const SeqUpdate& item);
+  void PushSlow(Shard& shard, int shard_idx, const SeqUpdate& item);
   /// Clones the shard sketch into its snapshot slot (worker thread only).
   void PublishShardSnapshot(Shard& shard);
   /// Merges all shard snapshots into a fresh sketch and installs it into

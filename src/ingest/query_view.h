@@ -35,6 +35,7 @@
 #include <utility>
 
 #include "ingest/shared_slot.h"
+#include "obs/trace.h"
 #include "quantile/quantile_sketch.h"
 
 namespace streamq::ingest {
@@ -59,6 +60,7 @@ class QueryView {
     snap->epoch = epoch;
     slots_[inactive].Store(std::move(snap));
     active_.store(inactive, std::memory_order_release);
+    STREAMQ_TRACE_INSTANT(obs::TracePoint::kViewFlip, epoch);
   }
 
   /// Current snapshot; `sketch` is nullptr before the first Publish. Never

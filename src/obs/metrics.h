@@ -91,6 +91,16 @@ class Histogram {
   }
   uint64_t bucket(int i) const { return buckets_[i]; }
 
+  /// Estimated phi-quantile of the recorded samples: finds the bucket
+  /// holding the sample of rank ceil(phi * count), interpolates linearly
+  /// inside it, and clamps to the exact [min, max] envelope (so all-equal
+  /// inputs return the exact value). phi <= 0 returns min(), phi >= 1
+  /// returns max(). Returns 0 when empty or phi is not a number in [0, 1].
+  /// The absolute error is bounded by the width of one pow2 bucket — the
+  /// same guarantee q-digest style summaries give, dogfooded for the
+  /// Prometheus summary export.
+  uint64_t ValueAtQuantile(double phi) const;
+
   /// Inclusive lower bound of bucket i (0, 1, 2, 4, 8, ...).
   static uint64_t BucketLowerBound(int i) {
     return i == 0 ? 0 : uint64_t{1} << (i - 1);
@@ -118,13 +128,32 @@ class Histogram {
   uint64_t max_ = 0;
 };
 
-/// Cheapest available monotonic tick source for latency histograms: the TSC
-/// on x86-64 (~10 cycles to read), the steady clock elsewhere. Ticks are a
-/// relative unit (cycles or nanoseconds depending on platform); histograms
-/// built from them compare runs on the same machine, which is all the
-/// regression harness needs.
+/// Cheapest available monotonic tick source for latency histograms and
+/// trace timestamps: the invariant TSC on x86-64 (~10 cycles to read), the
+/// steady clock elsewhere (and on x86 parts without an invariant TSC, where
+/// raw cycle counts would drift across frequency changes).
+///
+/// The tick unit is calibrated against steady_clock once at process start
+/// (a ~2 ms two-sample measurement, run from a static initializer in
+/// metrics.cc), so ToNanos()/NowNanos() convert raw ticks into real
+/// nanoseconds — required by the trace exporters, whose timestamps must be
+/// wall-time-meaningful, not machine-relative cycle counts.
 struct TickClock {
+  /// Raw ticks (TSC cycles or steady_clock nanoseconds).
   static uint64_t Now();
+
+  /// True when Now() reads the invariant TSC (x86-64 with CPUID advertising
+  /// it); false on the steady_clock fallback, where 1 tick == 1 ns.
+  static bool UsingTsc();
+
+  /// Calibrated nanoseconds per tick (exactly 1.0 on the fallback).
+  static double NanosPerTick();
+
+  /// Converts a tick count (or tick difference) to nanoseconds.
+  static uint64_t ToNanos(uint64_t ticks);
+
+  /// Now() in calibrated nanoseconds.
+  static uint64_t NowNanos() { return ToNanos(Now()); }
 };
 
 /// Records the tick-duration of a scope into a histogram on destruction.

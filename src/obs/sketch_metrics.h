@@ -23,6 +23,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 #ifndef STREAMQ_METRICS_ENABLED
 #define STREAMQ_METRICS_ENABLED 1
@@ -71,9 +72,10 @@ struct SketchMetrics {
 /// Executes `stmt` only in a metrics-enabled build.
 #define STREAMQ_IF_METRICS(stmt) stmt
 
-/// Records one compaction event: increments the compressions counter and
-/// logs the summary size that triggered it. `m` is a SketchMetrics* and may
-/// be null.
+/// Records one compaction event: increments the compressions counter, logs
+/// the summary size that triggered it, and stamps a trace instant (the
+/// flight recorder sees compaction cadence even between spans). `m` is a
+/// SketchMetrics* and may be null.
 #define STREAMQ_COMPACTION_EVENT(m, trigger_size)                       \
   do {                                                                  \
     ::streamq::obs::SketchMetrics* sq_m_ = (m);                         \
@@ -82,13 +84,17 @@ struct SketchMetrics {
       sq_m_->compress_trigger.Record(                                   \
           static_cast<uint64_t>(trigger_size));                         \
     }                                                                   \
+    STREAMQ_TRACE_INSTANT(::streamq::obs::TracePoint::kSketchCompaction, \
+                          trigger_size);                                \
   } while (0)
 
 /// Times the rest of the enclosing scope into the compaction-latency
-/// histogram of `m` (a SketchMetrics*, may be null).
+/// histogram of `m` (a SketchMetrics*, may be null) and traces it as a
+/// sketch_compaction span.
 #define STREAMQ_COMPACTION_TIMER(m)                                  \
   ::streamq::obs::ScopedTimer sq_compaction_timer_(                  \
-      (m) != nullptr ? &(m)->compress_ticks : nullptr)
+      (m) != nullptr ? &(m)->compress_ticks : nullptr);              \
+  STREAMQ_TRACE_SPAN(::streamq::obs::TracePoint::kSketchCompaction, 0)
 
 #else  // !STREAMQ_METRICS_ENABLED
 
@@ -123,9 +129,14 @@ struct SketchMetrics {
   void PublishTo(MetricsRegistry&, const std::string&) const {}
 };
 
+// The trace layer stays active in a metrics-off build (independent
+// switches): compaction spans/instants still record when tracing is on.
 #define STREAMQ_IF_METRICS(stmt)
-#define STREAMQ_COMPACTION_EVENT(m, trigger_size) ((void)0)
-#define STREAMQ_COMPACTION_TIMER(m) ((void)0)
+#define STREAMQ_COMPACTION_EVENT(m, trigger_size) \
+  STREAMQ_TRACE_INSTANT(::streamq::obs::TracePoint::kSketchCompaction, \
+                        trigger_size)
+#define STREAMQ_COMPACTION_TIMER(m) \
+  STREAMQ_TRACE_SPAN(::streamq::obs::TracePoint::kSketchCompaction, 0)
 
 #endif  // STREAMQ_METRICS_ENABLED
 

@@ -1,0 +1,262 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/trace_export.h"
+
+namespace streamq::obs {
+
+namespace trace_internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace trace_internal
+
+const char* TracePointName(TracePoint p) {
+  switch (p) {
+    case TracePoint::kPush: return "push";
+    case TracePoint::kPushBackoff: return "push_backoff";
+    case TracePoint::kRingFull: return "ring_full";
+    case TracePoint::kStallWatchdog: return "stall_watchdog";
+    case TracePoint::kWorkerBatch: return "worker_batch";
+    case TracePoint::kSketchUpdate: return "sketch_update";
+    case TracePoint::kSketchCompaction: return "sketch_compaction";
+    case TracePoint::kWalAppend: return "wal_append";
+    case TracePoint::kWalSync: return "wal_sync";
+    case TracePoint::kWalRoll: return "wal_roll";
+    case TracePoint::kWalTruncate: return "wal_truncate";
+    case TracePoint::kWalDead: return "wal_dead";
+    case TracePoint::kCheckpointWrite: return "checkpoint_write";
+    case TracePoint::kCheckpointPrune: return "checkpoint_prune";
+    case TracePoint::kRecoveryReplay: return "recovery_replay";
+    case TracePoint::kViewPublish: return "view_publish";
+    case TracePoint::kViewFlip: return "view_flip";
+    case TracePoint::kQuery: return "query";
+    case TracePoint::kChannelSend: return "channel_send";
+    case TracePoint::kChannelRecv: return "channel_recv";
+    case TracePoint::kCrashDump: return "crash_dump";
+  }
+  return "unknown";
+}
+
+const char* TracePointCategory(TracePoint p) {
+  switch (p) {
+    case TracePoint::kPush:
+    case TracePoint::kPushBackoff:
+    case TracePoint::kRingFull:
+    case TracePoint::kStallWatchdog:
+    case TracePoint::kWorkerBatch:
+      return "ingest";
+    case TracePoint::kSketchUpdate:
+    case TracePoint::kSketchCompaction:
+      return "sketch";
+    case TracePoint::kWalAppend:
+    case TracePoint::kWalSync:
+    case TracePoint::kWalRoll:
+    case TracePoint::kWalTruncate:
+    case TracePoint::kWalDead:
+      return "wal";
+    case TracePoint::kCheckpointWrite:
+    case TracePoint::kCheckpointPrune:
+    case TracePoint::kRecoveryReplay:
+      return "ckpt";
+    case TracePoint::kViewPublish:
+    case TracePoint::kViewFlip:
+    case TracePoint::kQuery:
+      return "view";
+    case TracePoint::kChannelSend:
+    case TracePoint::kChannelRecv:
+      return "monitor";
+    case TracePoint::kCrashDump:
+      return "obs";
+  }
+  return "obs";
+}
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 8;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(size_t capacity_events)
+    : slots_(RoundUpPow2(capacity_events)),
+      mask_(slots_.size() - 1) {}
+
+TraceRing::SnapshotResult TraceRing::Snapshot() const {
+  SnapshotResult out;
+  const uint64_t h1 = head_.load(std::memory_order_acquire);
+  const uint64_t cap = capacity();
+  const uint64_t lo = h1 > cap ? h1 - cap : 0;
+  out.recorded = h1;
+  out.overwritten = lo;
+
+  struct Raw {
+    uint64_t index;
+    uint64_t ticks;
+    uint64_t arg;
+    uint32_t meta;
+  };
+  std::vector<Raw> raw;
+  raw.reserve(static_cast<size_t>(h1 - lo));
+  for (uint64_t i = lo; i < h1; ++i) {
+    const Slot& s = slots_[static_cast<size_t>(i) & mask_];
+    Raw r;
+    r.index = i;
+    r.ticks = s.ticks.load(std::memory_order_relaxed);
+    r.arg = s.arg.load(std::memory_order_relaxed);
+    r.meta = s.meta.load(std::memory_order_relaxed);
+    raw.push_back(r);
+  }
+
+  // Seqlock validation: the writer begins rewriting the slot of index i
+  // when it starts event i + cap, and every event < h2 has started (plus at
+  // most one in flight at exactly h2). Keep only i with i + cap > h2.
+  const uint64_t h2 = head_.load(std::memory_order_acquire);
+  out.events.reserve(raw.size());
+  for (const Raw& r : raw) {
+    if (r.index + cap <= h2) {
+      ++out.discarded;
+      continue;
+    }
+    TraceEvent e;
+    e.ticks = r.ticks;
+    e.arg = r.arg;
+    const uint32_t point_bits = r.meta & 0xffu;
+    const uint32_t phase_bits = (r.meta >> 8) & 0xffu;
+    e.point = point_bits <= static_cast<uint32_t>(TracePoint::kMaxValue)
+                  ? static_cast<TracePoint>(point_bits)
+                  : TracePoint::kPush;
+    e.phase = phase_bits <= 2 ? static_cast<TracePhase>(phase_bits)
+                              : TracePhase::kInstant;
+    out.events.push_back(e);
+  }
+  return out;
+}
+
+Tracer::Tracer() = default;
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::Global() {
+  // Leaked on purpose: worker threads and static destructors may record
+  // arbitrarily late, and the rings must outlive all of them.
+  static Tracer* const g = new Tracer();
+  return *g;
+}
+
+void Tracer::SetEnabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+  if (this == &Global()) {
+    trace_internal::g_enabled.store(on, std::memory_order_relaxed);
+  }
+}
+
+void Tracer::SetRingEvents(size_t events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_events_ = RoundUpPow2(events);
+}
+
+size_t Tracer::ring_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_events_;
+}
+
+TraceRing* Tracer::AcquireThreadRing() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!free_.empty()) {
+    TraceRing* ring = free_.back();
+    free_.pop_back();
+    // A reused ring drops the previous owner's (already-exported or stale)
+    // history so the new thread's timeline starts clean.
+    ring->Reset();
+    return ring;
+  }
+  rings_.push_back(std::make_unique<TraceRing>(ring_events_));
+  rings_.back()->set_tid(next_tid_++);
+  return rings_.back().get();
+}
+
+void Tracer::ReleaseThreadRing(TraceRing* ring) {
+  if (ring == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(ring);
+}
+
+void Tracer::VisitRings(
+    const std::function<void(const TraceRing&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& ring : rings_) fn(*ring);
+}
+
+uint64_t Tracer::TotalRecorded() const {
+  uint64_t total = 0;
+  VisitRings([&total](const TraceRing& r) { total += r.recorded(); });
+  return total;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& ring : rings_) ring->Reset();
+  dumped_.store(false, std::memory_order_release);
+}
+
+size_t Tracer::RingCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rings_.size();
+}
+
+void Tracer::SetCrashDumpPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dump_path_ = path;
+  dumped_.store(false, std::memory_order_release);
+}
+
+std::string Tracer::crash_dump_path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dump_path_;
+}
+
+bool Tracer::CrashDump(const char* reason) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dump_path_.empty()) return false;
+    // Once-latch: the earliest trigger has the most history; later triggers
+    // from the same dying pipeline must not overwrite it.
+    if (dumped_.exchange(true, std::memory_order_acq_rel)) return false;
+    path = dump_path_;
+  }
+  // Mark the dump itself in the timeline, then export outside the lock
+  // (VisitRings takes it again). TraceRecord targets the global pool, so
+  // only the global tracer stamps the instant.
+  if (this == &Global() && enabled()) {
+    TraceRecord(TracePoint::kCrashDump, TracePhase::kInstant, 0);
+  }
+  ChromeTraceOptions opts;
+  opts.crash_reason = reason;
+  return WriteChromeTraceFile(*this, path, opts);
+}
+
+namespace {
+
+// Thread-exit hook: returns this thread's ring to the global pool.
+struct ThreadRingHolder {
+  TraceRing* ring = nullptr;
+  ~ThreadRingHolder() {
+    if (ring != nullptr) Tracer::Global().ReleaseThreadRing(ring);
+  }
+};
+thread_local ThreadRingHolder t_ring;
+
+}  // namespace
+
+void TraceRecord(TracePoint point, TracePhase phase, uint64_t arg) {
+  if (t_ring.ring == nullptr) {
+    t_ring.ring = Tracer::Global().AcquireThreadRing();
+  }
+  t_ring.ring->Record(point, phase, arg);
+}
+
+}  // namespace streamq::obs

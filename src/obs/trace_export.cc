@@ -1,0 +1,283 @@
+#include "obs/trace_export.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <vector>
+
+namespace streamq::obs {
+
+namespace {
+
+void AppendF(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<size_t>(n) < sizeof(buf)
+                                 ? static_cast<size_t>(n)
+                                 : sizeof(buf) - 1);
+}
+
+double TicksToUs(uint64_t ticks, uint64_t base_ticks) {
+  const uint64_t ns =
+      TickClock::ToNanos(ticks >= base_ticks ? ticks - base_ticks : 0);
+  return static_cast<double>(ns) / 1000.0;
+}
+
+/// One serialized traceEvents entry. `dur_us < 0` means no dur field.
+void AppendEvent(std::string& out, bool& first, const char* name,
+                 const char* cat, const char* ph, double ts_us, double dur_us,
+                 int tid, uint64_t arg, const char* orphan) {
+  if (!first) out += ",\n";
+  first = false;
+  AppendF(out,
+          "    {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%s\", "
+          "\"ts\": %.3f",
+          name, cat, ph, ts_us);
+  if (dur_us >= 0.0) AppendF(out, ", \"dur\": %.3f", dur_us);
+  if (std::strcmp(ph, "i") == 0) out += ", \"s\": \"t\"";
+  AppendF(out, ", \"pid\": 1, \"tid\": %d, \"args\": {\"v\": %" PRIu64,
+          tid, arg);
+  if (orphan != nullptr) AppendF(out, ", \"orphan\": \"%s\"", orphan);
+  out += "}}";
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const Tracer& tracer,
+                              const ChromeTraceOptions& options) {
+  struct RingDump {
+    int tid;
+    TraceRing::SnapshotResult snap;
+  };
+  std::vector<RingDump> dumps;
+  tracer.VisitRings([&dumps](const TraceRing& ring) {
+    RingDump d;
+    d.tid = ring.tid();
+    d.snap = ring.Snapshot();
+    if (!d.snap.events.empty() || d.snap.recorded > 0) {
+      dumps.push_back(std::move(d));
+    }
+  });
+
+  // Timestamps are exported relative to the earliest event so traces open
+  // near t=0 instead of at machine-uptime offsets.
+  uint64_t base_ticks = 0;
+  bool have_base = false;
+  for (const RingDump& d : dumps) {
+    for (const TraceEvent& e : d.snap.events) {
+      if (!have_base || e.ticks < base_ticks) {
+        base_ticks = e.ticks;
+        have_base = true;
+      }
+    }
+  }
+
+  std::string out;
+  out += "{\n  \"displayTimeUnit\": \"ns\",\n  \"otherData\": {";
+  AppendF(out, "\"clock\": \"%s\"", TickClock::UsingTsc()
+                                        ? "tsc_calibrated"
+                                        : "steady_clock");
+  AppendF(out, ", \"nanos_per_tick\": %.6f", TickClock::NanosPerTick());
+  if (options.crash_reason != nullptr) {
+    AppendF(out, ", \"crash_reason\": \"%s\"", options.crash_reason);
+  }
+  uint64_t total_overwritten = 0, total_discarded = 0;
+  for (const RingDump& d : dumps) {
+    total_overwritten += d.snap.overwritten;
+    total_discarded += d.snap.discarded;
+  }
+  AppendF(out,
+          ", \"events_overwritten\": %" PRIu64
+          ", \"events_discarded\": %" PRIu64 "}",
+          total_overwritten, total_discarded);
+  out += ",\n  \"traceEvents\": [\n";
+
+  bool first = true;
+  for (const RingDump& d : dumps) {
+    // LIFO begin/end matching per thread. A wrapped ring can start with
+    // ends whose begins were overwritten, and can finish with begins whose
+    // ends were never recorded (crash mid-span); both must stay valid JSON.
+    struct OpenSpan {
+      TracePoint point;
+      uint64_t ticks;
+      uint64_t arg;
+    };
+    std::vector<OpenSpan> open;
+    uint64_t last_ticks = base_ticks;
+    for (const TraceEvent& e : d.snap.events) {
+      if (e.ticks > last_ticks) last_ticks = e.ticks;
+    }
+    for (const TraceEvent& e : d.snap.events) {
+      const char* name = TracePointName(e.point);
+      const char* cat = TracePointCategory(e.point);
+      switch (e.phase) {
+        case TracePhase::kBegin:
+          open.push_back(OpenSpan{e.point, e.ticks, e.arg});
+          break;
+        case TracePhase::kEnd: {
+          int match = -1;
+          for (int i = static_cast<int>(open.size()) - 1; i >= 0; --i) {
+            if (open[static_cast<size_t>(i)].point == e.point) {
+              match = i;
+              break;
+            }
+          }
+          if (match < 0) {
+            AppendEvent(out, first, name, cat, "i",
+                        TicksToUs(e.ticks, base_ticks), -1.0, d.tid, e.arg,
+                        "end");
+            break;
+          }
+          const OpenSpan span = open[static_cast<size_t>(match)];
+          open.erase(open.begin() + match);
+          const double ts = TicksToUs(span.ticks, base_ticks);
+          double dur = TicksToUs(e.ticks, base_ticks) - ts;
+          if (dur < 0.0) dur = 0.0;
+          AppendEvent(out, first, name, cat, "X", ts, dur, d.tid, span.arg,
+                      nullptr);
+          break;
+        }
+        case TracePhase::kInstant:
+          AppendEvent(out, first, name, cat, "i",
+                      TicksToUs(e.ticks, base_ticks), -1.0, d.tid, e.arg,
+                      nullptr);
+          break;
+      }
+    }
+    // Spans still open at the end of the ring: cut off at the thread's last
+    // timestamp (crash mid-span, or the span's end was not yet recorded).
+    for (const OpenSpan& span : open) {
+      const double ts = TicksToUs(span.ticks, base_ticks);
+      double dur = TicksToUs(last_ticks, base_ticks) - ts;
+      if (dur < 0.0) dur = 0.0;
+      AppendEvent(out, first, TracePointName(span.point),
+                  TracePointCategory(span.point), "X", ts, dur, d.tid,
+                  span.arg, "begin");
+    }
+  }
+
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool WriteChromeTraceFile(const Tracer& tracer, const std::string& path,
+                          const ChromeTraceOptions& options) {
+  const std::string json = ExportChromeTrace(tracer, options);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. The registry's dotted
+/// names ("pipeline.shard0.applied") become underscores; the "streamq_"
+/// prefix guarantees a legal first character.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = "streamq_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Distinct registry names may collide after sanitization; suffix the later
+/// ones so each exported family stays unique.
+std::string UniqueFamily(std::set<std::string>& used,
+                         const std::string& name) {
+  std::string base = SanitizeMetricName(name);
+  std::string candidate = base;
+  int suffix = 2;
+  while (!used.insert(candidate).second) {
+    candidate = base + "_" + std::to_string(suffix++);
+  }
+  return candidate;
+}
+
+void AppendHelp(std::string& out, const std::string& family,
+                const char* kind, const std::string& source_name) {
+  out += "# HELP " + family + " streamq " + kind + " " + source_name + "\n";
+}
+
+}  // namespace
+
+std::string ExportPrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  std::set<std::string> used;
+
+  registry.ForEachCounter([&](const std::string& name, const Counter& c) {
+    const std::string family = UniqueFamily(used, name + "_total");
+    AppendHelp(out, family, "counter", name);
+    out += "# TYPE " + family + " counter\n";
+    AppendF(out, "%s %" PRIu64 "\n", family.c_str(), c.value());
+  });
+
+  registry.ForEachGauge([&](const std::string& name, const Gauge& g) {
+    const std::string family = UniqueFamily(used, name);
+    AppendHelp(out, family, "gauge", name);
+    out += "# TYPE " + family + " gauge\n";
+    AppendF(out, "%s %" PRId64 "\n", family.c_str(), g.value());
+  });
+
+  registry.ForEachHistogram([&](const std::string& name,
+                                const Histogram& h) {
+    const std::string family = UniqueFamily(used, name);
+    AppendHelp(out, family, "histogram", name);
+    out += "# TYPE " + family + " histogram\n";
+    // Pow2 buckets: bucket 0 holds the value 0 (le="0"); bucket i >= 1
+    // holds [2^(i-1), 2^i), inclusive upper bound 2^i - 1. The saturating
+    // last bucket folds into +Inf.
+    uint64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kBucketCount - 1; ++i) {
+      cumulative += h.bucket(i);
+      const uint64_t le = i == 0 ? 0 : (uint64_t{1} << i) - 1;
+      AppendF(out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+              family.c_str(), le, cumulative);
+    }
+    AppendF(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", family.c_str(),
+            h.count());
+    AppendF(out, "%s_sum %" PRIu64 "\n", family.c_str(), h.sum());
+    AppendF(out, "%s_count %" PRIu64 "\n", family.c_str(), h.count());
+
+    // Companion summary: the library's own quantile estimate over the
+    // bucketed distribution (Histogram::ValueAtQuantile).
+    const std::string summary = UniqueFamily(used, name + "_quantiles");
+    AppendHelp(out, summary, "summary", name);
+    out += "# TYPE " + summary + " summary\n";
+    static constexpr double kPhis[] = {0.5, 0.9, 0.99};
+    for (double phi : kPhis) {
+      AppendF(out, "%s{quantile=\"%g\"} %" PRIu64 "\n", summary.c_str(),
+              phi, h.ValueAtQuantile(phi));
+    }
+    AppendF(out, "%s_sum %" PRIu64 "\n", summary.c_str(), h.sum());
+    AppendF(out, "%s_count %" PRIu64 "\n", summary.c_str(), h.count());
+  });
+
+  return out;
+}
+
+bool WritePrometheusTextFile(const MetricsRegistry& registry,
+                             const std::string& path) {
+  const std::string text = ExportPrometheusText(registry);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = written == text.size() && std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace streamq::obs

@@ -1,0 +1,70 @@
+// streamq_obs: exporters for the flight recorder and the metrics registry.
+//
+// Two standard wire formats, both written as plain text with no external
+// dependencies:
+//
+//  * Chrome trace-event JSON (the "JSON Object Format" with a traceEvents
+//    array) — loadable in chrome://tracing and Perfetto. Span begin/end
+//    pairs from the rings are matched per thread into complete ("X")
+//    events; a ring that wrapped mid-span leaves orphan begins/ends, which
+//    are still emitted as valid JSON (see ExportChromeTrace).
+//  * Prometheus text exposition format (version 0.0.4) for MetricsRegistry:
+//    counters as `_total`, gauges as-is, pow2 histograms as cumulative
+//    `_bucket{le=...}` series plus a summary family whose quantile lines
+//    come from Histogram::ValueAtQuantile — the library dogfooding its own
+//    subject matter.
+//
+// Export is the cold path: it allocates freely, takes the tracer's pool
+// lock briefly per ring visit, and never blocks recording threads (the
+// rings are snapshotted with the seqlock discard rule, not locked).
+
+#ifndef STREAMQ_OBS_TRACE_EXPORT_H_
+#define STREAMQ_OBS_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace streamq::obs {
+
+struct ChromeTraceOptions {
+  /// When set, recorded in the JSON's otherData as "crash_reason" (the
+  /// automatic dump triggers pass "stall_watchdog", "wal_dead",
+  /// "recovery_failure").
+  const char* crash_reason = nullptr;
+};
+
+/// Serializes every ring of `tracer` into Chrome trace-event JSON.
+///
+/// Per thread (ring), begin/end events are matched LIFO into "X" complete
+/// events with microsecond ts/dur (TickClock ticks converted through the
+/// calibrated TickClock::ToNanos). Wrap artifacts stay valid JSON:
+///  * an end with no live begin becomes an instant marked
+///    {"orphan":"end"};
+///  * a begin with no end becomes an "X" event cut off at the thread's
+///    last known timestamp, marked {"orphan":"begin"}.
+/// Instants carry {"ph":"i","s":"t"}. Every event's raw argument is in
+/// args.v. The output always parses with json.loads, whatever state the
+/// rings were in.
+std::string ExportChromeTrace(const Tracer& tracer,
+                              const ChromeTraceOptions& options = {});
+
+/// ExportChromeTrace to a file. Returns false on I/O failure.
+bool WriteChromeTraceFile(const Tracer& tracer, const std::string& path,
+                          const ChromeTraceOptions& options = {});
+
+/// Serializes `registry` in the Prometheus text exposition format. Metric
+/// names are sanitized ([a-zA-Z0-9_:], everything else becomes '_') and
+/// prefixed "streamq_". Each pow2 histogram additionally exports a
+/// "<name>_quantiles" summary family with quantile="0.5|0.9|0.99" samples
+/// computed by Histogram::ValueAtQuantile.
+std::string ExportPrometheusText(const MetricsRegistry& registry);
+
+/// ExportPrometheusText to a file. Returns false on I/O failure.
+bool WritePrometheusTextFile(const MetricsRegistry& registry,
+                             const std::string& path);
+
+}  // namespace streamq::obs
+
+#endif  // STREAMQ_OBS_TRACE_EXPORT_H_

@@ -71,6 +71,7 @@ class QuantileSketch {
   /// values outside their universe with kOutOfUniverse and leave the
   /// summary unchanged; comparison-based summaries accept any value.
   StreamqStatus Insert(uint64_t value) {
+    STREAMQ_TRACE_INSTANT(obs::TracePoint::kSketchUpdate, value);
     const StreamqStatus status = InsertImpl(value);
     if (status == StreamqStatus::kOk) {
       metrics_.inserts.Inc();
@@ -90,6 +91,7 @@ class QuantileSketch {
   /// reject out-of-universe values with kOutOfUniverse -- in both cases the
   /// summary is unchanged (no abort).
   StreamqStatus Erase(uint64_t value) {
+    STREAMQ_TRACE_INSTANT(obs::TracePoint::kSketchUpdate, value);
     const StreamqStatus status = EraseImpl(value);
     if (status == StreamqStatus::kOk) {
       metrics_.erases.Inc();
