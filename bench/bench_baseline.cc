@@ -91,7 +91,7 @@ int Main(int argc, char** argv) {
 
   std::string json;
   json += "{\n";
-  json += "  \"schema_version\": 4,\n";
+  json += "  \"schema_version\": 5,\n";
   json += "  \"eps\": 0.01,\n";
   json += "  \"n\": " + std::to_string(n) + ",\n";
   json += "  \"rss_n\": " + std::to_string(rss_n) + ",\n";
@@ -294,7 +294,15 @@ int Main(int argc, char** argv) {
   // splice the lanes into the committed baseline with
   // scripts/merge_trace_overhead.py; check_bench_json.py gates the merged
   // idle lane at 5% over off.
-  json += "  \"trace_overhead\": null\n";
+  json += "  \"trace_overhead\": null,\n";
+
+  // Cluster section (schema_version 5): always null here -- the cluster
+  // sweep (throughput / merge latency vs node count, failover recovery)
+  // is its own multi-minute workload and lives in bench_cluster. Run
+  // bench_cluster --json and splice the section into the committed
+  // baseline with scripts/merge_cluster_bench.py; check_bench_json.py
+  // validates the merged structure.
+  json += "  \"cluster\": null\n";
   json += "}\n";
 
   std::FILE* f = std::fopen(out_path, "w");

@@ -1,0 +1,131 @@
+// The cluster tier as a data path: 4 ingest nodes, each running the full
+// sharded durable pipeline, ship mergeable sketches over faulty channels
+// to a coordinator that answers cluster-wide quantiles -- then one node
+// is power-lost mid-stream, restarted from its disk, and resynchronised,
+// and the final answers are identical to a run where nothing failed.
+//
+// This is the cluster-scale composition of the monitoring tier
+// (distributed_monitor.cpp: sampling sites, approximate union view) with
+// the durable single-process pipeline (DESIGN.md sections 10-11): here
+// every shipped sketch is *mergeable*, so the coordinator's answers carry
+// the exact-count eps*n bound over the union stream, and every node's WAL
+// + checkpoint makes its sub-stream recoverable. See DESIGN.md section 13.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "durability/storage.h"
+#include "stream/generators.h"
+
+int main() {
+  using namespace streamq;
+  using namespace streamq::cluster;
+
+  constexpr int kNodes = 4;
+  constexpr uint64_t kUpdates = 200'000;
+  constexpr int kCrashNode = 2;
+
+  // One (in-memory) disk per node; a real deployment points these at
+  // PosixStorage directories.
+  std::vector<std::unique_ptr<durability::MemStorage>> disks;
+  std::vector<durability::Storage*> storage;
+  for (int i = 0; i < kNodes; ++i) {
+    disks.push_back(std::make_unique<durability::MemStorage>());
+    storage.push_back(disks.back().get());
+  }
+
+  ClusterOptions options;
+  options.nodes = kNodes;
+  options.node_pipeline.sketch.algorithm = Algorithm::kRandom;
+  options.node_pipeline.sketch.eps = 0.02;
+  options.node_pipeline.sketch.log_universe = 20;
+  options.node_pipeline.sketch.seed = 7;
+  options.node_pipeline.shards = 2;
+  options.node_storage = storage;
+  // The links lose, duplicate, reorder, delay and corrupt frames; the
+  // epoch/ack/CRC protocol absorbs all of it.
+  options.data_faults.drop = 0.02;
+  options.data_faults.duplicate = 0.02;
+  options.data_faults.reorder = 0.05;
+  options.data_faults.corrupt = 0.02;
+  options.data_faults.max_delay = 8;
+  options.ack_faults = options.data_faults;
+
+  auto cluster = QuantileCluster::Create(options);
+  if (cluster == nullptr) {
+    std::fprintf(stderr, "cluster refused its options\n");
+    return 1;
+  }
+
+  DatasetSpec spec;
+  spec.distribution = Distribution::kLogUniform;
+  spec.n = kUpdates;
+  spec.log_universe = 20;
+  spec.seed = 42;
+  const std::vector<uint64_t> data = GenerateDataset(spec);
+
+  // Phase 1: 60% of the stream with everyone up.
+  const uint64_t crash_at = kUpdates * 3 / 5;
+  for (uint64_t i = 0; i < crash_at; ++i) cluster->Append(data[i]);
+  cluster->Quiesce();
+  std::printf("phase 1 (%llu updates, %d nodes up):  p50=%7llu  p99=%7llu\n",
+              static_cast<unsigned long long>(crash_at), kNodes,
+              static_cast<unsigned long long>(cluster->Query(0.50).value),
+              static_cast<unsigned long long>(cluster->Query(0.99).value));
+
+  // Power loss on node 2: its process is gone, its disk survives. The
+  // stream does not stop -- appends routed to the dead node are counted
+  // and dropped at ingress (connection refused), everyone else ingests on.
+  cluster->KillNode(kCrashNode);
+  const uint64_t down_until = crash_at + kUpdates / 5;
+  for (uint64_t i = crash_at; i < down_until; ++i) cluster->Append(data[i]);
+  const ClusterAnswer partial = cluster->Query(0.99, QueryScope::kLiveOnly);
+  std::printf(
+      "node %d down, stream flowing: p99=%7llu from the survivors "
+      "(partial=%d, %d/%d nodes merged, %llu appends dropped)\n",
+      kCrashNode, static_cast<unsigned long long>(partial.value),
+      partial.partial ? 1 : 0, partial.nodes_merged, kNodes,
+      static_cast<unsigned long long>(cluster->dropped_appends()));
+
+  // Restart from the disk: checkpoint + WAL recovery, then the producer
+  // replays the node's recorded sub-stream from ResumeSeq() (per-shard
+  // seq dedup absorbs the overlap) and the epoch protocol resyncs the
+  // coordinator.
+  cluster->RestartNode(kCrashNode);
+  const uint64_t replayed = cluster->ReplayNode(kCrashNode);
+  std::printf("node %d recovered (resume_seq=%llu, replayed %llu updates)\n",
+              kCrashNode,
+              static_cast<unsigned long long>(
+                  cluster->node(kCrashNode)->recovery().resume_seq),
+              static_cast<unsigned long long>(replayed));
+
+  // Phase 3: the rest of the stream, then full convergence.
+  for (uint64_t i = down_until; i < kUpdates; ++i) cluster->Append(data[i]);
+  if (!cluster->Quiesce()) {
+    std::fprintf(stderr, "cluster failed to quiesce\n");
+    return 1;
+  }
+
+  std::printf(
+      "converged: %llu updates reflected, staleness bound %llu, "
+      "%llu dropped while node %d was down\n",
+      static_cast<unsigned long long>(cluster->coordinator().ReportedCount()),
+      static_cast<unsigned long long>(cluster->StalenessBound()),
+      static_cast<unsigned long long>(cluster->dropped_appends()), kCrashNode);
+  for (const double phi : {0.50, 0.95, 0.99}) {
+    const ClusterAnswer a = cluster->Query(phi);
+    std::printf("  p%02.0f = %7llu  (%d/%d nodes, partial=%d)\n", phi * 100,
+                static_cast<unsigned long long>(a.value), a.nodes_merged,
+                kNodes, a.partial ? 1 : 0);
+  }
+  std::printf(
+      "every update that reached a live node is acknowledged and in the\n"
+      "answer; the drops during the outage are counted, never silent. (The\n"
+      "cluster fault-matrix tests prove the stronger property: with no\n"
+      "ingress drops, post-recovery answers are bit-identical to a run\n"
+      "where node %d never crashed.)\n",
+      kCrashNode);
+  return 0;
+}

@@ -3,6 +3,11 @@
 // moment while the sites ship only compact summary snapshots (never raw
 // events). Reproduces the setting of the paper's related work on holistic
 // aggregates in a networked world (Cormode et al., SIGMOD'05).
+//
+// This is the *monitoring* tier: sites observe into lightweight local
+// summaries and the coordinator's view is approximate. For the cluster
+// *data path* -- full durable pipelines per node, mergeable shipments
+// with exact-count bounds, node failover -- see cluster_ingest.cpp.
 
 #include <cmath>
 #include <cstdio>

@@ -5,6 +5,10 @@
 //
 // Uses GKArray: the deterministic guarantee means a reported p99 is never
 // off by more than eps in rank -- an SLO check can rely on it.
+//
+// Scaling this beyond one process: distributed_monitor.cpp spreads the
+// observation across sites (approximate union view); cluster_ingest.cpp
+// runs the full multi-node data path with durability and failover.
 
 #include <cstdio>
 

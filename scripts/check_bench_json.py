@@ -6,7 +6,7 @@ Usage:
                         [--threshold 0.20]
 
 Schema checks (always):
-  * top-level keys: schema_version (1..4), eps, n, rss_n, entries
+  * top-level keys: schema_version (1..5), eps, n, rss_n, entries
   * every entry has dataset/algorithm/ns_per_update/max_memory_bytes/
     max_rank_error/avg_rank_error with sane types and ranges
   * all expected (dataset, algorithm) cells are present, none duplicated
@@ -31,6 +31,13 @@ Schema checks (always):
     checker HARD-GATES: idle ns_per_update must stay within 5% of off --
     the whole point of the compiled-in flight recorder is that leaving
     it idle in production is free
+  * schema_version 5 additionally requires a cluster section (null
+    straight out of bench_baseline; the committed baseline carries the
+    bench_cluster output, spliced with scripts/merge_cluster_bench.py):
+    a node-count sweep of sustained cluster insert throughput and
+    coordinator merge (query) latency, plus a failover point timing a
+    killed node's recovery and resync. Timings are sanity-checked, never
+    gated -- they depend on host thread scheduling
 
 Regression check (with --baseline): every cell's ns_per_update must stay
 within (1 + threshold) of the baseline's. Comparing a file against itself
@@ -99,7 +106,7 @@ def check_schema(doc, path):
             errors += fail(f"{path}: missing top-level key '{key}'")
     if errors:
         return errors, {}
-    if doc["schema_version"] not in (1, 2, 3, 4):
+    if doc["schema_version"] not in (1, 2, 3, 4, 5):
         errors += fail(f"{path}: unsupported schema_version {doc['schema_version']}")
     eps = doc["eps"]
     if not (isinstance(eps, float) and 0.0 < eps < 1.0):
@@ -177,6 +184,11 @@ def check_schema(doc, path):
             errors += fail(f"{path}: schema_version 4 requires 'trace_overhead'")
         else:
             errors += check_trace_overhead(doc["trace_overhead"], path)
+    if doc["schema_version"] >= 5:
+        if "cluster" not in doc:
+            errors += fail(f"{path}: schema_version 5 requires 'cluster'")
+        else:
+            errors += check_cluster(doc["cluster"], path)
     return errors, cells
 
 
@@ -414,6 +426,101 @@ def check_trace_overhead(section, path):
             f"{off_ns:.2f} with tracing compiled out "
             f"(> {TRACE_IDLE_OVERHEAD_LIMIT:.0%} overhead)"
         )
+    return errors
+
+
+def check_cluster(section, path):
+    """Schema check of the cluster section (no regression gate).
+
+    `null` is legal -- bench_baseline always emits it because the cluster
+    sweep is bench_cluster's own workload. The committed baseline must
+    carry the real section, spliced in with scripts/merge_cluster_bench.py.
+    Timings are structure/sanity-checked only: cluster throughput and
+    recovery latency ride on worker-thread scheduling.
+    """
+    where = f"{path}: cluster"
+    errors = 0
+    if section is None:
+        return 0
+    if not isinstance(section, dict):
+        return fail(f"{where}: not an object (or null)")
+    for key in ("algorithm", "dataset", "n", "sweep", "failover"):
+        if key not in section:
+            errors += fail(f"{where}: missing key '{key}'")
+    if errors:
+        return errors
+    if section["algorithm"] not in PIPELINE_ALGORITHMS:
+        errors += fail(
+            f"{where}: algorithm {section['algorithm']!r} is not "
+            f"pipeline-capable (expected one of {PIPELINE_ALGORITHMS})"
+        )
+    if section["dataset"] not in EXPECTED_DATASETS:
+        errors += fail(f"{where}: unknown dataset {section['dataset']!r}")
+    if not (isinstance(section["n"], int) and section["n"] > 0):
+        errors += fail(f"{where}: n must be a positive integer")
+    sweep = section["sweep"]
+    if not (isinstance(sweep, list) and sweep):
+        return errors + fail(f"{where}: sweep must be a non-empty list")
+    seen_nodes = set()
+    for i, point in enumerate(sweep):
+        p_where = f"{where}.sweep[{i}]"
+        if not isinstance(point, dict):
+            errors += fail(f"{p_where}: not an object")
+            continue
+        missing = [
+            k
+            for k in (
+                "nodes",
+                "ns_per_append",
+                "inserts_per_sec",
+                "merge_latency_us",
+                "coordinator_memory_bytes",
+            )
+            if k not in point
+        ]
+        if missing:
+            errors += fail(f"{p_where}: missing keys {missing}")
+            continue
+        nodes = point["nodes"]
+        if not (isinstance(nodes, int) and nodes > 0):
+            errors += fail(f"{p_where}: nodes must be a positive integer")
+        elif nodes in seen_nodes:
+            errors += fail(f"{p_where}: duplicate node count {nodes}")
+        else:
+            seen_nodes.add(nodes)
+        for k in ("ns_per_append", "inserts_per_sec", "merge_latency_us"):
+            if not (isinstance(point[k], (int, float)) and point[k] > 0):
+                errors += fail(f"{p_where}: {k} must be > 0")
+        if not (
+            isinstance(point["coordinator_memory_bytes"], int)
+            and point["coordinator_memory_bytes"] > 0
+        ):
+            errors += fail(f"{p_where}: coordinator_memory_bytes must be positive")
+    if 1 not in seen_nodes:
+        errors += fail(f"{where}: sweep must include the 1-node baseline")
+    failover = section["failover"]
+    f_where = f"{where}.failover"
+    if not isinstance(failover, dict):
+        return errors + fail(f"{f_where}: not an object")
+    missing = [
+        k
+        for k in ("nodes", "recovery_ms", "replayed_updates", "resync_ms")
+        if k not in failover
+    ]
+    if missing:
+        return errors + fail(f"{f_where}: missing keys {missing}")
+    if not (isinstance(failover["nodes"], int) and failover["nodes"] > 1):
+        errors += fail(f"{f_where}: nodes must be an integer > 1 (a 1-node "
+                       f"cluster has no survivors to fail over to)")
+    for k in ("recovery_ms", "resync_ms"):
+        if not (isinstance(failover[k], (int, float)) and failover[k] >= 0):
+            errors += fail(f"{f_where}: {k} must be >= 0")
+    if not (
+        isinstance(failover["replayed_updates"], int)
+        and failover["replayed_updates"] >= 0
+    ):
+        errors += fail(f"{f_where}: replayed_updates must be a non-negative "
+                       f"integer")
     return errors
 
 

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Merges bench_cluster's JSON output into BENCH_baseline.json.
+
+bench_baseline always emits "cluster": null -- the cluster sweep
+(throughput and coordinator merge latency vs node count, plus a failover
+recovery point) is bench_cluster's own workload, kept out of the
+single-process baseline run. This script splices the real numbers in:
+
+    build/bench/bench_cluster --json /tmp/cluster.json
+    scripts/merge_cluster_bench.py BENCH_baseline.json /tmp/cluster.json
+
+The section file is bench_cluster's --json output:
+
+    {"algorithm": ..., "dataset": ..., "n": ...,
+     "sweep": [{"nodes": ..., "ns_per_append": ..., ...}, ...],
+     "failover": {"nodes": ..., "recovery_ms": ..., ...}}
+
+The merged document must pass check_bench_json.py's schema-v5 cluster
+check before the baseline file is rewritten; a failing merge leaves it
+untouched.
+
+Exit code 0 = baseline updated, 1 = any failure (messages on stderr).
+"""
+
+import json
+import sys
+
+import check_bench_json
+
+
+def fail(msg):
+    print(f"merge_cluster_bench: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    if len(sys.argv) != 3:
+        return fail("usage: merge_cluster_bench.py BASELINE.json SECTION.json")
+    baseline_path, section_path = sys.argv[1], sys.argv[2]
+
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{baseline_path}: {e}")
+    try:
+        with open(section_path, "r", encoding="utf-8") as f:
+            section = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{section_path}: {e}")
+
+    if not isinstance(section, dict) or "sweep" not in section:
+        return fail(f"{section_path}: not a bench_cluster section file")
+    if doc.get("schema_version", 0) < 5:
+        return fail(
+            f"{baseline_path}: schema_version "
+            f"{doc.get('schema_version')!r} predates the cluster section; "
+            f"regenerate with the current bench_baseline first"
+        )
+    doc["cluster"] = section
+
+    errors = check_bench_json.check_cluster(section, baseline_path)
+    if errors:
+        return fail("merged section failed validation; baseline unchanged")
+
+    with open(baseline_path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    points = ", ".join(
+        f"k={p['nodes']}:{p['inserts_per_sec']:.0f}/s"
+        for p in section["sweep"]
+    )
+    print(f"merge_cluster_bench: {baseline_path} updated ({points})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

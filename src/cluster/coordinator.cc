@@ -1,0 +1,188 @@
+#include "cluster/coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "cluster/wire.h"
+#include "distributed/ack.h"
+#include "obs/trace.h"
+
+namespace streamq::cluster {
+
+ClusterCoordinator::ClusterCoordinator(
+    const ClusterCoordinatorOptions& options)
+    : options_(options),
+      reference_(MakeSketch(options.sketch)),
+      views_(static_cast<size_t>(std::max(options.nodes, 1))) {}
+
+void ClusterCoordinator::HandleShipment(const std::string& bytes,
+                                        uint64_t now, FaultyChannel& ack_tx) {
+  // Rung 1+2: frame validation, then structural parse and range checks.
+  ClusterShipment shipment;
+  if (!DecodeShipment(bytes, &shipment)) {
+    ++stats_.rejected_corrupt;
+    return;
+  }
+  if (shipment.node >= views_.size() || shipment.epoch == 0) {
+    ++stats_.rejected_malformed;
+    return;
+  }
+  NodeView& view = views_[shipment.node];
+  // Rung 3: epoch dedup. Duplicates and stale reorders are acknowledged
+  // (the node needs to learn our horizon) but never re-applied.
+  if (shipment.epoch <= view.epoch) {
+    ++stats_.rejected_stale;
+    SendAck(static_cast<int>(shipment.node), now, ack_tx);
+    return;
+  }
+  // Rung 4+5: decode the nested sketch frame and cross-check its count
+  // against the sender's claim. The view is only replaced after a fully
+  // successful decode (no partial mutation).
+  std::unique_ptr<QuantileSketch> received =
+      DeserializeSketch(shipment.sketch_frame);
+  if (received == nullptr || received->Count() != shipment.count) {
+    ++stats_.rejected_malformed;
+    return;
+  }
+  // Rung 6: a sketch we could not merge at query time is useless -- and a
+  // symptom of a misconfigured node -- so refuse it up front.
+  if (!reference_->CanMerge(*received)) {
+    ++stats_.rejected_incompatible;
+    return;
+  }
+  view.epoch = shipment.epoch;
+  view.count = shipment.count;
+  view.durable_seq = shipment.durable_seq;
+  view.sketch = std::move(received);
+  view.last_accept_tick = now;
+  view.next_probe_at = 0;
+  view.probe_backoff = 0;
+  ++stats_.accepted;
+  SendAck(static_cast<int>(shipment.node), now, ack_tx);
+}
+
+void ClusterCoordinator::SendAck(int node, uint64_t now,
+                                 FaultyChannel& ack_tx) {
+  AckFrame ack;
+  ack.node = static_cast<uint32_t>(node);
+  ack.seq = views_[static_cast<size_t>(node)].epoch;
+  ack_tx.Send(now, EncodeAck(SnapshotType::kClusterAck, ack));
+  ++stats_.acks_sent;
+}
+
+void ClusterCoordinator::Tick(uint64_t now,
+                              const std::vector<FaultyChannel*>& ack_tx) {
+  for (size_t i = 0; i < views_.size(); ++i) {
+    NodeView& view = views_[i];
+    if (!Suspect(static_cast<int>(i), now)) continue;
+    if (i >= ack_tx.size() || ack_tx[i] == nullptr) continue;
+    if (now < view.next_probe_at) continue;
+    // Re-request the node's current state: an ack carrying our horizon
+    // plus the reship flag. A live node answers with a fresh cumulative
+    // shipment; a dead one stays suspect and the backoff caps the probe
+    // rate.
+    AckFrame probe;
+    probe.node = static_cast<uint32_t>(i);
+    probe.seq = view.epoch;
+    probe.flags = kAckFlagReship;
+    ack_tx[i]->Send(now, EncodeAck(SnapshotType::kClusterAck, probe));
+    ++stats_.probes_sent;
+    STREAMQ_TRACE_INSTANT(obs::TracePoint::kClusterProbe, i);
+    view.probe_backoff =
+        view.probe_backoff == 0
+            ? options_.probe.initial_backoff
+            : std::min(view.probe_backoff * 2, options_.probe.max_backoff);
+    view.next_probe_at = now + view.probe_backoff;
+  }
+}
+
+bool ClusterCoordinator::Suspect(int node, uint64_t now) const {
+  // A node that never reported has last_accept_tick 0 and becomes suspect
+  // once the cluster has been up for stale_after ticks -- "down from the
+  // start" is staleness too.
+  const NodeView& view = views_[static_cast<size_t>(node)];
+  return now > view.last_accept_tick &&
+         now - view.last_accept_tick > options_.stale_after;
+}
+
+std::unique_ptr<QuantileSketch> ClusterCoordinator::MergeScope(
+    uint64_t now, QueryScope scope, ClusterAnswer* answer) {
+  STREAMQ_TRACE_SPAN(obs::TracePoint::kClusterMerge, views_.size());
+  std::unique_ptr<QuantileSketch> merged = MakeSketch(options_.sketch);
+  for (size_t i = 0; i < views_.size(); ++i) {
+    const NodeView& view = views_[i];
+    const bool suspect = Suspect(static_cast<int>(i), now);
+    if (suspect) ++answer->nodes_suspect;
+    if (view.sketch == nullptr ||
+        (scope == QueryScope::kLiveOnly && suspect)) {
+      answer->partial = true;
+      continue;
+    }
+    if (merged->Merge(*view.sketch) != StreamqStatus::kOk) {
+      // Cannot happen for shipments past rung 6; recorded honestly if a
+      // future sketch type breaks the empty-scratch merge assumption.
+      answer->partial = true;
+      continue;
+    }
+    ++answer->nodes_merged;
+    answer->reported_count += view.count;
+  }
+  return answer->nodes_merged > 0 ? std::move(merged) : nullptr;
+}
+
+ClusterAnswer ClusterCoordinator::Query(double phi, uint64_t now,
+                                        QueryScope scope) {
+  ClusterAnswer answer;
+  std::unique_ptr<QuantileSketch> merged = MergeScope(now, scope, &answer);
+  if (merged != nullptr) answer.value = merged->Query(phi);
+  return answer;
+}
+
+ClusterAnswer ClusterCoordinator::Rank(uint64_t value, uint64_t now,
+                                       QueryScope scope) {
+  ClusterAnswer answer;
+  std::unique_ptr<QuantileSketch> merged = MergeScope(now, scope, &answer);
+  if (merged != nullptr) {
+    answer.value =
+        static_cast<uint64_t>(std::max<int64_t>(0, merged->EstimateRank(value)));
+  }
+  return answer;
+}
+
+ClusterNodeStatus ClusterCoordinator::Status(int node, uint64_t now) const {
+  const NodeView& view = views_[static_cast<size_t>(node)];
+  ClusterNodeStatus status;
+  status.reported = view.sketch != nullptr;
+  status.suspect = Suspect(node, now);
+  status.epoch = view.epoch;
+  status.count = view.count;
+  status.durable_seq = view.durable_seq;
+  status.last_accept_tick = view.last_accept_tick;
+  status.staleness_ticks =
+      now > view.last_accept_tick ? now - view.last_accept_tick : 0;
+  return status;
+}
+
+uint64_t ClusterCoordinator::ReportedCount() const {
+  uint64_t total = 0;
+  for (const NodeView& view : views_) total += view.count;
+  return total;
+}
+
+uint64_t ClusterCoordinator::KnownCount(int node) const {
+  return views_[static_cast<size_t>(node)].count;
+}
+
+uint64_t ClusterCoordinator::HighestEpoch(int node) const {
+  return views_[static_cast<size_t>(node)].epoch;
+}
+
+size_t ClusterCoordinator::MemoryBytes() const {
+  size_t total = 0;
+  for (const NodeView& view : views_) {
+    if (view.sketch != nullptr) total += view.sketch->MemoryBytes();
+  }
+  return total;
+}
+
+}  // namespace streamq::cluster

@@ -1,0 +1,156 @@
+// Coordinator half of the cluster data path: validates epoch-numbered
+// node shipments, keeps the newest accepted sketch per node, and answers
+// cluster-wide quantile and rank queries by merging them.
+//
+// Where MonitorCoordinator (src/distributed/coordinator.h) samples GK
+// tuples into a weighted view, the ClusterCoordinator relies on the
+// sketches being *mergeable* (Random, MRL99, FastQDigest, DCM, DCS): a
+// query merges the per-node sketches -- in node-id order, so the merged
+// result is deterministic -- into a fresh scratch sketch built from the
+// shared config, which then carries the usual mergeable-summary eps * n
+// bound over the union of the merged nodes' streams.
+//
+// Defence ladder on every shipment, in order (each rung leaves all node
+// state untouched on failure):
+//   1. frame validation (magic/version/type/length/CRC32C),
+//   2. structural parse + node range + epoch != 0,
+//   3. epoch dedup (duplicates/stale reorders are re-acked, not applied),
+//   4. nested sketch frame decode (its own CRC + exact parse),
+//   5. count cross-check (decoded sketch vs sender's claim),
+//   6. merge-compatibility check against the shared config.
+//
+// Degradation is explicit, never silent: per-node staleness (ticks since
+// the last accepted shipment) is tracked, silent nodes become "suspect"
+// after stale_after ticks and get capped-backoff re-ship probes, and
+// queries report how many nodes the answer actually covers (QueryScope
+// picks whether suspects are merged or excluded). A dead node degrades
+// the answer to the survivors' streams -- within their merged eps * n
+// bound -- with partial = true, rather than blocking or guessing.
+
+#ifndef STREAMQ_CLUSTER_COORDINATOR_H_
+#define STREAMQ_CLUSTER_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "distributed/channel.h"
+#include "distributed/site.h"
+#include "quantile/factory.h"
+
+namespace streamq::cluster {
+
+struct ClusterCoordinatorOptions {
+  int nodes = 2;
+  /// Shared sketch config (the nodes must be built from the same one).
+  SketchConfig sketch;
+  /// A node with no accepted shipment for this many ticks is suspect.
+  uint64_t stale_after = 1024;
+  /// Backoff of the re-ship probes sent to suspect nodes.
+  RetryPolicy probe;
+};
+
+/// How a query treats suspect nodes.
+enum class QueryScope {
+  kAll,       ///< merge every node that ever reported (suspects included)
+  kLiveOnly,  ///< exclude suspects: the survivors-only partial answer
+};
+
+struct ClusterAnswer {
+  uint64_t value = 0;           ///< quantile value or rank estimate
+  uint64_t reported_count = 0;  ///< union count of the merged nodes
+  int nodes_merged = 0;
+  int nodes_suspect = 0;        ///< suspect at query time (merged or not)
+  /// True when some configured node is missing from the merge (never
+  /// reported, or suspect under kLiveOnly): `value` covers only the
+  /// merged nodes' streams.
+  bool partial = false;
+};
+
+/// Per-node view, as reported by Status().
+struct ClusterNodeStatus {
+  bool reported = false;      ///< at least one accepted shipment
+  bool suspect = false;
+  uint64_t epoch = 0;
+  uint64_t count = 0;
+  uint64_t durable_seq = 0;
+  uint64_t last_accept_tick = 0;
+  uint64_t staleness_ticks = 0;  ///< now - last_accept_tick
+};
+
+struct ClusterCoordinatorStats {
+  size_t accepted = 0;
+  size_t rejected_corrupt = 0;       ///< frame validation failed
+  size_t rejected_malformed = 0;     ///< parse/range/count-mismatch failed
+  size_t rejected_stale = 0;         ///< epoch dedup (re-acked)
+  size_t rejected_incompatible = 0;  ///< sketch not mergeable with config
+  size_t acks_sent = 0;
+  size_t probes_sent = 0;
+};
+
+class ClusterCoordinator {
+ public:
+  explicit ClusterCoordinator(const ClusterCoordinatorOptions& options);
+
+  /// Validates one shipment delivery (the defence ladder above) and, when
+  /// accepted or merely stale, acks the node's highest epoch through
+  /// `ack_tx`.
+  void HandleShipment(const std::string& bytes, uint64_t now,
+                      FaultyChannel& ack_tx);
+
+  /// Advances virtual time: sends capped-backoff re-ship probes to
+  /// suspect nodes. `ack_tx[i]` is node i's ack channel (nullptr skips
+  /// the node -- e.g. the harness knows it is down).
+  void Tick(uint64_t now, const std::vector<FaultyChannel*>& ack_tx);
+
+  /// Cluster-wide phi-quantile over the merged scope.
+  ClusterAnswer Query(double phi, uint64_t now,
+                      QueryScope scope = QueryScope::kAll);
+
+  /// Cluster-wide rank estimate of `value` over the merged scope.
+  ClusterAnswer Rank(uint64_t value, uint64_t now,
+                     QueryScope scope = QueryScope::kAll);
+
+  ClusterNodeStatus Status(int node, uint64_t now) const;
+  bool Suspect(int node, uint64_t now) const;
+
+  /// Union count over every node that ever reported.
+  uint64_t ReportedCount() const;
+  uint64_t KnownCount(int node) const;
+  uint64_t HighestEpoch(int node) const;
+
+  /// Accounting bytes of the retained per-node sketches.
+  size_t MemoryBytes() const;
+
+  int nodes() const { return static_cast<int>(views_.size()); }
+  const ClusterCoordinatorStats& stats() const { return stats_; }
+
+ private:
+  struct NodeView {
+    std::unique_ptr<QuantileSketch> sketch;  // newest accepted; null = none
+    uint64_t epoch = 0;
+    uint64_t count = 0;
+    uint64_t durable_seq = 0;
+    uint64_t last_accept_tick = 0;
+    uint64_t next_probe_at = 0;
+    uint64_t probe_backoff = 0;
+  };
+
+  void SendAck(int node, uint64_t now, FaultyChannel& ack_tx);
+  /// Merges the scoped node sketches (node-id order) into a fresh sketch,
+  /// filling the answer's coverage fields. nullptr when nothing merged.
+  std::unique_ptr<QuantileSketch> MergeScope(uint64_t now, QueryScope scope,
+                                             ClusterAnswer* answer);
+
+  ClusterCoordinatorOptions options_;
+  /// Empty sketch from the shared config: the merge-compatibility
+  /// reference for rung 6 and the prototype of every query scratch.
+  std::unique_ptr<QuantileSketch> reference_;
+  std::vector<NodeView> views_;
+  ClusterCoordinatorStats stats_;
+};
+
+}  // namespace streamq::cluster
+
+#endif  // STREAMQ_CLUSTER_COORDINATOR_H_

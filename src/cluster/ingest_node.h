@@ -1,0 +1,159 @@
+// Node half of the cluster data path: a full durable ingest pipeline
+// (src/ingest/) that ships its merged view to the ClusterCoordinator.
+//
+// Where MonitorSite (src/distributed/site.h) observes into a single
+// in-memory GKArray, an IngestNode runs the production pipeline -- sharded
+// workers, RCU query view and, when configured, the WAL + checkpoint
+// durability tier -- and ships *mergeable* sketches, so the coordinator
+// can answer exact-count cluster-wide quantiles instead of sampling.
+//
+// Shipping protocol (count-triggered, hardened like the monitor tier):
+//
+//  * A node ships whenever its observed count has grown by a factor
+//    (1 + theta) since the last shipment. Each shipment is cumulative --
+//    the node's complete current sketch under a fresh, monotone epoch --
+//    so one successful delivery always brings the coordinator fully up to
+//    date regardless of what the channel lost before it.
+//  * Unacked shipments retransmit with capped exponential backoff (virtual
+//    ticks, like everything in the fault harness).
+//  * Acks are validated AckFrames (distributed/ack.h). An ack whose epoch
+//    is beyond anything this incarnation sent means the coordinator holds
+//    state from a pre-crash life: the node fast-forwards its epoch horizon
+//    past it and re-ships, so a restart resynchronises with no extra
+//    protocol. An ack carrying kAckFlagReship (the coordinator's staleness
+//    probe) likewise forces a fresh shipment.
+//
+// Failover: a durable node persists a tiny NodeMeta record (wire.h) via
+// the atomic write-tmp/sync/rename protocol on every epoch it issues, so
+// the restarted incarnation resumes epochs above everything the old one
+// could have put on the wire even before the first ack arrives. The
+// pipeline's own recovery (checkpoint + WAL tail) restores the data; the
+// producer then re-pushes its recorded stream from ResumeSeq() and the
+// per-shard seq dedup absorbs the overlap -- exactly the single-process
+// restart contract, now driving the cluster resync as well.
+//
+// Single-threaded like the rest of the virtual-time harness: one owner
+// calls Observe/HandleAck/Tick/ShipComplete; the pipeline inside runs its
+// own worker threads.
+
+#ifndef STREAMQ_CLUSTER_INGEST_NODE_H_
+#define STREAMQ_CLUSTER_INGEST_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "distributed/channel.h"
+#include "distributed/site.h"
+#include "ingest/ingest_pipeline.h"
+#include "stream/update.h"
+
+namespace streamq::cluster {
+
+struct IngestNodeOptions {
+  /// This node's id (also its slot at the coordinator; < cluster size).
+  uint32_t node = 0;
+  /// The node's full pipeline configuration. All nodes of one cluster must
+  /// share the same sketch config (identical seed included) or the
+  /// coordinator will reject their shipments as merge-incompatible.
+  /// durability.dir should be unique per node when durability is on.
+  ingest::IngestOptions pipeline;
+  /// Count-growth shipping trigger: ship when observed count reaches
+  /// (1 + theta) * count at last shipment.
+  double theta = 0.05;
+  RetryPolicy retry;
+};
+
+struct IngestNodeStats {
+  size_t shipments = 0;     ///< shipments offered (retransmits included)
+  size_t retransmits = 0;   ///< backoff / reship re-offers alone
+  size_t rejected_acks = 0; ///< acks dropped (corrupt frame or wrong node)
+};
+
+class IngestNode {
+ public:
+  /// Builds the node (running pipeline recovery first in durable mode) and
+  /// loads its NodeMeta epoch horizon. nullptr when the pipeline refuses
+  /// its options. A node that recovered prior state starts with a pending
+  /// re-ship so the coordinator converges without waiting for growth.
+  static std::unique_ptr<IngestNode> Create(const IngestNodeOptions& options);
+
+  ~IngestNode();
+  IngestNode(const IngestNode&) = delete;
+  IngestNode& operator=(const IngestNode&) = delete;
+
+  /// One update observed at virtual time `now`; ships through `tx` when
+  /// the count trigger fires.
+  void Observe(const Update& update, uint64_t now, FaultyChannel& tx);
+
+  /// Handles one (possibly corrupted) ack delivery.
+  void HandleAck(const std::string& bytes);
+
+  /// Advances virtual time: retransmits when a reship is pending or an
+  /// unacked shipment's backoff deadline has passed.
+  void Tick(uint64_t now, FaultyChannel& tx);
+
+  /// Flushes the pipeline and ships the complete current state under a
+  /// fresh epoch (quiesce path). No-op while the node has observed
+  /// nothing.
+  void ShipComplete(uint64_t now, FaultyChannel& tx);
+
+  /// Stream positions this incarnation accounts for: everything recovery
+  /// promised (ResumeSeq() - 1) plus everything pushed since. After the
+  /// producer finishes its re-push this equals the node's full stream
+  /// length.
+  uint64_t ObservedCount() const;
+
+  /// First stream position (1-based) the producer must (re-)push; the
+  /// pipeline's restart contract verbatim.
+  uint64_t ResumeSeq() const { return pipeline_->ResumeSeq(); }
+  uint64_t DurableSeq() const { return pipeline_->DurableSeq(); }
+  const ingest::RecoveryInfo& recovery() const {
+    return pipeline_->recovery();
+  }
+
+  bool HasUnacked() const {
+    return needs_reship_ || last_acked_epoch_ < last_sent_epoch_;
+  }
+
+  /// True when the coordinator provably holds this node's complete state:
+  /// the newest epoch is acked and it covered every observed update. This
+  /// is epoch-based on purpose -- it stays meaningful for turnstile
+  /// streams, where the sketch count (net of deletions) and the update
+  /// count diverge.
+  bool FullyAcked() const {
+    return !HasUnacked() && last_shipped_count_ == ObservedCount();
+  }
+
+  uint32_t id() const { return options_.node; }
+  uint64_t last_sent_epoch() const { return last_sent_epoch_; }
+  const IngestNodeStats& stats() const { return stats_; }
+
+  /// The node's pipeline, for local queries and metrics. The shipping
+  /// bookkeeping is bypassed -- do not push through it directly.
+  ingest::IngestPipeline& pipeline() { return *pipeline_; }
+
+ private:
+  IngestNode(const IngestNodeOptions& options,
+             std::unique_ptr<ingest::IngestPipeline> pipeline);
+
+  /// Flushes, clones the view, and offers it under a fresh epoch.
+  void Ship(uint64_t now, FaultyChannel& tx, bool retransmit);
+  /// Persists NodeMeta (durable mode only; best effort -- a failure is
+  /// covered by the coordinator's ack fast-forward).
+  void PersistMeta();
+
+  IngestNodeOptions options_;
+  std::unique_ptr<ingest::IngestPipeline> pipeline_;
+  uint64_t last_shipped_count_ = 0;
+  uint64_t last_sent_epoch_ = 0;
+  uint64_t last_acked_epoch_ = 0;
+  uint64_t next_retry_at_ = 0;
+  uint64_t backoff_ = 0;
+  bool needs_reship_ = false;
+  IngestNodeStats stats_;
+};
+
+}  // namespace streamq::cluster
+
+#endif  // STREAMQ_CLUSTER_INGEST_NODE_H_

@@ -1,0 +1,60 @@
+// Wire format of the cluster data path (DESIGN.md section 13).
+//
+// Two record types cross process boundaries:
+//
+//  * ClusterShipment (node -> coordinator): an epoch-numbered, cumulative
+//    snapshot of one node's full merged sketch. Epochs play the role the
+//    monitor tier's per-site sequence numbers play -- monotone per node,
+//    fresh on every (re)transmission -- so the coordinator can dedup
+//    duplicates and discard stale reorders while any single delivery
+//    brings it fully up to date.
+//  * NodeMeta (node -> its own durable directory, never the network): the
+//    tiny epoch <-> ack-mark record a node persists beside its WAL so a
+//    restarted incarnation resumes issuing epochs above everything a
+//    previous life may have put on the wire. Losing it is safe -- the
+//    coordinator's acks fast-forward a behind-the-horizon node -- it only
+//    short-circuits that round trip.
+//
+// Both are CRC32C-framed snapshots (util/serde.h): a flipped byte anywhere
+// fails the frame check before a single payload byte is interpreted. The
+// shipment's sketch bytes are themselves a nested SerializeSketch frame,
+// so the payload is double-checksummed end to end.
+
+#ifndef STREAMQ_CLUSTER_WIRE_H_
+#define STREAMQ_CLUSTER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace streamq::cluster {
+
+/// One cumulative node snapshot. `count` duplicates the sketch's Count()
+/// so the coordinator can cross-check the decoded sketch against the
+/// sender's claim before installing it.
+struct ClusterShipment {
+  uint32_t node = 0;
+  uint64_t epoch = 0;        ///< monotone per node; 0 never shipped
+  uint64_t durable_seq = 0;  ///< node's ack mark at ship time (0 = none)
+  uint64_t count = 0;        ///< sketch Count() at ship time
+  std::string sketch_frame;  ///< SerializeSketch() of the node's view
+};
+
+std::string EncodeShipment(const ClusterShipment& shipment);
+
+/// Full frame validation then an exact payload parse; false -- leaving
+/// *out untouched -- on any corruption or trailing bytes.
+bool DecodeShipment(const std::string& bytes, ClusterShipment* out);
+
+/// Per-node durable meta record (stored at "<node dir>/node-meta.sq").
+struct NodeMeta {
+  uint32_t node = 0;
+  uint64_t last_sent_epoch = 0;
+  uint64_t durable_seq = 0;  ///< ack mark when the epoch was persisted
+};
+
+std::string EncodeNodeMeta(const NodeMeta& meta);
+bool DecodeNodeMeta(const std::string& bytes, NodeMeta* out);
+
+}  // namespace streamq::cluster
+
+#endif  // STREAMQ_CLUSTER_WIRE_H_

@@ -1,0 +1,26 @@
+#include "distributed/ack.h"
+
+namespace streamq {
+
+std::string EncodeAck(SnapshotType type, const AckFrame& ack) {
+  SerdeWriter w;
+  w.U32(ack.node);
+  w.U64(ack.seq);
+  w.U32(ack.flags);
+  return FrameSnapshot(type, w.Take());
+}
+
+bool DecodeAck(SnapshotType type, const std::string& bytes, AckFrame* out) {
+  std::string payload;
+  if (!UnframeSnapshot(bytes, type, &payload)) return false;
+  SerdeReader r(payload);
+  AckFrame ack;
+  if (!r.U32(&ack.node) || !r.U64(&ack.seq) || !r.U32(&ack.flags) ||
+      !r.Done()) {
+    return false;
+  }
+  *out = ack;
+  return true;
+}
+
+}  // namespace streamq

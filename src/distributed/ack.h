@@ -1,0 +1,52 @@
+// Acknowledgement frames shared by the monitoring tier (coordinator ->
+// site) and the cluster data path (coordinator -> node).
+//
+// Acks travel over the same lossy transport as the shipments they confirm,
+// so they get the same hardening: every ack is a CRC32C-framed snapshot
+// (magic | version | type | length | crc, see util/serde.h) and DecodeAck
+// validates the frame before a single payload byte is interpreted. A
+// corrupted ack is dropped by the receiver -- never misparsed into a bogus
+// sequence horizon, which would silently desynchronise the retry protocol.
+//
+// Payload layout (fixed 16 bytes):
+//   node u32 | seq u64 | flags u32
+//
+// `seq` is the receiver's highest accepted sequence number (monitor) or
+// epoch (cluster) for `node`; `flags` carries protocol requests on top of
+// the plain confirmation. The monitor tier sends flags == 0; the cluster
+// coordinator sets kAckFlagReship to ask a silent node to re-ship its
+// current state (the capped-backoff re-request path).
+
+#ifndef STREAMQ_DISTRIBUTED_ACK_H_
+#define STREAMQ_DISTRIBUTED_ACK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/serde.h"
+
+namespace streamq {
+
+/// The receiver wants the sender to re-ship its current state under a
+/// fresh sequence number (missing-epoch re-request).
+inline constexpr uint32_t kAckFlagReship = 1u;
+
+struct AckFrame {
+  uint32_t node = 0;  ///< site / node id the ack is addressed to
+  uint64_t seq = 0;   ///< receiver's highest accepted seq (or epoch)
+  uint32_t flags = 0;
+};
+
+/// Encodes `ack` as a CRC32C-framed snapshot of `type` (kMonitorAck or
+/// kClusterAck -- the two tiers must not accept each other's acks).
+std::string EncodeAck(SnapshotType type, const AckFrame& ack);
+
+/// Strict inverse of EncodeAck: full frame validation (magic, version,
+/// type tag, exact length, CRC32C) then an exact payload parse. Returns
+/// false -- leaving *out untouched -- on any mismatch, so any single-byte
+/// corruption of an ack is detected and the ack discarded.
+bool DecodeAck(SnapshotType type, const std::string& bytes, AckFrame* out);
+
+}  // namespace streamq
+
+#endif  // STREAMQ_DISTRIBUTED_ACK_H_

@@ -1,5 +1,6 @@
 #include "distributed/coordinator.h"
 
+#include "distributed/ack.h"
 #include "util/serde.h"
 
 namespace streamq {
@@ -53,23 +54,22 @@ void MonitorCoordinator::HandleMessage(const std::string& bytes, uint64_t now,
 
 void MonitorCoordinator::SendAck(int site, uint64_t now,
                                  FaultyChannel& ack_tx) {
-  SerdeWriter w;
-  w.U32(static_cast<uint32_t>(site));
-  w.U64(views_[site].seq);
-  ack_tx.Send(now, FrameSnapshot(SnapshotType::kMonitorAck, w.Take()));
+  // Shared ack protocol (distributed/ack.h): the return path gets the same
+  // CRC32C framing as the shipments, so a flipped ack byte is detected at
+  // the site instead of corrupting its sequence horizon.
+  AckFrame ack;
+  ack.node = static_cast<uint32_t>(site);
+  ack.seq = views_[site].seq;
+  ack_tx.Send(now, EncodeAck(SnapshotType::kMonitorAck, ack));
   ++stats_.acks_sent;
 }
 
 bool MonitorCoordinator::ParseAck(const std::string& bytes, int* site,
                                   uint64_t* seq) {
-  std::string payload;
-  if (!UnframeSnapshot(bytes, SnapshotType::kMonitorAck, &payload)) {
-    return false;
-  }
-  SerdeReader r(payload);
-  uint32_t s = 0;
-  if (!r.U32(&s) || !r.U64(seq) || !r.Done()) return false;
-  *site = static_cast<int>(s);
+  AckFrame ack;
+  if (!DecodeAck(SnapshotType::kMonitorAck, bytes, &ack)) return false;
+  *site = static_cast<int>(ack.node);
+  *seq = ack.seq;
   return true;
 }
 

@@ -85,19 +85,7 @@ std::vector<uint64_t> CheckpointStore::ListIds() {
 
 bool CheckpointStore::Write(const CheckpointData& data, int keep) {
   const std::string path = PathFor(data.id);
-  const std::string tmp = path + ".tmp";
-  {
-    std::unique_ptr<WritableFile> file = storage_->Create(tmp);
-    if (file == nullptr) return false;
-    if (!file->Append(EncodeCheckpoint(data)) || !file->Sync()) {
-      storage_->Delete(tmp);
-      return false;
-    }
-  }
-  if (!storage_->Rename(tmp, path)) {
-    storage_->Delete(tmp);
-    return false;
-  }
+  if (!AtomicWriteFile(*storage_, path, EncodeCheckpoint(data))) return false;
   // Prune old generations (best effort: a leftover older checkpoint is
   // only wasted space, never a correctness problem).
   std::vector<uint64_t> ids = ListIds();

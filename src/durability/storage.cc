@@ -228,4 +228,22 @@ bool PosixStorage::CreateDir(const std::string& dir) {
   return !ec && std::filesystem::is_directory(dir, ec);
 }
 
+bool AtomicWriteFile(Storage& storage, const std::string& path,
+                     const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::unique_ptr<WritableFile> file = storage.Create(tmp);
+    if (file == nullptr) return false;
+    if (!file->Append(bytes) || !file->Sync()) {
+      storage.Delete(tmp);
+      return false;
+    }
+  }
+  if (!storage.Rename(tmp, path)) {
+    storage.Delete(tmp);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace streamq::durability

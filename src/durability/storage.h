@@ -83,6 +83,16 @@ class Storage {
   virtual bool CreateDir(const std::string& dir) = 0;
 };
 
+/// Publishes `bytes` at `path` all-or-nothing via the classic
+/// write-tmp, sync, rename protocol ("<path>.tmp" is the scratch name):
+/// after a crash, `path` either holds the complete previous contents or
+/// the complete new contents, never a torn mix. Used by the checkpoint
+/// store for generation files and by the cluster tier for its per-node
+/// epoch meta record. False -- with the tmp file best-effort deleted and
+/// `path` untouched -- when any step up to and including the rename fails.
+bool AtomicWriteFile(Storage& storage, const std::string& path,
+                     const std::string& bytes);
+
 /// In-memory storage: a map from path to contents. Implements the
 /// durability contract trivially (everything "synced" immediately); the
 /// fault injector layers crash/torn-write semantics on top of it. All

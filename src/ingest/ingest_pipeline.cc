@@ -729,6 +729,17 @@ std::vector<uint64_t> IngestPipeline::QueryMany(
   return snap.sketch->QueryMany(phis);
 }
 
+std::unique_ptr<QuantileSketch> IngestPipeline::CloneView(uint64_t* count) {
+  const QueryView::Snapshot snap = view_.Load();
+  if (snap.sketch == nullptr) return nullptr;
+  // Clone() walks the sketch's full state while concurrent Query() calls
+  // mutate lazy caches, so cloning serialises on the same query mutex.
+  std::lock_guard<std::mutex> lock(query_mutex_);
+  std::unique_ptr<QuantileSketch> clone = snap.sketch->Clone();
+  if (clone != nullptr && count != nullptr) *count = clone->Count();
+  return clone;
+}
+
 uint64_t IngestPipeline::PushedCount() const {
   return stats_.pushed.load(std::memory_order_acquire);
 }

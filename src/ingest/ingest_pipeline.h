@@ -189,6 +189,13 @@ class IngestPipeline {
   /// Batch quantile query against one consistent snapshot.
   std::vector<uint64_t> QueryMany(const std::vector<double>& phis);
 
+  /// Clones the currently published merged view into a private, mergeable
+  /// sketch (nullptr before the first publish). `count`, when non-null,
+  /// receives the clone's Count(). This is how the cluster tier builds
+  /// shipment snapshots: the clone is taken from the RCU view, so it never
+  /// blocks -- or is blocked by -- ingestion. Any thread.
+  std::unique_ptr<QuantileSketch> CloneView(uint64_t* count = nullptr);
+
   // --- durability -------------------------------------------------------
 
   /// Acknowledgement mark: every update with seq <= DurableSeq() is

@@ -33,6 +33,10 @@ const char* TracePointName(TracePoint p) {
     case TracePoint::kChannelSend: return "channel_send";
     case TracePoint::kChannelRecv: return "channel_recv";
     case TracePoint::kCrashDump: return "crash_dump";
+    case TracePoint::kClusterShip: return "cluster_ship";
+    case TracePoint::kClusterMerge: return "cluster_merge";
+    case TracePoint::kClusterProbe: return "cluster_probe";
+    case TracePoint::kClusterRecover: return "cluster_recover";
   }
   return "unknown";
 }
@@ -67,6 +71,11 @@ const char* TracePointCategory(TracePoint p) {
       return "monitor";
     case TracePoint::kCrashDump:
       return "obs";
+    case TracePoint::kClusterShip:
+    case TracePoint::kClusterMerge:
+    case TracePoint::kClusterProbe:
+    case TracePoint::kClusterRecover:
+      return "cluster";
   }
   return "obs";
 }

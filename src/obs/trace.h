@@ -79,7 +79,11 @@ enum class TracePoint : uint8_t {
   kChannelSend,        ///< instant: monitor channel send (arg: bytes)
   kChannelRecv,        ///< instant: monitor channel delivery (arg: bytes)
   kCrashDump,          ///< instant: flight-recorder dump written
-  kMaxValue = kCrashDump,
+  kClusterShip,        ///< node snapshot clone + frame + send (arg: epoch)
+  kClusterMerge,       ///< coordinator cross-node merge for a query (arg: nodes)
+  kClusterProbe,       ///< instant: coordinator staleness probe (arg: node)
+  kClusterRecover,     ///< node restart recovery + resync (arg: node)
+  kMaxValue = kClusterRecover,
 };
 
 enum class TracePhase : uint8_t {

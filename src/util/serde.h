@@ -145,6 +145,12 @@ enum class SnapshotType : uint16_t {
   kMonitorShipment = 32,
   kMonitorAck = 33,
   kSiteCheckpoint = 34,
+  // Cluster data path (src/cluster/): epoch-numbered summary shipments
+  // node -> coordinator, validated acks coordinator -> node, and the tiny
+  // per-node epoch<->seq meta record persisted beside the WAL.
+  kClusterShipment = 35,
+  kClusterAck = 36,
+  kClusterNodeMeta = 37,
   // Observability (src/obs/): a full MetricsRegistry snapshot.
   kMetricsRegistry = 48,
   // Durable ingest (src/durability/): an atomic pipeline checkpoint
