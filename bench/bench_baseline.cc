@@ -91,7 +91,7 @@ int Main(int argc, char** argv) {
 
   std::string json;
   json += "{\n";
-  json += "  \"schema_version\": 5,\n";
+  json += "  \"schema_version\": 6,\n";
   json += "  \"eps\": 0.01,\n";
   json += "  \"n\": " + std::to_string(n) + ",\n";
   json += "  \"rss_n\": " + std::to_string(rss_n) + ",\n";
@@ -124,20 +124,24 @@ int Main(int argc, char** argv) {
       const RunResult r =
           RunCashRegister(config, is_rss ? rss_data : data,
                           is_rss ? rss_oracle : oracle, reps);
-      std::fprintf(stderr, "  %-10s %10.1f ns/update  %9zu B  maxerr %.5f\n",
-                   r.algorithm.c_str(), r.ns_per_update, r.max_memory_bytes,
-                   r.max_error);
+      std::fprintf(stderr,
+                   "  %-10s %10.1f ns/update  %10.1f ns/update(batch)  "
+                   "%9zu B  maxerr %.5f\n",
+                   r.algorithm.c_str(), r.ns_per_update, r.ns_per_update_batch,
+                   r.max_memory_bytes, r.max_error);
 
       if (!first) json += ",\n";
       first = false;
-      char buf[256];
+      char buf[320];
       std::snprintf(buf, sizeof(buf),
                     "    {\"dataset\": %s, \"algorithm\": %s, "
-                    "\"ns_per_update\": %.3f, \"max_memory_bytes\": %zu, "
+                    "\"ns_per_update\": %.3f, \"ns_per_update_batch\": %.3f, "
+                    "\"max_memory_bytes\": %zu, "
                     "\"max_rank_error\": %.6f, \"avg_rank_error\": %.6f}",
                     JsonString(dataset.tag).c_str(),
                     JsonString(r.algorithm).c_str(), r.ns_per_update,
-                    r.max_memory_bytes, r.max_error, r.avg_error);
+                    r.ns_per_update_batch, r.max_memory_bytes, r.max_error,
+                    r.avg_error);
       json += buf;
     }
   }

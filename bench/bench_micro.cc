@@ -4,7 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "quantile/factory.h"
@@ -48,6 +50,28 @@ void BM_Update(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// Batched counterpart of BM_Update: whole spans through UpdateBatch, so the
+// per-item figure shows what the amortisation (one dispatch + one metrics
+// tick per span, SIMD interiors) buys over the item-wise NVI entry.
+void BM_UpdateBatch(benchmark::State& state) {
+  const auto algorithm = static_cast<Algorithm>(state.range(0));
+  const double eps = 1.0 / static_cast<double>(state.range(1));
+  const size_t span = static_cast<size_t>(state.range(2));
+  const auto& data = Data();
+  auto sketch = MakeSketch(Config(algorithm, eps));
+  size_t off = 0;
+  uint64_t items = 0;
+  for (auto _ : state) {
+    const size_t len = std::min(span, data.size() - off);
+    sketch->UpdateBatch(std::span<const uint64_t>(data.data() + off, len));
+    items += len;
+    off += len;
+    if (off == data.size()) off = 0;
+  }
+  state.SetLabel(AlgorithmName(algorithm));
+  state.SetItemsProcessed(static_cast<int64_t>(items));
+}
+
 void BM_Query(benchmark::State& state) {
   const auto algorithm = static_cast<Algorithm>(state.range(0));
   const double eps = 1.0 / static_cast<double>(state.range(1));
@@ -76,6 +100,14 @@ void RegisterAll() {
               .c_str(),
           BM_Update)
           ->Args({static_cast<int>(a), inv_eps});
+    }
+    for (int span : {256, 4096}) {
+      benchmark::RegisterBenchmark(
+          ("BM_UpdateBatch/" + AlgorithmName(a) + "/span_" +
+           std::to_string(span))
+              .c_str(),
+          BM_UpdateBatch)
+          ->Args({static_cast<int>(a), 1000, span});
     }
     benchmark::RegisterBenchmark(
         ("BM_Query/" + AlgorithmName(a)).c_str(), BM_Query)

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <span>
 
 namespace streamq::bench {
 
@@ -56,6 +57,7 @@ RunResult RunCashRegister(const SketchConfig& config,
   const int reps = IsRandomized(config.algorithm) ? repetitions : 1;
 
   double total_seconds = 0.0;
+  double total_batch_seconds = 0.0;
   size_t max_memory = 0;
   double sum_max_err = 0.0, sum_avg_err = 0.0;
 
@@ -71,6 +73,27 @@ RunResult RunCashRegister(const SketchConfig& config,
     for (uint64_t v : data) sketch->Insert(v);
     const auto stop = std::chrono::steady_clock::now();
     total_seconds += std::chrono::duration<double>(stop - start).count();
+
+    // Batched lane: the same stream through UpdateBatch in 4096-element
+    // spans, on a fresh sketch with the same seed. UpdateBatch is
+    // bit-identical to the item-wise loop, so the lanes share accuracy and
+    // memory; this lane measures only the amortisation (dispatch, metrics,
+    // SIMD interiors). Like the memory probe, it runs on the first rep
+    // only: the extra full pass would otherwise double RSS's multi-minute
+    // share of the baseline for a number whose rep-to-rep spread is noise.
+    if (rep == 0) {
+      auto batch_sketch = MakeSketch(cfg);
+      constexpr size_t kSpan = 4096;
+      const auto bstart = std::chrono::steady_clock::now();
+      for (size_t off = 0; off < data.size(); off += kSpan) {
+        const size_t len = std::min(kSpan, data.size() - off);
+        batch_sketch->UpdateBatch(
+            std::span<const uint64_t>(data.data() + off, len));
+      }
+      const auto bstop = std::chrono::steady_clock::now();
+      total_batch_seconds +=
+          std::chrono::duration<double>(bstop - bstart).count();
+    }
 
     // Re-run memory sampling on a fresh sketch only for the first rep (it
     // is deterministic enough across seeds and the timing loop above must
@@ -96,6 +119,8 @@ RunResult RunCashRegister(const SketchConfig& config,
 
   result.ns_per_update =
       total_seconds * 1e9 / (static_cast<double>(data.size()) * reps);
+  result.ns_per_update_batch =
+      total_batch_seconds * 1e9 / static_cast<double>(data.size());
   result.max_memory_bytes = max_memory;
   result.max_error = sum_max_err / reps;
   result.avg_error = sum_avg_err / reps;

@@ -41,6 +41,10 @@ struct RunResult {
   std::string algorithm;
   double eps = 0.0;
   double ns_per_update = 0.0;   // average wall-clock time per stream update
+  /// Same stream fed through UpdateBatch in 4096-element spans on a fresh
+  /// same-seed sketch (bit-identical state, so accuracy is shared with the
+  /// item-wise lane; only amortisation differs).
+  double ns_per_update_batch = 0.0;
   size_t max_memory_bytes = 0;  // maximum MemoryBytes() over the stream
   double max_error = 0.0;       // observed Kolmogorov-Smirnov divergence
   double avg_error = 0.0;       // observed average rank error

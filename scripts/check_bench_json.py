@@ -6,7 +6,7 @@ Usage:
                         [--threshold 0.20]
 
 Schema checks (always):
-  * top-level keys: schema_version (1..5), eps, n, rss_n, entries
+  * top-level keys: schema_version (1..6), eps, n, rss_n, entries
   * every entry has dataset/algorithm/ns_per_update/max_memory_bytes/
     max_rank_error/avg_rank_error with sane types and ranges
   * all expected (dataset, algorithm) cells are present, none duplicated
@@ -38,6 +38,14 @@ Schema checks (always):
     coordinator merge (query) latency, plus a failover point timing a
     killed node's recovery and resync. Timings are sanity-checked, never
     gated -- they depend on host thread scheduling
+  * schema_version 6 additionally requires ns_per_update_batch (> 0) in
+    every entry: the same stream fed through UpdateBatch in 4096-element
+    spans. This is the second timing this checker HARD-GATES, and only on
+    the single-thread lane (never on the multi-threaded sweeps, whose
+    numbers ride on scheduling): on the uniform-random dataset, the
+    amortised batch cost must stay under the BATCH_NS_GATES ceilings
+    (Random/MRL99 <= 5 ns/item, DCS <= 300 ns/item) -- the hot-path
+    speed campaign's acceptance bars
 
 Regression check (with --baseline): every cell's ns_per_update must stay
 within (1 + threshold) of the baseline's. Comparing a file against itself
@@ -106,7 +114,7 @@ def check_schema(doc, path):
             errors += fail(f"{path}: missing top-level key '{key}'")
     if errors:
         return errors, {}
-    if doc["schema_version"] not in (1, 2, 3, 4, 5):
+    if doc["schema_version"] not in (1, 2, 3, 4, 5, 6):
         errors += fail(f"{path}: unsupported schema_version {doc['schema_version']}")
     eps = doc["eps"]
     if not (isinstance(eps, float) and 0.0 < eps < 1.0):
@@ -143,6 +151,12 @@ def check_schema(doc, path):
             errors += fail(f"{where}: unknown algorithm {algorithm!r}")
         if not (isinstance(entry["ns_per_update"], (int, float)) and entry["ns_per_update"] > 0):
             errors += fail(f"{where}: ns_per_update must be > 0")
+        if doc["schema_version"] >= 6:
+            batch_ns = entry.get("ns_per_update_batch")
+            if not (isinstance(batch_ns, (int, float)) and batch_ns > 0):
+                errors += fail(
+                    f"{where}: schema_version 6 requires ns_per_update_batch > 0"
+                )
         if not (isinstance(entry["max_memory_bytes"], int) and entry["max_memory_bytes"] > 0):
             errors += fail(f"{where}: max_memory_bytes must be a positive integer")
         for k in ("max_rank_error", "avg_rank_error"):
@@ -189,7 +203,44 @@ def check_schema(doc, path):
             errors += fail(f"{path}: schema_version 5 requires 'cluster'")
         else:
             errors += check_cluster(doc["cluster"], path)
+    if doc["schema_version"] >= 6:
+        errors += check_batch_gates(cells, path)
     return errors, cells
+
+
+# Hard single-thread ceilings on the amortised batched-update cost
+# (ns/item through UpdateBatch in 4096-element spans), measured on the
+# uniform-random dataset. These are the hot-path speed campaign's
+# acceptance bars: the sampling summaries must amortise to a few ns/item
+# (block striding skips whole sampling blocks in O(1)), and DCS -- one
+# counter update per dyadic level, hashing vectorised -- must stay under
+# 300 ns. Absolute ceilings, not relative ones: a host too slow to meet
+# them is a host too slow to reproduce the paper's relative timings.
+# Multi-threaded sections are NEVER ns-gated (scheduling noise).
+BATCH_NS_GATES = {
+    "Random": 5.0,
+    "MRL99": 5.0,
+    "DCS": 300.0,
+}
+BATCH_GATE_DATASET = "uniform-random"
+
+
+def check_batch_gates(cells, path):
+    errors = 0
+    for algorithm, limit in BATCH_NS_GATES.items():
+        entry = cells.get((BATCH_GATE_DATASET, algorithm))
+        if entry is None:
+            continue  # absence already reported by the schema pass
+        batch_ns = entry.get("ns_per_update_batch")
+        if not isinstance(batch_ns, (int, float)):
+            continue  # type error already reported by the schema pass
+        if batch_ns > limit:
+            errors += fail(
+                f"{path}: {algorithm} on {BATCH_GATE_DATASET} spends "
+                f"{batch_ns:.2f} ns/item in batch mode "
+                f"(hard ceiling {limit:.0f} ns)"
+            )
+    return errors
 
 
 # Algorithms the ingest pipeline accepts: mergeable with a clone path.

@@ -1,17 +1,25 @@
 #!/usr/bin/env python3
-"""Fails when a repo markdown file references a file that does not exist.
+"""Fails when a repo markdown file references a file that does not exist,
+or when a source subsystem is documented nowhere.
 
 Usage: check_docs_links.py [REPO_ROOT]
 
-Scans the repo's top-level *.md files for references to repo files --
-markdown links, inline code spans like `src/obs/metrics.h`, and bare
-path-looking tokens -- and reports any that point at nothing on disk.
-Shorthand like `foo.h/.cc` expands into both files; paths ending in "/"
-must be directories; build outputs under build*/ are resolved relative to
-any configured build dir if one exists, and skipped otherwise (a fresh
-checkout has no build tree).
+Two checks:
 
-Exit code 0 = clean, 1 = dangling references (listed on stderr).
+1. Dangling references: scans the repo's top-level *.md files for
+   references to repo files -- markdown links, inline code spans like
+   `src/obs/metrics.h`, and bare path-looking tokens -- and reports any
+   that point at nothing on disk. Shorthand like `foo.h/.cc` expands into
+   both files; paths ending in "/" must be directories; build outputs
+   under build*/ are resolved relative to any configured build dir if one
+   exists, and skipped otherwise (a fresh checkout has no build tree).
+
+2. Orphan subsystems: every top-level directory under src/ must be
+   mentioned as `src/<name>` somewhere in DESIGN.md. A subsystem the
+   design document never names is either undocumented (fix DESIGN.md) or
+   dead (delete it); both are CI failures.
+
+Exit code 0 = clean, 1 = problems (listed on stderr).
 """
 
 import glob
@@ -60,14 +68,20 @@ def expand_shorthand(token):
 def candidate_dirs(root, md_path):
     # Paths in docs are written relative to the repo root (the dominant
     # convention), to src/ (the include-path convention of the C++ sources),
-    # or occasionally to the doc's own directory.
-    return [root, os.path.join(root, "src"), os.path.dirname(md_path)]
+    # to scripts/ (checker scripts are often named bare), or occasionally
+    # to the doc's own directory.
+    return [root, os.path.join(root, "src"), os.path.join(root, "scripts"),
+            os.path.dirname(md_path)]
 
 
 def exists_in_repo(root, md_path, token):
     if token.startswith("build/") or token.startswith("build-"):
         # Build outputs: a fresh checkout has no build tree, so these are
         # documentation of what a build *produces*, not checked-in files.
+        return True
+    if token.startswith("/"):
+        # Absolute paths describe the host environment (reference corpora,
+        # container mounts), not repo files; out of scope for this check.
         return True
     for base in candidate_dirs(root, md_path):
         full = os.path.join(base, token)
@@ -107,6 +121,23 @@ def check_file(root, md_path):
     return dangling
 
 
+def orphan_subsystems(root):
+    """Top-level src/ directories DESIGN.md never names as src/<name>."""
+    design = os.path.join(root, "DESIGN.md")
+    src = os.path.join(root, "src")
+    if not os.path.isfile(design) or not os.path.isdir(src):
+        return []
+    with open(design, "r", encoding="utf-8") as f:
+        text = f.read()
+    orphans = []
+    for name in sorted(os.listdir(src)):
+        if not os.path.isdir(os.path.join(src, name)):
+            continue
+        if f"src/{name}" not in text:
+            orphans.append(name)
+    return orphans
+
+
 def main():
     root = os.path.abspath(sys.argv[1]) if len(sys.argv) > 1 else os.getcwd()
     md_files = sorted(glob.glob(os.path.join(root, "*.md")))
@@ -119,12 +150,18 @@ def main():
     for md in md_files:
         dangling.extend(check_file(root, md))
 
-    if dangling:
+    orphans = orphan_subsystems(root)
+
+    if dangling or orphans:
         for md, path in dangling:
             print(f"check_docs_links: {os.path.relpath(md, root)} references "
                   f"missing file: {path}", file=sys.stderr)
+        for name in orphans:
+            print(f"check_docs_links: src/{name}/ is not documented in "
+                  f"DESIGN.md (orphan subsystem)", file=sys.stderr)
         return 1
-    print(f"check_docs_links: {len(md_files)} markdown files OK")
+    print(f"check_docs_links: {len(md_files)} markdown files OK, "
+          f"no orphan subsystems")
     return 0
 
 

@@ -29,6 +29,41 @@ uint64_t ApplyUpdate(QuantileSketch& sketch, uint64_t value, int64_t delta) {
   return rejected;
 }
 
+/// Applies entries[0..n) to `sketch` in order, feeding each maximal run of
+/// consecutive delta == +1 entries through the batched UpdateBatch entry
+/// point. UpdateBatch is bit-identical to the item-wise Insert loop, so the
+/// grouping only amortises virtual dispatch and metrics; any other delta
+/// falls back to ApplyUpdate one entry at a time. `value_of`/`delta_of`
+/// project the entry, `on_applied` sees the last entry of every applied
+/// group (durable mode advances applied_seq there), and `scratch` is
+/// reusable gather space for run values. Returns how many updates were
+/// refused.
+template <typename Entry, typename ValueFn, typename DeltaFn,
+          typename AppliedFn>
+uint64_t ApplyEntries(QuantileSketch& sketch, const Entry* entries, size_t n,
+                      std::vector<uint64_t>& scratch, ValueFn value_of,
+                      DeltaFn delta_of, AppliedFn on_applied) {
+  uint64_t rejected = 0;
+  size_t i = 0;
+  while (i < n) {
+    if (delta_of(entries[i]) == 1) {
+      scratch.clear();
+      do {
+        scratch.push_back(value_of(entries[i]));
+        ++i;
+      } while (i < n && delta_of(entries[i]) == 1);
+      rejected += sketch.UpdateBatch(
+          std::span<const uint64_t>(scratch.data(), scratch.size()));
+    } else {
+      rejected += ApplyUpdate(sketch, value_of(entries[i]),
+                              delta_of(entries[i]));
+      ++i;
+    }
+    on_applied(entries[i - 1]);
+  }
+  return rejected;
+}
+
 }  // namespace
 
 /// Per-shard durable state. `wal` is used by the shard worker only;
@@ -325,6 +360,44 @@ void IngestPipeline::Push(const Update& update) {
   stats_.pushed.fetch_add(1, std::memory_order_relaxed);
 }
 
+void IngestPipeline::PushBatch(std::span<const Update> updates) {
+  if (updates.empty()) return;
+  STREAMQ_TRACE_SPAN(obs::TracePoint::kPush, updates.size());
+  const uint64_t seq0 = next_seq_.load(std::memory_order_relaxed);
+  // One routing pass partitions the span into per-shard runs. Seqs are
+  // assigned in span order and appended in that order, so each run's seqs
+  // stay strictly increasing (the WAL invariant), and routing depends only
+  // on (seq, value), so a replayed or re-pushed batch lands on the same
+  // shards (see the sharding note in the header).
+  if (push_scratch_.size() != shards_.size()) {
+    push_scratch_.resize(shards_.size());
+  }
+  for (auto& run : push_scratch_) run.clear();
+  for (size_t k = 0; k < updates.size(); ++k) {
+    const uint64_t seq = seq0 + k;
+    const int shard_idx = router_.Route(seq, updates[k].value);
+    push_scratch_[static_cast<size_t>(shard_idx)].push_back(
+        SeqUpdate{seq, updates[k]});
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const std::vector<SeqUpdate>& run = push_scratch_[s];
+    if (run.empty()) continue;
+    Shard& shard = *shards_[s];
+    const size_t pushed = shard.ring.TryPushBatch(run.data(), run.size());
+    if (pushed < run.size()) {
+      PushBatchSlow(shard, static_cast<int>(s), run.data() + pushed,
+                    run.size() - pushed);
+    }
+    // Every shard's last_seq lands before the single next_seq_ advance
+    // below; see TryPush for the DurableSeq ordering argument (deferring
+    // the ceiling past ALL runs can only underclaim more, which is safe).
+    shard.stats.last_seq.store(run.back().seq, std::memory_order_release);
+    shard.stats.pushed.fetch_add(run.size(), std::memory_order_relaxed);
+  }
+  next_seq_.store(seq0 + updates.size(), std::memory_order_release);
+  stats_.pushed.fetch_add(updates.size(), std::memory_order_relaxed);
+}
+
 void IngestPipeline::PushSlow(Shard& shard, int shard_idx,
                               const SeqUpdate& item) {
   // Backpressure: the ring bounds memory, so a producer outrunning a
@@ -370,8 +443,63 @@ void IngestPipeline::PushSlow(Shard& shard, int shard_idx,
   ring_full_stall_ns_.Record(stall_ns);
 }
 
+void IngestPipeline::PushBatchSlow(Shard& shard, int shard_idx,
+                                   const SeqUpdate* items, size_t n) {
+  // Same backoff/watchdog contract as PushSlow, amortised over the rest of
+  // one shard run: the whole episode -- however many partial multi-slot
+  // pushes it takes -- ticks ring_full_stalls ONCE and records its total
+  // duration ONCE, so batched producers neither inflate nor starve the
+  // stall signal relative to item-wise ones. Progress resets the backoff
+  // ladder (a partial push means the worker is draining, so the next retry
+  // yields before it sleeps again) but not the episode.
+  STREAMQ_TRACE_SPAN(obs::TracePoint::kPushBackoff, shard_idx);
+  using Clock = std::chrono::steady_clock;
+  constexpr auto kMaxDelay = std::chrono::microseconds(1000);
+  constexpr auto kWatchdogPeriod = std::chrono::milliseconds(100);
+  constexpr int kYieldSpins = 16;
+  const Clock::time_point start = Clock::now();
+  Clock::time_point next_watchdog = start + kWatchdogPeriod;
+  auto delay = std::chrono::microseconds(1);
+  int spins = 0;
+  shard.stats.ring_full_stalls.fetch_add(1, std::memory_order_relaxed);
+  size_t done = 0;
+  while (done < n) {
+    const size_t pushed = shard.ring.TryPushBatch(items + done, n - done);
+    if (pushed > 0) {
+      done += pushed;
+      spins = 0;
+      delay = std::chrono::microseconds(1);
+      continue;
+    }
+    if (spins < kYieldSpins) {
+      ++spins;
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(delay);
+      delay = std::min(delay * 2, kMaxDelay);
+      const Clock::time_point now = Clock::now();
+      if (now >= next_watchdog) {
+        shard.stats.stall_watchdog_trips.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        STREAMQ_TRACE_INSTANT(obs::TracePoint::kStallWatchdog, shard_idx);
+        STREAMQ_TRACE_CRASH_DUMP("stall_watchdog");
+        next_watchdog = now + kWatchdogPeriod;
+      }
+    }
+  }
+  const uint64_t stall_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+  std::lock_guard<std::mutex> lock(stall_mutex_);
+  ring_full_stall_ns_.Record(stall_ns);
+}
+
 void IngestPipeline::WorkerLoop(Shard& shard) {
   std::vector<SeqUpdate> batch(options_.batch_size);
+  // Gather scratch for ApplyEntries' delta == +1 runs (reused per batch).
+  std::vector<uint64_t> apply_scratch;
+  apply_scratch.reserve(options_.batch_size);
 #if STREAMQ_DURABILITY_ENABLED
   const bool durable = shard.durable != nullptr;
   std::vector<durability::WalEntry> wal_batch;
@@ -425,10 +553,13 @@ void IngestPipeline::WorkerLoop(Shard& shard) {
         // A dead WAL stops acknowledging (durable_seq freezes) but the
         // pipeline keeps serving -- availability over durability.
         shard.durable->wal->AppendBatch(wal_batch.data(), wal_batch.size());
-        for (const durability::WalEntry& e : wal_batch) {
-          rejected += ApplyUpdate(*shard.sketch, e.value, e.delta);
-          shard.durable->applied_seq = e.seq;
-        }
+        rejected += ApplyEntries(
+            *shard.sketch, wal_batch.data(), wal_batch.size(), apply_scratch,
+            [](const durability::WalEntry& e) { return e.value; },
+            [](const durability::WalEntry& e) { return e.delta; },
+            [&shard](const durability::WalEntry& e) {
+              shard.durable->applied_seq = e.seq;
+            });
         shard.durable->since_sync += wal_batch.size();
         if (shard.durable->since_sync >=
             options_.durability.sync_interval) {
@@ -438,11 +569,13 @@ void IngestPipeline::WorkerLoop(Shard& shard) {
     } else
 #endif
     {
-      for (size_t i = 0; i < n; ++i) {
-        const Update& u = batch[i].update;
-        rejected +=
-            ApplyUpdate(*shard.sketch, u.value, static_cast<int64_t>(u.delta));
-      }
+      rejected += ApplyEntries(
+          *shard.sketch, batch.data(), n, apply_scratch,
+          [](const SeqUpdate& u) { return u.update.value; },
+          [](const SeqUpdate& u) {
+            return static_cast<int64_t>(u.update.delta);
+          },
+          [](const SeqUpdate&) {});
     }
     shard.stats.processed.fetch_add(n, std::memory_order_release);
     if (rejected != 0) {

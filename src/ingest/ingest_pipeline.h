@@ -62,6 +62,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -166,6 +167,20 @@ class IngestPipeline {
   /// stall trips the shard's stall watchdog counter, so a stuck consumer
   /// is observable instead of silently burning CPU. Single producer.
   void Push(const Update& update);
+
+  /// Blocking batch enqueue, equivalent to Push(updates[0..n)) in order but
+  /// amortising the per-update costs: the whole span is routed in one pass
+  /// into per-shard runs (seq order preserved within each shard, so WAL
+  /// seqs stay strictly increasing and replay routing is deterministic),
+  /// each run lands with multi-slot ring pushes (one Lamport handshake per
+  /// span instead of per element), and the producer-side counters advance
+  /// once per batch. A shard run that does not fit falls back to the same
+  /// capped-backoff slow path as Push; however many partial pushes one
+  /// episode takes, it is ticked ONCE in `ring_full_stalls` and its total
+  /// duration lands ONCE in the `ring_full_stall_ns` histogram, so batched
+  /// producers keep the same stall signal as item-wise ones. Single
+  /// producer.
+  void PushBatch(std::span<const Update> updates);
 
   /// Waits until every pushed update has been applied to its shard sketch
   /// -- and, in durable mode, is covered by the acknowledgement mark or
@@ -279,6 +294,12 @@ class IngestPipeline {
   void WorkerLoop(Shard& shard);
   /// Ring-full slow path of Push: backoff + stall accounting.
   void PushSlow(Shard& shard, int shard_idx, const SeqUpdate& item);
+  /// Ring-full slow path of PushBatch: pushes the remaining items[0..n) of
+  /// one shard run with the same backoff/watchdog contract as PushSlow,
+  /// counting the whole episode as one stall however many partial
+  /// multi-slot pushes it takes.
+  void PushBatchSlow(Shard& shard, int shard_idx, const SeqUpdate* items,
+                     size_t n);
   /// Clones the shard sketch into its snapshot slot (worker thread only).
   void PublishShardSnapshot(Shard& shard);
   /// Merges all shard snapshots into a fresh sketch and installs it into
@@ -304,6 +325,9 @@ class IngestPipeline {
   /// Next seq the producer will assign (producer-owned; atomic only so
   /// DurableSeq() may read it from other threads).
   std::atomic<uint64_t> next_seq_{1};
+  /// PushBatch partition scratch, one run per shard (producer-owned;
+  /// reused across batches so routing allocates only on growth).
+  std::vector<std::vector<SeqUpdate>> push_scratch_;
   RecoveryInfo recovery_;  // written by Create, immutable afterwards
   std::unique_ptr<PipelineDurable> durable_;  // null when durability off
 

@@ -63,6 +63,29 @@ class SpscRing {
     return true;
   }
 
+  /// Producer side, multi-slot: enqueues as many of values[0..n) as fit
+  /// (front first, order preserved) and returns the number enqueued --
+  /// possibly 0 (ring full) or less than n (partial push; the caller
+  /// retries the tail of the batch, typically after a backoff). One
+  /// cached-head check and ONE releasing tail_ store cover the whole span,
+  /// amortising the Lamport handshake over the batch; the single release
+  /// still publishes every slot write to the consumer.
+  size_t TryPushBatch(const T* values, size_t n) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t free = slots_.size() - (tail - cached_head_);
+    if (free < n) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = slots_.size() - (tail - cached_head_);
+      if (free == 0) return 0;
+    }
+    const size_t take = n < free ? n : static_cast<size_t>(free);
+    for (size_t i = 0; i < take; ++i) {
+      slots_[(tail + i) & mask_] = values[i];
+    }
+    tail_.store(tail + take, std::memory_order_release);
+    return take;
+  }
+
   /// Consumer side: dequeues up to `max` elements into `out`, returning the
   /// number dequeued (0 when empty). Draining in batches amortises the
   /// producer-index load and the head_ publication over the whole batch.

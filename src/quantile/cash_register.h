@@ -59,6 +59,13 @@ class GkTheory : public QuantileSketch {
     impl_.Insert(value);
     return StreamqStatus::kOk;
   }
+  // Comparison-based summary: every value is accepted, so the batch entry
+  // only amortizes the virtual dispatch and metrics (the tuple-list insert
+  // itself has no batch shortcut).
+  size_t InsertBatchImpl(const uint64_t* values, size_t n) override {
+    for (size_t i = 0; i < n; ++i) impl_.Insert(values[i]);
+    return 0;
+  }
   uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
   std::vector<uint64_t> QueryManyImpl(
       const std::vector<double>& phis) override {
@@ -106,6 +113,11 @@ class GkAdaptive : public QuantileSketch {
     impl_.Insert(value);
     return StreamqStatus::kOk;
   }
+  // As for GkTheory: batch amortizes dispatch + metrics only.
+  size_t InsertBatchImpl(const uint64_t* values, size_t n) override {
+    for (size_t i = 0; i < n; ++i) impl_.Insert(values[i]);
+    return 0;
+  }
   uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
   std::vector<uint64_t> QueryManyImpl(
       const std::vector<double>& phis) override {
@@ -152,6 +164,12 @@ class GkArray : public QuantileSketch {
   StreamqStatus InsertImpl(uint64_t value) override {
     impl_.Insert(value);
     return StreamqStatus::kOk;
+  }
+  // Bulk-appends into the insert buffer with the same flush points as the
+  // item-wise loop (GkArrayImpl::InsertBatch).
+  size_t InsertBatchImpl(const uint64_t* values, size_t n) override {
+    impl_.InsertBatch(values, n);
+    return 0;
   }
   uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
   std::vector<uint64_t> QueryManyImpl(
@@ -211,6 +229,12 @@ class RandomSketch : public QuantileSketch {
   StreamqStatus InsertImpl(uint64_t value) override {
     impl_.Insert(value);
     return StreamqStatus::kOk;
+  }
+  // Strides over whole sampling blocks, consuming the PRNG exactly as the
+  // item-wise loop would (RandomSketchImpl::InsertBatch).
+  size_t InsertBatchImpl(const uint64_t* values, size_t n) override {
+    impl_.InsertBatch(values, n);
+    return 0;
   }
   uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
   std::vector<uint64_t> QueryManyImpl(
@@ -282,6 +306,12 @@ class Mrl99 : public QuantileSketch {
   StreamqStatus InsertImpl(uint64_t value) override {
     impl_.Insert(value);
     return StreamqStatus::kOk;
+  }
+  // Strides over whole weighted blocks, same PRNG consumption as item-wise
+  // (Mrl99Impl::InsertBatch).
+  size_t InsertBatchImpl(const uint64_t* values, size_t n) override {
+    impl_.InsertBatch(values, n);
+    return 0;
   }
   uint64_t QueryImpl(double phi) override { return impl_.Query(phi); }
   std::vector<uint64_t> QueryManyImpl(

@@ -30,6 +30,40 @@ StreamqStatus DyadicQuantileBase::ApplyUpdate(uint64_t value, int64_t delta) {
   return StreamqStatus::kOk;
 }
 
+size_t DyadicQuantileBase::InsertBatchImpl(const uint64_t* values, size_t n) {
+  // Chunked so the scratch stays cache-resident however large the caller's
+  // batch is. Within a chunk the accepted values visit the levels in level-
+  // major order; the estimators are linear (counter adds commute), so the
+  // final state matches the item-wise value-major loop bit-for-bit.
+  constexpr size_t kChunk = 4096;
+  const bool bounded = log_u_ < 64;
+  const uint64_t limit = bounded ? (uint64_t{1} << log_u_) : 0;
+  size_t rejected = 0;
+  batch_scratch_.reserve(std::min(n, kChunk));
+  for (size_t off = 0; off < n; off += kChunk) {
+    const size_t m = std::min(kChunk, n - off);
+    batch_scratch_.clear();
+    for (size_t j = 0; j < m; ++j) {
+      const uint64_t v = values[off + j];
+      if (bounded && v >= limit) {
+        ++rejected;
+      } else {
+        batch_scratch_.push_back(v);
+      }
+    }
+    if (batch_scratch_.empty()) continue;
+    n_ += static_cast<int64_t>(batch_scratch_.size());
+    for (int i = 0; i < log_u_; ++i) {
+      levels_[i]->UpdateBatch(batch_scratch_.data(), batch_scratch_.size(),
+                              +1);
+      if (i + 1 < log_u_) {
+        for (uint64_t& v : batch_scratch_) v >>= 1;
+      }
+    }
+  }
+  return rejected;
+}
+
 StreamqStatus DyadicQuantileBase::MergeCompatibility(
     const QuantileSketch& other) const {
   // typeid (not dynamic_cast) so a DCM never absorbs a DCS or RSS sibling

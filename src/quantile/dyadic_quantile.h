@@ -74,6 +74,13 @@ class DyadicQuantileBase : public QuantileSketch {
     return ApplyUpdate(value, -1);
   }
 
+  /// Batched insert: filter in-universe values into a scratch chunk, then
+  /// feed each level's estimator the whole chunk at once (the estimators
+  /// are linear, so per-level reordering leaves identical counters). The
+  /// level-i item is value >> i, maintained by shifting the chunk in place
+  /// between levels.
+  size_t InsertBatchImpl(const uint64_t* values, size_t n) override;
+
   /// The paper's quantile query: binary search over [u] for the largest
   /// value whose estimated rank (sum over the dyadic decomposition, one
   /// estimate per level) stays below phi*n. Unbiased per-level estimators
@@ -98,6 +105,7 @@ class DyadicQuantileBase : public QuantileSketch {
   int depth_ = 0;
   uint64_t seed_ = 0;
   std::vector<std::unique_ptr<FrequencyEstimator>> levels_;  // [0, log_u)
+  std::vector<uint64_t> batch_scratch_;  // InsertBatchImpl working chunk
 };
 
 /// DCM: Dyadic Count-Min (Cormode & Muthukrishnan). Per-level width

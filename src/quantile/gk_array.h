@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "obs/sketch_metrics.h"
+#include "util/branchless.h"
 #include "util/memory.h"
 #include "util/serde.h"
 
@@ -43,6 +44,26 @@ class GkArrayImpl {
   void Insert(const T& v) {
     buffer_.push_back(v);
     if (buffer_.size() >= BufferCapacity()) Flush();
+  }
+
+  /// Inserts values[0..n) in order, bit-identically to the item-wise loop:
+  /// the buffer is bulk-appended up to exactly the flush boundary the
+  /// per-item path would hit, so every Flush sees the same buffer contents
+  /// (and hence produces the same summary).
+  void InsertBatch(const T* values, size_t n) {
+    size_t i = 0;
+    while (i < n) {
+      const size_t cap = BufferCapacity();
+      if (buffer_.size() >= cap) {  // defensive; Insert() flushes at cap
+        buffer_.push_back(values[i++]);
+        if (buffer_.size() >= BufferCapacity()) Flush();
+        continue;
+      }
+      const size_t take = std::min(cap - buffer_.size(), n - i);
+      buffer_.insert(buffer_.end(), values + i, values + i + take);
+      i += take;
+      if (buffer_.size() >= cap) Flush();
+    }
   }
 
   T Query(double phi) {
@@ -174,24 +195,32 @@ class GkArrayImpl {
       }
     };
 
-    while (si < summary_.size() || bi < buffer_.size()) {
-      // Summary tuples win ties so that a buffer element equal to a summary
-      // value takes the strictly-greater tuple as its successor.
-      const bool take_buffer =
-          si == summary_.size() ||
-          (bi < buffer_.size() && less(buffer_[bi], summary_[si].v));
-      if (take_buffer) {
-        ++cur_n;
-        Tuple t;
-        t.v = buffer_[bi++];
-        t.g = 1;
-        t.delta = si < summary_.size()
-                      ? summary_[si].g + summary_[si].delta - 1
-                      : 0;  // new maximum: rank known exactly
-        emit(t, /*removable_candidate=*/true);
-      } else {
-        emit(summary_[si++], /*removable_candidate=*/true);
+    // Merge walk, restructured around a branch-free binary search: for each
+    // buffer element, the run of summary tuples preceding it ends at its
+    // upper bound (summary wins ties, so tuples with value <= the element
+    // come first). The emit sequence -- and therefore the folded output --
+    // is identical to the element-at-a-time two-way merge, but the control
+    // flow is driven by log-depth cmov probes instead of one value
+    // comparison branch per tuple.
+    while (bi < buffer_.size()) {
+      const size_t run_end =
+          si + BranchlessUpperBound(
+                   summary_.data() + si, summary_.size() - si, buffer_[bi],
+                   [&](const T& v, const Tuple& t) { return less(v, t.v); });
+      for (; si < run_end; ++si) {
+        emit(summary_[si], /*removable_candidate=*/true);
       }
+      ++cur_n;
+      Tuple t;
+      t.v = buffer_[bi++];
+      t.g = 1;
+      t.delta = si < summary_.size()
+                    ? summary_[si].g + summary_[si].delta - 1
+                    : 0;  // new maximum: rank known exactly
+      emit(t, /*removable_candidate=*/true);
+    }
+    for (; si < summary_.size(); ++si) {
+      emit(summary_[si], /*removable_candidate=*/true);
     }
     if (has_pending) out.push_back(pending);
     summary_.swap(out);

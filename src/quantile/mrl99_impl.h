@@ -24,14 +24,17 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "obs/sketch_metrics.h"
 #include "quantile/weighted_sample.h"
 #include "util/bits.h"
 #include "util/memory.h"
+#include "util/radix_sort.h"
 #include "util/random.h"
 #include "util/serde.h"
+#include "util/simd.h"
 
 namespace streamq {
 
@@ -45,6 +48,8 @@ class Mrl99Impl {
                                  std::ceil(0.5 * inv_eps * std::max(1, h_))));
     buffers_.resize(static_cast<size_t>(h_) + 1);
     for (Buffer& b : buffers_) b.data.reserve(k_);
+    scratch_pool_.reserve(2 * k_);
+    scratch_pool2_.reserve(2 * k_);
   }
 
   void Insert(const T& v) {
@@ -52,20 +57,76 @@ class Mrl99Impl {
     if (fill_ < 0) AcquireFillBuffer();
     Buffer& buf = buffers_[fill_];
     // One uniform choice per weight-sized block, drawn up front (see
-    // random_impl.h).
+    // random_impl.h). The fill buffer always has weight 1 << level
+    // (AcquireFillBuffer), so the pow2 draw is exact.
     if (block_seen_ == 0) {
-      block_pick_ = rng_.Below(static_cast<uint64_t>(buf.weight));
+      assert(buf.weight == int64_t{1} << buf.level);
+      block_pick_ = rng_.BelowPow2(static_cast<unsigned>(buf.level));
     }
     if (block_seen_ == block_pick_) block_choice_ = v;
     ++block_seen_;
     if (block_seen_ == static_cast<uint64_t>(buf.weight)) {
       buf.data.push_back(block_choice_);
       block_seen_ = 0;
-      if (buf.data.size() == k_) {
-        std::sort(buf.data.begin(), buf.data.end(), Less());
-        buf.full = true;
-        fill_ = -1;
-        if (!AnyEmpty()) Collapse();
+      if (buf.data.size() == k_) CompleteFill(buf);
+    }
+  }
+
+  /// Inserts values[0..n) in order, bit-identically to the item-wise loop
+  /// (same buffer fills, same PRNG draws) in O(1) work per weighted block:
+  /// only the picked element of each block is read, as in
+  /// RandomSketchImpl::InsertBatch.
+  void InsertBatch(const T* values, size_t n) {
+    size_t i = 0;
+    while (i < n) {
+      if (fill_ < 0) {
+        // Mirror the item-wise ordering: AcquireFillBuffer runs after the
+        // ++n_ of its triggering element (ActiveLevel reads n_).
+        ++n_;
+        AcquireFillBuffer();
+        --n_;
+      }
+      Buffer& buf = buffers_[fill_];
+      const uint64_t block = static_cast<uint64_t>(buf.weight);
+      if (block_seen_ == 0 && n - i >= block) {
+        // Whole-block fast loop, as in RandomSketchImpl::InsertBatch: one
+        // register-resident PRNG draw and one element load per complete
+        // block, with the draw order matching the item-wise loop exactly.
+        const unsigned lvl = static_cast<unsigned>(buf.level);
+        const size_t nb = static_cast<size_t>(std::min<uint64_t>(
+            (n - i) >> lvl, static_cast<uint64_t>(k_ - buf.data.size())));
+        const size_t old_size = buf.data.size();
+        buf.data.resize(old_size + nb);
+        T* out = buf.data.data() + old_size;
+        Xoshiro256 rng = rng_;  // keep the generator state in registers
+        uint64_t pick = 0;
+        for (size_t j = 0; j < nb; ++j) {
+          pick = rng.BelowPow2(lvl);
+          out[j] = values[i + (j << lvl) + pick];
+        }
+        rng_ = rng;
+        block_pick_ = pick;
+        block_choice_ = out[nb - 1];
+        i += nb << lvl;
+        n_ += nb << lvl;
+        if (buf.data.size() == k_) CompleteFill(buf);
+        continue;  // partial trailing block falls through to the slow path
+      }
+      if (block_seen_ == 0) {
+        block_pick_ = rng_.BelowPow2(static_cast<unsigned>(buf.level));
+      }
+      const uint64_t take = std::min<uint64_t>(block - block_seen_,
+                                               static_cast<uint64_t>(n - i));
+      // One pick test per span; unsigned wrap rejects already-passed picks.
+      const uint64_t rel = block_pick_ - block_seen_;
+      if (rel < take) block_choice_ = values[i + rel];
+      block_seen_ += take;
+      n_ += take;
+      i += static_cast<size_t>(take);
+      if (block_seen_ == block) {
+        buf.data.push_back(block_choice_);
+        block_seen_ = 0;
+        if (buf.data.size() == k_) CompleteFill(buf);
       }
     }
   }
@@ -234,6 +295,29 @@ class Mrl99Impl {
     return false;
   }
 
+  // Sorts a completed buffer: radix sort for uint64 keys (identical
+  // ascending output, see util/radix_sort.h), comparison sort otherwise.
+  // The COLLAPSE scratch doubles as radix scratch -- it is idle here.
+  void SortBuffer(std::vector<T>& data) {
+    if constexpr (std::is_same_v<T, uint64_t> &&
+                  std::is_same_v<Less, std::less<uint64_t>>) {
+      scratch_pool_.resize(data.size());
+      RadixSortU64(data.data(), data.size(), scratch_pool_.data());
+    } else {
+      std::sort(data.begin(), data.end(), Less());
+    }
+  }
+
+  // Fill buffer reached k_ elements: sort it, mark it full, and collapse if
+  // every buffer is now occupied. Shared by Insert and both InsertBatch
+  // paths so the three sites cannot drift.
+  void CompleteFill(Buffer& buf) {
+    SortBuffer(buf.data);
+    buf.full = true;
+    fill_ = -1;
+    if (!AnyEmpty()) Collapse();
+  }
+
   void AcquireFillBuffer() {
     for (size_t i = 0; i < buffers_.size(); ++i) {
       if (buffers_[i].Empty()) {
@@ -284,35 +368,124 @@ class Mrl99Impl {
   // bufs[chosen[0]] at `out_level`; the other chosen buffers become empty.
   void CollapseGroup(std::vector<Buffer>& bufs, const std::vector<int>& chosen,
                      int out_level) {
-    std::vector<WeightedElement<T>> pool;
     int64_t total_weight = 0;
+    bool equal_weights = true;
+    const int64_t we = bufs[chosen[0]].weight;  // per-element weight
     for (int idx : chosen) {
-      const Buffer& b = bufs[idx];
-      total_weight += b.weight;
-      for (const T& v : b.data) pool.push_back({v, b.weight});
+      total_weight += bufs[idx].weight;
+      equal_weights &= bufs[idx].weight == we;
     }
-    Less less;
-    std::sort(pool.begin(), pool.end(),
-              [&](const WeightedElement<T>& a, const WeightedElement<T>& b) {
-                return less(a.value, b.value);
-              });
     const int64_t w = total_weight;
-    const int64_t offset = static_cast<int64_t>(rng_.Below(static_cast<uint64_t>(w)));
-    std::vector<T> kept;
-    kept.reserve(k_);
-    int64_t pos = 0;          // weighted position of the current element start
-    int64_t next_pick = offset;
-    for (const WeightedElement<T>& e : pool) {
-      while (next_pick < pos + e.weight &&
-             kept.size() < k_) {
-        kept.push_back(e.value);
-        next_pick += w;
+    Buffer& out = bufs[chosen[0]];
+    if (equal_weights) {
+      // All chosen buffers sit at one level (the streaming COLLAPSE always
+      // does; only a widened merge-time group mixes weights). Every element
+      // then spans exactly `we` weighted positions, so the evenly spaced
+      // picks at offset + j*w land on sorted-value indices
+      // offset/we + j*(w/we): a plain strided selection, no weighted walk.
+      // Allocation-free while streaming: the pooled elements land in the
+      // pre-reserved scratch and the kept subsequence is decimated straight
+      // into the output buffer. Same elements, same PRNG draws as the
+      // temporary-vector version it replaced.
+      // Pool the chosen buffers in ascending order. A streaming COLLAPSE
+      // often takes *every* buffer at the lowest level (7-8 of them), so
+      // the branchy comparison work has to go: a two-buffer group is a
+      // single linear merge of its sorted inputs, and a wider group
+      // radix-sorts the concatenation (linear passes, data-independent).
+      // Either way the pooled sequence is the identical ascending multiset
+      // the historical sort produced. The generic-T path keeps that sort.
+      if constexpr (std::is_same_v<T, uint64_t> &&
+                    std::is_same_v<Less, std::less<uint64_t>>) {
+        if (chosen.size() == 2) {
+          const std::vector<T>& d0 = bufs[chosen[0]].data;
+          const std::vector<T>& d1 = bufs[chosen[1]].data;
+          scratch_pool_.resize(d0.size() + d1.size());
+          std::merge(d0.begin(), d0.end(), d1.begin(), d1.end(),
+                     scratch_pool_.begin(), Less());
+        } else {
+          scratch_pool_.clear();
+          for (int idx : chosen) {
+            const Buffer& b = bufs[idx];
+            scratch_pool_.insert(scratch_pool_.end(), b.data.begin(),
+                                 b.data.end());
+          }
+          scratch_pool2_.resize(scratch_pool_.size());
+          RadixSortU64(scratch_pool_.data(), scratch_pool_.size(),
+                       scratch_pool2_.data());
+        }
+      } else {
+        scratch_pool_.clear();
+        for (int idx : chosen) {
+          const Buffer& b = bufs[idx];
+          scratch_pool_.insert(scratch_pool_.end(), b.data.begin(),
+                               b.data.end());
+        }
+        std::sort(scratch_pool_.begin(), scratch_pool_.end(), Less());
       }
-      pos += e.weight;
+      const int64_t offset =
+          static_cast<int64_t>(rng_.Below(static_cast<uint64_t>(w)));
+      const size_t first = static_cast<size_t>(offset / we);
+      const size_t stride = static_cast<size_t>(w / we);  // = chosen.size()
+      size_t count = 0;
+      if (first < scratch_pool_.size()) {
+        count = (scratch_pool_.size() - first + stride - 1) / stride;
+        if (count > k_) count = k_;
+      }
+      out.data.resize(count);
+      if constexpr (std::is_same_v<T, uint64_t>) {
+        simd::DecimateStride(scratch_pool_.data(), scratch_pool_.size(),
+                             first, stride, out.data.data(), count);
+      } else {
+        for (size_t i = 0; i < count; ++i) {
+          out.data[i] = scratch_pool_[first + i * stride];
+        }
+      }
+    } else {
+      std::vector<T> kept;
+      kept.reserve(k_);
+      // Value-order the weighted pool. Tie order between equal values from
+      // different buffers does not matter: a group of equal values occupies
+      // one contiguous weighted interval whose start depends only on the
+      // weight of strictly smaller values, and every pick inside it appends
+      // that same value -- any value-ordered arrangement yields the
+      // identical kept sequence. uint64 keys therefore use the keyed radix
+      // sort (linear, data-independent); other types the comparison sort.
+      size_t total = 0;
+      for (int idx : chosen) total += bufs[idx].data.size();
+      std::vector<WeightedElement<T>> pool;
+      pool.reserve(total);
+      for (int idx : chosen) {
+        const Buffer& b = bufs[idx];
+        for (const T& v : b.data) pool.push_back({v, b.weight});
+      }
+      if constexpr (std::is_same_v<T, uint64_t> &&
+                    std::is_same_v<Less, std::less<uint64_t>>) {
+        std::vector<WeightedElement<T>> tmp(pool.size());
+        RadixSortByKeyU64(pool.data(), pool.size(), tmp.data(),
+                          [](const WeightedElement<T>& e) { return e.value; });
+      } else {
+        Less less;
+        std::sort(pool.begin(), pool.end(),
+                  [&](const WeightedElement<T>& a,
+                      const WeightedElement<T>& b) {
+                    return less(a.value, b.value);
+                  });
+      }
+      const int64_t offset =
+          static_cast<int64_t>(rng_.Below(static_cast<uint64_t>(w)));
+      int64_t pos = 0;  // weighted position of the current element start
+      int64_t next_pick = offset;
+      for (const WeightedElement<T>& e : pool) {
+        while (next_pick < pos + e.weight &&
+               kept.size() < k_) {
+          kept.push_back(e.value);
+          next_pick += w;
+        }
+        pos += e.weight;
+      }
+      out.data = std::move(kept);
     }
 
-    Buffer& out = bufs[chosen[0]];
-    out.data = std::move(kept);
     out.weight = w;
     out.level = out_level;
     out.full = true;
@@ -353,6 +526,13 @@ class Mrl99Impl {
   uint64_t block_pick_ = 0;
   T block_choice_{};
   std::vector<Buffer> buffers_;
+  // COLLAPSE scratch (working memory, not summary state -- MemoryBytes
+  // counts the summary only, as it did when these were per-collapse
+  // temporaries); reserved for the common two-buffer group, grows if a
+  // merge-time group is wider. The second vector is the merge ping-pong
+  // target; the first doubles as the fill-sort radix scratch.
+  std::vector<T> scratch_pool_;
+  std::vector<T> scratch_pool2_;
   mutable Xoshiro256 rng_;
   obs::SketchMetrics* metrics_ = nullptr;
 };

@@ -36,6 +36,15 @@ StreamqStatus DcsPost::InsertImpl(uint64_t value) {
   return status;
 }
 
+size_t DcsPost::InsertBatchImpl(const uint64_t* values, size_t n) {
+  // Delegates to the inner DCS batch path (the inner sketch counts its own
+  // metrics, as in InsertImpl); any accepted element invalidates the
+  // finalized tree.
+  const size_t rejected = dcs_->UpdateBatch(std::span(values, n));
+  if (rejected < n) dirty_ = true;
+  return rejected;
+}
+
 StreamqStatus DcsPost::EraseImpl(uint64_t value) {
   const StreamqStatus status = dcs_->Erase(value);
   if (status == StreamqStatus::kOk) dirty_ = true;

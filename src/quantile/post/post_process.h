@@ -52,6 +52,7 @@ class DcsPost : public QuantileSketch {
 
  protected:
   StreamqStatus InsertImpl(uint64_t value) override;
+  size_t InsertBatchImpl(const uint64_t* values, size_t n) override;
   StreamqStatus EraseImpl(uint64_t value) override;
   uint64_t QueryImpl(double phi) override;
 

@@ -18,6 +18,14 @@ const char* StreamqStatusName(StreamqStatus status) {
   return "unknown";
 }
 
+size_t QuantileSketch::InsertBatchImpl(const uint64_t* values, size_t n) {
+  size_t rejected = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (InsertImpl(values[i]) != StreamqStatus::kOk) ++rejected;
+  }
+  return rejected;
+}
+
 StreamqStatus QuantileSketch::EraseImpl(uint64_t /*value*/) {
   // Cash-register summaries do not support deletions; refusing is part of
   // the contract, not a programming error, so no abort.

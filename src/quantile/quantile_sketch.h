@@ -3,8 +3,10 @@
 #ifndef STREAMQ_QUANTILE_QUANTILE_SKETCH_H_
 #define STREAMQ_QUANTILE_QUANTILE_SKETCH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -79,6 +81,35 @@ class QuantileSketch {
       metrics_.rejected.Inc();
     }
     return status;
+  }
+
+  /// Inserts a batch of values, in order, as if by calling Insert() on each
+  /// element of `values` front to back.
+  ///
+  /// Preconditions: none (any values, any length including 0).
+  /// Returns the number of rejected elements (0 means the whole batch was
+  /// accepted). Rejection is per element and independent -- a rejected
+  /// element (e.g. out-of-universe on a fixed-universe summary) leaves the
+  /// summary exactly as if that element had been skipped; the rest of the
+  /// batch is still applied. The resulting summary state is bit-identical
+  /// to the item-wise loop (same compaction points, same RNG draws), which
+  /// the batch property tests assert for every algorithm.
+  ///
+  /// Metrics are counted once per batch (`values.size() - rejected` into
+  /// inserts, `rejected` into rejected) and one trace instant covers the
+  /// whole batch -- this, plus one virtual dispatch per batch instead of
+  /// per item, is the NVI-level amortization; concrete summaries override
+  /// InsertBatchImpl to amortize their interiors too (DESIGN.md section 14).
+  size_t UpdateBatch(std::span<const uint64_t> values) {
+    if (values.empty()) return 0;
+    STREAMQ_TRACE_INSTANT(obs::TracePoint::kSketchUpdate,
+                          static_cast<uint64_t>(values.size()));
+    const size_t rejected = InsertBatchImpl(values.data(), values.size());
+    metrics_.inserts.Add(static_cast<uint64_t>(values.size() - rejected));
+    if (rejected != 0) {
+      metrics_.rejected.Add(static_cast<uint64_t>(rejected));
+    }
+    return rejected;
   }
 
   /// Deletes one previously inserted occurrence of value.
@@ -215,6 +246,13 @@ class QuantileSketch {
  protected:
   /// Insertion with metrics accounting handled by the caller (Insert).
   virtual StreamqStatus InsertImpl(uint64_t value) = 0;
+
+  /// Batch insertion with metrics accounting handled by the caller
+  /// (UpdateBatch); returns the number of rejected elements. The default
+  /// loops over InsertImpl -- already amortizing dispatch and metrics --
+  /// and overrides must preserve bit-identity with that loop (same state,
+  /// same compaction boundaries, same RNG consumption). `n` is >= 1.
+  virtual size_t InsertBatchImpl(const uint64_t* values, size_t n);
 
   /// Deletion; the default refuses (cash-register model).
   virtual StreamqStatus EraseImpl(uint64_t value);

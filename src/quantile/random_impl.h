@@ -24,14 +24,17 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "obs/sketch_metrics.h"
 #include "quantile/weighted_sample.h"
 #include "util/bits.h"
 #include "util/memory.h"
+#include "util/radix_sort.h"
 #include "util/random.h"
 #include "util/serde.h"
+#include "util/simd.h"
 
 namespace streamq {
 
@@ -45,6 +48,8 @@ class RandomSketchImpl {
     s_ = std::max<size_t>(8, static_cast<size_t>(std::ceil(inv_eps * root)));
     buffers_.resize(static_cast<size_t>(h_) + 1);
     for (Buffer& b : buffers_) b.data.reserve(s_);
+    scratch_lift_.reserve(s_);
+    scratch_merge_.reserve(2 * s_);
   }
 
   /// Optional instrumentation hook (owned by the wrapping QuantileSketch);
@@ -59,18 +64,76 @@ class RandomSketchImpl {
     // skipped elements cost no randomness, so the per-element update time
     // *drops* as the sampling rate rises (the paper's Fig. 7a observation).
     if (block_seen_ == 0) {
-      block_pick_ = rng_.Below(uint64_t{1} << buf.level);
+      block_pick_ = rng_.BelowPow2(static_cast<unsigned>(buf.level));
     }
     if (block_seen_ == block_pick_) block_choice_ = v;
     ++block_seen_;
     if (block_seen_ == (uint64_t{1} << buf.level)) {
       buf.data.push_back(block_choice_);
       block_seen_ = 0;
-      if (buf.data.size() == s_) {
-        std::sort(buf.data.begin(), buf.data.end(), Less());
-        buf.full = true;
-        fill_ = -1;
-        if (!AnyEmpty()) MergeOnce();
+      if (buf.data.size() == s_) CompleteFill(buf);
+    }
+  }
+
+  /// Inserts values[0..n) in order, bit-identically to calling Insert() on
+  /// each (same buffer fills, same PRNG draws), but in O(1) work per whole
+  /// sampling block: within a block of 2^level elements only the one picked
+  /// element is ever read, so at high levels the amortized per-item cost
+  /// approaches a pointer bump -- the batch-mode headline of this summary.
+  void InsertBatch(const T* values, size_t n) {
+    size_t i = 0;
+    while (i < n) {
+      if (fill_ < 0) {
+        // Item-wise, AcquireFillBuffer runs after the ++n_ of its
+        // triggering element; mirror that so ActiveLevel() sees the same
+        // count (the element itself is re-counted with its span below).
+        ++n_;
+        AcquireFillBuffer();
+        --n_;
+      }
+      Buffer& buf = buffers_[fill_];
+      const uint64_t block = uint64_t{1} << buf.level;
+      if (block_seen_ == 0 && n - i >= block) {
+        // Whole-block fast loop: every complete sampling block the span
+        // covers costs one register-resident PRNG draw and one element
+        // load -- no span-splitting state is touched (block_seen_ stays 0),
+        // and the draws, picks, and buffer fills land exactly as item-wise.
+        const unsigned lvl = static_cast<unsigned>(buf.level);
+        const size_t nb = static_cast<size_t>(std::min<uint64_t>(
+            (n - i) >> lvl, static_cast<uint64_t>(s_ - buf.data.size())));
+        const size_t old_size = buf.data.size();
+        buf.data.resize(old_size + nb);
+        T* out = buf.data.data() + old_size;
+        Xoshiro256 rng = rng_;  // keep the generator state in registers
+        uint64_t pick = 0;
+        for (size_t j = 0; j < nb; ++j) {
+          pick = rng.BelowPow2(lvl);
+          out[j] = values[i + (j << lvl) + pick];
+        }
+        rng_ = rng;
+        block_pick_ = pick;
+        block_choice_ = out[nb - 1];
+        i += nb << lvl;
+        n_ += nb << lvl;
+        if (buf.data.size() == s_) CompleteFill(buf);
+        continue;  // partial trailing block falls through to the slow path
+      }
+      if (block_seen_ == 0) {
+        block_pick_ = rng_.BelowPow2(static_cast<unsigned>(buf.level));
+      }
+      const uint64_t take = std::min<uint64_t>(block - block_seen_,
+                                               static_cast<uint64_t>(n - i));
+      // One pick test per span instead of per element; unsigned wrap
+      // rejects picks already consumed in an earlier span of this block.
+      const uint64_t rel = block_pick_ - block_seen_;
+      if (rel < take) block_choice_ = values[i + rel];
+      block_seen_ += take;
+      n_ += take;
+      i += static_cast<size_t>(take);
+      if (block_seen_ == block) {
+        buf.data.push_back(block_choice_);
+        block_seen_ = 0;
+        if (buf.data.size() == s_) CompleteFill(buf);
       }
     }
   }
@@ -185,7 +248,7 @@ class RandomSketchImpl {
     // Partially filled buffers break the full-merge flow; top them up by
     // declaring them full at their current size (they are sorted on demand).
     for (Buffer& b : pool) {
-      std::sort(b.data.begin(), b.data.end(), Less());
+      SortBuffer(b.data);
       b.full = true;
     }
     // Reduce to at most b-1 buffers so an empty slot remains for filling.
@@ -236,6 +299,30 @@ class RandomSketchImpl {
       if (b.Empty()) return true;
     }
     return false;
+  }
+
+  // Sorts a completed buffer and returns it to the merge machinery. The
+  // fill-time sort dominates the batched ingest profile, so uint64 keys use
+  // the radix sort (util/radix_sort.h; identical ascending output); the
+  // merge scratch doubles as radix scratch -- it is idle here.
+  void SortBuffer(std::vector<T>& data) {
+    if constexpr (std::is_same_v<T, uint64_t> &&
+                  std::is_same_v<Less, std::less<uint64_t>>) {
+      scratch_merge_.resize(data.size());
+      RadixSortU64(data.data(), data.size(), scratch_merge_.data());
+    } else {
+      std::sort(data.begin(), data.end(), Less());
+    }
+  }
+
+  // Fill buffer reached s_ elements: sort it, mark it full, and merge if
+  // every buffer is now occupied. Shared by Insert and both InsertBatch
+  // paths so the three sites cannot drift.
+  void CompleteFill(Buffer& buf) {
+    SortBuffer(buf.data);
+    buf.full = true;
+    fill_ = -1;
+    if (!AnyEmpty()) MergeOnce();
   }
 
   void AcquireFillBuffer() {
@@ -298,36 +385,59 @@ class RandomSketchImpl {
   }
 
   // Combines a (level la) into b (level lb >= la); result replaces b at
-  // level lb + 1, a becomes empty.
+  // level lb + 1, a becomes empty. Allocation-free once the scratch
+  // vectors (promoted subsequence + merged pair, reserved up front) have
+  // reached their steady capacity: both buffers keep their storage, and
+  // the kept subsequence is decimated straight into b. Same elements,
+  // same PRNG draws as the textbook three-vector version it replaced.
   void Combine(Buffer& a, Buffer& b) {
     assert(a.level <= b.level);
-    std::vector<T> lifted;
     const int gap = b.level - a.level;
+    const T* lo = a.data.data();
+    size_t lo_n = a.data.size();
     if (gap > 0) {
       // Promote a to b's level: keep a random stride-2^gap subsequence.
       const uint64_t stride = uint64_t{1} << gap;
-      const uint64_t offset = rng_.Below(stride);
-      for (uint64_t i = offset; i < a.data.size(); i += stride) {
-        lifted.push_back(a.data[i]);
+      const uint64_t offset = rng_.BelowPow2(static_cast<unsigned>(gap));
+      scratch_lift_.clear();
+      if (offset < a.data.size()) {
+        if constexpr (std::is_same_v<T, uint64_t>) {
+          // Vectorized strided copy (util/simd.h); same elements kept.
+          scratch_lift_.resize(static_cast<size_t>(
+              (a.data.size() - offset + stride - 1) / stride));
+          simd::DecimateStride(a.data.data(), a.data.size(),
+                               static_cast<size_t>(offset),
+                               static_cast<size_t>(stride),
+                               scratch_lift_.data(), scratch_lift_.size());
+        } else {
+          for (uint64_t i = offset; i < a.data.size(); i += stride) {
+            scratch_lift_.push_back(a.data[i]);
+          }
+        }
       }
-    } else {
-      lifted = std::move(a.data);
+      lo = scratch_lift_.data();
+      lo_n = scratch_lift_.size();
     }
     // Sorted merge, then keep odd or even positions with equal probability.
-    std::vector<T> merged;
-    merged.reserve(lifted.size() + b.data.size());
-    std::merge(lifted.begin(), lifted.end(), b.data.begin(), b.data.end(),
-               std::back_inserter(merged), Less());
-    std::vector<T> kept;
-    kept.reserve((merged.size() + 1) / 2);
-    for (size_t i = rng_.NextBool() ? 1 : 0; i < merged.size(); i += 2) {
-      kept.push_back(merged[i]);
+    scratch_merge_.resize(lo_n + b.data.size());
+    std::merge(lo, lo + lo_n, b.data.begin(), b.data.end(),
+               scratch_merge_.begin(), Less());
+    const size_t start = rng_.NextBool() ? 1 : 0;
+    const size_t count = scratch_merge_.size() > start
+                             ? (scratch_merge_.size() - start + 1) / 2
+                             : 0;
+    b.data.resize(count);
+    if constexpr (std::is_same_v<T, uint64_t>) {
+      simd::DecimateStride(scratch_merge_.data(), scratch_merge_.size(),
+                           start, 2, b.data.data(), count);
+    } else {
+      for (size_t i = 0; i < count; ++i) {
+        b.data[i] = scratch_merge_[start + 2 * i];
+      }
     }
-    b.data = std::move(kept);
     b.level += 1;
     b.full = true;
     a.data.clear();
-    a.data.reserve(s_);
     a.full = false;
     a.level = 0;
   }
@@ -357,6 +467,11 @@ class RandomSketchImpl {
   uint64_t block_pick_ = 0;  // position within the block chosen as sample
   T block_choice_{};
   std::vector<Buffer> buffers_;
+  // Compaction scratch (working memory, not summary state -- MemoryBytes
+  // counts the summary only, as it did when these were per-merge
+  // temporaries); reserved once so Combine never allocates while streaming.
+  std::vector<T> scratch_lift_;
+  std::vector<T> scratch_merge_;
   mutable Xoshiro256 rng_;
   obs::SketchMetrics* metrics_ = nullptr;
 };

@@ -8,7 +8,9 @@
 namespace streamq {
 
 CountMin::CountMin(uint64_t width, int depth, uint64_t seed)
-    : width_(std::max<uint64_t>(1, width)), depth_(std::max(1, depth)) {
+    : width_(std::max<uint64_t>(1, width)),
+      width_mod_(width_),
+      depth_(std::max(1, depth)) {
   uint64_t sm = seed;
   hashes_.reserve(depth_);
   for (int i = 0; i < depth_; ++i) {
@@ -18,16 +20,36 @@ CountMin::CountMin(uint64_t width, int depth, uint64_t seed)
 }
 
 void CountMin::Update(uint64_t item, int64_t delta) {
+  // width_mod_.Mod(poly) == hashes_[i](item) exactly, without the divide.
   for (int i = 0; i < depth_; ++i) {
-    counters_[static_cast<size_t>(i) * width_ + hashes_[i](item)] += delta;
+    counters_[static_cast<size_t>(i) * width_ +
+              width_mod_.Mod(hashes_[i].poly()(item))] += delta;
+  }
+}
+
+void CountMin::UpdateBatch(const uint64_t* items, size_t n, int64_t delta) {
+  // Row-by-row over a bounded chunk: the polynomial evaluations vectorize
+  // (PolyHash::EvalBatch) and each row's counter adds stay within one
+  // row-sized working set. Counter addition commutes, so the reordering
+  // relative to the item-wise loop leaves identical counters.
+  constexpr size_t kChunk = 512;
+  uint64_t h[kChunk];
+  for (size_t off = 0; off < n; off += kChunk) {
+    const size_t m = std::min(kChunk, n - off);
+    for (int i = 0; i < depth_; ++i) {
+      hashes_[i].poly().EvalBatch(items + off, h, m);
+      int64_t* row = &counters_[static_cast<size_t>(i) * width_];
+      for (size_t j = 0; j < m; ++j) row[width_mod_.Mod(h[j])] += delta;
+    }
   }
 }
 
 double CountMin::Estimate(uint64_t item) const {
   int64_t best = INT64_MAX;
   for (int i = 0; i < depth_; ++i) {
-    best = std::min(best,
-                    counters_[static_cast<size_t>(i) * width_ + hashes_[i](item)]);
+    best = std::min(
+        best, counters_[static_cast<size_t>(i) * width_ +
+                        width_mod_.Mod(hashes_[i].poly()(item))]);
   }
   return static_cast<double>(best);
 }

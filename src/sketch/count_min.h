@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sketch/frequency_estimator.h"
+#include "util/fastdiv.h"
 #include "util/hash.h"
 #include "util/serde.h"
 
@@ -21,6 +22,7 @@ class CountMin : public FrequencyEstimator {
   CountMin(uint64_t width, int depth, uint64_t seed);
 
   void Update(uint64_t item, int64_t delta) override;
+  void UpdateBatch(const uint64_t* items, size_t n, int64_t delta) override;
   double Estimate(uint64_t item) const override;
   bool CompatibleForMerge(const FrequencyEstimator& other) const override;
   void MergeFrom(const FrequencyEstimator& other) override;
@@ -33,6 +35,7 @@ class CountMin : public FrequencyEstimator {
 
  private:
   uint64_t width_;
+  FastMod64 width_mod_;  // exact `% width_` without the hardware divide
   int depth_;
   std::vector<BucketHash> hashes_;      // one pairwise hash per row
   std::vector<int64_t> counters_;       // row-major d x w

@@ -1,26 +1,67 @@
 #include "sketch/count_sketch.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/memory.h"
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace streamq {
 
 CountSketch::CountSketch(uint64_t width, int depth, uint64_t seed)
-    : width_(std::max<uint64_t>(1, width)), depth_(std::max(1, depth)) {
+    : width_(std::bit_ceil(std::max<uint64_t>(1, width))),
+      lg_width_(static_cast<unsigned>(std::countr_zero(width_))),
+      depth_(std::max(1, depth)),
+      pairs_per_eval_(std::max(1u, 61 / (lg_width_ + 1))) {
+  const int evals = (depth_ + pairs_per_eval_ - 1) / pairs_per_eval_;
   uint64_t sm = seed;
-  hashes_.reserve(depth_);
-  for (int i = 0; i < depth_; ++i) {
+  hashes_.reserve(evals);
+  for (int i = 0; i < evals; ++i) {
     hashes_.emplace_back(SplitMix64(&sm));
   }
   counters_.assign(static_cast<size_t>(depth_) * width_, 0);
 }
 
 void CountSketch::Update(uint64_t item, int64_t delta) {
-  for (int i = 0; i < depth_; ++i) {
-    const auto [bucket, sign] = Locate(i, item);
-    counters_[static_cast<size_t>(i) * width_ + bucket] += sign * delta;
+  // One polynomial evaluation feeds pairs_per_eval_ consecutive rows; the
+  // slicing must agree with Locate() exactly.
+  for (int e = 0, row = 0; row < depth_; ++e) {
+    const uint64_t h = hashes_[e](item);
+    for (int k = 0; k < pairs_per_eval_ && row < depth_; ++k, ++row) {
+      const uint64_t u = h >> (static_cast<unsigned>(k) * (lg_width_ + 1));
+      const int64_t signed_delta = (u >> lg_width_) & 1 ? delta : -delta;
+      counters_[static_cast<size_t>(row) * width_ + (u & (width_ - 1))] +=
+          signed_delta;
+    }
+  }
+}
+
+void CountSketch::UpdateBatch(const uint64_t* items, size_t n, int64_t delta) {
+  // Chunked walk: per polynomial, one vectorized evaluation pass, then per
+  // row a vectorized (bucket, sign) slice pass and a scalar scatter. The
+  // slices match Locate() exactly and counter addition commutes, so the
+  // result is bit-identical to the item-wise loop.
+  constexpr size_t kChunk = 512;
+  uint64_t h[kChunk];
+  uint64_t bs[kChunk];
+  for (size_t off = 0; off < n; off += kChunk) {
+    const size_t m = std::min(kChunk, n - off);
+    for (int e = 0, row = 0; row < depth_; ++e) {
+      hashes_[e].EvalBatch(items + off, h, m);
+      for (int k = 0; k < pairs_per_eval_ && row < depth_; ++k, ++row) {
+        simd::SliceBucketSign(
+            h, bs, m, static_cast<unsigned>(k) * (lg_width_ + 1), lg_width_);
+        int64_t* row_counters = &counters_[static_cast<size_t>(row) * width_];
+        for (size_t j = 0; j < m; ++j) {
+          const uint64_t u = bs[j];
+          // Bit 63 of the packed slice is the negated sign, so the sar
+          // mask turns delta into -delta exactly where the sign is -1.
+          const int64_t s = static_cast<int64_t>(u) >> 63;
+          row_counters[u & ((uint64_t{1} << 63) - 1)] += (delta ^ s) - s;
+        }
+      }
+    }
   }
 }
 
@@ -79,9 +120,9 @@ bool CountSketch::LoadCounters(SerdeReader& r) {
 }
 
 size_t CountSketch::MemoryBytes() const {
-  // Counters plus 4 polynomial coefficients per row.
+  // Counters plus 4 polynomial coefficients per shared evaluation.
   return counters_.size() * kBytesPerCounter +
-         static_cast<size_t>(depth_) * 4 * kBytesPerCounter;
+         hashes_.size() * 4 * kBytesPerCounter;
 }
 
 }  // namespace streamq

@@ -16,11 +16,19 @@ namespace streamq {
 /// pairwise independent and g_i is a 4-wise independent sign. The estimate
 /// is the median over rows of g_i(x)*C[i][h_i(x)].
 ///
-/// Implementation note: each row evaluates ONE degree-3 polynomial over
-/// GF(2^61-1); the bucket comes from the value mod w and the sign from a
-/// high bit. A single 4-wise independent value yields a (bucket, sign) pair
-/// that is 4-wise independent jointly -- the independence the analysis
-/// needs -- at half the hashing cost of two separate polynomials.
+/// Implementation note (DESIGN.md section 14): the requested width is
+/// rounded UP to the next power of two, and each row's (bucket, sign) pair
+/// is an (lg w + 1)-bit slice of a degree-3 polynomial evaluated over
+/// GF(2^61-1): the low lg w bits of the slice index the bucket, the top
+/// bit picks the sign. A single 4-wise independent value is uniform over
+/// [0, 2^61), so each bit-slice is a 4-wise independent (bucket, sign)
+/// pair and DISTINCT slices of one value are jointly uniform -- the
+/// independence the analysis needs. One evaluation therefore feeds
+/// floor(61 / (lg w + 1)) rows, so depth d costs ceil(d / that) polynomial
+/// evaluations per update instead of d (e.g. 2 instead of 7 for w = 1024).
+/// Rounding the width up can only shrink the per-row variance bound F2/w;
+/// the cost is at most 2x the counter memory, which MemoryBytes reports
+/// honestly.
 ///
 /// Unlike Count-Min, each row estimator is unbiased with a symmetric
 /// distribution, so the median estimate is unbiased too -- the property the
@@ -33,6 +41,7 @@ class CountSketch : public FrequencyEstimator {
   CountSketch(uint64_t width, int depth, uint64_t seed);
 
   void Update(uint64_t item, int64_t delta) override;
+  void UpdateBatch(const uint64_t* items, size_t n, int64_t delta) override;
   double Estimate(uint64_t item) const override;
   double VarianceEstimate() const override;
   bool CompatibleForMerge(const FrequencyEstimator& other) const override;
@@ -48,15 +57,21 @@ class CountSketch : public FrequencyEstimator {
   int depth() const { return depth_; }
 
  private:
-  // (bucket, sign) for row i at item x, from one polynomial evaluation.
+  // (bucket, sign) for row i at item x: slice row % pairs_per_eval_ of
+  // polynomial row / pairs_per_eval_. Must agree bit-for-bit with the
+  // batched slicing in UpdateBatch (simd::SliceBucketSign).
   std::pair<uint64_t, int> Locate(int row, uint64_t item) const {
-    const uint64_t u = hashes_[row](item);
-    return {u % width_, (u >> 59) & 1 ? 1 : -1};
+    const unsigned shift = static_cast<unsigned>(row % pairs_per_eval_) *
+                           (lg_width_ + 1);
+    const uint64_t u = hashes_[row / pairs_per_eval_](item) >> shift;
+    return {u & (width_ - 1), (u >> lg_width_) & 1 ? 1 : -1};
   }
 
-  uint64_t width_;
+  uint64_t width_;     // always a power of two (requested width rounded up)
+  unsigned lg_width_;  // log2(width_)
   int depth_;
-  std::vector<PolyHash<4>> hashes_;  // one 4-wise polynomial per row
+  int pairs_per_eval_;  // (bucket, sign) slices per polynomial value
+  std::vector<PolyHash<4>> hashes_;  // ceil(depth / pairs_per_eval_) polys
   std::vector<int64_t> counters_;    // row-major d x w
 };
 

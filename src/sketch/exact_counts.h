@@ -25,6 +25,13 @@ class ExactCounts : public FrequencyEstimator {
     counts_[item] += delta;
   }
 
+  void UpdateBatch(const uint64_t* items, size_t n, int64_t delta) override {
+    for (size_t i = 0; i < n; ++i) {
+      assert(items[i] < counts_.size());
+      counts_[items[i]] += delta;
+    }
+  }
+
   double Estimate(uint64_t item) const override {
     assert(item < counts_.size());
     return static_cast<double>(counts_[item]);

@@ -18,6 +18,15 @@ class FrequencyEstimator {
   /// Applies one update (delta may be negative in the turnstile model).
   virtual void Update(uint64_t item, int64_t delta) = 0;
 
+  /// Applies the same delta to each of items[0..n). All estimators here are
+  /// linear sketches, so the result equals the item-wise Update loop
+  /// bit-for-bit regardless of application order; overrides exploit that to
+  /// batch the hashing (SIMD polynomial evaluation) and walk the counter
+  /// array row-by-row. The default simply loops.
+  virtual void UpdateBatch(const uint64_t* items, size_t n, int64_t delta) {
+    for (size_t i = 0; i < n; ++i) Update(items[i], delta);
+  }
+
   /// Estimated frequency of `item`.
   virtual double Estimate(uint64_t item) const = 0;
 

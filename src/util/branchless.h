@@ -1,0 +1,36 @@
+// Branch-free binary search over a sorted range.
+//
+// GKArray's flush walks a sorted insert buffer against the sorted summary;
+// locating each buffer element's successor with std::upper_bound costs one
+// hard-to-predict branch per probe. The variant here narrows the range with
+// a conditional move instead (the `base += ...` compiles to cmov), so the
+// probe loop has no data-dependent branch at all.
+
+#ifndef STREAMQ_UTIL_BRANCHLESS_H_
+#define STREAMQ_UTIL_BRANCHLESS_H_
+
+#include <cstddef>
+
+namespace streamq {
+
+/// Index of the first element in sorted [first, first+count) that is
+/// strictly greater than `value` under `less(value, element)` (i.e.
+/// std::upper_bound as an index), computed with a branch-free probe loop.
+/// Element and probe types may differ (heterogeneous comparator).
+template <typename Elem, typename V, typename Less>
+size_t BranchlessUpperBound(const Elem* first, size_t count, const V& value,
+                            Less less) {
+  const Elem* base = first;
+  while (count > 1) {
+    const size_t half = count / 2;
+    // Keep the right half iff its first element is <= value.
+    base += less(value, base[half - 1]) ? 0 : half;
+    count -= half;
+  }
+  if (count == 1 && !less(value, *base)) ++base;
+  return static_cast<size_t>(base - first);
+}
+
+}  // namespace streamq
+
+#endif  // STREAMQ_UTIL_BRANCHLESS_H_

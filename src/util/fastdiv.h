@@ -1,0 +1,51 @@
+// Exact division-free modulus by a fixed runtime divisor.
+//
+// The dyadic sketches reduce a 64-bit hash into [0, width) with `h % width`
+// on every counter touch -- depth x log U of them per update -- and a
+// 64-bit hardware divide costs tens of unpipelined cycles. This header
+// precomputes the divisor's 128-bit reciprocal once at construction and
+// turns each modulus into four pipelined multiplies (Granlund-Montgomery /
+// Lemire "fastmod"). The result is EXACTLY x % d for every 64-bit x, so
+// swapping it in changes no bucket assignment anywhere: item-wise Locate,
+// batched update, and query paths keep agreeing bit for bit.
+
+#ifndef STREAMQ_UTIL_FASTDIV_H_
+#define STREAMQ_UTIL_FASTDIV_H_
+
+#include <cstdint>
+
+namespace streamq {
+
+/// Precomputed x % d for a fixed d >= 1. Trivially copyable; rebuild it
+/// after deserialisation instead of storing it (it is pure function of d).
+class FastMod64 {
+ public:
+  FastMod64() : FastMod64(1) {}
+  explicit FastMod64(uint64_t d)
+      : c_(~static_cast<unsigned __int128>(0) / d + 1), d_(d) {}
+
+  uint64_t divisor() const { return d_; }
+
+  /// Exactly x % divisor(), for any 64-bit x.
+  uint64_t Mod(uint64_t x) const {
+    // lowbits = frac(x / d) in 0.128 fixed point; multiplying by d and
+    // taking the integer part recovers the remainder (exact for d < 2^64:
+    // the 128-bit reciprocal's rounding error is below one ulp of the
+    // product).
+    const unsigned __int128 lowbits = c_ * x;
+    const uint64_t lo = static_cast<uint64_t>(lowbits);
+    const uint64_t hi = static_cast<uint64_t>(lowbits >> 64);
+    const uint64_t bottom = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(lo) * d_) >> 64);
+    return static_cast<uint64_t>(
+        ((static_cast<unsigned __int128>(hi) * d_) + bottom) >> 64);
+  }
+
+ private:
+  unsigned __int128 c_;  // floor((2^128 - 1) / d) + 1
+  uint64_t d_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_UTIL_FASTDIV_H_

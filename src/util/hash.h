@@ -20,6 +20,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/simd.h"
+
 namespace streamq {
 
 /// The Mersenne prime 2^61 - 1 used as the field size for polynomial hashing.
@@ -62,6 +64,19 @@ class PolyHash {
     return acc;
   }
 
+  /// Evaluates the polynomial at x[0..n); out[i] == operator()(x[i])
+  /// bit-for-bit. K = 2 and K = 4 dispatch to the vectorized kernels in
+  /// util/simd.h (AVX2 when the host supports it, scalar otherwise).
+  void EvalBatch(const uint64_t* x, uint64_t* out, size_t n) const {
+    if constexpr (K == 2) {
+      simd::PolyEvalBatch2(coeff_.data(), x, out, n);
+    } else if constexpr (K == 4) {
+      simd::PolyEvalBatch4(coeff_.data(), x, out, n);
+    } else {
+      for (size_t i = 0; i < n; ++i) out[i] = (*this)(x[i]);
+    }
+  }
+
  private:
   static uint64_t Expand(uint64_t* state) {
     uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
@@ -82,6 +97,10 @@ class BucketHash {
 
   uint64_t operator()(uint64_t x) const { return poly_(x) % buckets_; }
   uint64_t buckets() const { return buckets_; }
+
+  /// The underlying field-valued polynomial, for batch evaluation: callers
+  /// apply `% buckets()` themselves after PolyHash::EvalBatch.
+  const PolyHash<2>& poly() const { return poly_; }
 
  private:
   PolyHash<2> poly_;

@@ -1,0 +1,137 @@
+// LSD radix sort for uint64 keys.
+//
+// The sample-based quantile summaries (Random, MRL99) sort one buffer of a
+// few hundred uniformly random elements per buffer fill; profiling the
+// batched ingest path shows std::sort of those buffers dominating the whole
+// per-item budget (DESIGN.md section 14). A least-significant-digit radix
+// sort with 8-bit digits replaces the O(n log n) comparison sort with a few
+// linear passes, and an up-front OR/AND scan skips every digit position on
+// which all keys agree -- for d-bit universes only ceil(d/8) passes run, so
+// the cost tracks the universe width rather than always touching all eight
+// bytes.
+//
+// Output contract: ascending order. For uint64 keys equal elements are
+// indistinguishable, so the result is bit-identical to std::sort -- callers
+// that serialize sorted buffers get byte-for-byte the same summary no
+// matter which sort produced it.
+
+#ifndef STREAMQ_UTIL_RADIX_SORT_H_
+#define STREAMQ_UTIL_RADIX_SORT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace streamq {
+
+/// Sorts data[0..n) ascending. `scratch` must hold at least n elements and
+/// is clobbered. Small inputs fall back to std::sort (the histogram setup
+/// would dominate); either path yields the identical ascending sequence.
+inline void RadixSortU64(uint64_t* data, size_t n, uint64_t* scratch) {
+  constexpr size_t kSmall = 64;
+  if (n < kSmall) {
+    std::sort(data, data + n);
+    return;
+  }
+  // Digits where every key agrees cannot change the order; find the rest.
+  uint64_t all_or = 0, all_and = ~uint64_t{0};
+  for (size_t i = 0; i < n; ++i) {
+    all_or |= data[i];
+    all_and &= data[i];
+  }
+  const uint64_t diff = all_or ^ all_and;
+  int digits[8];
+  int nd = 0;
+  for (int d = 0; d < 8; ++d) {
+    if ((diff >> (8 * d)) & 0xFF) digits[nd++] = d;
+  }
+  if (nd == 0) return;  // all keys equal
+
+  // One pass builds the histograms of every active digit.
+  uint32_t hist[8][256] = {};
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t v = data[i];
+    for (int j = 0; j < nd; ++j) {
+      ++hist[j][(v >> (8 * digits[j])) & 0xFF];
+    }
+  }
+
+  // Stable counting passes, least significant active digit first,
+  // ping-ponging between data and scratch.
+  uint64_t* src = data;
+  uint64_t* dst = scratch;
+  for (int j = 0; j < nd; ++j) {
+    const int shift = 8 * digits[j];
+    uint32_t offsets[256];
+    uint32_t sum = 0;
+    for (int b = 0; b < 256; ++b) {
+      offsets[b] = sum;
+      sum += hist[j][b];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      dst[offsets[(src[i] >> shift) & 0xFF]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != data) std::copy(src, src + n, data);
+}
+
+/// Sorts data[0..n) ascending by key(element), where key returns uint64.
+/// Stable. `scratch` must hold at least n elements and is clobbered. Same
+/// structure as RadixSortU64; used for (value, weight) pairs whose key is
+/// the value. For callers whose downstream result depends only on the key
+/// order (equal keys interchangeable), the output is equivalent to any
+/// comparison sort by key.
+template <typename Elem, typename KeyFn>
+inline void RadixSortByKeyU64(Elem* data, size_t n, Elem* scratch,
+                              KeyFn key) {
+  constexpr size_t kSmall = 64;
+  if (n < kSmall) {
+    // stable_sort, not sort: the stability promise must hold on every path.
+    std::stable_sort(
+        data, data + n,
+        [&](const Elem& a, const Elem& b) { return key(a) < key(b); });
+    return;
+  }
+  uint64_t all_or = 0, all_and = ~uint64_t{0};
+  for (size_t i = 0; i < n; ++i) {
+    all_or |= key(data[i]);
+    all_and &= key(data[i]);
+  }
+  const uint64_t diff = all_or ^ all_and;
+  int digits[8];
+  int nd = 0;
+  for (int d = 0; d < 8; ++d) {
+    if ((diff >> (8 * d)) & 0xFF) digits[nd++] = d;
+  }
+  if (nd == 0) return;
+
+  uint32_t hist[8][256] = {};
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t v = key(data[i]);
+    for (int j = 0; j < nd; ++j) {
+      ++hist[j][(v >> (8 * digits[j])) & 0xFF];
+    }
+  }
+
+  Elem* src = data;
+  Elem* dst = scratch;
+  for (int j = 0; j < nd; ++j) {
+    const int shift = 8 * digits[j];
+    uint32_t offsets[256];
+    uint32_t sum = 0;
+    for (int b = 0; b < 256; ++b) {
+      offsets[b] = sum;
+      sum += hist[j][b];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      dst[offsets[(key(src[i]) >> shift) & 0xFF]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != data) std::copy(src, src + n, data);
+}
+
+}  // namespace streamq
+
+#endif  // STREAMQ_UTIL_RADIX_SORT_H_

@@ -9,6 +9,7 @@
 #define STREAMQ_UTIL_RANDOM_H_
 
 #include <cstdint>
+#include <cstring>
 
 namespace streamq {
 
@@ -23,12 +24,34 @@ class Xoshiro256 {
   /// Seeds the four state words via SplitMix64 as the authors recommend.
   explicit Xoshiro256(uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
-  /// Next 64 uniform random bits.
-  uint64_t Next();
+  /// Next 64 uniform random bits. Inline: this sits on the per-block hot
+  /// path of the sample-based summaries (Random / MRL99 batch ingest).
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [0, bound); bound must be > 0.
   /// Uses Lemire's multiply-shift rejection method (no modulo bias).
   uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [0, 2^log2_bound); requires log2_bound < 64.
+  /// Bit-identical to Below(1 << log2_bound) -- for a power-of-two bound
+  /// Lemire's multiply-shift is exactly the top log2_bound bits of one
+  /// Next() draw and the rejection threshold (-b mod b) is zero, so exactly
+  /// one Next() is consumed and the loop can never fire. Inline so the
+  /// per-sampling-block draw of the sample-based summaries stays branchless.
+  uint64_t BelowPow2(unsigned log2_bound) {
+    const uint64_t x = Next();
+    return log2_bound == 0 ? 0 : x >> (64 - log2_bound);
+  }
 
   /// Uniform double in [0, 1).
   double NextDouble();
@@ -46,7 +69,18 @@ class Xoshiro256 {
     double spare;
     bool has_spare;
   };
-  State GetState() const { return State{{s_[0], s_[1], s_[2], s_[3]}, spare_, has_spare_}; }
+  State GetState() const {
+    // Zero the whole struct first: State has trailing padding, and the
+    // sketches serialize it with a raw byte copy -- aggregate
+    // initialization leaves the padding indeterminate, which made two
+    // identically-fed sketches serialize to different bytes.
+    State state;
+    std::memset(&state, 0, sizeof(state));
+    for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+    state.spare = spare_;
+    state.has_spare = has_spare_;
+    return state;
+  }
   void SetState(const State& state) {
     for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
     spare_ = state.spare;
@@ -54,6 +88,10 @@ class Xoshiro256 {
   }
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   uint64_t s_[4];
   double spare_ = 0.0;
   bool has_spare_ = false;

@@ -1,0 +1,528 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace streamq::simd {
+namespace {
+
+// Mirrors util/hash.h: p = 2^61 - 1, reduction truncates the 128-bit value
+// to (low 61 bits) + (bits 61..124) and applies ONE conditional subtract.
+// The result may still sit in [p, 2p) for pathological inputs; PolyHash
+// feeds it straight into the next Horner step, so the kernels must too.
+constexpr uint64_t kP61 = (uint64_t{1} << 61) - 1;
+
+inline uint64_t Reduce61(__uint128_t x) {
+  const uint64_t lo = static_cast<uint64_t>(x) & kP61;
+  const uint64_t hi = static_cast<uint64_t>(x >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kP61) r -= kP61;
+  return r;
+}
+
+std::atomic<bool> g_force_scalar{false};
+
+bool EnvForceScalar() {
+  const char* env = std::getenv("STREAMQ_FORCE_SCALAR");
+  return env != nullptr && env[0] != '\0';
+}
+
+bool DetectAvx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool DetectAvx512() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
+bool ForcedScalar() {
+  static const bool env_forced = EnvForceScalar();
+  return env_forced || g_force_scalar.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool CpuHasAvx2() {
+  static const bool has = DetectAvx2();
+  return has;
+}
+
+bool CpuHasAvx512() {
+  static const bool has = DetectAvx512();
+  return has;
+}
+
+void SetForceScalar(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+bool Avx2Active() { return !ForcedScalar() && CpuHasAvx2(); }
+
+bool Avx512Active() { return !ForcedScalar() && CpuHasAvx512(); }
+
+void PolyEvalBatch2Scalar(const uint64_t* coeff, const uint64_t* x,
+                          uint64_t* out, size_t n) {
+  const uint64_t c0 = coeff[0];
+  const uint64_t c1 = coeff[1];
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Reduce61(static_cast<__uint128_t>(c1) * x[i] + c0);
+  }
+}
+
+void PolyEvalBatch4Scalar(const uint64_t* coeff, const uint64_t* x,
+                          uint64_t* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t v = x[i];
+    uint64_t acc = coeff[3];
+    acc = Reduce61(static_cast<__uint128_t>(acc) * v + coeff[2]);
+    acc = Reduce61(static_cast<__uint128_t>(acc) * v + coeff[1]);
+    acc = Reduce61(static_cast<__uint128_t>(acc) * v + coeff[0]);
+    out[i] = acc;
+  }
+}
+
+size_t DecimateStrideScalar(const uint64_t* in, size_t n, size_t offset,
+                            size_t stride, uint64_t* out, size_t max_out) {
+  size_t written = 0;
+  for (size_t i = offset; i < n && written < max_out; i += stride) {
+    out[written++] = in[i];
+  }
+  return written;
+}
+
+void SliceBucketSignScalar(const uint64_t* h, uint64_t* out, size_t n,
+                           unsigned shift, unsigned lg_width) {
+  const uint64_t wm = (uint64_t{1} << lg_width) - 1;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t u = h[i] >> shift;
+    out[i] = (u & wm) | ((~(u >> lg_width) & 1) << 63);
+  }
+}
+
+#if defined(__x86_64__)
+
+namespace {
+
+// Lane-wise helpers for the AVX2 kernels. AVX2 has no 64x64->128 multiply
+// and no unsigned 64-bit compare, so both are synthesized: the product from
+// four vpmuludq 32x32 partials with explicit carries, the compare by
+// flipping sign bits and using the signed compare.
+
+__attribute__((target("avx2"))) inline __m256i CmpGeU64(__m256i a,
+                                                        __m256i b) {
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  const __m256i sa = _mm256_xor_si256(a, bias);
+  const __m256i sb = _mm256_xor_si256(b, bias);
+  // a >= b  <=>  !(b > a)
+  const __m256i lt = _mm256_cmpgt_epi64(sb, sa);
+  return _mm256_xor_si256(lt, _mm256_set1_epi64x(-1));
+}
+
+__attribute__((target("avx2"))) inline __m256i CmpLtU64(__m256i a,
+                                                        __m256i b) {
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(b, bias),
+                            _mm256_xor_si256(a, bias));
+}
+
+// Narrow-operand Horner step: requires every lane of x < 2^32. The full
+// product acc * x is then just ll + (hl << 32) from two 32x32 partials --
+// the same 128-bit integer the four-partial path computes, so the result
+// stays bit-identical -- at roughly half the multiply cost.
+__attribute__((target("avx2"))) inline __m256i HornerStepNarrowAvx2(
+    __m256i acc, __m256i x, __m256i c) {
+  const __m256i m32 = _mm256_set1_epi64x(0xffffffffLL);
+  const __m256i ll = _mm256_mul_epu32(acc, x);                       // lo*x
+  const __m256i hl = _mm256_mul_epu32(_mm256_srli_epi64(acc, 32), x);  // hi*x
+  // t = hl + (ll >> 32) never wraps: hl <= (2^32-1)^2, ll >> 32 < 2^32.
+  const __m256i t = _mm256_add_epi64(hl, _mm256_srli_epi64(ll, 32));
+  __m256i hi = _mm256_srli_epi64(t, 32);
+  const __m256i lo0 = _mm256_or_si256(_mm256_slli_epi64(t, 32),
+                                      _mm256_and_si256(ll, m32));
+  // + c (c < 2^61 fits the low word; carry feeds the high word).
+  const __m256i lo = _mm256_add_epi64(lo0, c);
+  const __m256i add_carry = CmpLtU64(lo, lo0);
+  hi = _mm256_sub_epi64(hi, add_carry);  // mask is -1 where set: minus adds 1
+  // Reduce61, same as the wide step.
+  const __m256i p = _mm256_set1_epi64x(static_cast<long long>(kP61));
+  const __m256i low_bits = _mm256_and_si256(lo, p);
+  const __m256i high_bits = _mm256_or_si256(_mm256_srli_epi64(lo, 61),
+                                            _mm256_slli_epi64(hi, 3));
+  __m256i r = _mm256_add_epi64(low_bits, high_bits);
+  const __m256i ge = CmpGeU64(r, p);
+  return _mm256_sub_epi64(r, _mm256_and_si256(ge, p));
+}
+
+// One Horner step per lane: reduce61(acc * x + c), matching Reduce61 above
+// bit-for-bit (same mod-2^64 truncations, one conditional subtract).
+__attribute__((target("avx2"))) inline __m256i HornerStepAvx2(__m256i acc,
+                                                              __m256i x,
+                                                              __m256i c) {
+  // 128-bit product acc * x from 32-bit partials.
+  const __m256i acc_hi = _mm256_srli_epi64(acc, 32);
+  const __m256i x_hi = _mm256_srli_epi64(x, 32);
+  const __m256i ll = _mm256_mul_epu32(acc, x);        // lo(acc)*lo(x)
+  const __m256i lh = _mm256_mul_epu32(acc, x_hi);     // lo(acc)*hi(x)
+  const __m256i hl = _mm256_mul_epu32(acc_hi, x);     // hi(acc)*lo(x)
+  const __m256i hh = _mm256_mul_epu32(acc_hi, x_hi);  // hi(acc)*hi(x)
+
+  // cross = lh + hl, with its carry worth 2^96 (= 2^32 in the high word).
+  const __m256i cross = _mm256_add_epi64(lh, hl);
+  const __m256i cross_carry = CmpLtU64(cross, lh);  // all-ones where carry
+  const __m256i one_shl32 = _mm256_set1_epi64x(1LL << 32);
+
+  // lo64 = ll + (cross << 32); carry feeds the high word.
+  const __m256i cross_lo = _mm256_slli_epi64(cross, 32);
+  __m256i lo = _mm256_add_epi64(ll, cross_lo);
+  const __m256i lo_carry = CmpLtU64(lo, ll);
+
+  // hi64 = hh + (cross >> 32) + cross_carry*2^32 + lo_carry.
+  __m256i hi = _mm256_add_epi64(hh, _mm256_srli_epi64(cross, 32));
+  hi = _mm256_add_epi64(hi,
+                        _mm256_and_si256(cross_carry, one_shl32));
+  hi = _mm256_sub_epi64(hi, lo_carry);  // mask is -1 where set: minus adds 1
+
+  // + c (c < 2^61, fits the low word; carry feeds the high word).
+  const __m256i lo2 = _mm256_add_epi64(lo, c);
+  const __m256i add_carry = CmpLtU64(lo2, lo);
+  hi = _mm256_sub_epi64(hi, add_carry);
+
+  // Reduce61: r = (v & p) + ((v >> 61) mod 2^64); one conditional subtract.
+  const __m256i p = _mm256_set1_epi64x(static_cast<long long>(kP61));
+  const __m256i low_bits = _mm256_and_si256(lo2, p);
+  const __m256i high_bits = _mm256_or_si256(_mm256_srli_epi64(lo2, 61),
+                                            _mm256_slli_epi64(hi, 3));
+  __m256i r = _mm256_add_epi64(low_bits, high_bits);
+  const __m256i ge = CmpGeU64(r, p);
+  r = _mm256_sub_epi64(r, _mm256_and_si256(ge, p));
+  return r;
+}
+
+}  // namespace
+
+// True when every lane of v fits 32 bits, enabling the narrow Horner step.
+__attribute__((target("avx2"))) inline bool AllNarrowAvx2(__m256i v) {
+  const __m256i wide = CmpGeU64(v, _mm256_set1_epi64x(1LL << 32));
+  return _mm256_movemask_epi8(wide) == 0;
+}
+
+__attribute__((target("avx2"))) void PolyEvalBatch2Avx2(const uint64_t* coeff,
+                                                        const uint64_t* x,
+                                                        uint64_t* out,
+                                                        size_t n) {
+  const __m256i c0 = _mm256_set1_epi64x(static_cast<long long>(coeff[0]));
+  const __m256i c1 = _mm256_set1_epi64x(static_cast<long long>(coeff[1]));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i r = AllNarrowAvx2(v) ? HornerStepNarrowAvx2(c1, v, c0)
+                                       : HornerStepAvx2(c1, v, c0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), r);
+  }
+  if (i < n) PolyEvalBatch2Scalar(coeff, x + i, out + i, n - i);
+}
+
+__attribute__((target("avx2"))) void PolyEvalBatch4Avx2(const uint64_t* coeff,
+                                                        const uint64_t* x,
+                                                        uint64_t* out,
+                                                        size_t n) {
+  const __m256i c0 = _mm256_set1_epi64x(static_cast<long long>(coeff[0]));
+  const __m256i c1 = _mm256_set1_epi64x(static_cast<long long>(coeff[1]));
+  const __m256i c2 = _mm256_set1_epi64x(static_cast<long long>(coeff[2]));
+  const __m256i c3 = _mm256_set1_epi64x(static_cast<long long>(coeff[3]));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    __m256i acc;
+    if (AllNarrowAvx2(v)) {
+      acc = HornerStepNarrowAvx2(c3, v, c2);
+      acc = HornerStepNarrowAvx2(acc, v, c1);
+      acc = HornerStepNarrowAvx2(acc, v, c0);
+    } else {
+      acc = HornerStepAvx2(c3, v, c2);
+      acc = HornerStepAvx2(acc, v, c1);
+      acc = HornerStepAvx2(acc, v, c0);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), acc);
+  }
+  if (i < n) PolyEvalBatch4Scalar(coeff, x + i, out + i, n - i);
+}
+
+__attribute__((target("avx2"))) void SliceBucketSignAvx2(
+    const uint64_t* h, uint64_t* out, size_t n, unsigned shift,
+    unsigned lg_width) {
+  const __m256i wm = _mm256_set1_epi64x(
+      static_cast<long long>((uint64_t{1} << lg_width) - 1));
+  const __m256i top = _mm256_set1_epi64x(
+      static_cast<long long>(uint64_t{1} << 63));
+  const int sign_up = static_cast<int>(63 - (shift + lg_width));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i u =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h + i));
+    const __m256i bucket =
+        _mm256_and_si256(_mm256_srli_epi64(u, static_cast<int>(shift)), wm);
+    // Negated sign bit in bit 63: lift the window's top bit then invert it
+    // under the top-bit mask (andnot).
+    const __m256i sbit = _mm256_and_si256(_mm256_slli_epi64(u, sign_up), top);
+    const __m256i nsign = _mm256_andnot_si256(sbit, top);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_or_si256(bucket, nsign));
+  }
+  if (i < n) SliceBucketSignScalar(h + i, out + i, n - i, shift, lg_width);
+}
+
+__attribute__((target("avx2"))) size_t DecimateStrideAvx2(
+    const uint64_t* in, size_t n, size_t offset, size_t stride, uint64_t* out,
+    size_t max_out) {
+  if (stride == 1) {
+    return DecimateStrideScalar(in, n, offset, stride, out, max_out);
+  }
+  if (offset >= n) return 0;
+  size_t avail = (n - offset + stride - 1) / stride;
+  if (avail > max_out) avail = max_out;
+  size_t written = 0;
+  if (stride == 2) {
+    // Pick lanes {0,2} of each 4-lane vector, two vectors per store. Each
+    // iteration reads 8 input elements, so it needs all 8 in bounds.
+    const uint64_t* src = in + offset;
+    for (; written + 4 <= avail && offset + written * 2 + 8 <= n;
+         written += 4) {
+      const __m256i v0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(src + written * 2));
+      const __m256i v1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(src + written * 2 + 4));
+      const __m256i p0 = _mm256_permute4x64_epi64(v0, _MM_SHUFFLE(3, 1, 2, 0));
+      const __m256i p1 = _mm256_permute4x64_epi64(v1, _MM_SHUFFLE(3, 1, 2, 0));
+      const __m256i packed = _mm256_permute2x128_si256(p0, p1, 0x20);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + written), packed);
+    }
+  } else if (stride <= (size_t{1} << 40)) {
+    // Gather four strided elements per iteration.
+    const long long s = static_cast<long long>(stride);
+    const __m256i idx = _mm256_set_epi64x(3 * s, 2 * s, s, 0);
+    for (; written + 4 <= avail; written += 4) {
+      const long long* base = reinterpret_cast<const long long*>(
+          in + offset + written * stride);
+      const __m256i g = _mm256_i64gather_epi64(base, idx, 8);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + written), g);
+    }
+  }
+  for (; written < avail; ++written) {
+    out[written] = in[offset + written * stride];
+  }
+  return written;
+}
+
+// GCC's unmasked AVX-512 intrinsics expand through _mm512_undefined_epi32,
+// which -Wmaybe-uninitialized flags as a false positive (GCC PR 105593).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace {
+
+// AVX-512 Horner steps: 8 lanes per vector, and mask registers give native
+// unsigned compares, so the carry handling is cheaper than in AVX2. Both
+// steps compute the exact 128-bit product acc * x and then the same
+// Reduce61 as the scalar reference, so all flavours stay bit-identical.
+
+// Wide step: full 64x64 product via the carry-free mulhi decomposition
+//   t = hl + (ll >> 32); w = lh + (t & 2^32-1)          (both < 2^64)
+//   hi = hh + (t >> 32) + (w >> 32); lo = (w << 32) | (ll & 2^32-1).
+__attribute__((target("avx512f"))) inline __m512i HornerStepAvx512(
+    __m512i acc, __m512i x, __m512i c) {
+  const __m512i m32 = _mm512_set1_epi64(0xffffffffLL);
+  const __m512i a_hi = _mm512_srli_epi64(acc, 32);
+  const __m512i x_hi = _mm512_srli_epi64(x, 32);
+  const __m512i ll = _mm512_mul_epu32(acc, x);
+  const __m512i lh = _mm512_mul_epu32(acc, x_hi);
+  const __m512i hl = _mm512_mul_epu32(a_hi, x);
+  const __m512i hh = _mm512_mul_epu32(a_hi, x_hi);
+  const __m512i t = _mm512_add_epi64(hl, _mm512_srli_epi64(ll, 32));
+  const __m512i w = _mm512_add_epi64(lh, _mm512_and_si512(t, m32));
+  __m512i hi = _mm512_add_epi64(
+      _mm512_add_epi64(hh, _mm512_srli_epi64(t, 32)), _mm512_srli_epi64(w, 32));
+  const __m512i lo0 = _mm512_or_si512(_mm512_slli_epi64(w, 32),
+                                      _mm512_and_si512(ll, m32));
+  // + c (c < 2^61 fits the low word; carry feeds the high word).
+  const __m512i lo = _mm512_add_epi64(lo0, c);
+  const __mmask8 carry = _mm512_cmplt_epu64_mask(lo, lo0);
+  hi = _mm512_mask_add_epi64(hi, carry, hi, _mm512_set1_epi64(1));
+  // Reduce61: r = (v & p) + ((v >> 61) mod 2^64); one conditional subtract.
+  const __m512i p = _mm512_set1_epi64(static_cast<long long>(kP61));
+  const __m512i low_bits = _mm512_and_si512(lo, p);
+  const __m512i high_bits = _mm512_or_si512(_mm512_srli_epi64(lo, 61),
+                                            _mm512_slli_epi64(hi, 3));
+  __m512i r = _mm512_add_epi64(low_bits, high_bits);
+  const __mmask8 ge = _mm512_cmpge_epu64_mask(r, p);
+  return _mm512_mask_sub_epi64(r, ge, r, p);
+}
+
+// Narrow step (every lane of x < 2^32): product = ll + (hl << 32), where
+// t = hl + (ll >> 32) cannot wrap -- same exact 128-bit value as the wide
+// step at half the multiplies.
+__attribute__((target("avx512f"))) inline __m512i HornerStepNarrowAvx512(
+    __m512i acc, __m512i x, __m512i c) {
+  const __m512i m32 = _mm512_set1_epi64(0xffffffffLL);
+  const __m512i ll = _mm512_mul_epu32(acc, x);
+  const __m512i hl = _mm512_mul_epu32(_mm512_srli_epi64(acc, 32), x);
+  const __m512i t = _mm512_add_epi64(hl, _mm512_srli_epi64(ll, 32));
+  __m512i hi = _mm512_srli_epi64(t, 32);
+  const __m512i lo0 = _mm512_or_si512(_mm512_slli_epi64(t, 32),
+                                      _mm512_and_si512(ll, m32));
+  const __m512i lo = _mm512_add_epi64(lo0, c);
+  const __mmask8 carry = _mm512_cmplt_epu64_mask(lo, lo0);
+  hi = _mm512_mask_add_epi64(hi, carry, hi, _mm512_set1_epi64(1));
+  const __m512i p = _mm512_set1_epi64(static_cast<long long>(kP61));
+  const __m512i low_bits = _mm512_and_si512(lo, p);
+  const __m512i high_bits = _mm512_or_si512(_mm512_srli_epi64(lo, 61),
+                                            _mm512_slli_epi64(hi, 3));
+  __m512i r = _mm512_add_epi64(low_bits, high_bits);
+  const __mmask8 ge = _mm512_cmpge_epu64_mask(r, p);
+  return _mm512_mask_sub_epi64(r, ge, r, p);
+}
+
+__attribute__((target("avx512f"))) inline bool AllNarrowAvx512(__m512i v) {
+  return _mm512_cmpge_epu64_mask(v, _mm512_set1_epi64(1LL << 32)) == 0;
+}
+
+}  // namespace
+
+__attribute__((target("avx512f"))) void PolyEvalBatch2Avx512(
+    const uint64_t* coeff, const uint64_t* x, uint64_t* out, size_t n) {
+  const __m512i c0 = _mm512_set1_epi64(static_cast<long long>(coeff[0]));
+  const __m512i c1 = _mm512_set1_epi64(static_cast<long long>(coeff[1]));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_loadu_si512(x + i);
+    const __m512i r = AllNarrowAvx512(v) ? HornerStepNarrowAvx512(c1, v, c0)
+                                         : HornerStepAvx512(c1, v, c0);
+    _mm512_storeu_si512(out + i, r);
+  }
+  if (i < n) PolyEvalBatch2Scalar(coeff, x + i, out + i, n - i);
+}
+
+__attribute__((target("avx512f"))) void PolyEvalBatch4Avx512(
+    const uint64_t* coeff, const uint64_t* x, uint64_t* out, size_t n) {
+  const __m512i c0 = _mm512_set1_epi64(static_cast<long long>(coeff[0]));
+  const __m512i c1 = _mm512_set1_epi64(static_cast<long long>(coeff[1]));
+  const __m512i c2 = _mm512_set1_epi64(static_cast<long long>(coeff[2]));
+  const __m512i c3 = _mm512_set1_epi64(static_cast<long long>(coeff[3]));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_loadu_si512(x + i);
+    __m512i acc;
+    if (AllNarrowAvx512(v)) {
+      acc = HornerStepNarrowAvx512(c3, v, c2);
+      acc = HornerStepNarrowAvx512(acc, v, c1);
+      acc = HornerStepNarrowAvx512(acc, v, c0);
+    } else {
+      acc = HornerStepAvx512(c3, v, c2);
+      acc = HornerStepAvx512(acc, v, c1);
+      acc = HornerStepAvx512(acc, v, c0);
+    }
+    _mm512_storeu_si512(out + i, acc);
+  }
+  if (i < n) PolyEvalBatch4Scalar(coeff, x + i, out + i, n - i);
+}
+
+__attribute__((target("avx512f"))) void SliceBucketSignAvx512(
+    const uint64_t* h, uint64_t* out, size_t n, unsigned shift,
+    unsigned lg_width) {
+  const __m512i wm = _mm512_set1_epi64(
+      static_cast<long long>((uint64_t{1} << lg_width) - 1));
+  const __m512i top = _mm512_set1_epi64(
+      static_cast<long long>(uint64_t{1} << 63));
+  const int sign_up = static_cast<int>(63 - (shift + lg_width));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i u = _mm512_loadu_si512(h + i);
+    const __m512i bucket =
+        _mm512_and_si512(_mm512_srli_epi64(u, static_cast<int>(shift)), wm);
+    const __m512i sbit = _mm512_and_si512(_mm512_slli_epi64(u, sign_up), top);
+    const __m512i nsign = _mm512_andnot_si512(sbit, top);
+    _mm512_storeu_si512(out + i, _mm512_or_si512(bucket, nsign));
+  }
+  if (i < n) SliceBucketSignScalar(h + i, out + i, n - i, shift, lg_width);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // defined(__x86_64__)
+
+void PolyEvalBatch2(const uint64_t* coeff, const uint64_t* x, uint64_t* out,
+                    size_t n) {
+#if defined(__x86_64__)
+  if (Avx512Active()) {
+    PolyEvalBatch2Avx512(coeff, x, out, n);
+    return;
+  }
+  if (Avx2Active()) {
+    PolyEvalBatch2Avx2(coeff, x, out, n);
+    return;
+  }
+#endif
+  PolyEvalBatch2Scalar(coeff, x, out, n);
+}
+
+void PolyEvalBatch4(const uint64_t* coeff, const uint64_t* x, uint64_t* out,
+                    size_t n) {
+#if defined(__x86_64__)
+  if (Avx512Active()) {
+    PolyEvalBatch4Avx512(coeff, x, out, n);
+    return;
+  }
+  if (Avx2Active()) {
+    PolyEvalBatch4Avx2(coeff, x, out, n);
+    return;
+  }
+#endif
+  PolyEvalBatch4Scalar(coeff, x, out, n);
+}
+
+void SliceBucketSign(const uint64_t* h, uint64_t* out, size_t n,
+                     unsigned shift, unsigned lg_width) {
+#if defined(__x86_64__)
+  if (Avx512Active()) {
+    SliceBucketSignAvx512(h, out, n, shift, lg_width);
+    return;
+  }
+  if (Avx2Active()) {
+    SliceBucketSignAvx2(h, out, n, shift, lg_width);
+    return;
+  }
+#endif
+  SliceBucketSignScalar(h, out, n, shift, lg_width);
+}
+
+size_t DecimateStride(const uint64_t* in, size_t n, size_t offset,
+                      size_t stride, uint64_t* out, size_t max_out) {
+#if defined(__x86_64__)
+  if (Avx2Active()) {
+    return DecimateStrideAvx2(in, n, offset, stride, out, max_out);
+  }
+#endif
+  return DecimateStrideScalar(in, n, offset, stride, out, max_out);
+}
+
+}  // namespace streamq::simd

@@ -1,0 +1,138 @@
+// Runtime-dispatched SIMD kernels for the sketch hot paths.
+//
+// Policy (DESIGN.md section 14): every kernel exists in a scalar flavour
+// and -- on x86-64 -- AVX2 and (for the polynomial kernels) AVX-512
+// flavours, selected at runtime from cpuid, best tier first. The vector
+// code is compiled with per-function target attributes, so the library
+// binary runs unchanged on hosts without those ISAs, and the kernels must
+// be *bit-identical* to their scalar references on every input: callers
+// rely on a sketch built on an AVX-512 host serializing byte-for-byte the
+// same as one built on a scalar host. The equivalence tests
+// (tests/simd_test.cc, tests/batch_update_test.cc) compare all flavours
+// directly, and the force-scalar override lets the fallback path be
+// exercised on vector hosts too.
+
+#ifndef STREAMQ_UTIL_SIMD_H_
+#define STREAMQ_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace streamq::simd {
+
+/// True when the host CPU executes AVX2 (cached cpuid probe; always false
+/// off x86-64).
+bool CpuHasAvx2();
+
+/// Test/diagnostics hook: force every dispatching kernel onto its scalar
+/// path regardless of cpuid. Also settable via the STREAMQ_FORCE_SCALAR
+/// environment variable (any non-empty value, read once at first dispatch).
+void SetForceScalar(bool force);
+
+/// Whether the AVX2 flavours are currently selected by the dispatchers:
+/// CpuHasAvx2() and not forced scalar.
+bool Avx2Active();
+
+/// True when the host CPU executes AVX-512F (cached cpuid probe; always
+/// false off x86-64).
+bool CpuHasAvx512();
+
+/// Whether the AVX-512 flavours are currently selected by the dispatchers:
+/// CpuHasAvx512() and not forced scalar. When true it wins over AVX2.
+bool Avx512Active();
+
+// --- Carter-Wegman polynomial evaluation over p = 2^61 - 1 --------------
+//
+// Batch counterparts of PolyHash<2> / PolyHash<4> (util/hash.h): evaluate
+// the degree-(K-1) polynomial with Horner steps
+//     acc = ReduceMersenne61(acc * x + c_i)
+// for each lane. Bit-identical to calling PolyHash::operator() per element
+// (same truncation and same single conditional subtract in the reduction).
+
+/// out[i] = ((c1 * x[i] + c0) mod p), coeff = {c0, c1}. Dispatches.
+void PolyEvalBatch2(const uint64_t* coeff, const uint64_t* x, uint64_t* out,
+                    size_t n);
+/// Degree-3 polynomial, coeff = {c0, c1, c2, c3}. Dispatches.
+void PolyEvalBatch4(const uint64_t* coeff, const uint64_t* x, uint64_t* out,
+                    size_t n);
+
+/// Scalar references (exposed so the equivalence tests can pin the
+/// dispatched and AVX2 flavours against them on any host).
+void PolyEvalBatch2Scalar(const uint64_t* coeff, const uint64_t* x,
+                          uint64_t* out, size_t n);
+void PolyEvalBatch4Scalar(const uint64_t* coeff, const uint64_t* x,
+                          uint64_t* out, size_t n);
+
+#if defined(__x86_64__)
+/// AVX2 flavours; calling them requires CpuHasAvx2().
+void PolyEvalBatch2Avx2(const uint64_t* coeff, const uint64_t* x,
+                        uint64_t* out, size_t n);
+void PolyEvalBatch4Avx2(const uint64_t* coeff, const uint64_t* x,
+                        uint64_t* out, size_t n);
+
+/// AVX-512 flavours (8 lanes; narrow-operand fast path when every lane of a
+/// vector is < 2^32, which computes the identical 128-bit product from two
+/// 32x32 partials instead of four). Calling them requires CpuHasAvx512().
+void PolyEvalBatch2Avx512(const uint64_t* coeff, const uint64_t* x,
+                          uint64_t* out, size_t n);
+void PolyEvalBatch4Avx512(const uint64_t* coeff, const uint64_t* x,
+                          uint64_t* out, size_t n);
+#endif
+
+// --- (bucket, sign) slicing for Count-Sketch rows -----------------------
+//
+// CountSketch derives each row's (bucket, sign) pair from a bit-slice of a
+// shared 4-wise polynomial value (see the class comment): row slice k of a
+// hash h is the (lg_width + 1)-bit window starting at bit shift =
+// k*(lg_width+1). SliceBucketSign packs, for each input value, the low
+// lg_width bits of the window (the bucket) into the low bits of out[i] and
+// the *negated* top window bit into bit 63, so the scatter loop recovers
+// the signed delta as (delta ^ s) - s with s = int64(out[i]) >> 63.
+// Requires shift + lg_width + 1 <= 64. Pure bit moves, so all flavours are
+// trivially bit-identical.
+
+/// Dispatching slicer: out[i] = ((h[i]>>shift) & (2^lg_width - 1))
+///                              | (~(h[i] >> (shift+lg_width)) & 1) << 63.
+void SliceBucketSign(const uint64_t* h, uint64_t* out, size_t n,
+                     unsigned shift, unsigned lg_width);
+
+/// Scalar reference.
+void SliceBucketSignScalar(const uint64_t* h, uint64_t* out, size_t n,
+                           unsigned shift, unsigned lg_width);
+
+#if defined(__x86_64__)
+/// AVX2 / AVX-512 flavours; calling them requires the matching cpuid bit.
+void SliceBucketSignAvx2(const uint64_t* h, uint64_t* out, size_t n,
+                         unsigned shift, unsigned lg_width);
+void SliceBucketSignAvx512(const uint64_t* h, uint64_t* out, size_t n,
+                           unsigned shift, unsigned lg_width);
+#endif
+
+// --- strided selection (buffer compaction) ------------------------------
+//
+// The sample-based summaries compact by keeping a regular subsequence of a
+// sorted buffer: Random keeps the odd or even positions of a merged pair
+// (stride 2) and promotes buffers across levels by a stride-2^gap
+// subsequence; MRL99's equal-weight COLLAPSE keeps every m-th element.
+// Decimate copies in[offset], in[offset+stride], ... into out and returns
+// the number of elements written (at most max_out). Plain copies, so all
+// flavours are trivially bit-identical.
+
+/// Dispatching strided copy; stride >= 1, offset < n for a non-empty
+/// result. max_out caps the output count (SIZE_MAX for "all").
+size_t DecimateStride(const uint64_t* in, size_t n, size_t offset,
+                      size_t stride, uint64_t* out, size_t max_out);
+
+/// Scalar reference.
+size_t DecimateStrideScalar(const uint64_t* in, size_t n, size_t offset,
+                            size_t stride, uint64_t* out, size_t max_out);
+
+#if defined(__x86_64__)
+/// AVX2 flavour (stride 2 via lane permutes, larger strides via gathers).
+size_t DecimateStrideAvx2(const uint64_t* in, size_t n, size_t offset,
+                          size_t stride, uint64_t* out, size_t max_out);
+#endif
+
+}  // namespace streamq::simd
+
+#endif  // STREAMQ_UTIL_SIMD_H_

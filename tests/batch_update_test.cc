@@ -1,0 +1,212 @@
+// Property tests for the batched update path: UpdateBatch(span) must leave
+// every summary *bit-identical* to the item-wise Insert() loop -- same
+// compaction points, same RNG draws, same serialized bytes -- for every
+// algorithm, every batch partition (including empty and size-1 spans), and
+// on both the SIMD and forced-scalar kernel paths. This is the contract
+// that lets the ingest pipeline batch opportunistically: a reader can never
+// tell from the summary how the stream was chopped into spans.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "quantile/cash_register.h"
+#include "quantile/dyadic_quantile.h"
+#include "quantile/factory.h"
+#include "quantile/quantile_sketch.h"
+#include "util/simd.h"
+
+namespace streamq {
+namespace {
+
+struct AlgoCase {
+  Algorithm algorithm;
+  const char* name;
+  size_t n;  // stream length (slow algorithms get shorter streams)
+};
+
+const AlgoCase kAlgoCases[] = {
+    {Algorithm::kGkTheory, "GKTheory", 20000},
+    {Algorithm::kGkAdaptive, "GKAdaptive", 20000},
+    {Algorithm::kGkArray, "GKArray", 20000},
+    {Algorithm::kFastQDigest, "FastQDigest", 20000},
+    {Algorithm::kMrl99, "MRL99", 20000},
+    {Algorithm::kRandom, "Random", 20000},
+    {Algorithm::kRss, "RSS", 1500},  // RSS updates are orders slower
+    {Algorithm::kDcm, "DCM", 8000},
+    {Algorithm::kDcs, "DCS", 8000},
+    {Algorithm::kDcsPost, "DCSPost", 8000},
+};
+
+constexpr int kLogUniverse = 20;
+
+SketchConfig MakeConfig(Algorithm algorithm, uint64_t seed) {
+  SketchConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.eps = 0.01;
+  cfg.log_universe = kLogUniverse;
+  cfg.depth = 5;
+  cfg.rss_width_cap = 1 << 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Deterministic stream over the configured universe, with a sprinkling of
+// out-of-universe values so the per-element rejection contract of the
+// fixed-universe summaries is exercised mid-batch.
+std::vector<uint64_t> MakeStream(size_t n, uint64_t seed,
+                                 bool with_rejects) {
+  std::vector<uint64_t> values(n);
+  uint64_t s = seed;
+  for (size_t i = 0; i < n; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    values[i] = s >> (64 - kLogUniverse);
+    if (with_rejects && i % 97 == 13) {
+      values[i] |= uint64_t{1} << 60;  // outside [0, 2^kLogUniverse)
+    }
+  }
+  return values;
+}
+
+// Chops the stream into spans of irregular sizes -- empty, 1, odd, prime,
+// and larger-than-any-internal-buffer -- and feeds them through
+// UpdateBatch. Returns the total number of rejected elements.
+size_t FeedBatched(QuantileSketch& sketch, const std::vector<uint64_t>& values) {
+  const size_t kCuts[] = {1, 0, 3, 17, 1, 64, 0, 255, 7, 1024, 29, 400};
+  size_t rejected = 0;
+  size_t i = 0, cut = 0;
+  while (i < values.size()) {
+    const size_t len = std::min(kCuts[cut % std::size(kCuts)],
+                                values.size() - i);
+    ++cut;
+    rejected += sketch.UpdateBatch(
+        std::span<const uint64_t>(values.data() + i, len));
+    i += len;
+  }
+  // A trailing empty span must be a no-op as well.
+  rejected += sketch.UpdateBatch(std::span<const uint64_t>{});
+  return rejected;
+}
+
+size_t FeedItemwise(QuantileSketch& sketch,
+                    const std::vector<uint64_t>& values) {
+  size_t rejected = 0;
+  for (uint64_t v : values) {
+    if (sketch.Insert(v) != StreamqStatus::kOk) ++rejected;
+  }
+  return rejected;
+}
+
+// Observable-state comparison through the base interface: counts, rank
+// estimates over a probe grid, and a quantile sweep. For the randomized
+// summaries these all depend on the exact buffer contents and PRNG
+// position, so any divergence in internal state shows up here.
+void ExpectSameObservableState(QuantileSketch& a, QuantileSketch& b,
+                               const char* label) {
+  ASSERT_EQ(a.Count(), b.Count()) << label;
+  for (uint64_t probe = 0; probe <= (uint64_t{1} << kLogUniverse);
+       probe += (uint64_t{1} << kLogUniverse) / 64) {
+    ASSERT_EQ(a.EstimateRank(probe), b.EstimateRank(probe))
+        << label << " probe=" << probe;
+  }
+  const std::vector<double> phis = {0.0,  0.01, 0.1,  0.25, 0.5,
+                                    0.75, 0.9,  0.99, 1.0};
+  ASSERT_EQ(a.QueryMany(phis), b.QueryMany(phis)) << label;
+}
+
+class BatchUpdateTest : public ::testing::TestWithParam<AlgoCase> {};
+
+TEST_P(BatchUpdateTest, BatchedMatchesItemwise) {
+  const AlgoCase& tc = GetParam();
+  for (uint64_t seed : {uint64_t{1}, uint64_t{42}}) {
+    const auto values = MakeStream(tc.n, seed * 7919, /*with_rejects=*/true);
+    auto itemwise = MakeSketch(MakeConfig(tc.algorithm, seed));
+    auto batched = MakeSketch(MakeConfig(tc.algorithm, seed));
+    ASSERT_NE(itemwise, nullptr);
+    ASSERT_NE(batched, nullptr);
+    const size_t rej_item = FeedItemwise(*itemwise, values);
+    const size_t rej_batch = FeedBatched(*batched, values);
+    EXPECT_EQ(rej_item, rej_batch) << tc.name << " seed=" << seed;
+    ExpectSameObservableState(*itemwise, *batched, tc.name);
+    EXPECT_EQ(itemwise->metrics().inserts.value(),
+              batched->metrics().inserts.value())
+        << tc.name;
+    EXPECT_EQ(itemwise->metrics().rejected.value(),
+              batched->metrics().rejected.value())
+        << tc.name;
+  }
+}
+
+TEST_P(BatchUpdateTest, ForcedScalarMatchesVectorized) {
+  // Same batched feed twice, once with the SIMD dispatchers live and once
+  // forced onto the scalar kernels: the summaries must agree exactly. On a
+  // host without AVX2 both runs take the scalar path and this degenerates
+  // to a determinism check, which is still worth asserting.
+  const AlgoCase& tc = GetParam();
+  const auto values = MakeStream(tc.n, 1234567, /*with_rejects=*/false);
+  auto vectorized = MakeSketch(MakeConfig(tc.algorithm, 9));
+  auto scalar = MakeSketch(MakeConfig(tc.algorithm, 9));
+  ASSERT_NE(vectorized, nullptr);
+  ASSERT_NE(scalar, nullptr);
+  FeedBatched(*vectorized, values);
+  simd::SetForceScalar(true);
+  FeedBatched(*scalar, values);
+  simd::SetForceScalar(false);
+  ExpectSameObservableState(*vectorized, *scalar, tc.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, BatchUpdateTest,
+                         ::testing::ValuesIn(kAlgoCases),
+                         [](const ::testing::TestParamInfo<AlgoCase>& info) {
+                           return std::string(info.param.name);
+                         });
+
+// --- Serialized-byte identity ------------------------------------------
+//
+// For the summaries that expose snapshots, compare the strongest possible
+// form of the property: the full serialized state (buffers, counters, PRNG
+// position) must be byte-for-byte equal between the item-wise and batched
+// feeds, and between the SIMD and forced-scalar batched feeds.
+
+template <typename Sketch, typename... Args>
+void ExpectSerializedIdentity(size_t n, Args... args) {
+  const auto values = MakeStream(n, 31337, /*with_rejects=*/false);
+  Sketch itemwise(args...);
+  Sketch batched(args...);
+  Sketch forced(args...);
+  FeedItemwise(itemwise, values);
+  FeedBatched(batched, values);
+  simd::SetForceScalar(true);
+  FeedBatched(forced, values);
+  simd::SetForceScalar(false);
+  const std::string want = itemwise.Serialize();
+  EXPECT_EQ(batched.Serialize(), want) << "batched vs item-wise";
+  EXPECT_EQ(forced.Serialize(), want) << "forced-scalar vs item-wise";
+}
+
+TEST(BatchSerializedIdentityTest, Random) {
+  ExpectSerializedIdentity<RandomSketch>(50000, 0.01, uint64_t{3});
+}
+
+TEST(BatchSerializedIdentityTest, Mrl99) {
+  ExpectSerializedIdentity<Mrl99>(50000, 0.01, uint64_t{3});
+}
+
+TEST(BatchSerializedIdentityTest, GkArray) {
+  ExpectSerializedIdentity<GkArray>(50000, 0.01);
+}
+
+TEST(BatchSerializedIdentityTest, Dcm) {
+  ExpectSerializedIdentity<Dcm>(8000, 0.01, kLogUniverse, 5, uint64_t{3});
+}
+
+TEST(BatchSerializedIdentityTest, Dcs) {
+  ExpectSerializedIdentity<Dcs>(8000, 0.01, kLogUniverse, 5, uint64_t{3});
+}
+
+}  // namespace
+}  // namespace streamq
