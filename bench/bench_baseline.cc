@@ -91,7 +91,7 @@ int Main(int argc, char** argv) {
 
   std::string json;
   json += "{\n";
-  json += "  \"schema_version\": 6,\n";
+  json += "  \"schema_version\": 7,\n";
   json += "  \"eps\": 0.01,\n";
   json += "  \"n\": " + std::to_string(n) + ",\n";
   json += "  \"rss_n\": " + std::to_string(rss_n) + ",\n";
@@ -306,7 +306,15 @@ int Main(int argc, char** argv) {
   // bench_cluster --json and splice the section into the committed
   // baseline with scripts/merge_cluster_bench.py; check_bench_json.py
   // validates the merged structure.
-  json += "  \"cluster\": null\n";
+  json += "  \"cluster\": null,\n";
+
+  // Net section (schema_version 7): always null here -- the network sweep
+  // (insert + batch-insert throughput and query latency vs client count
+  // over TCP loopback) lives in bench_net. Run bench_net --json and
+  // splice the section into the committed baseline with
+  // scripts/merge_net_bench.py; check_bench_json.py gates the merged
+  // 1-client batch-insert lane at >= 10x single-item inserts/sec.
+  json += "  \"net\": null\n";
   json += "}\n";
 
   std::FILE* f = std::fopen(out_path, "w");

@@ -1,40 +1,243 @@
-// Command-line quantile summariser: reads whitespace-separated numbers from
-// stdin, prints requested quantiles.
+// Command-line quantile summariser, two modes.
+//
+// Local (the original): reads whitespace-separated numbers from stdin,
+// sketches them in-process, prints requested quantiles.
 //
 //   $ seq 1 1000000 | shuf | ./streamq_cli --algo=GKArray --eps=0.001 \
 //         --phi=0.5,0.9,0.99
 //
-// Floating-point input is supported through the order-preserving IEEE-754
-// mapping (footnote 1 of the paper): values are mapped to uint64, sketched
-// in the fixed universe, and mapped back for output.
+// Client (network tier): connects to a running streamq server and drives
+// the wire protocol interactively -- CREATE/INSERT/QUERY/RANK/FLUSH/
+// STATS/DROP -- one command per stdin line.
+//
+//   $ ./streamq_server --port=9409 &
+//   $ ./streamq_cli connect 127.0.0.1:9409
+//   > create rtt Random 0.001
+//   > insert rtt 200 210 5000
+//   > query rtt 0.5
+//   > flush rtt
+//
+// Floating-point input in local mode is supported through the
+// order-preserving IEEE-754 mapping (footnote 1 of the paper): values are
+// mapped to uint64, sketched in the fixed universe, and mapped back.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "quantile/factory.h"
 #include "util/float_order.h"
 
+#if STREAMQ_NET_ENABLED
+#include "net/client.h"
+#endif
+
 namespace {
 
 void Usage() {
   std::fprintf(stderr,
                "usage: streamq_cli [--algo=NAME] [--eps=E] [--phi=P1,P2,...]\n"
+               "       streamq_cli connect HOST:PORT\n"
                "  NAME: GKTheory GKAdaptive GKArray FastQDigest MRL99 Random\n"
                "        DCM DCS Post (default: GKArray)\n"
                "  E:    rank error target (default 0.001)\n"
                "  P:    comma-separated quantiles in (0,1) "
                "(default 0.5,0.9,0.99)\n"
-               "reads whitespace-separated numbers from stdin\n");
+               "local mode reads whitespace-separated numbers from stdin;\n"
+               "connect mode reads protocol commands (type 'help')\n");
 }
+
+#if STREAMQ_NET_ENABLED
+
+void ConnectHelp() {
+  std::printf(
+      "commands (one per line):\n"
+      "  create NAME [ALGO] [EPS] [durable]   make a stream on the server\n"
+      "  drop NAME                            drop it (and durable state)\n"
+      "  insert NAME V...                     insert value(s); >1 => one\n"
+      "                                       BATCH_INSERT frame\n"
+      "  delete NAME V                        turnstile delete (delta -1)\n"
+      "  query NAME PHI                       phi-quantile in (0,1)\n"
+      "  rank NAME V                          estimated rank of V\n"
+      "  flush NAME                           durability barrier; prints ack\n"
+      "  stats NAME                           server-side stream stats\n"
+      "  help / quit\n");
+}
+
+void PrintResponse(const streamq::net::NetResponse& resp) {
+  using namespace streamq::net;
+  if (!resp.ok()) {
+    std::printf("%s %s: %s\n", NetOpName(resp.op), NetStatusName(resp.status),
+                resp.message.c_str());
+    return;
+  }
+  switch (resp.op) {
+    case NetOp::kQuery:
+      std::printf("%llu\n", static_cast<unsigned long long>(resp.value));
+      break;
+    case NetOp::kRank:
+      std::printf("%lld\n", static_cast<long long>(resp.rank));
+      break;
+    case NetOp::kFlush:
+      std::printf("ok flush-ack=%llu\n",
+                  static_cast<unsigned long long>(resp.value));
+      break;
+    case NetOp::kInsert:
+    case NetOp::kBatchInsert:
+      std::printf("ok accepted=%llu\n",
+                  static_cast<unsigned long long>(resp.value));
+      break;
+    case NetOp::kCreate:
+    case NetOp::kStats: {
+      const auto& s = resp.stats;
+      std::printf(
+          "ok algo=%s count=%llu pushed=%llu processed=%llu shards=%u "
+          "mem=%.1fKB durable=%d durable_seq=%llu recovered=%d\n",
+          s.algorithm.c_str(), static_cast<unsigned long long>(s.count),
+          static_cast<unsigned long long>(s.pushed),
+          static_cast<unsigned long long>(s.processed), s.shards,
+          s.memory_bytes / 1024.0, s.durable ? 1 : 0,
+          static_cast<unsigned long long>(s.durable_seq), s.recovered ? 1 : 0);
+      break;
+    }
+    default:
+      std::printf("ok\n");
+      break;
+  }
+}
+
+int RunConnectMode(const std::string& endpoint) {
+  using namespace streamq::net;
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    std::fprintf(stderr, "connect: expected HOST:PORT, got '%s'\n",
+                 endpoint.c_str());
+    return 2;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "connect: bad port in '%s'\n", endpoint.c_str());
+    return 2;
+  }
+
+  auto client = StreamqClient::ConnectTcp(host, static_cast<uint16_t>(port));
+  if (client == nullptr) {
+    std::fprintf(stderr, "connect to %s failed\n", endpoint.c_str());
+    return 1;
+  }
+  std::printf("connected to %s (type 'help')\n", endpoint.c_str());
+
+  std::string line;
+  while (true) {
+    std::printf("> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      ConnectHelp();
+      continue;
+    }
+
+    std::string stream;
+    if (!(in >> stream)) {
+      std::printf("error: '%s' needs a stream name (try 'help')\n",
+                  cmd.c_str());
+      continue;
+    }
+
+    NetResponse resp;
+    bool handled = true;
+    if (cmd == "create") {
+      CreateParams params;
+      std::string tok;
+      if (in >> tok) params.algorithm = tok;
+      if (in >> tok) params.eps = std::atof(tok.c_str());
+      if (in >> tok) params.durable = (tok == "durable");
+      resp = client->Create(stream, params);
+    } else if (cmd == "drop") {
+      resp = client->Drop(stream);
+    } else if (cmd == "insert") {
+      std::vector<uint64_t> values;
+      unsigned long long v = 0;
+      while (in >> v) values.push_back(v);
+      if (values.empty()) {
+        std::printf("error: insert needs at least one value\n");
+        continue;
+      }
+      resp = values.size() == 1 ? client->Insert(stream, values[0])
+                                : client->InsertBatch(stream, values);
+    } else if (cmd == "delete") {
+      unsigned long long v = 0;
+      if (!(in >> v)) {
+        std::printf("error: delete needs a value\n");
+        continue;
+      }
+      resp = client->Insert(stream, v, -1);
+    } else if (cmd == "query") {
+      double phi = 0.0;
+      if (!(in >> phi)) {
+        std::printf("error: query needs a phi\n");
+        continue;
+      }
+      resp = client->Query(stream, phi);
+    } else if (cmd == "rank") {
+      unsigned long long v = 0;
+      if (!(in >> v)) {
+        std::printf("error: rank needs a value\n");
+        continue;
+      }
+      resp = client->Rank(stream, v);
+    } else if (cmd == "flush") {
+      resp = client->Flush(stream);
+    } else if (cmd == "stats") {
+      resp = client->Stats(stream);
+    } else {
+      std::printf("error: unknown command '%s' (try 'help')\n", cmd.c_str());
+      handled = false;
+    }
+    if (!handled) continue;
+
+    if (!client->ok()) {
+      std::fprintf(stderr, "connection lost: %s\n", client->error().c_str());
+      return 1;
+    }
+    PrintResponse(resp);
+  }
+  return 0;
+}
+
+#else  // !STREAMQ_NET_ENABLED
+
+int RunConnectMode(const std::string&) {
+  std::fprintf(stderr,
+               "connect mode requires a build with -DSTREAMQ_NET=ON\n");
+  return 2;
+}
+
+#endif  // STREAMQ_NET_ENABLED
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace streamq;
+
+  if (argc >= 2 && std::strcmp(argv[1], "connect") == 0) {
+    if (argc != 3) {
+      Usage();
+      return 2;
+    }
+    return RunConnectMode(argv[2]);
+  }
 
   SketchConfig config;
   config.algorithm = Algorithm::kGkArray;

@@ -46,12 +46,25 @@ Schema checks (always):
     amortised batch cost must stay under the BATCH_NS_GATES ceilings
     (Random/MRL99 <= 5 ns/item, DCS <= 300 ns/item) -- the hot-path
     speed campaign's acceptance bars
+  * schema_version 7 additionally requires a net section (null straight
+    out of bench_baseline; the committed baseline carries the bench_net
+    output, spliced with scripts/merge_net_bench.py): a client-count
+    sweep of sustained INSERT and BATCH_INSERT throughput plus query
+    latency percentiles over TCP loopback. The third HARD GATE lives
+    here: at the 1-client point, 4096-element BATCH_INSERT frames must
+    sustain >= 10x the single-item INSERT inserts/sec -- the network
+    tier's acceptance bar (a ratio on one host, so stable where absolute
+    throughput is not)
 
 Regression check (with --baseline): every cell's ns_per_update must stay
 within (1 + threshold) of the baseline's. Comparing a file against itself
 (as the `verify` target does) degenerates to the schema check. The
 parallel_ingest sweep is schema-checked only -- thread-scheduling noise
 makes its ns/update numbers unsuitable for a tight regression gate.
+
+Every violation found is reported; the checker never stops at the first
+problem (a schema bump touching several sections should need exactly one
+fix-check iteration). Only an unreadable/unparsable input file aborts.
 
 Exit code 0 = clean, 1 = any failure (messages on stderr).
 """
@@ -108,23 +121,29 @@ def load(path):
 
 
 def check_schema(doc, path):
+    # Missing pieces are reported and then skipped over: every other check
+    # that can still run does, so one pass surfaces every violation.
     errors = 0
     for key in ("schema_version", "eps", "n", "rss_n", "entries"):
         if key not in doc:
             errors += fail(f"{path}: missing top-level key '{key}'")
-    if errors:
-        return errors, {}
-    if doc["schema_version"] not in (1, 2, 3, 4, 5, 6):
-        errors += fail(f"{path}: unsupported schema_version {doc['schema_version']}")
-    eps = doc["eps"]
-    if not (isinstance(eps, float) and 0.0 < eps < 1.0):
+    version = doc.get("schema_version", 0)
+    if "schema_version" in doc and version not in (1, 2, 3, 4, 5, 6, 7):
+        errors += fail(f"{path}: unsupported schema_version {version!r}")
+    eps = doc.get("eps", 0.0)
+    if "eps" in doc and not (isinstance(eps, float) and 0.0 < eps < 1.0):
         errors += fail(f"{path}: eps must be a float in (0, 1), got {eps!r}")
     for key in ("n", "rss_n"):
-        if not (isinstance(doc[key], int) and doc[key] > 0):
+        if key in doc and not (isinstance(doc[key], int) and doc[key] > 0):
             errors += fail(f"{path}: {key} must be a positive integer")
+    if not isinstance(version, int):
+        version = 0
 
     cells = {}
-    for i, entry in enumerate(doc["entries"]):
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        entries = []
+    for i, entry in enumerate(entries):
         where = f"{path}: entries[{i}]"
         if not isinstance(entry, dict):
             errors += fail(f"{where}: not an object")
@@ -151,7 +170,7 @@ def check_schema(doc, path):
             errors += fail(f"{where}: unknown algorithm {algorithm!r}")
         if not (isinstance(entry["ns_per_update"], (int, float)) and entry["ns_per_update"] > 0):
             errors += fail(f"{where}: ns_per_update must be > 0")
-        if doc["schema_version"] >= 6:
+        if version >= 6:
             batch_ns = entry.get("ns_per_update_batch")
             if not (isinstance(batch_ns, (int, float)) and batch_ns > 0):
                 errors += fail(
@@ -178,33 +197,39 @@ def check_schema(doc, path):
                 f"exceeds eps*{slack} = {eps * slack:.6f}"
             )
 
-    for dataset in EXPECTED_DATASETS:
-        for algorithm in EXPECTED_ALGORITHMS:
-            if (dataset, algorithm) not in cells:
-                errors += fail(f"{path}: missing cell ({dataset}, {algorithm})")
+    if isinstance(doc.get("entries"), list):
+        for dataset in EXPECTED_DATASETS:
+            for algorithm in EXPECTED_ALGORITHMS:
+                if (dataset, algorithm) not in cells:
+                    errors += fail(f"{path}: missing cell ({dataset}, {algorithm})")
 
-    if doc["schema_version"] >= 2:
+    if version >= 2:
         if "parallel_ingest" not in doc:
             errors += fail(f"{path}: schema_version 2 requires 'parallel_ingest'")
         else:
             errors += check_parallel_ingest(doc["parallel_ingest"], eps, path)
-    if doc["schema_version"] >= 3:
+    if version >= 3:
         if "durability" not in doc:
             errors += fail(f"{path}: schema_version 3 requires 'durability'")
         else:
             errors += check_durability(doc["durability"], path)
-    if doc["schema_version"] >= 4:
+    if version >= 4:
         if "trace_overhead" not in doc:
             errors += fail(f"{path}: schema_version 4 requires 'trace_overhead'")
         else:
             errors += check_trace_overhead(doc["trace_overhead"], path)
-    if doc["schema_version"] >= 5:
+    if version >= 5:
         if "cluster" not in doc:
             errors += fail(f"{path}: schema_version 5 requires 'cluster'")
         else:
             errors += check_cluster(doc["cluster"], path)
-    if doc["schema_version"] >= 6:
+    if version >= 6:
         errors += check_batch_gates(cells, path)
+    if version >= 7:
+        if "net" not in doc:
+            errors += fail(f"{path}: schema_version 7 requires 'net'")
+        else:
+            errors += check_net(doc["net"], path)
     return errors, cells
 
 
@@ -256,19 +281,19 @@ def check_parallel_ingest(section, eps, path):
     for key in ("algorithm", "dataset", "n", "sweep"):
         if key not in section:
             errors += fail(f"{where}: missing key '{key}'")
-    if errors:
-        return errors
-    algorithm = section["algorithm"]
-    if algorithm not in PIPELINE_ALGORITHMS:
+    algorithm = section.get("algorithm")
+    if "algorithm" in section and algorithm not in PIPELINE_ALGORITHMS:
         errors += fail(
             f"{where}: algorithm {algorithm!r} is not pipeline-capable "
             f"(expected one of {PIPELINE_ALGORITHMS})"
         )
-    if section["dataset"] not in EXPECTED_DATASETS:
+    if "dataset" in section and section["dataset"] not in EXPECTED_DATASETS:
         errors += fail(f"{where}: unknown dataset {section['dataset']!r}")
-    if not (isinstance(section["n"], int) and section["n"] > 0):
+    if "n" in section and not (isinstance(section["n"], int) and section["n"] > 0):
         errors += fail(f"{where}: n must be a positive integer")
-    sweep = section["sweep"]
+    sweep = section.get("sweep")
+    if sweep is None:
+        return errors
     if not (isinstance(sweep, list) and sweep):
         return errors + fail(f"{where}: sweep must be a non-empty list")
     seen_threads = set()
@@ -338,18 +363,18 @@ def check_durability(section, path):
     for key in ("algorithm", "dataset", "n", "modes"):
         if key not in section:
             errors += fail(f"{where}: missing key '{key}'")
-    if errors:
-        return errors
-    if section["algorithm"] not in PIPELINE_ALGORITHMS:
+    if "algorithm" in section and section["algorithm"] not in PIPELINE_ALGORITHMS:
         errors += fail(
             f"{where}: algorithm {section['algorithm']!r} is not "
             f"pipeline-capable (expected one of {PIPELINE_ALGORITHMS})"
         )
-    if section["dataset"] not in EXPECTED_DATASETS:
+    if "dataset" in section and section["dataset"] not in EXPECTED_DATASETS:
         errors += fail(f"{where}: unknown dataset {section['dataset']!r}")
-    if not (isinstance(section["n"], int) and section["n"] > 0):
+    if "n" in section and not (isinstance(section["n"], int) and section["n"] > 0):
         errors += fail(f"{where}: n must be a positive integer")
-    modes = section["modes"]
+    modes = section.get("modes")
+    if modes is None:
+        return errors
     if not (isinstance(modes, list) and modes):
         return errors + fail(f"{where}: modes must be a non-empty list")
     seen_modes = set()
@@ -433,12 +458,12 @@ def check_trace_overhead(section, path):
     for key in ("n", "reps", "lanes"):
         if key not in section:
             errors += fail(f"{where}: missing key '{key}'")
-    if errors:
-        return errors
     for key in ("n", "reps"):
-        if not (isinstance(section[key], int) and section[key] > 0):
+        if key in section and not (isinstance(section[key], int) and section[key] > 0):
             errors += fail(f"{where}: {key} must be a positive integer")
-    lanes = section["lanes"]
+    lanes = section.get("lanes")
+    if lanes is None:
+        return errors
     if not isinstance(lanes, dict):
         return errors + fail(f"{where}: lanes must be an object")
     for mode in lanes:
@@ -466,17 +491,21 @@ def check_trace_overhead(section, path):
     for mode in TRACE_LANES:
         if mode not in lanes:
             errors += fail(f"{where}: missing lane {mode!r}")
-    if errors:
-        return errors
-    off_ns = lanes["off"]["ns_per_update"]
-    idle_ns = lanes["idle"]["ns_per_update"]
-    limit = off_ns * (1.0 + TRACE_IDLE_OVERHEAD_LIMIT)
-    if idle_ns > limit:
-        errors += fail(
-            f"{where}: idle tracing costs {idle_ns:.2f} ns/update vs "
-            f"{off_ns:.2f} with tracing compiled out "
-            f"(> {TRACE_IDLE_OVERHEAD_LIMIT:.0%} overhead)"
-        )
+    # Gate whenever both operands are usable numbers, even if some other
+    # lane had problems above -- one run reports everything.
+    off_ns = lanes.get("off", {}).get("ns_per_update") if isinstance(
+        lanes.get("off"), dict) else None
+    idle_ns = lanes.get("idle", {}).get("ns_per_update") if isinstance(
+        lanes.get("idle"), dict) else None
+    if (isinstance(off_ns, (int, float)) and off_ns > 0
+            and isinstance(idle_ns, (int, float))):
+        limit = off_ns * (1.0 + TRACE_IDLE_OVERHEAD_LIMIT)
+        if idle_ns > limit:
+            errors += fail(
+                f"{where}: idle tracing costs {idle_ns:.2f} ns/update vs "
+                f"{off_ns:.2f} with tracing compiled out "
+                f"(> {TRACE_IDLE_OVERHEAD_LIMIT:.0%} overhead)"
+            )
     return errors
 
 
@@ -498,18 +527,24 @@ def check_cluster(section, path):
     for key in ("algorithm", "dataset", "n", "sweep", "failover"):
         if key not in section:
             errors += fail(f"{where}: missing key '{key}'")
-    if errors:
-        return errors
-    if section["algorithm"] not in PIPELINE_ALGORITHMS:
+    if "algorithm" in section and section["algorithm"] not in PIPELINE_ALGORITHMS:
         errors += fail(
             f"{where}: algorithm {section['algorithm']!r} is not "
             f"pipeline-capable (expected one of {PIPELINE_ALGORITHMS})"
         )
-    if section["dataset"] not in EXPECTED_DATASETS:
+    if "dataset" in section and section["dataset"] not in EXPECTED_DATASETS:
         errors += fail(f"{where}: unknown dataset {section['dataset']!r}")
-    if not (isinstance(section["n"], int) and section["n"] > 0):
+    if "n" in section and not (isinstance(section["n"], int) and section["n"] > 0):
         errors += fail(f"{where}: n must be a positive integer")
-    sweep = section["sweep"]
+    errors += check_cluster_sweep(section.get("sweep"), where)
+    errors += check_cluster_failover(section.get("failover"), where)
+    return errors
+
+
+def check_cluster_sweep(sweep, where):
+    errors = 0
+    if sweep is None:
+        return errors
     if not (isinstance(sweep, list) and sweep):
         return errors + fail(f"{where}: sweep must be a non-empty list")
     seen_nodes = set()
@@ -549,7 +584,13 @@ def check_cluster(section, path):
             errors += fail(f"{p_where}: coordinator_memory_bytes must be positive")
     if 1 not in seen_nodes:
         errors += fail(f"{where}: sweep must include the 1-node baseline")
-    failover = section["failover"]
+    return errors
+
+
+def check_cluster_failover(failover, where):
+    errors = 0
+    if failover is None:
+        return errors
     f_where = f"{where}.failover"
     if not isinstance(failover, dict):
         return errors + fail(f"{f_where}: not an object")
@@ -559,19 +600,131 @@ def check_cluster(section, path):
         if k not in failover
     ]
     if missing:
-        return errors + fail(f"{f_where}: missing keys {missing}")
-    if not (isinstance(failover["nodes"], int) and failover["nodes"] > 1):
+        errors += fail(f"{f_where}: missing keys {missing}")
+    if "nodes" in failover and not (
+        isinstance(failover["nodes"], int) and failover["nodes"] > 1
+    ):
         errors += fail(f"{f_where}: nodes must be an integer > 1 (a 1-node "
                        f"cluster has no survivors to fail over to)")
     for k in ("recovery_ms", "resync_ms"):
-        if not (isinstance(failover[k], (int, float)) and failover[k] >= 0):
+        if k in failover and not (
+            isinstance(failover[k], (int, float)) and failover[k] >= 0
+        ):
             errors += fail(f"{f_where}: {k} must be >= 0")
-    if not (
+    if "replayed_updates" in failover and not (
         isinstance(failover["replayed_updates"], int)
         and failover["replayed_updates"] >= 0
     ):
         errors += fail(f"{f_where}: replayed_updates must be a non-negative "
                        f"integer")
+    return errors
+
+
+# Hard gate on the network tier's framing amortisation: at one client, a
+# 4096-element BATCH_INSERT frame must sustain at least this multiple of
+# the single-item INSERT inserts/sec over TCP loopback. A ratio, not an
+# absolute: both lanes run in the same process on the same host, so the
+# per-frame overheads (syscalls, header, CRC, response) divide out of any
+# host-speed dependence.
+NET_BATCH_SPEEDUP_GATE = 10.0
+
+
+def check_net(section, path):
+    """Schema + batch-speedup gate for the net section.
+
+    `null` is legal -- bench_baseline always emits it (the network sweep
+    is bench_net's own workload) and a -DSTREAMQ_NET=OFF build has nothing
+    to measure. The committed baseline must carry the real section,
+    spliced in with scripts/merge_net_bench.py. Query latencies are
+    sanity-checked, never gated (scheduling noise); the batch-vs-single
+    throughput RATIO at 1 client is hard-gated.
+    """
+    where = f"{path}: net"
+    errors = 0
+    if section is None:
+        return 0
+    if not isinstance(section, dict):
+        return fail(f"{where}: not an object (or null)")
+    for key in ("algorithm", "transport", "batch", "sweep"):
+        if key not in section:
+            errors += fail(f"{where}: missing key '{key}'")
+    if "algorithm" in section and section["algorithm"] not in PIPELINE_ALGORITHMS:
+        errors += fail(
+            f"{where}: algorithm {section['algorithm']!r} is not "
+            f"pipeline-capable (expected one of {PIPELINE_ALGORITHMS})"
+        )
+    if "transport" in section and not (
+        isinstance(section["transport"], str) and section["transport"]
+    ):
+        errors += fail(f"{where}: transport must be a non-empty string")
+    if "batch" in section and not (
+        isinstance(section["batch"], int) and section["batch"] > 1
+    ):
+        errors += fail(f"{where}: batch must be an integer > 1")
+    sweep = section.get("sweep")
+    if sweep is None:
+        return errors
+    if not (isinstance(sweep, list) and sweep):
+        return errors + fail(f"{where}: sweep must be a non-empty list")
+    seen_clients = {}
+    for i, point in enumerate(sweep):
+        p_where = f"{where}.sweep[{i}]"
+        if not isinstance(point, dict):
+            errors += fail(f"{p_where}: not an object")
+            continue
+        missing = [
+            k
+            for k in (
+                "clients",
+                "insert_per_sec",
+                "batch_insert_per_sec",
+                "query_p50_us",
+                "query_p99_us",
+            )
+            if k not in point
+        ]
+        if missing:
+            errors += fail(f"{p_where}: missing keys {missing}")
+            continue
+        clients = point["clients"]
+        if not (isinstance(clients, int) and clients > 0):
+            errors += fail(f"{p_where}: clients must be a positive integer")
+        elif clients in seen_clients:
+            errors += fail(f"{p_where}: duplicate client count {clients}")
+        else:
+            seen_clients[clients] = point
+        for k in (
+            "insert_per_sec",
+            "batch_insert_per_sec",
+            "query_p50_us",
+            "query_p99_us",
+        ):
+            if not (isinstance(point[k], (int, float)) and point[k] > 0):
+                errors += fail(f"{p_where}: {k} must be > 0")
+        if (
+            isinstance(point["query_p50_us"], (int, float))
+            and isinstance(point["query_p99_us"], (int, float))
+            and point["query_p99_us"] < point["query_p50_us"]
+        ):
+            errors += fail(f"{p_where}: query_p99_us below query_p50_us")
+    if 1 not in seen_clients:
+        errors += fail(f"{where}: sweep must include the 1-client baseline")
+    else:
+        point = seen_clients[1]
+        single = point.get("insert_per_sec")
+        batch = point.get("batch_insert_per_sec")
+        if (
+            isinstance(single, (int, float))
+            and single > 0
+            and isinstance(batch, (int, float))
+            and batch < NET_BATCH_SPEEDUP_GATE * single
+        ):
+            errors += fail(
+                f"{where}: at 1 client, BATCH_INSERT sustains {batch:.0f} "
+                f"inserts/sec vs {single:.0f} single-item "
+                f"({batch / single:.1f}x; hard floor "
+                f"{NET_BATCH_SPEEDUP_GATE:.0f}x)"
+            )
     return errors
 
 

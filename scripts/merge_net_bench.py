@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Merges bench_net's JSON output into BENCH_baseline.json.
+
+bench_baseline always emits "net": null -- the network sweep (inserts/sec
+and query latency vs concurrent client count over TCP loopback, for both
+single-INSERT and 4096-element BATCH_INSERT framing) is bench_net's own
+workload, kept out of the single-process baseline run. This script
+splices the real numbers in:
+
+    build/bench/bench_net --json /tmp/net.json
+    scripts/merge_net_bench.py BENCH_baseline.json /tmp/net.json
+
+The section file is bench_net's --json output:
+
+    {"algorithm": ..., "transport": ..., "batch": ...,
+     "sweep": [{"clients": ..., "insert_per_sec": ...,
+                "batch_insert_per_sec": ..., "query_p50_us": ...,
+                "query_p99_us": ...}, ...]}
+
+The merged document must pass check_bench_json.py's schema-v7 net check
+(including the hard >= 10x batch-vs-single gate at one client) before
+the baseline file is rewritten; a failing merge leaves it untouched.
+
+Exit code 0 = baseline updated, 1 = any failure (messages on stderr).
+"""
+
+import json
+import sys
+
+import check_bench_json
+
+
+def fail(msg):
+    print(f"merge_net_bench: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    if len(sys.argv) != 3:
+        return fail("usage: merge_net_bench.py BASELINE.json SECTION.json")
+    baseline_path, section_path = sys.argv[1], sys.argv[2]
+
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{baseline_path}: {e}")
+    try:
+        with open(section_path, "r", encoding="utf-8") as f:
+            section = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{section_path}: {e}")
+
+    if not isinstance(section, dict) or "sweep" not in section:
+        return fail(f"{section_path}: not a bench_net section file")
+    if doc.get("schema_version", 0) < 7:
+        return fail(
+            f"{baseline_path}: schema_version "
+            f"{doc.get('schema_version')!r} predates the net section; "
+            f"regenerate with the current bench_baseline first"
+        )
+    doc["net"] = section
+
+    errors = check_bench_json.check_net(section, baseline_path)
+    if errors:
+        return fail("merged section failed validation; baseline unchanged")
+
+    with open(baseline_path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    points = ", ".join(
+        f"c={p['clients']}:{p['batch_insert_per_sec']:.0f}/s"
+        for p in section["sweep"]
+    )
+    print(f"merge_net_bench: {baseline_path} updated ({points})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

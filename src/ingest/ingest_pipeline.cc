@@ -305,6 +305,11 @@ bool IngestPipeline::InitDurability() {
   // silently regressing the newest generation below the recovered state
   // -- and a recovered-but-idle pipeline would merge an empty view.
   for (auto& shard : shards_) PublishShardSnapshot(*shard);
+  // ...and fold the seeds into an initial merged view. Workers only
+  // publish on new activity, so without this a recovered-but-idle
+  // pipeline would answer Query/Rank/CloneView from an empty view until
+  // the first post-restart update arrived.
+  if (recovery_.recovered) PublishMergedView(/*block=*/true);
   return true;
 #else
   return false;
@@ -396,6 +401,69 @@ void IngestPipeline::PushBatch(std::span<const Update> updates) {
   }
   next_seq_.store(seq0 + updates.size(), std::memory_order_release);
   stats_.pushed.fetch_add(updates.size(), std::memory_order_relaxed);
+}
+
+size_t IngestPipeline::TryPushBatch(std::span<const Update> updates) {
+  if (updates.empty()) return 0;
+  const uint64_t seq0 = next_seq_.load(std::memory_order_relaxed);
+  // Fast path: partition into per-shard runs exactly like PushBatch, and
+  // take it only when every run fits its ring right now (ProducerFree is
+  // a lower bound, so the subsequent multi-slot pushes cannot fail).
+  if (push_scratch_.size() != shards_.size()) {
+    push_scratch_.resize(shards_.size());
+  }
+  for (auto& run : push_scratch_) run.clear();
+  for (size_t k = 0; k < updates.size(); ++k) {
+    const uint64_t seq = seq0 + k;
+    const int shard_idx = router_.Route(seq, updates[k].value);
+    push_scratch_[static_cast<size_t>(shard_idx)].push_back(
+        SeqUpdate{seq, updates[k]});
+  }
+  bool fits = true;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const std::vector<SeqUpdate>& run = push_scratch_[s];
+    if (!run.empty() && shards_[s]->ring.ProducerFree() < run.size()) {
+      fits = false;
+      break;
+    }
+  }
+  if (fits) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const std::vector<SeqUpdate>& run = push_scratch_[s];
+      if (run.empty()) continue;
+      Shard& shard = *shards_[s];
+      const size_t pushed = shard.ring.TryPushBatch(run.data(), run.size());
+      (void)pushed;  // guaranteed complete by the ProducerFree probe
+      shard.stats.last_seq.store(run.back().seq, std::memory_order_release);
+      shard.stats.pushed.fetch_add(run.size(), std::memory_order_relaxed);
+    }
+    next_seq_.store(seq0 + updates.size(), std::memory_order_release);
+    stats_.pushed.fetch_add(updates.size(), std::memory_order_relaxed);
+    return updates.size();
+  }
+  // Slow path: item-wise fill preserving the prefix contract -- stop at
+  // the first full ring so accepted seqs stay contiguous (the WAL and
+  // DurableSeq invariants both ride on gap-free seq assignment).
+  size_t accepted = 0;
+  for (; accepted < updates.size(); ++accepted) {
+    const uint64_t seq = seq0 + accepted;
+    const int shard_idx = router_.Route(seq, updates[accepted].value);
+    Shard& shard = *shards_[static_cast<size_t>(shard_idx)];
+    if (!shard.ring.TryPush(SeqUpdate{seq, updates[accepted]})) {
+      shard.stats.ring_full_stalls.fetch_add(1, std::memory_order_relaxed);
+      STREAMQ_TRACE_INSTANT(obs::TracePoint::kRingFull, shard_idx);
+      break;
+    }
+    // last_seq before next_seq_; see TryPush for the DurableSeq ordering
+    // argument.
+    shard.stats.last_seq.store(seq, std::memory_order_release);
+    next_seq_.store(seq + 1, std::memory_order_release);
+    shard.stats.pushed.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (accepted != 0) {
+    stats_.pushed.fetch_add(accepted, std::memory_order_relaxed);
+  }
+  return accepted;
 }
 
 void IngestPipeline::PushSlow(Shard& shard, int shard_idx,
@@ -860,6 +928,20 @@ std::vector<uint64_t> IngestPipeline::QueryMany(
   if (snap.sketch == nullptr) return std::vector<uint64_t>(phis.size(), 0);
   std::lock_guard<std::mutex> lock(query_mutex_);
   return snap.sketch->QueryMany(phis);
+}
+
+int64_t IngestPipeline::Rank(uint64_t value) {
+  STREAMQ_TRACE_SPAN(obs::TracePoint::kQuery, value);
+  stats_.queries.fetch_add(1, std::memory_order_relaxed);
+  const QueryView::Snapshot snap = view_.Load();
+  if (snap.epoch < ProcessedCount()) {
+    stats_.stale_queries.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (snap.sketch == nullptr) return 0;
+  // EstimateRank may touch the same lazy caches as Query; serialise on the
+  // query mutex (never taken by ingestion).
+  std::lock_guard<std::mutex> lock(query_mutex_);
+  return snap.sketch->EstimateRank(value);
 }
 
 std::unique_ptr<QuantileSketch> IngestPipeline::CloneView(uint64_t* count) {

@@ -182,6 +182,18 @@ class IngestPipeline {
   /// producer.
   void PushBatch(std::span<const Update> updates);
 
+  /// Non-blocking batch enqueue: accepts a maximal PREFIX of `updates`
+  /// (in span order -- seqs are assigned only to the accepted elements, so
+  /// the caller re-offers exactly the rejected suffix later) and returns
+  /// its length, possibly 0 (every target ring full) or updates.size()
+  /// (all accepted). When every shard run fits its ring, this is
+  /// PushBatch's amortised multi-slot fast path; otherwise it degrades to
+  /// an item-wise fill that stops at the first full ring. The network
+  /// tier's backpressure primitive (src/net/): a server parks the suffix
+  /// and stops reading the connection instead of blocking its event loop
+  /// or buffering unboundedly. Single producer.
+  size_t TryPushBatch(std::span<const Update> updates);
+
   /// Waits until every pushed update has been applied to its shard sketch
   /// -- and, in durable mode, is covered by the acknowledgement mark or
   /// its shard's WAL has failed dead -- then publishes a merged view
@@ -204,6 +216,11 @@ class IngestPipeline {
   /// Batch quantile query against one consistent snapshot.
   std::vector<uint64_t> QueryMany(const std::vector<double>& phis);
 
+  /// Estimated rank (number of summarised elements < value) from the
+  /// current published view, with the same never-blocks-ingestion and
+  /// internal-serialisation contract as Query. 0 before the first publish.
+  int64_t Rank(uint64_t value);
+
   /// Clones the currently published merged view into a private, mergeable
   /// sketch (nullptr before the first publish). `count`, when non-null,
   /// receives the clone's Count(). This is how the cluster tier builds
@@ -221,6 +238,14 @@ class IngestPipeline {
   /// First seq this incarnation expects from the producer (see the
   /// restart contract in the header comment). 1 for a fresh start.
   uint64_t ResumeSeq() const { return recovery_.resume_seq; }
+
+  /// Highest seq assigned so far (0 before the first push of a fresh
+  /// pipeline). DurableSeq() == LastPushedSeq() is the "everything pushed
+  /// is durable" condition the network tier's FLUSH ack checks. Any
+  /// thread.
+  uint64_t LastPushedSeq() const {
+    return next_seq_.load(std::memory_order_acquire) - 1;
+  }
 
   /// What recovery found at Create() time.
   const RecoveryInfo& recovery() const { return recovery_; }

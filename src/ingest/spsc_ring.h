@@ -86,6 +86,20 @@ class SpscRing {
     return take;
   }
 
+  /// Producer side: free slots available right now. Refreshes the cached
+  /// consumer index once, like TryPushBatch; the consumer only ever frees
+  /// more slots, so the returned value is a lower bound that a subsequent
+  /// TryPushBatch of at most this many elements is guaranteed to accept.
+  size_t ProducerFree() {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t free = slots_.size() - (tail - cached_head_);
+    if (free < slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = slots_.size() - (tail - cached_head_);
+    }
+    return static_cast<size_t>(free);
+  }
+
   /// Consumer side: dequeues up to `max` elements into `out`, returning the
   /// number dequeued (0 when empty). Draining in batches amortises the
   /// producer-index load and the head_ publication over the whole batch.

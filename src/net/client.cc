@@ -1,0 +1,236 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "net/socket.h"
+
+namespace streamq::net {
+
+StreamqClient::StreamqClient(std::unique_ptr<Conn> conn,
+                             ClientOptions options)
+    : conn_(std::move(conn)),
+      options_(options),
+      inbuf_(options.max_frame_bytes) {}
+
+std::unique_ptr<StreamqClient> StreamqClient::ConnectTcp(
+    const std::string& host, uint16_t port, ClientOptions options) {
+  const int fd = TcpConnect(host, port, options.connect_timeout_ms);
+  if (fd < 0) return nullptr;
+  return std::make_unique<StreamqClient>(std::make_unique<SocketConn>(fd),
+                                         options);
+}
+
+StreamqClient::~StreamqClient() { CloseConn(); }
+
+void StreamqClient::CloseConn() {
+  if (conn_ != nullptr) conn_->Close();
+  alive_ = false;
+  if (error_.empty()) error_ = "closed";
+}
+
+void StreamqClient::Die(const std::string& why) {
+  if (!alive_) return;
+  alive_ = false;
+  error_ = why;
+  conn_->Close();
+}
+
+NetResponse StreamqClient::DeadResponse(const NetRequest& request) const {
+  NetResponse resp;
+  resp.id = request.id;
+  resp.op = request.op;
+  resp.status = NetStatus::kInternal;
+  resp.message = "connection dead: " + error_;
+  return resp;
+}
+
+uint64_t StreamqClient::Send(NetRequest request) {
+  if (!alive_) return 0;
+  request.id = next_id_++;
+  outbuf_.append(EncodeRequest(request));
+  ++outstanding_;
+  if (!FlushWrites(/*block_until_empty=*/false)) return 0;
+  return request.id;
+}
+
+bool StreamqClient::FlushWrites(bool block_until_empty) {
+  while (out_off_ < outbuf_.size()) {
+    const int n =
+        conn_->Write(outbuf_.data() + out_off_, outbuf_.size() - out_off_);
+    if (n < 0) {
+      Die("write failed");
+      return false;
+    }
+    if (n > 0) {
+      out_off_ += static_cast<size_t>(n);
+      continue;
+    }
+    // Would block. The server may be waiting for US to drain responses
+    // (its write queue bounds how much it processes); pull whatever is
+    // already readable before waiting on writability.
+    if (!ReadResponses(/*blocking=*/false)) return false;
+    if (!block_until_empty) {
+      // Pipelined send: leave the remainder buffered; a later Send,
+      // Receive, or DrainAll pushes it.
+      if (out_off_ > (size_t{256} << 10)) {
+        outbuf_.erase(0, out_off_);
+        out_off_ = 0;
+      }
+      return true;
+    }
+    if (!conn_->WaitWritable(options_.io_timeout_ms)) {
+      Die("write timeout");
+      return false;
+    }
+  }
+  outbuf_.clear();
+  out_off_ = 0;
+  return true;
+}
+
+bool StreamqClient::ReadResponses(bool blocking) {
+  char buf[size_t{16} << 10];
+  for (;;) {
+    // Surface every frame already buffered first.
+    for (;;) {
+      std::string frame;
+      const FrameScan scan = inbuf_.Next(&frame);
+      if (scan == FrameScan::kNeedMore) break;
+      if (scan == FrameScan::kBad) {
+        Die("protocol error: bad response header");
+        return false;
+      }
+      NetResponse resp;
+      if (!DecodeResponse(frame, &resp)) {
+        Die("protocol error: bad response payload");
+        return false;
+      }
+      if (outstanding_ > 0) --outstanding_;
+      inbox_.push_back(std::move(resp));
+    }
+    if (blocking && !inbox_.empty()) return true;
+    if (blocking && !conn_->WaitReadable(options_.io_timeout_ms)) {
+      Die("read timeout");
+      return false;
+    }
+    const int n = conn_->Read(buf, sizeof(buf));
+    if (n < 0) {
+      Die("connection closed by server");
+      return false;
+    }
+    if (n == 0) {
+      if (!blocking) return true;  // opportunistic: took what was there
+      continue;                    // spurious wakeup; wait again
+    }
+    inbuf_.Append(buf, static_cast<size_t>(n));
+  }
+}
+
+bool StreamqClient::Receive(NetResponse* out) {
+  if (!inbox_.empty()) {
+    *out = std::move(inbox_.front());
+    inbox_.pop_front();
+    return true;
+  }
+  if (!alive_) return false;
+  // Make sure the request bytes actually left before blocking on a reply.
+  if (!FlushWrites(/*block_until_empty=*/true)) return false;
+  if (!ReadResponses(/*blocking=*/true)) return false;
+  *out = std::move(inbox_.front());
+  inbox_.pop_front();
+  return true;
+}
+
+bool StreamqClient::DrainAll(std::vector<NetResponse>* out) {
+  while (outstanding_ > 0 || !inbox_.empty()) {
+    NetResponse resp;
+    if (!Receive(&resp)) return false;
+    if (out != nullptr) out->push_back(std::move(resp));
+  }
+  return true;
+}
+
+NetResponse StreamqClient::Call(NetRequest request) {
+  const uint64_t id = Send(request);
+  if (id == 0) {
+    request.id = id;
+    return DeadResponse(request);
+  }
+  NetResponse resp;
+  for (;;) {
+    if (!Receive(&resp)) {
+      request.id = id;
+      return DeadResponse(request);
+    }
+    if (resp.id == id) return resp;
+    // A response to an earlier pipelined request the caller never
+    // collected; synchronous helpers discard it (documented contract).
+  }
+}
+
+NetResponse StreamqClient::Create(const std::string& stream,
+                                  const CreateParams& params) {
+  NetRequest req;
+  req.op = NetOp::kCreate;
+  req.stream = stream;
+  req.create = params;
+  return Call(std::move(req));
+}
+
+NetResponse StreamqClient::Drop(const std::string& stream) {
+  NetRequest req;
+  req.op = NetOp::kDrop;
+  req.stream = stream;
+  return Call(std::move(req));
+}
+
+NetResponse StreamqClient::Insert(const std::string& stream, uint64_t value,
+                                  int32_t delta) {
+  NetRequest req;
+  req.op = NetOp::kInsert;
+  req.stream = stream;
+  req.value = value;
+  req.delta = delta;
+  return Call(std::move(req));
+}
+
+NetResponse StreamqClient::InsertBatch(const std::string& stream,
+                                       std::span<const uint64_t> values) {
+  NetRequest req;
+  req.op = NetOp::kBatchInsert;
+  req.stream = stream;
+  req.values.assign(values.begin(), values.end());
+  return Call(std::move(req));
+}
+
+NetResponse StreamqClient::Query(const std::string& stream, double phi) {
+  NetRequest req;
+  req.op = NetOp::kQuery;
+  req.stream = stream;
+  req.phi = phi;
+  return Call(std::move(req));
+}
+
+NetResponse StreamqClient::Rank(const std::string& stream, uint64_t value) {
+  NetRequest req;
+  req.op = NetOp::kRank;
+  req.stream = stream;
+  req.value = value;
+  return Call(std::move(req));
+}
+
+NetResponse StreamqClient::Flush(const std::string& stream) {
+  NetRequest req;
+  req.op = NetOp::kFlush;
+  req.stream = stream;
+  return Call(std::move(req));
+}
+
+NetResponse StreamqClient::Stats(const std::string& stream) {
+  NetRequest req;
+  req.op = NetOp::kStats;
+  req.stream = stream;
+  return Call(std::move(req));
+}
+
+}  // namespace streamq::net

@@ -1,0 +1,122 @@
+#include "net/loopback.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+namespace streamq::net {
+namespace {
+
+/// Shared state of one pair: two directed byte pipes. Direction d carries
+/// bytes written by endpoint d and read by endpoint 1-d.
+struct PairState {
+  explicit PairState(size_t capacity)
+      : capacity(capacity == 0 ? 1 : capacity) {}
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  const size_t capacity;
+  struct Pipe {
+    std::string data;   // pending bytes (head at `off`)
+    size_t off = 0;
+    size_t size() const { return data.size() - off; }
+  } pipe[2];
+  bool closed[2] = {false, false};  // endpoint e called Close()
+};
+
+class LoopbackConn final : public Conn {
+ public:
+  LoopbackConn(std::shared_ptr<PairState> state, int endpoint)
+      : state_(std::move(state)), endpoint_(endpoint) {}
+
+  ~LoopbackConn() override { Close(); }
+
+  int Read(char* buf, size_t n) override {
+    if (n == 0) return 0;
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    PairState::Pipe& in = state_->pipe[1 - endpoint_];
+    if (state_->closed[endpoint_]) return -1;
+    const size_t avail = in.size();
+    if (avail == 0) {
+      // Peer closed and nothing left to drain: EOF.
+      return state_->closed[1 - endpoint_] ? -1 : 0;
+    }
+    const size_t take = avail < n ? avail : n;
+    std::memcpy(buf, in.data.data() + in.off, take);
+    in.off += take;
+    if (in.off == in.data.size()) {
+      in.data.clear();
+      in.off = 0;
+    } else if (in.off > (size_t{64} << 10)) {
+      in.data.erase(0, in.off);  // keep the pipe's resident size bounded
+      in.off = 0;
+    }
+    state_->cv.notify_all();  // writer may have been waiting on capacity
+    return static_cast<int>(take);
+  }
+
+  int Write(const char* buf, size_t n) override {
+    if (n == 0) return 0;
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->closed[endpoint_] || state_->closed[1 - endpoint_]) return -1;
+    PairState::Pipe& out = state_->pipe[endpoint_];
+    const size_t used = out.size();
+    if (used >= state_->capacity) return 0;  // would block
+    const size_t room = state_->capacity - used;
+    const size_t take = room < n ? room : n;
+    out.data.append(buf, take);
+    state_->cv.notify_all();
+    return static_cast<int>(take);
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->closed[endpoint_] = true;
+    state_->cv.notify_all();
+  }
+
+  bool WaitReadable(int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    auto ready = [this] {
+      return state_->pipe[1 - endpoint_].size() > 0 ||
+             state_->closed[0] || state_->closed[1];
+    };
+    if (timeout_ms < 0) {
+      state_->cv.wait(lock, ready);
+      return true;
+    }
+    return state_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               ready);
+  }
+
+  bool WaitWritable(int timeout_ms) override {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    auto ready = [this] {
+      return state_->pipe[endpoint_].size() < state_->capacity ||
+             state_->closed[0] || state_->closed[1];
+    };
+    if (timeout_ms < 0) {
+      state_->cv.wait(lock, ready);
+      return true;
+    }
+    return state_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               ready);
+  }
+
+ private:
+  std::shared_ptr<PairState> state_;
+  const int endpoint_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Conn>, std::unique_ptr<Conn>> MakeLoopbackPair(
+    size_t capacity_bytes) {
+  auto state = std::make_shared<PairState>(capacity_bytes);
+  return {std::make_unique<LoopbackConn>(state, 0),
+          std::make_unique<LoopbackConn>(state, 1)};
+}
+
+}  // namespace streamq::net

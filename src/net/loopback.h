@@ -1,0 +1,37 @@
+// In-process loopback transport: two Conn endpoints joined by bounded
+// byte queues, mimicking a TCP socket pair closely enough that the whole
+// server/client stack runs unmodified over it.
+//
+// Why it exists: every protocol/robustness/backpressure test -- including
+// the flip-every-byte corruption sweeps and the sanitizer runs -- drives
+// the real StreamqServer session state machine through this transport, so
+// the logic under test is byte-for-byte the logic the TCP reactor runs,
+// with no sockets, ports, or kernel buffering in the loop.
+//
+// Semantics matched to a socket pair:
+//  * bounded capacity per direction (default 1 MiB): a full queue makes
+//    Write return 0 (would-block), exercising the partial-write paths;
+//  * Close() makes the peer's Read return -1 after draining buffered
+//    bytes (like EOF after the kernel buffer empties);
+//  * thread-safe: endpoints may live on different threads (client thread
+//    vs. server pump thread), with condvar-based Wait* for blocking users.
+
+#ifndef STREAMQ_NET_LOOPBACK_H_
+#define STREAMQ_NET_LOOPBACK_H_
+
+#include <memory>
+#include <utility>
+
+#include "net/conn.h"
+
+namespace streamq::net {
+
+/// Creates a connected endpoint pair. Each direction buffers at most
+/// `capacity_bytes` (minimum 1); both endpoints share state and may be
+/// destroyed in any order.
+std::pair<std::unique_ptr<Conn>, std::unique_ptr<Conn>> MakeLoopbackPair(
+    size_t capacity_bytes = size_t{1} << 20);
+
+}  // namespace streamq::net
+
+#endif  // STREAMQ_NET_LOOPBACK_H_

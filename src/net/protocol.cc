@@ -1,0 +1,238 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace streamq::net {
+namespace {
+
+// Request payload field layout (after the generic id/op/stream prefix) is
+// op-specific; see Encode/DecodeRequest. Keep encode and decode in one
+// file so the switch arms stay mirror images.
+
+void EncodeStats(SerdeWriter& w, const StreamStatsPayload& s) {
+  w.U64(s.count);
+  w.U64(s.pushed);
+  w.U64(s.processed);
+  w.U64(s.durable_seq);
+  w.U64(s.resume_seq);
+  w.U64(s.memory_bytes);
+  w.U32(s.shards);
+  w.U32((s.durable ? 1u : 0u) | (s.recovered ? 2u : 0u));
+  w.Bytes(s.algorithm);
+}
+
+bool DecodeStats(SerdeReader& r, StreamStatsPayload* s) {
+  uint32_t flags = 0;
+  if (!r.U64(&s->count) || !r.U64(&s->pushed) || !r.U64(&s->processed) ||
+      !r.U64(&s->durable_seq) || !r.U64(&s->resume_seq) ||
+      !r.U64(&s->memory_bytes) || !r.U32(&s->shards) || !r.U32(&flags) ||
+      !r.Bytes(&s->algorithm)) {
+    return false;
+  }
+  s->durable = (flags & 1u) != 0;
+  s->recovered = (flags & 2u) != 0;
+  return true;
+}
+
+bool ValidOp(uint32_t op) {
+  return op >= static_cast<uint32_t>(NetOp::kCreate) &&
+         op <= static_cast<uint32_t>(NetOp::kStats);
+}
+
+}  // namespace
+
+const char* NetOpName(NetOp op) {
+  switch (op) {
+    case NetOp::kCreate: return "CREATE";
+    case NetOp::kDrop: return "DROP";
+    case NetOp::kInsert: return "INSERT";
+    case NetOp::kBatchInsert: return "BATCH_INSERT";
+    case NetOp::kQuery: return "QUERY";
+    case NetOp::kRank: return "RANK";
+    case NetOp::kFlush: return "FLUSH";
+    case NetOp::kStats: return "STATS";
+  }
+  return "unknown";
+}
+
+const char* NetStatusName(NetStatus status) {
+  switch (status) {
+    case NetStatus::kOk: return "OK";
+    case NetStatus::kBadRequest: return "BAD_REQUEST";
+    case NetStatus::kUnknownStream: return "UNKNOWN_STREAM";
+    case NetStatus::kStreamExists: return "STREAM_EXISTS";
+    case NetStatus::kUnsupported: return "UNSUPPORTED";
+    case NetStatus::kWalDead: return "WAL_DEAD";
+    case NetStatus::kTooManyStreams: return "TOO_MANY_STREAMS";
+    case NetStatus::kInternal: return "INTERNAL";
+  }
+  return "unknown";
+}
+
+size_t BatchInsertFrameBytes(size_t n_values, size_t stream_name_len) {
+  // header + id + op + stream bytes + values PodVector.
+  return kFrameHeaderBytes + 8 + 4 + (8 + stream_name_len) +
+         (8 + n_values * 8);
+}
+
+std::string EncodeRequest(const NetRequest& request) {
+  SerdeWriter w;
+  w.U64(request.id);
+  w.U32(static_cast<uint32_t>(request.op));
+  w.Bytes(request.stream);
+  switch (request.op) {
+    case NetOp::kCreate:
+      w.Bytes(request.create.algorithm);
+      w.F64(request.create.eps);
+      w.U32(request.create.log_universe);
+      w.U32(request.create.depth);
+      w.U64(request.create.seed);
+      w.U32(request.create.shards);
+      w.U32(request.create.durable ? 1 : 0);
+      break;
+    case NetOp::kInsert:
+      w.U64(request.value);
+      w.I64(request.delta);
+      break;
+    case NetOp::kBatchInsert:
+      w.PodVector(request.values);
+      break;
+    case NetOp::kQuery:
+      w.F64(request.phi);
+      break;
+    case NetOp::kRank:
+      w.U64(request.value);
+      break;
+    case NetOp::kDrop:
+    case NetOp::kFlush:
+    case NetOp::kStats:
+      break;
+  }
+  return FrameSnapshot(SnapshotType::kNetRequest, w.buffer());
+}
+
+bool DecodeRequest(const std::string& frame, NetRequest* out) {
+  std::string payload;
+  if (!UnframeSnapshot(frame, SnapshotType::kNetRequest, &payload)) {
+    return false;
+  }
+  SerdeReader r(payload);
+  NetRequest req;
+  uint32_t op = 0;
+  if (!r.U64(&req.id) || !r.U32(&op) || !r.Bytes(&req.stream) ||
+      !ValidOp(op)) {
+    return false;
+  }
+  req.op = static_cast<NetOp>(op);
+  switch (req.op) {
+    case NetOp::kCreate: {
+      uint32_t durable = 0;
+      if (!r.Bytes(&req.create.algorithm) || !r.F64(&req.create.eps) ||
+          !r.U32(&req.create.log_universe) || !r.U32(&req.create.depth) ||
+          !r.U64(&req.create.seed) || !r.U32(&req.create.shards) ||
+          !r.U32(&durable)) {
+        return false;
+      }
+      req.create.durable = durable != 0;
+      break;
+    }
+    case NetOp::kInsert: {
+      int64_t delta = 0;
+      if (!r.U64(&req.value) || !r.I64(&delta)) return false;
+      if (delta < INT32_MIN || delta > INT32_MAX) return false;
+      req.delta = static_cast<int32_t>(delta);
+      break;
+    }
+    case NetOp::kBatchInsert:
+      if (!r.PodVector(&req.values)) return false;
+      break;
+    case NetOp::kQuery:
+      if (!r.F64(&req.phi)) return false;
+      break;
+    case NetOp::kRank:
+      if (!r.U64(&req.value)) return false;
+      break;
+    case NetOp::kDrop:
+    case NetOp::kFlush:
+    case NetOp::kStats:
+      break;
+  }
+  if (!r.Done()) return false;  // trailing bytes = malformed
+  *out = std::move(req);
+  return true;
+}
+
+std::string EncodeResponse(const NetResponse& response) {
+  SerdeWriter w;
+  w.U64(response.id);
+  w.U32(static_cast<uint32_t>(response.op));
+  w.U32(static_cast<uint32_t>(response.status));
+  w.Bytes(response.message);
+  if (response.status == NetStatus::kOk ||
+      response.status == NetStatus::kWalDead) {
+    w.U64(response.value);
+    w.I64(response.rank);
+    if (response.op == NetOp::kStats || response.op == NetOp::kCreate) {
+      EncodeStats(w, response.stats);
+    }
+  }
+  return FrameSnapshot(SnapshotType::kNetResponse, w.buffer());
+}
+
+bool DecodeResponse(const std::string& frame, NetResponse* out) {
+  std::string payload;
+  if (!UnframeSnapshot(frame, SnapshotType::kNetResponse, &payload)) {
+    return false;
+  }
+  SerdeReader r(payload);
+  NetResponse resp;
+  uint32_t op = 0, status = 0;
+  if (!r.U64(&resp.id) || !r.U32(&op) || !r.U32(&status) ||
+      !r.Bytes(&resp.message) || !ValidOp(op)) {
+    return false;
+  }
+  if (status > static_cast<uint32_t>(NetStatus::kInternal)) return false;
+  resp.op = static_cast<NetOp>(op);
+  resp.status = static_cast<NetStatus>(status);
+  if (resp.status == NetStatus::kOk || resp.status == NetStatus::kWalDead) {
+    if (!r.U64(&resp.value) || !r.I64(&resp.rank)) return false;
+    if (resp.op == NetOp::kStats || resp.op == NetOp::kCreate) {
+      if (!DecodeStats(r, &resp.stats)) return false;
+    }
+  }
+  if (!r.Done()) return false;
+  *out = std::move(resp);
+  return true;
+}
+
+FrameScan FrameBuffer::Next(std::string* frame) {
+  if (poisoned_) return FrameScan::kBad;
+  // Compact lazily so long-lived sessions do not accumulate dead prefix.
+  if (consumed_ > 0 &&
+      (consumed_ == buffer_.size() || consumed_ > (size_t{256} << 10))) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  if (buffered() < kFrameHeaderBytes) return FrameScan::kNeedMore;
+  const char* head = buffer_.data() + consumed_;
+  uint32_t magic = 0, ver_type = 0;
+  uint64_t payload_len = 0;
+  std::memcpy(&magic, head, 4);
+  std::memcpy(&ver_type, head + 4, 4);
+  std::memcpy(&payload_len, head + 8, 8);
+  const auto type = static_cast<SnapshotType>(ver_type >> 16);
+  if (magic != kFrameMagic || (ver_type & 0xFFFF) != kFrameVersion ||
+      (type != SnapshotType::kNetRequest &&
+       type != SnapshotType::kNetResponse) ||
+      payload_len > max_frame_bytes_ - kFrameHeaderBytes) {
+    poisoned_ = true;
+    return FrameScan::kBad;
+  }
+  const size_t total = kFrameHeaderBytes + static_cast<size_t>(payload_len);
+  if (buffered() < total) return FrameScan::kNeedMore;
+  frame->assign(head, total);
+  consumed_ += total;
+  return FrameScan::kFrame;
+}
+
+}  // namespace streamq::net

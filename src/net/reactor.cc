@@ -1,0 +1,211 @@
+#include "net/reactor.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace streamq::net {
+namespace {
+
+// epoll user-data keys for the two non-session fds.
+constexpr uint64_t kListenKey = 0;
+constexpr uint64_t kWakeKey = ~uint64_t{0};
+
+bool MakeNonBlockingPipe(int fds[2]) {
+  if (::pipe(fds) != 0) return false;
+  for (int i = 0; i < 2; ++i) {
+    const int flags = ::fcntl(fds[i], F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fds[i], F_SETFL, flags | O_NONBLOCK) != 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      fds[0] = fds[1] = -1;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Reactor::Reactor(StreamqServer* server, const ReactorOptions& options)
+    : server_(server), options_(options) {}
+
+std::unique_ptr<Reactor> Reactor::Create(StreamqServer* server,
+                                         const ReactorOptions& options) {
+  std::unique_ptr<Reactor> reactor(new Reactor(server, options));
+  if (!reactor->Init()) return nullptr;
+  return reactor;
+}
+
+bool Reactor::Init() {
+  listen_fd_ = TcpListen(options_.bind_addr, options_.port, &port_);
+  if (listen_fd_ < 0) return false;
+  if (!MakeNonBlockingPipe(wake_pipe_)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+#ifdef __linux__
+  if (!options_.force_poll) {
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ >= 0) {
+      struct epoll_event ev;
+      ev.events = EPOLLIN;  // level-triggered
+      ev.data.u64 = kListenKey;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+      ev.data.u64 = kWakeKey;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_pipe_[0], &ev);
+    }
+  }
+#endif
+  return true;
+}
+
+Reactor::~Reactor() {
+  Shutdown();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (const int fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void Reactor::Shutdown() {
+  if (shutdown_.exchange(true)) return;
+  if (wake_pipe_[1] >= 0) {
+    const char b = 1;
+    [[maybe_unused]] const ssize_t rc = ::write(wake_pipe_[1], &b, 1);
+  }
+}
+
+void Reactor::AcceptPending() {
+  for (;;) {
+    std::unique_ptr<SocketConn> conn = TcpAccept(listen_fd_);
+    if (conn == nullptr) break;
+    const uint64_t id = server_->AddConn(std::move(conn));
+    UpdateInterest(id);
+  }
+}
+
+void Reactor::UpdateInterest(uint64_t session_id) {
+#ifdef __linux__
+  if (epoll_fd_ < 0) return;
+  const int fd = server_->SessionFd(session_id);
+  if (fd < 0) {
+    // Session gone; closing the fd removed it from the epoll set.
+    interest_.erase(session_id);
+    return;
+  }
+  uint32_t events = 0;
+  if (server_->WantsRead(session_id)) events |= EPOLLIN;
+  if (server_->WantsWrite(session_id)) events |= EPOLLOUT;
+  auto it = interest_.find(session_id);
+  if (it != interest_.end() && it->second == events) return;
+  struct epoll_event ev;
+  ev.events = events;
+  ev.data.u64 = session_id;
+  const int op = it == interest_.end() ? EPOLL_CTL_ADD : EPOLL_CTL_MOD;
+  if (::epoll_ctl(epoll_fd_, op, fd, &ev) == 0) {
+    interest_[session_id] = events;
+  }
+#else
+  (void)session_id;
+#endif
+}
+
+void Reactor::PumpReady(const std::vector<uint64_t>& ready) {
+  for (const uint64_t id : ready) server_->Pump(id);
+  // Parked sessions have no fd event to fire; retry them every iteration.
+  if (server_->HasParkedWork()) server_->PumpAll();
+  // Interest may have changed for ANY session (a DROP unparks bystanders,
+  // a response enqueue flips WantsWrite), so re-express all of it.
+  for (const uint64_t id : server_->SessionIds()) UpdateInterest(id);
+#ifdef __linux__
+  for (auto it = interest_.begin(); it != interest_.end();) {
+    if (server_->SessionFd(it->first) < 0) {
+      it = interest_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+#endif
+}
+
+bool Reactor::RunOnce(int timeout_ms) {
+  if (shutdown_.load(std::memory_order_acquire)) return false;
+  if (server_->HasParkedWork()) {
+    timeout_ms = std::min(timeout_ms, options_.parked_timeout_ms);
+  }
+
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    struct epoll_event events[64];
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    std::vector<uint64_t> ready;
+    bool accept = false;
+    for (int i = 0; i < n; ++i) {
+      const uint64_t key = events[i].data.u64;
+      if (key == kListenKey) {
+        accept = true;
+      } else if (key == kWakeKey) {
+        char buf[64];
+        while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+        }
+      } else {
+        ready.push_back(key);
+      }
+    }
+    if (accept) AcceptPending();
+    PumpReady(ready);
+    return !shutdown_.load(std::memory_order_acquire);
+  }
+#endif
+
+  // Portable poll() backend: rebuild the set every iteration.
+  std::vector<struct pollfd> fds;
+  std::vector<uint64_t> ids;
+  fds.push_back({wake_pipe_[0], POLLIN, 0});
+  fds.push_back({listen_fd_, POLLIN, 0});
+  for (const uint64_t id : server_->SessionIds()) {
+    const int fd = server_->SessionFd(id);
+    if (fd < 0) continue;
+    short events = 0;
+    if (server_->WantsRead(id)) events |= POLLIN;
+    if (server_->WantsWrite(id)) events |= POLLOUT;
+    fds.push_back({fd, events, 0});
+    ids.push_back(id);
+  }
+  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  std::vector<uint64_t> ready;
+  if (n > 0) {
+    if (fds[0].revents != 0) {
+      char buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (fds[1].revents != 0) AcceptPending();
+    for (size_t i = 2; i < fds.size(); ++i) {
+      if (fds[i].revents != 0) ready.push_back(ids[i - 2]);
+    }
+  }
+  PumpReady(ready);
+  return !shutdown_.load(std::memory_order_acquire);
+}
+
+void Reactor::Run() {
+  while (RunOnce(options_.idle_timeout_ms)) {
+  }
+}
+
+}  // namespace streamq::net

@@ -1,0 +1,89 @@
+// Single-threaded TCP event loop driving a StreamqServer: accepts
+// connections on one listening socket and pumps their sessions on
+// readiness. Level-triggered epoll on Linux, a poll() fallback everywhere
+// else (and on request, for testing the portable path); both express the
+// same interest sets -- WantsRead/WantsWrite from the server -- so the
+// backpressure semantics (a parked session is simply absent from the read
+// set) are identical.
+//
+// Parked work (a session waiting for an ingest ring to drain or a FLUSH
+// mark to advance) has no fd to fire; while any exists the loop polls with
+// a short timeout and re-pumps, so rings drain promptly without a busy
+// spin when idle.
+//
+// Shutdown() is thread-safe: it writes to a self-pipe registered in the
+// interest set, waking the loop immediately.
+
+#ifndef STREAMQ_NET_REACTOR_H_
+#define STREAMQ_NET_REACTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/server.h"
+
+namespace streamq::net {
+
+struct ReactorOptions {
+  std::string bind_addr = "127.0.0.1";
+  /// 0 = ephemeral (the bound port is reported by port()).
+  uint16_t port = 0;
+  /// Use the portable poll() backend even where epoll is available.
+  bool force_poll = false;
+  /// Poll timeout while sessions have parked work (ring-drain retry
+  /// cadence) and while fully idle.
+  int parked_timeout_ms = 1;
+  int idle_timeout_ms = 50;
+};
+
+class Reactor {
+ public:
+  /// Binds and listens; nullptr when the socket cannot be set up. `server`
+  /// is unowned and must outlive the reactor; the reactor thread becomes
+  /// the server's (single) pump thread.
+  static std::unique_ptr<Reactor> Create(StreamqServer* server,
+                                         const ReactorOptions& options);
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  uint16_t port() const { return port_; }
+  bool using_epoll() const { return epoll_fd_ >= 0; }
+
+  /// Runs until Shutdown(). Call from the thread that owns the server.
+  void Run();
+
+  /// One accept+poll+pump iteration (tests drive the loop manually).
+  /// Returns false once Shutdown() has been requested.
+  bool RunOnce(int timeout_ms);
+
+  /// Requests Run() to return; safe from any thread, idempotent.
+  void Shutdown();
+
+ private:
+  Reactor(StreamqServer* server, const ReactorOptions& options);
+  bool Init();
+  void AcceptPending();
+  /// (Re)expresses one session's interest to epoll; no-op on poll backend.
+  void UpdateInterest(uint64_t session_id);
+  void PumpReady(const std::vector<uint64_t>& ready);
+
+  StreamqServer* server_;
+  ReactorOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;  // -1 = poll backend
+  int wake_pipe_[2] = {-1, -1};
+  /// Cached epoll interest per session (MOD calls only on change); unused
+  /// by the poll backend, which rebuilds its set every iteration.
+  std::map<uint64_t, uint32_t> interest_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace streamq::net
+
+#endif  // STREAMQ_NET_REACTOR_H_

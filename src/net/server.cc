@@ -1,0 +1,653 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <utility>
+
+#include "durability/storage.h"
+#include "obs/trace_export.h"
+#include "quantile/factory.h"
+
+namespace streamq::net {
+namespace {
+
+constexpr size_t kMaxStreamName = 128;
+constexpr size_t kMaxHttpRequest = size_t{16} << 10;
+
+bool ValidStreamName(const std::string& name) {
+  if (name.empty() || name.size() > kMaxStreamName) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// First bytes of an HTTP GET, the only verb the scrape endpoint serves.
+/// Cannot collide with a binary frame: the frame magic's wire bytes are
+/// "RFQS".
+bool LooksLikeHttp(const std::string& head) {
+  return head.size() >= 4 && head.compare(0, 4, "GET ") == 0;
+}
+
+}  // namespace
+
+StreamqServer::StreamqServer(ServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.read_chunk == 0) options_.read_chunk = size_t{64} << 10;
+  if (options_.max_frame_bytes < kFrameHeaderBytes + 64) {
+    options_.max_frame_bytes = kFrameHeaderBytes + 64;
+  }
+  if (options_.default_shards < 1) options_.default_shards = 1;
+}
+
+StreamqServer::~StreamqServer() = default;
+
+uint64_t StreamqServer::AddConn(std::unique_ptr<Conn> conn) {
+  const uint64_t id = next_session_id_++;
+  sessions_.emplace(
+      id, std::make_unique<Session>(std::move(conn), options_.max_frame_bytes));
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  registry_.GetCounter("net.connections.accepted").Inc();
+  registry_.GetGauge("net.connections.open").Add(1);
+  return id;
+}
+
+PumpResult StreamqServer::Pump(uint64_t session_id) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return PumpResult::kClosed;
+  const PumpResult result = PumpSession(session_id, *it->second);
+  if (result == PumpResult::kClosed) {
+    it->second->conn->Close();
+    sessions_.erase(it);
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    registry_.GetCounter("net.connections.closed").Inc();
+    registry_.GetGauge("net.connections.open").Add(-1);
+  }
+  return result;
+}
+
+size_t StreamqServer::PumpAll() {
+  std::vector<uint64_t> ids = SessionIds();
+  size_t progressed = 0;
+  for (const uint64_t id : ids) {
+    if (Pump(id) != PumpResult::kIdle) ++progressed;
+  }
+  return progressed;
+}
+
+PumpResult StreamqServer::PumpSession(uint64_t /*id*/, Session& session) {
+  bool progressed = false;
+
+  if (session.parked != Parked::kNone && RetryParked(session)) {
+    progressed = true;
+  }
+
+  const bool read_gated = session.closing ||
+                          session.parked != Parked::kNone ||
+                          session.queued_bytes >= options_.write_queue_limit;
+  if (!read_gated) {
+    if (!ReadSome(session, &progressed)) return PumpResult::kClosed;
+    if (!ProcessFrames(session, &progressed)) return PumpResult::kClosed;
+  } else if (!session.closing) {
+    // Backpressure in action: bytes may be waiting but this session is not
+    // allowed to grow its buffers. Observable, since a stuck stream shows
+    // up here first.
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    registry_.GetCounter("net.deferred_reads").Inc();
+  }
+
+  if (!WriteSome(session, &progressed)) return PumpResult::kClosed;
+  if (session.closing && session.outq.empty()) return PumpResult::kClosed;
+  return progressed ? PumpResult::kProgress : PumpResult::kIdle;
+}
+
+bool StreamqServer::ReadSome(Session& session, bool* progressed) {
+  if (read_buf_.size() < options_.read_chunk) {
+    read_buf_.resize(options_.read_chunk);
+  }
+  const int n = session.conn->Read(read_buf_.data(), options_.read_chunk);
+  if (n < 0) return false;  // peer gone
+  if (n == 0) return true;  // nothing readable now
+  *progressed = true;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    registry_.GetCounter("net.bytes_read").Add(static_cast<uint64_t>(n));
+  }
+  if (!session.probed) {
+    session.http_buf.append(read_buf_.data(), static_cast<size_t>(n));
+    if (session.http_buf.size() < 4) return true;
+    session.probed = true;
+    session.http = LooksLikeHttp(session.http_buf);
+    if (!session.http) {
+      session.inbuf.Append(session.http_buf.data(), session.http_buf.size());
+      session.http_buf.clear();
+      session.http_buf.shrink_to_fit();
+    }
+    return true;
+  }
+  if (session.http) {
+    session.http_buf.append(read_buf_.data(), static_cast<size_t>(n));
+  } else {
+    session.inbuf.Append(read_buf_.data(), static_cast<size_t>(n));
+  }
+  return true;
+}
+
+bool StreamqServer::ProcessFrames(Session& session, bool* progressed) {
+  if (!session.probed) return true;
+  if (session.http) {
+    if (session.http_buf.find("\r\n\r\n") != std::string::npos) {
+      ServeHttp(session);
+      *progressed = true;
+    } else if (session.http_buf.size() > kMaxHttpRequest) {
+      return false;  // header flood: drop the connection
+    }
+    return true;
+  }
+  std::string frame;
+  while (session.parked == Parked::kNone && !session.closing &&
+         session.queued_bytes < options_.write_queue_limit) {
+    const FrameScan scan = session.inbuf.Next(&frame);
+    if (scan == FrameScan::kNeedMore) break;
+    if (scan == FrameScan::kBad) {
+      // Header corruption: the length prefix is untrustworthy, so the
+      // stream cannot be re-synchronised. Close.
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      registry_.GetCounter("net.bad_frames").Inc();
+      return false;
+    }
+    *progressed = true;
+    NetRequest request;
+    if (!DecodeRequest(frame, &request)) {
+      // Payload corruption (CRC) or a malformed but CRC-valid payload: the
+      // frame boundary was exact, so answer an error and keep serving the
+      // pipelined frames behind it.
+      {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        registry_.GetCounter("net.bad_frames").Inc();
+      }
+      NetResponse resp;
+      resp.status = NetStatus::kBadRequest;
+      resp.message = "malformed frame";
+      Enqueue(session, resp);
+      continue;
+    }
+    Execute(session, request);
+  }
+  return true;
+}
+
+bool StreamqServer::WriteSome(Session& session, bool* progressed) {
+  while (!session.outq.empty()) {
+    const std::string& head = session.outq.front();
+    const int n = session.conn->Write(head.data() + session.out_off,
+                                      head.size() - session.out_off);
+    if (n < 0) return false;
+    if (n == 0) break;  // transport backpressure; retry on writability
+    *progressed = true;
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      registry_.GetCounter("net.bytes_written").Add(static_cast<uint64_t>(n));
+    }
+    session.out_off += static_cast<size_t>(n);
+    session.queued_bytes -= static_cast<size_t>(n);
+    if (session.out_off == head.size()) {
+      session.outq.pop_front();
+      session.out_off = 0;
+    }
+  }
+  return true;
+}
+
+bool StreamqServer::WantsRead(uint64_t session_id) const {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return false;
+  const Session& s = *it->second;
+  return !s.closing && s.parked == Parked::kNone &&
+         s.queued_bytes < options_.write_queue_limit;
+}
+
+bool StreamqServer::WantsWrite(uint64_t session_id) const {
+  auto it = sessions_.find(session_id);
+  return it != sessions_.end() && !it->second->outq.empty();
+}
+
+bool StreamqServer::HasParkedWork() const {
+  for (const auto& [id, session] : sessions_) {
+    if (session->parked != Parked::kNone) return true;
+  }
+  return false;
+}
+
+std::vector<uint64_t> StreamqServer::SessionIds() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) ids.push_back(id);
+  return ids;
+}
+
+int StreamqServer::SessionFd(uint64_t session_id) const {
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? -1 : it->second->conn->fd();
+}
+
+ingest::IngestPipeline* StreamqServer::FindStream(const std::string& name) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  auto it = streams_.find(name);
+  return it == streams_.end() ? nullptr : it->second.pipeline.get();
+}
+
+// ---------------------------------------------------------------------------
+// Request execution
+// ---------------------------------------------------------------------------
+
+void StreamqServer::Execute(Session& session, const NetRequest& request) {
+  const uint64_t start_ns = obs::TickClock::NowNanos();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    registry_
+        .GetCounter(std::string("net.requests.") + NetOpName(request.op))
+        .Inc();
+  }
+
+  if (request.op == NetOp::kCreate) {
+    Enqueue(session, DoCreate(request));
+    RecordLatency(request.op, start_ns);
+    return;
+  }
+  if (request.op == NetOp::kDrop) {
+    Enqueue(session, DoDrop(request));
+    RecordLatency(request.op, start_ns);
+    return;
+  }
+
+  ingest::IngestPipeline* pipeline = FindStream(request.stream);
+  if (pipeline == nullptr) {
+    EnqueueError(session, request, NetStatus::kUnknownStream,
+                 "no such stream");
+    RecordLatency(request.op, start_ns);
+    return;
+  }
+
+  NetResponse resp;
+  resp.id = request.id;
+  resp.op = request.op;
+  switch (request.op) {
+    case NetOp::kInsert: {
+      if (request.delta == 0) {
+        EnqueueError(session, request, NetStatus::kBadRequest, "delta == 0");
+        break;
+      }
+      const Update update{request.value, request.delta};
+      if (!pipeline->TryPush(update)) {
+        session.parked = Parked::kInsert;
+        session.parked_req = request;
+        session.parked_pipeline = pipeline;
+        session.parked_start_ns = start_ns;
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        registry_.GetCounter("net.parks").Inc();
+        return;  // response comes when the ring accepts it
+      }
+      resp.value = 1;
+      Enqueue(session, resp);
+      break;
+    }
+    case NetOp::kBatchInsert: {
+      std::vector<Update> updates;
+      updates.reserve(request.values.size());
+      for (const uint64_t v : request.values) updates.push_back(Update{v, +1});
+      const size_t accepted =
+          pipeline->TryPushBatch(std::span<const Update>(updates));
+      if (accepted < updates.size()) {
+        session.parked = Parked::kBatch;
+        session.parked_req = request;
+        session.parked_req.values.clear();  // batch lives in parked_updates
+        session.parked_updates = std::move(updates);
+        session.parked_off = accepted;
+        session.parked_pipeline = pipeline;
+        session.parked_start_ns = start_ns;
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        registry_.GetCounter("net.parks").Inc();
+        return;
+      }
+      resp.value = updates.size();
+      Enqueue(session, resp);
+      break;
+    }
+    case NetOp::kQuery: {
+      if (!(request.phi >= 0.0 && request.phi <= 1.0)) {  // NaN-safe
+        EnqueueError(session, request, NetStatus::kBadRequest,
+                     "phi outside [0, 1]");
+        break;
+      }
+      resp.value = pipeline->Query(request.phi);
+      Enqueue(session, resp);
+      break;
+    }
+    case NetOp::kRank: {
+      resp.rank = pipeline->Rank(request.value);
+      Enqueue(session, resp);
+      break;
+    }
+    case NetOp::kFlush: {
+      session.parked = Parked::kFlush;
+      session.parked_req = request;
+      session.parked_pipeline = pipeline;
+      session.parked_start_ns = start_ns;
+      if (!RetryParked(session)) {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        registry_.GetCounter("net.parks").Inc();
+      }
+      return;
+    }
+    case NetOp::kStats: {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      auto it = streams_.find(request.stream);
+      if (it == streams_.end()) {
+        resp.status = NetStatus::kUnknownStream;
+        resp.message = "no such stream";
+      } else {
+        FillStats(*pipeline, it->second, &resp.stats);
+        resp.value = resp.stats.count;
+      }
+      Enqueue(session, resp);
+      break;
+    }
+    default:
+      EnqueueError(session, request, NetStatus::kBadRequest, "bad opcode");
+      break;
+  }
+  RecordLatency(request.op, start_ns);
+}
+
+bool StreamqServer::RetryParked(Session& session) {
+  ingest::IngestPipeline* pipeline = session.parked_pipeline;
+  NetResponse resp;
+  resp.id = session.parked_req.id;
+  resp.op = session.parked_req.op;
+  switch (session.parked) {
+    case Parked::kInsert: {
+      const Update update{session.parked_req.value, session.parked_req.delta};
+      if (!pipeline->TryPush(update)) return false;
+      resp.value = 1;
+      break;
+    }
+    case Parked::kBatch: {
+      const std::span<const Update> rest(
+          session.parked_updates.data() + session.parked_off,
+          session.parked_updates.size() - session.parked_off);
+      session.parked_off += pipeline->TryPushBatch(rest);
+      if (session.parked_off < session.parked_updates.size()) return false;
+      resp.value = session.parked_updates.size();
+      session.parked_updates.clear();
+      session.parked_updates.shrink_to_fit();
+      session.parked_off = 0;
+      break;
+    }
+    case Parked::kFlush: {
+      if (pipeline->ProcessedCount() < pipeline->PushedCount()) return false;
+      FinishFlush(session);
+      return true;
+    }
+    case Parked::kNone:
+      return false;
+  }
+  session.parked = Parked::kNone;
+  session.parked_pipeline = nullptr;
+  Enqueue(session, resp);
+  RecordLatency(resp.op, session.parked_start_ns);
+  return true;
+}
+
+void StreamqServer::FinishFlush(Session& session) {
+  ingest::IngestPipeline* pipeline = session.parked_pipeline;
+  // The rings are drained (RetryParked's precondition), so this blocks only
+  // for the WAL acknowledgement mark to advance -- idle workers sync
+  // eagerly -- or for the WAL to be declared dead.
+  pipeline->Flush();
+  NetResponse resp;
+  resp.id = session.parked_req.id;
+  resp.op = NetOp::kFlush;
+  bool durable = false;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    auto it = streams_.find(session.parked_req.stream);
+    durable = it != streams_.end() && it->second.params.durable;
+  }
+  const uint64_t last = pipeline->LastPushedSeq();
+  const uint64_t mark = pipeline->DurableSeq();
+  if (durable && mark < last) {
+    resp.status = NetStatus::kWalDead;
+    resp.message = "wal failed: updates past the mark may not survive";
+    resp.value = mark;
+  } else {
+    resp.value = durable ? mark : last;
+  }
+  session.parked = Parked::kNone;
+  session.parked_pipeline = nullptr;
+  Enqueue(session, resp);
+  RecordLatency(NetOp::kFlush, session.parked_start_ns);
+}
+
+NetResponse StreamqServer::DoCreate(const NetRequest& request) {
+  NetResponse resp;
+  resp.id = request.id;
+  resp.op = NetOp::kCreate;
+  const CreateParams& p = request.create;
+  Algorithm algorithm;
+  if (!ValidStreamName(request.stream)) {
+    resp.status = NetStatus::kBadRequest;
+    resp.message = "invalid stream name";
+    return resp;
+  }
+  if (!ParseAlgorithm(p.algorithm, &algorithm)) {
+    resp.status = NetStatus::kBadRequest;
+    resp.message = "unknown algorithm: " + p.algorithm;
+    return resp;
+  }
+  if (!(p.eps > 0.0 && p.eps < 1.0) || p.log_universe < 1 ||
+      p.log_universe > 64 || p.depth < 1 || p.depth > 64 || p.shards > 64) {
+    resp.status = NetStatus::kBadRequest;
+    resp.message = "parameter out of range";
+    return resp;
+  }
+  if (p.durable && options_.storage == nullptr) {
+    resp.status = NetStatus::kUnsupported;
+    resp.message = "server has no storage backend";
+    return resp;
+  }
+
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  if (streams_.count(request.stream) != 0) {
+    resp.status = NetStatus::kStreamExists;
+    resp.message = "stream exists";
+    return resp;
+  }
+  if (streams_.size() >= options_.max_streams) {
+    resp.status = NetStatus::kTooManyStreams;
+    resp.message = "stream limit reached";
+    return resp;
+  }
+
+  ingest::IngestOptions opts;
+  opts.sketch.algorithm = algorithm;
+  opts.sketch.eps = p.eps;
+  opts.sketch.log_universe = static_cast<int>(p.log_universe);
+  opts.sketch.depth = static_cast<int>(p.depth);
+  opts.sketch.seed = p.seed;
+  opts.shards =
+      p.shards == 0 ? options_.default_shards : static_cast<int>(p.shards);
+  opts.ring_capacity = options_.ring_capacity;
+  opts.durability.enabled = p.durable;
+  opts.durability.storage = options_.storage;
+  opts.durability.dir = options_.data_dir + "/" + request.stream;
+  opts.durability.sync_interval = options_.wal_sync_interval;
+
+  StreamEntry entry;
+  entry.pipeline = ingest::IngestPipeline::Create(opts);
+  if (entry.pipeline == nullptr) {
+    // The factory-level causes were validated above; what is left is the
+    // pipeline contract (algorithm not mergeable/clonable) or a durable
+    // init failure.
+    resp.status = NetStatus::kUnsupported;
+    resp.message = "algorithm cannot back a pipeline (or durable init failed)";
+    return resp;
+  }
+  entry.params = p;
+  entry.dir = opts.durability.dir;
+  FillStats(*entry.pipeline, entry, &resp.stats);
+  streams_.emplace(request.stream, std::move(entry));
+  return resp;
+}
+
+NetResponse StreamqServer::DoDrop(const NetRequest& request) {
+  NetResponse resp;
+  resp.id = request.id;
+  resp.op = NetOp::kDrop;
+
+  ingest::IngestPipeline* doomed = nullptr;
+  std::string dir;
+  bool durable = false;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    auto it = streams_.find(request.stream);
+    if (it == streams_.end()) {
+      resp.status = NetStatus::kUnknownStream;
+      resp.message = "no such stream";
+      return resp;
+    }
+    doomed = it->second.pipeline.get();
+    dir = it->second.dir;
+    durable = it->second.params.durable;
+  }
+
+  // Any session parked on this pipeline would be left holding a dangling
+  // pointer; fail its operation first.
+  for (auto& [id, session] : sessions_) {
+    if (session->parked_pipeline != doomed) continue;
+    EnqueueError(*session, session->parked_req, NetStatus::kUnknownStream,
+                 "stream dropped during operation");
+    RecordLatency(session->parked_req.op, session->parked_start_ns);
+    session->parked = Parked::kNone;
+    session->parked_pipeline = nullptr;
+    session->parked_updates.clear();
+    session->parked_off = 0;
+  }
+
+  std::unique_ptr<ingest::IngestPipeline> pipeline;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    auto it = streams_.find(request.stream);
+    pipeline = std::move(it->second.pipeline);
+    streams_.erase(it);
+  }
+  pipeline.reset();  // joins the workers outside the lock
+
+  if (durable && options_.storage != nullptr) {
+    for (const char* sub : {"/wal", "/ckpt"}) {
+      const std::string d = dir + sub;
+      for (const std::string& name : options_.storage->List(d)) {
+        options_.storage->Delete(d + "/" + name);
+      }
+    }
+  }
+  return resp;
+}
+
+void StreamqServer::FillStats(ingest::IngestPipeline& pipeline,
+                              const StreamEntry& entry,
+                              StreamStatsPayload* out) {
+  uint64_t count = 0;
+  pipeline.CloneView(&count);  // rare op; the clone itself is discarded
+  out->count = count;
+  out->pushed = pipeline.PushedCount();
+  out->processed = pipeline.ProcessedCount();
+  out->durable_seq = pipeline.DurableSeq();
+  out->resume_seq = pipeline.ResumeSeq();
+  out->memory_bytes = pipeline.PeakMemoryBytes();
+  out->shards = static_cast<uint32_t>(pipeline.shard_count());
+  out->durable = entry.params.durable;
+  out->recovered = pipeline.recovery().recovered;
+  out->algorithm = entry.params.algorithm;
+}
+
+void StreamqServer::Enqueue(Session& session, const NetResponse& response) {
+  if (!response.ok() && response.status != NetStatus::kWalDead) {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    registry_.GetCounter("net.errors").Inc();
+  }
+  std::string frame = EncodeResponse(response);
+  session.queued_bytes += frame.size();
+  session.outq.push_back(std::move(frame));
+}
+
+void StreamqServer::EnqueueError(Session& session, const NetRequest& request,
+                                 NetStatus status,
+                                 const std::string& message) {
+  NetResponse resp;
+  resp.id = request.id;
+  resp.op = request.op;
+  resp.status = status;
+  resp.message = message;
+  Enqueue(session, resp);
+}
+
+void StreamqServer::RecordLatency(NetOp op, uint64_t start_ns) {
+  const uint64_t now = obs::TickClock::NowNanos();
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  registry_.GetHistogram(std::string("net.latency_ns.") + NetOpName(op))
+      .Record(now > start_ns ? now - start_ns : 0);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP scrape endpoint
+// ---------------------------------------------------------------------------
+
+void StreamqServer::ServeHttp(Session& session) {
+  // Request line: "GET <path> HTTP/1.x". http_buf starts with "GET ".
+  std::string path = "/";
+  const size_t line_end = session.http_buf.find("\r\n");
+  if (line_end != std::string::npos) {
+    const size_t path_start = 4;
+    const size_t path_end = session.http_buf.find(' ', path_start);
+    if (path_end != std::string::npos && path_end < line_end) {
+      path = session.http_buf.substr(path_start, path_end - path_start);
+    }
+  }
+  std::string status = "404 Not Found";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body = "not found\n";
+  if (path == "/metrics") {
+    status = "200 OK";
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = MetricsText();
+  }
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    registry_.GetCounter("net.http_requests").Inc();
+  }
+  std::string head = "HTTP/1.0 " + status +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  session.queued_bytes += head.size() + body.size();
+  session.outq.push_back(std::move(head));
+  session.outq.push_back(std::move(body));
+  session.http_buf.clear();
+  session.closing = true;
+}
+
+std::string StreamqServer::MetricsText() {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  registry_.GetGauge("net.streams.open")
+      .Set(static_cast<int64_t>(streams_.size()));
+  for (auto& [name, entry] : streams_) {
+    entry.pipeline->PublishMetrics(registry_, "net.stream." + name);
+  }
+  return obs::ExportPrometheusText(registry_);
+}
+
+}  // namespace streamq::net

@@ -1,0 +1,193 @@
+// Connection- and stream-serving core of the network tier, transport
+// agnostic: sessions speak through the Conn interface, so the same state
+// machine runs over TCP (net/reactor.h), the in-process loopback pair
+// (net/loopback.h, unit tests under all sanitizers), or anything else.
+//
+// Threading: the server is a single-threaded state machine, mirroring the
+// reactor that drives it. All Pump/AddConn calls must come from one thread
+// at a time (the event loop). MetricsText() may be called from any thread
+// (it locks; metrics are updated per request, never per update, so the
+// lock is off the hot path).
+//
+// Backpressure (DESIGN.md section 15): a session whose stream cannot
+// accept more updates (ingest ring full) or whose peer cannot drain
+// responses (write queue at its limit) PARKS: the server stops reading
+// that connection -- deferred reads -- and retries the unfinished work on
+// later pumps. Parked sessions process no further frames, which is also
+// what keeps responses in request order. TCP receive buffers then fill and
+// the client's writes stall: ring-full backoff reaches the client as plain
+// socket backpressure, with per-connection memory bounded the whole way.
+//
+// FLUSH (durability barrier): acked only when every update pushed to the
+// stream so far is processed AND -- for durable streams -- covered by the
+// WAL/checkpoint acknowledgement mark (IngestPipeline::DurableSeq). The
+// session parks until the pipeline catches up; the ack carries the durable
+// seq. If the stream's WAL has died the response is kWalDead: the client
+// knows its writes may not survive a crash. An acked FLUSH is a durability
+// guarantee the kill-recovery test holds the server to.
+
+#ifndef STREAMQ_NET_SERVER_H_
+#define STREAMQ_NET_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ingest/ingest_pipeline.h"
+#include "net/conn.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+
+namespace streamq::durability {
+class Storage;
+}
+
+namespace streamq::net {
+
+struct ServerOptions {
+  /// Backing storage for durable streams (unowned, must outlive the
+  /// server). Null = CREATE with durable=true answers kUnsupported.
+  durability::Storage* storage = nullptr;
+  /// Root directory for durable stream state; stream `s` lives under
+  /// "<data_dir>/<s>".
+  std::string data_dir = "streamq-net";
+  /// Pending response bytes per connection before the session parks
+  /// (stops processing; reads defer). Bounds per-connection memory
+  /// against a client that writes but never reads.
+  size_t write_queue_limit = size_t{4} << 20;
+  /// Bytes read from a connection per pump.
+  size_t read_chunk = size_t{64} << 10;
+  /// Frame ceiling per connection (header + payload).
+  size_t max_frame_bytes = kMaxFrameBytes;
+  size_t max_streams = 64;
+  /// IngestOptions defaults for CREATE (shards used when the request
+  /// leaves CreateParams::shards at 0).
+  int default_shards = 2;
+  size_t ring_capacity = size_t{1} << 14;
+  uint64_t wal_sync_interval = 1024;
+};
+
+/// Outcome of pumping one session.
+enum class PumpResult {
+  kIdle,      ///< nothing to do (no bytes, no parked progress)
+  kProgress,  ///< read/processed/wrote something, or parked work advanced
+  kClosed,    ///< session finished and was removed
+};
+
+class StreamqServer {
+ public:
+  explicit StreamqServer(ServerOptions options);
+  ~StreamqServer();
+  StreamqServer(const StreamqServer&) = delete;
+  StreamqServer& operator=(const StreamqServer&) = delete;
+
+  /// Registers a connection; returns its session id (never 0).
+  uint64_t AddConn(std::unique_ptr<Conn> conn);
+
+  /// Services one session: drains readable bytes (unless parked), executes
+  /// complete frames, retries parked work, flushes queued responses.
+  PumpResult Pump(uint64_t session_id);
+
+  /// Pumps every session once; returns how many made progress.
+  size_t PumpAll();
+
+  /// Event-loop interest: whether this session currently wants readability
+  /// (false while parked or its write queue is at the limit) /
+  /// writability (queued response bytes pending) callbacks.
+  bool WantsRead(uint64_t session_id) const;
+  bool WantsWrite(uint64_t session_id) const;
+
+  /// True when any session has parked work that needs timer-driven retries
+  /// (no fd event will fire for an ingest ring draining).
+  bool HasParkedWork() const;
+
+  size_t SessionCount() const { return sessions_.size(); }
+  std::vector<uint64_t> SessionIds() const;
+  int SessionFd(uint64_t session_id) const;
+
+  size_t StreamCount() const { return streams_.size(); }
+  /// Direct pipeline access for tests and the in-process embedding;
+  /// nullptr when no such stream.
+  ingest::IngestPipeline* FindStream(const std::string& name);
+
+  /// Prometheus text exposition of the server registry: per-opcode request
+  /// counters and latency histograms, connection/byte/defer counters, and
+  /// every stream's pipeline metrics under net.stream.<name>. Any thread.
+  std::string MetricsText();
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct StreamEntry {
+    std::unique_ptr<ingest::IngestPipeline> pipeline;
+    CreateParams params;
+    std::string dir;  // durable streams: subtree under data_dir
+  };
+
+  /// What a parked session is waiting for.
+  enum class Parked { kNone, kInsert, kBatch, kFlush };
+
+  struct Session {
+    std::unique_ptr<Conn> conn;
+    FrameBuffer inbuf;
+    std::string http_buf;      // bytes accumulated before/during HTTP mode
+    std::deque<std::string> outq;
+    size_t out_off = 0;        // send offset into outq.front()
+    size_t queued_bytes = 0;
+    bool probed = false;       // transport discriminated (HTTP vs binary)?
+    bool http = false;
+    bool closing = false;      // flush outq, then close
+    // Parked work (at most one; the session processes no frames past it).
+    Parked parked = Parked::kNone;
+    NetRequest parked_req;
+    std::vector<Update> parked_updates;  // kBatch: full batch
+    size_t parked_off = 0;               // kBatch: accepted prefix length
+    ingest::IngestPipeline* parked_pipeline = nullptr;
+    uint64_t parked_start_ns = 0;
+
+    explicit Session(std::unique_ptr<Conn> c, size_t max_frame)
+        : conn(std::move(c)), inbuf(max_frame) {}
+  };
+
+  PumpResult PumpSession(uint64_t id, Session& session);
+  /// Reads once into the session buffers; false = connection gone.
+  bool ReadSome(Session& session, bool* progressed);
+  /// Executes frames until parked, write-limited, or out of frames.
+  bool ProcessFrames(Session& session, bool* progressed);
+  /// Retries the session's parked operation; true when it completed.
+  bool RetryParked(Session& session);
+  /// Writes queued bytes; false = connection gone.
+  bool WriteSome(Session& session, bool* progressed);
+
+  void Execute(Session& session, const NetRequest& request);
+  NetResponse DoCreate(const NetRequest& request);
+  NetResponse DoDrop(const NetRequest& request);
+  void FinishFlush(Session& session);
+  void Enqueue(Session& session, const NetResponse& response);
+  void EnqueueError(Session& session, const NetRequest& request,
+                    NetStatus status, const std::string& message);
+  void FillStats(ingest::IngestPipeline& pipeline, const StreamEntry& entry,
+                 StreamStatsPayload* out);
+
+  void ServeHttp(Session& session);
+  void RecordLatency(NetOp op, uint64_t start_ns);
+
+  ServerOptions options_;
+  uint64_t next_session_id_ = 1;
+  std::vector<char> read_buf_;  // per-pump read scratch (single-threaded)
+  std::map<uint64_t, std::unique_ptr<Session>> sessions_;
+  std::map<std::string, StreamEntry> streams_;
+
+  // Registry + counters guarded by metrics_mutex_ (requests are the update
+  // granularity; MetricsText may race with the pump thread otherwise).
+  mutable std::mutex metrics_mutex_;
+  obs::MetricsRegistry registry_;
+};
+
+}  // namespace streamq::net
+
+#endif  // STREAMQ_NET_SERVER_H_

@@ -1,0 +1,168 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace streamq::net {
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool PollOne(int fd, short events, int timeout_ms) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = events;
+  p.revents = 0;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;  // timeout
+    if (errno != EINTR) return false;
+  }
+}
+
+bool ResolveIpv4(const std::string& host, struct in_addr* out) {
+  if (host.empty() || host == "localhost") {
+    out->s_addr = htonl(INADDR_LOOPBACK);
+    return true;
+  }
+  return ::inet_pton(AF_INET, host.c_str(), out) == 1;
+}
+
+}  // namespace
+
+SocketConn::SocketConn(int fd) : fd_(fd) {
+  SetNonBlocking(fd_);
+  SetNoDelay(fd_);
+}
+
+SocketConn::~SocketConn() { Close(); }
+
+int SocketConn::Read(char* buf, size_t n) {
+  if (fd_ < 0 || n == 0) return -1;
+  for (;;) {
+    const ssize_t rc = ::recv(fd_, buf, n, 0);
+    if (rc > 0) return static_cast<int>(rc);
+    if (rc == 0) return -1;  // orderly EOF: terminal for this protocol
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+int SocketConn::Write(const char* buf, size_t n) {
+  if (fd_ < 0 || n == 0) return -1;
+  for (;;) {
+    const ssize_t rc = ::send(fd_, buf, n, MSG_NOSIGNAL);
+    if (rc > 0) return static_cast<int>(rc);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+void SocketConn::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool SocketConn::WaitReadable(int timeout_ms) {
+  return fd_ >= 0 && PollOne(fd_, POLLIN, timeout_ms);
+}
+
+bool SocketConn::WaitWritable(int timeout_ms) {
+  return fd_ >= 0 && PollOne(fd_, POLLOUT, timeout_ms);
+}
+
+int TcpListen(const std::string& bind_addr, uint16_t port,
+              uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (!ResolveIpv4(bind_addr, &addr.sin_addr)) {
+    ::close(fd);
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 128) != 0 || !SetNonBlocking(fd)) {
+    ::close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+    *bound_port = ntohs(addr.sin_port);
+  }
+  return fd;
+}
+
+int TcpConnect(const std::string& host, uint16_t port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (!ResolveIpv4(host, &addr.sin_addr) || !SetNonBlocking(fd)) {
+    ::close(fd);
+    return -1;
+  }
+  const int rc =
+      ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return -1;
+  }
+  if (rc != 0) {
+    if (!PollOne(fd, POLLOUT, timeout_ms)) {
+      ::close(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  return fd;
+}
+
+std::unique_ptr<SocketConn> TcpAccept(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return std::make_unique<SocketConn>(fd);
+    if (errno == EINTR) continue;
+    return nullptr;
+  }
+}
+
+}  // namespace streamq::net

@@ -1,0 +1,52 @@
+// TCP plumbing of the network tier: non-blocking socket Conn plus the
+// listen/connect helpers the reactor and client share. Plain POSIX
+// sockets, IPv4, no external dependencies.
+
+#ifndef STREAMQ_NET_SOCKET_H_
+#define STREAMQ_NET_SOCKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/conn.h"
+
+namespace streamq::net {
+
+/// Conn over a non-blocking TCP socket (TCP_NODELAY set: the protocol is
+/// request/response with its own batching, Nagle only adds latency).
+/// Takes ownership of `fd` and closes it on destruction.
+class SocketConn final : public Conn {
+ public:
+  explicit SocketConn(int fd);
+  ~SocketConn() override;
+
+  int Read(char* buf, size_t n) override;
+  int Write(const char* buf, size_t n) override;
+  void Close() override;
+  bool WaitReadable(int timeout_ms) override;
+  bool WaitWritable(int timeout_ms) override;
+  int fd() const override { return fd_; }
+
+ private:
+  int fd_;
+};
+
+/// Creates a listening socket bound to `bind_addr:port` (port 0 picks an
+/// ephemeral port, reported through *bound_port). Non-blocking, SO_REUSEADDR.
+/// Returns the fd, or -1 on failure.
+int TcpListen(const std::string& bind_addr, uint16_t port,
+              uint16_t* bound_port);
+
+/// Connects to `host:port` (numeric IPv4 or "localhost"), waiting at most
+/// `timeout_ms` for the handshake. Returns a connected non-blocking fd, or
+/// -1 on failure/timeout.
+int TcpConnect(const std::string& host, uint16_t port, int timeout_ms);
+
+/// Accepts one pending connection from a TcpListen fd as a SocketConn;
+/// nullptr when none is pending (or on accept failure).
+std::unique_ptr<SocketConn> TcpAccept(int listen_fd);
+
+}  // namespace streamq::net
+
+#endif  // STREAMQ_NET_SOCKET_H_

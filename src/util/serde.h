@@ -153,6 +153,13 @@ enum class SnapshotType : uint16_t {
   kClusterNodeMeta = 37,
   // Observability (src/obs/): a full MetricsRegistry snapshot.
   kMetricsRegistry = 48,
+  // Network service tier (src/net/): request/response frames on the
+  // client <-> server byte stream. The frame header doubles as the wire
+  // length prefix (payload_len at a fixed offset), so a connection can be
+  // stream-parsed frame by frame with the same single-flipped-byte
+  // detection guarantee as every other snapshot.
+  kNetRequest = 80,
+  kNetResponse = 81,
   // Durable ingest (src/durability/): an atomic pipeline checkpoint
   // (per-shard sketch frames + applied sequence numbers).
   kDurableCheckpoint = 64,
